@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Ablations of the memory-system parameters DESIGN.md calls out:
+ *
+ *  1. Unified L1 size (the carveout between L1 and shared memory):
+ *     graphics leans on the L1 as its texture cache (§III), so the slice
+ *     size moves frame time directly.
+ *  2. L2 bank (slice) bandwidth: the lever behind Fig 14's MiG result —
+ *     restricting a stream to fewer banks restricts its L2 bandwidth.
+ *  3. L1 MSHR entries: memory-level parallelism of the texture path.
+ */
+
+#include "bench_util.hpp"
+#include "workloads/submit.hpp"
+
+using namespace crisp;
+using namespace crisp::bench;
+
+namespace
+{
+
+struct FrameCycleResult
+{
+    Cycle cycles;
+    double l1Hit;
+    double l2Hit;
+};
+
+FrameCycleResult
+timeFrame(const Scene &scene, const GpuConfig &cfg)
+{
+    PipelineConfig pc;
+    pc.width = k2kWidth;
+    pc.height = k2kHeight;
+    AddressSpace fb_heap(0x4000'0000ull);
+    RenderPipeline pipe(pc, fb_heap);
+    const RenderSubmission sub = pipe.submit(scene);
+    Gpu gpu(cfg);
+    const StreamId gfx = gpu.createStream("graphics");
+    submitFrame(gpu, gfx, sub);
+    const auto r = gpu.run(2'000'000'000ull);
+    fatal_if(!r.completed, "frame did not drain");
+    const StreamStats &st = gpu.stats().stream(gfx);
+    return {r.cycles, st.l1HitRate(), st.l2HitRate()};
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    header("Ablations", "memory system parameters");
+
+    AddressSpace heap;
+    const Scene scene = buildSponza(heap, /*pbr=*/true);
+
+    // --- 1. L1 carveout sweep -------------------------------------------
+    std::printf("1) unified L1 slice size (SPH):\n");
+    Table t1({"L1 size", "frame cycles", "L1 hit%", "L2 hit%"});
+    for (uint32_t kb : {8u, 16u, 32u, 64u, 128u}) {
+        GpuConfig cfg = GpuConfig::rtx3070();
+        cfg.sm.l1SizeBytes = kb * 1024;
+        const auto r = timeFrame(scene, cfg);
+        t1.addRow({std::to_string(kb) + " KB", std::to_string(r.cycles),
+                   Table::num(100 * r.l1Hit, 1),
+                   Table::num(100 * r.l2Hit, 1)});
+    }
+    std::printf("%s", t1.toText().c_str());
+    std::printf("the unified L1 doubles as the texture cache; shrinking "
+                "it pushes texture reuse out to the L2 (§III).\n\n");
+    t1.writeCsv("ablation_l1.csv");
+
+    // --- 2. L2 slice bandwidth sweep ------------------------------------
+    std::printf("2) L2 bank bandwidth (SPH):\n");
+    Table t2({"bytes/cycle/bank", "frame cycles", "vs 32B"});
+    Cycle base = 0;
+    for (double bpc : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+        GpuConfig cfg = GpuConfig::rtx3070();
+        cfg.l2.bankBytesPerCycle = bpc;
+        const auto r = timeFrame(scene, cfg);
+        if (bpc == 32.0) {
+            base = r.cycles;
+        }
+        t2.addRow({Table::num(bpc, 0), std::to_string(r.cycles),
+                   base ? Table::num(static_cast<double>(r.cycles) / base,
+                                     2)
+                        : "-"});
+    }
+    std::printf("%s", t2.toText().c_str());
+    std::printf("halving per-stream bank count under MiG is equivalent "
+                "to halving this bandwidth — the Fig 14 slowdown.\n\n");
+    t2.writeCsv("ablation_l2bw.csv");
+
+    // --- 3. L1 MSHR sweep -------------------------------------------------
+    std::printf("3) L1 MSHR entries (SPH):\n");
+    Table t3({"MSHR entries", "frame cycles"});
+    for (uint32_t entries : {4u, 8u, 16u, 48u, 96u}) {
+        GpuConfig cfg = GpuConfig::rtx3070();
+        cfg.sm.l1MshrEntries = entries;
+        const auto r = timeFrame(scene, cfg);
+        t3.addRow({std::to_string(entries), std::to_string(r.cycles)});
+    }
+    std::printf("%s", t3.toText().c_str());
+    std::printf("few MSHRs serialize texture misses and destroy the "
+                "memory-level parallelism the warp scheduler exposes.\n");
+    t3.writeCsv("ablation_mshr.csv");
+
+    // --- 4. Sectored vs unsectored L1 (texture traffic study) ------------
+    std::printf("4) sectored cache fill traffic (SPL texture stream):\n");
+    {
+        AddressSpace h4;
+        const Scene s4 = buildSponza(h4, /*pbr=*/false);
+        PipelineConfig pc4;
+        pc4.width = k2kWidth;
+        pc4.height = k2kHeight;
+        AddressSpace fbh(0x4000'0000ull);
+        RenderPipeline pipe(pc4, fbh);
+        const RenderSubmission sub = pipe.submit(s4);
+
+        SetAssocCache unsectored({32 * 1024, 8, kLineBytes, 0});
+        SetAssocCache sectored({32 * 1024, 8, kLineBytes, kSectorBytes});
+        uint64_t bytes_full = 0;
+        uint64_t bytes_sect = 0;
+        uint64_t accesses = 0;
+        for (const KernelInfo &k : sub.kernels) {
+            for (uint32_t c = 0; c < k.numCtas(); ++c) {
+                const CtaTrace cta = k.source->generate(c);
+                for (const auto &w : cta.warps) {
+                    for (const auto &in : w.instrs) {
+                        if (in.opcode != Opcode::TEX) {
+                            continue;
+                        }
+                        for (Addr line : coalesceToLines(in)) {
+                            ++accesses;
+                            if (!unsectored
+                                     .access(line, false, 0,
+                                             DataClass::Texture)
+                                     .hit) {
+                                bytes_full += kLineBytes;
+                            }
+                        }
+                        for (Addr sec : coalesceToSectors(in)) {
+                            if (!sectored
+                                     .access(sec, false, 0,
+                                             DataClass::Texture)
+                                     .hit) {
+                                bytes_sect += kSectorBytes;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Table t4({"organization", "fill bytes", "vs line-grain"});
+        t4.addRow({"line-grain (128 B fills)", std::to_string(bytes_full),
+                   "1.00"});
+        t4.addRow({"sectored (32 B fills)", std::to_string(bytes_sect),
+                   Table::num(static_cast<double>(bytes_sect) /
+                                  std::max<uint64_t>(1, bytes_full), 2)});
+        std::printf("%s", t4.toText().c_str());
+        std::printf("(%llu coalesced texture line-accesses replayed; "
+                    "sectoring trades fill bandwidth for extra sector "
+                    "misses, the Accel-Sim Ampere cache organization)\n",
+                    static_cast<unsigned long long>(accesses));
+        t4.writeCsv("ablation_sectors.csv");
+    }
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Ablations of the graphics-frontend design choices DESIGN.md calls out:
+ *
+ *  1. Vertex batching: the paper argues (§I) that wrong baselines — like
+ *     Teapot's global vertex cache — hide optimization opportunities.
+ *     Sweeping the batch capacity shows how invocation counts and frame
+ *     time respond, and why 96 matters.
+ *  2. Drawcall overlap: ITR keeps several draws in flight; serializing
+ *     kernels at drawcall boundaries (what a naive stream does) costs a
+ *     large fraction of frame time.
+ *  3. Mipmapped texturing: beyond the Fig 9 counter accuracy, LoD also
+ *     changes simulated frame time through L1/L2 pressure.
+ */
+
+#include "bench_util.hpp"
+#include "workloads/submit.hpp"
+
+using namespace crisp;
+using namespace crisp::bench;
+
+namespace
+{
+
+Cycle
+timeFrame(const Scene &scene, const PipelineConfig &pc,
+          bool overlap_draws)
+{
+    AddressSpace fb_heap(0x4000'0000ull);
+    RenderPipeline pipe(pc, fb_heap);
+    const RenderSubmission sub = pipe.submit(scene);
+    Gpu gpu(GpuConfig::rtx3070());
+    const StreamId gfx = gpu.createStream("graphics");
+    if (overlap_draws) {
+        submitFrame(gpu, gfx, sub);
+    } else {
+        for (const KernelInfo &k : sub.kernels) {
+            gpu.enqueueKernel(gfx, k);  // strict in-order stream
+        }
+    }
+    const auto r = gpu.run(2'000'000'000ull);
+    fatal_if(!r.completed, "frame did not drain");
+    return r.cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    header("Ablations", "graphics frontend design choices");
+
+    AddressSpace heap;
+    const Scene scene = buildSponza(heap, /*pbr=*/false);
+    PipelineConfig pc;
+    pc.width = k2kWidth;
+    pc.height = k2kHeight;
+
+    // --- 1. Vertex batch capacity --------------------------------------
+    std::printf("1) vertex batching (SPL):\n");
+    Table t1({"batch size", "VS invocations", "frame cycles",
+              "vs batch=96"});
+    Cycle base96 = 0;
+    for (uint32_t batch : {3u, 32u, 96u, 1024u}) {
+        PipelineConfig cfg = pc;
+        cfg.batchSize = batch;
+        AddressSpace fb_heap(0x4000'0000ull);
+        RenderPipeline pipe(cfg, fb_heap);
+        const RenderSubmission sub = pipe.submit(scene);
+        const Cycle cycles = timeFrame(scene, cfg, true);
+        if (batch == 96) {
+            base96 = cycles;
+        }
+        t1.addRow({batch == 3 ? "3 (no dedup)"
+                              : batch == 1024 ? "1024 (~global cache)"
+                                              : std::to_string(batch),
+                   std::to_string(sub.totalVsInvocations()),
+                   std::to_string(cycles),
+                   base96 ? Table::num(static_cast<double>(cycles) /
+                                           base96, 2)
+                          : "-"});
+    }
+    std::printf("%s", t1.toText().c_str());
+    std::printf("a no-dedup distributor inflates vertex work; a global "
+                "vertex cache (Teapot-style) underestimates it — the "
+                "batch model sits between, matching hardware (Fig 3).\n\n");
+    t1.writeCsv("ablation_batching.csv");
+
+    // --- 2. Drawcall overlap --------------------------------------------
+    std::printf("2) drawcall overlap (ITR pipelining):\n");
+    Table t2({"scene", "serial kernels", "overlapped", "speedup"});
+    for (const char *name : {"SPL", "SPH", "IT"}) {
+        AddressSpace h2;
+        const Scene s2 = buildSceneByName(name, h2);
+        const Cycle serial = timeFrame(s2, pc, false);
+        const Cycle overlap = timeFrame(s2, pc, true);
+        t2.addRow({name, std::to_string(serial),
+                   std::to_string(overlap),
+                   Table::num(static_cast<double>(serial) / overlap, 2)});
+    }
+    std::printf("%s", t2.toText().c_str());
+    std::printf("serializing at drawcall boundaries drains the machine "
+                "between kernels; ITR-style overlap recovers the bubbles."
+                "\n\n");
+    t2.writeCsv("ablation_overlap.csv");
+
+    // --- 3. Mipmapping's timing impact ----------------------------------
+    std::printf("3) mipmapped texturing (LoD):\n");
+    Table t3({"scene", "LoD on cycles", "LoD off cycles", "off/on"});
+    for (const char *name : {"SPL", "PT"}) {
+        AddressSpace h3;
+        const Scene s3 = buildSceneByName(name, h3);
+        PipelineConfig off = pc;
+        off.lodEnabled = false;
+        const Cycle on_c = timeFrame(s3, pc, true);
+        const Cycle off_c = timeFrame(s3, off, true);
+        t3.addRow({name, std::to_string(on_c), std::to_string(off_c),
+                   Table::num(static_cast<double>(off_c) / on_c, 2)});
+    }
+    std::printf("%s", t3.toText().c_str());
+    std::printf("without LoD the texture units fetch level-0 footprints: "
+                "more lines per access, more L1 misses, slower frames — "
+                "the timing-side counterpart of Fig 9.\n");
+    t3.writeCsv("ablation_lod.csv");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig 10: histogram of TEX cache lines referenced per CTA in one Sponza
+ * drawcall (static trace analysis).
+ *
+ * The paper finds most CTAs reference 3-5 cache lines, with per-drawcall
+ * means ranging from 2.54 to 21.19 across applications.
+ */
+
+#include "bench_util.hpp"
+
+using namespace crisp;
+using namespace crisp::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    header("Fig 10", "TEX cache lines per CTA (static trace analysis)");
+
+    AddressSpace heap;
+    const Scene scene = buildSponza(heap, /*pbr=*/false);
+    AddressSpace fb_heap(0x4000'0000ull);
+    PipelineConfig pc;
+    pc.width = k2kWidth;
+    pc.height = k2kHeight;
+    RenderPipeline pipe(pc, fb_heap);
+    const RenderSubmission sub = pipe.submit(scene);
+
+    // Pick the drawcall with the most fragment CTAs (the paper plots one
+    // representative drawcall and reports the spread over the rest).
+    size_t best = 0;
+    for (size_t i = 0; i < sub.reports.size(); ++i) {
+        if (sub.reports[i].fsCtas > sub.reports[best].fsCtas) {
+            best = i;
+        }
+    }
+    const DrawcallReport &r = sub.reports[best];
+    const Histogram hist =
+        texLinesPerCtaHistogram(sub.kernels[r.fsKernelIndex], 63);
+
+    std::printf("drawcall: %s (%llu CTAs)\n\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.fsCtas));
+    Table t({"tex lines / CTA", "CTA count"});
+    for (uint64_t b = hist.minValue(); b <= hist.maxValue() && b <= 40;
+         ++b) {
+        std::string bar(static_cast<size_t>(
+            40.0 * hist.count(b) / std::max<uint64_t>(1,
+                hist.count(hist.modeBucket()))), '#');
+        t.addRow({std::to_string(b),
+                  std::to_string(hist.count(b)) + "  " + bar});
+    }
+    std::printf("%s\n", t.toText().c_str());
+    t.writeCsv("fig10_texlines.csv");
+    std::printf("mode: %llu lines, mean: %.2f\n",
+                static_cast<unsigned long long>(hist.modeBucket()),
+                hist.mean());
+
+    // Spread of means across all drawcalls and scenes (paper: 2.54-21.19).
+    double min_mean = 1e30;
+    double max_mean = 0.0;
+    for (const std::string &name : allSceneNames()) {
+        AddressSpace h2;
+        const Scene s2 = buildSceneByName(name, h2);
+        AddressSpace fbh(0x4000'0000ull);
+        RenderPipeline p2(pc, fbh);
+        const RenderSubmission sub2 = p2.submit(s2);
+        for (const auto &rep : sub2.reports) {
+            if (rep.fsKernelIndex == ~0u || rep.fsCtas < 4) {
+                continue;
+            }
+            const Histogram h =
+                texLinesPerCtaHistogram(sub2.kernels[rep.fsKernelIndex],
+                                        255);
+            if (h.totalSamples() > 0 && h.mean() > 0.0) {
+                min_mean = std::min(min_mean, h.mean());
+                max_mean = std::max(max_mean, h.mean());
+            }
+        }
+    }
+    std::printf("per-drawcall means across all scenes: %.2f .. %.2f "
+                "(paper: 2.54 .. 21.19)\n", min_mean, max_mean);
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fig 11: L2 composition over time, comparing shading techniques.
+ *
+ * Pistol (PBR, 8 maps) fills up to ~60% of the L2's resident lines with
+ * texture data (44% on average); the Khronos Sponza (basic shading, one
+ * texture per drawcall) holds significantly less. The paper also reports
+ * L2 hit rates of 90% (Sponza) vs 75% (Pistol).
+ */
+
+#include "bench_util.hpp"
+#include "workloads/submit.hpp"
+
+using namespace crisp;
+using namespace crisp::bench;
+
+namespace
+{
+
+struct SceneRun
+{
+    CompositionSampler sampler{2000};
+    double l2Hit = 0.0;
+    Cycle cycles = 0;
+};
+
+SceneRun
+runWithSampling(const std::string &name)
+{
+    AddressSpace heap;
+    const Scene scene = buildSceneByName(name, heap);
+    AddressSpace fb_heap(0x4000'0000ull);
+    PipelineConfig pc;
+    pc.width = k2kWidth;
+    pc.height = k2kHeight;
+    RenderPipeline pipe(pc, fb_heap);
+    const RenderSubmission sub = pipe.submit(scene);
+
+    SceneRun run;
+    Gpu gpu(GpuConfig::rtx3070());
+    const StreamId gfx = gpu.createStream("graphics");
+    submitFrame(gpu, gfx, sub);
+    gpu.addController(&run.sampler);
+    const auto r = gpu.run(2'000'000'000ull);
+    fatal_if(!r.completed, "run did not complete");
+    run.cycles = r.cycles;
+    run.l2Hit = gpu.stats().stream(gfx).l2HitRate();
+    return run;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    header("Fig 11", "L2 composition: PBR (Pistol) vs basic (Sponza)");
+
+    const SceneRun pt = runWithSampling("PT");
+    const SceneRun spl = runWithSampling("SPL");
+
+    std::printf("(a) Pistol (PBR drawcalls) composition over time:\n");
+    Table ta({"cycle", "texture%", "pipeline%", "L2 hit%"});
+    const auto &ps = pt.sampler.samples();
+    const size_t step_pt = std::max<size_t>(1, ps.size() / 12);
+    for (size_t i = 0; i < ps.size(); i += step_pt) {
+        ta.addRow({std::to_string(ps[i].cycle),
+                   Table::num(100 * ps[i].texture, 1),
+                   Table::num(100 * ps[i].pipeline, 1),
+                   Table::num(100 * ps[i].hitRate, 1)});
+    }
+    std::printf("%s\n", ta.toText().c_str());
+    ta.writeCsv("fig11a_pistol.csv");
+
+    std::printf("(b) Sponza (basic shading) composition over time:\n");
+    Table tb({"cycle", "texture%", "pipeline%", "L2 hit%"});
+    const auto &ss = spl.sampler.samples();
+    const size_t step_spl = std::max<size_t>(1, ss.size() / 12);
+    for (size_t i = 0; i < ss.size(); i += step_spl) {
+        tb.addRow({std::to_string(ss[i].cycle),
+                   Table::num(100 * ss[i].texture, 1),
+                   Table::num(100 * ss[i].pipeline, 1),
+                   Table::num(100 * ss[i].hitRate, 1)});
+    }
+    std::printf("%s\n", tb.toText().c_str());
+    tb.writeCsv("fig11b_sponza.csv");
+
+    const double pt_avg = pt.sampler.meanOf(
+        &CompositionSampler::Sample::texture);
+    const double pt_max = pt.sampler.maxOf(
+        &CompositionSampler::Sample::texture);
+    const double spl_avg = spl.sampler.meanOf(
+        &CompositionSampler::Sample::texture);
+    std::printf("Pistol texture share: avg %.0f%%, peak %.0f%% "
+                "(paper: avg 44%%, up to 60%%)\n",
+                100 * pt_avg, 100 * pt_max);
+    std::printf("Sponza texture share: avg %.0f%% "
+                "(paper: significantly less than Pistol)\n",
+                100 * spl_avg);
+    std::printf("L2 hit rate: Sponza %.0f%%, Pistol %.0f%% "
+                "(paper: 90%% vs 75%%; levels compress at scaled "
+                "resolution, see EXPERIMENTS.md)\n",
+                100 * spl.l2Hit, 100 * pt.l2Hit);
+    return pt_avg > spl_avg ? 0 : 1;
+}

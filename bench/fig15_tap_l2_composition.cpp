@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig 15: normalized L2 composition under TAP for Sponza PBR + Hologram.
+ *
+ * HOLO barely touches memory, so TAP allocates nearly all sets (and thus
+ * lines) to the rendering stream; pipeline and texture data share the
+ * rendering allocation without further partitioning.
+ */
+
+#include "bench_util.hpp"
+
+using namespace crisp;
+using namespace crisp::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    header("Fig 15", "L2 composition under TAP: SPH + HOLO (RTX 3070)");
+
+    std::unique_ptr<CompositionSampler> sampler;
+    const PairResult result = runPair(
+        "SPH", "HOLO", GpuConfig::rtx3070(), PairScheme::MpsTap, 480, 270,
+        [&](Gpu &gpu, StreamId, StreamId) {
+            sampler = std::make_unique<CompositionSampler>(2000);
+            gpu.addController(sampler.get());
+        });
+
+    Table t({"cycle", "texture%", "pipeline%", "compute%"});
+    const auto &samples = sampler->samples();
+    const size_t step = std::max<size_t>(1, samples.size() / 20);
+    for (size_t i = 0; i < samples.size(); i += step) {
+        const auto &s = samples[i];
+        t.addRow({std::to_string(s.cycle), Table::num(100 * s.texture, 1),
+                  Table::num(100 * s.pipeline, 1),
+                  Table::num(100 * s.compute, 1)});
+    }
+    std::printf("%s\n", t.toText().c_str());
+    t.writeCsv("fig15_tap_l2.csv");
+
+    const double tex =
+        sampler->meanOf(&CompositionSampler::Sample::texture);
+    const double pipe =
+        sampler->meanOf(&CompositionSampler::Sample::pipeline);
+    const double cmp =
+        sampler->meanOf(&CompositionSampler::Sample::compute);
+    std::printf("mean shares: texture %.0f%%, pipeline %.0f%%, compute "
+                "%.0f%%\n", 100 * tex, 100 * pipe, 100 * cmp);
+    std::printf("paper: TAP allocates most cache lines to rendering "
+                "because HOLO is compute-bound; pipeline and texture data "
+                "are not partitioned from each other.\n");
+    std::printf("makespan %llu cycles\n",
+                static_cast<unsigned long long>(result.makespan));
+    return (tex + pipe) > cmp ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the memory-system hot paths: tag
+ * probes, LRU eviction, set-window remapping, and MSHR merging. These are
+ * the most-executed simulator code paths; regressions here dominate
+ * simulation wall time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/stats.hpp"
+#include "mem/cache.hpp"
+#include "mem/l2_subsystem.hpp"
+#include "mem/mshr.hpp"
+
+namespace crisp
+{
+namespace
+{
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    SetAssocCache cache({256 * 1024, 16, kLineBytes});
+    cache.access(0x1000, false, 0, DataClass::Compute);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(0x1000, false, 0, DataClass::Compute));
+    }
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_CacheMissEvict(benchmark::State &state)
+{
+    SetAssocCache cache({256 * 1024, 16, kLineBytes});
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(a, false, 0, DataClass::Compute));
+        a += kLineBytes;
+    }
+}
+BENCHMARK(BM_CacheMissEvict);
+
+void
+BM_CacheSetWindowAccess(benchmark::State &state)
+{
+    SetAssocCache cache({256 * 1024, 16, kLineBytes});
+    cache.setStreamSetWindow(1, 0, 8);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(a, false, 1, DataClass::Compute));
+        a += kLineBytes;
+    }
+}
+BENCHMARK(BM_CacheSetWindowAccess);
+
+void
+BM_MshrAllocateFill(benchmark::State &state)
+{
+    Mshr mshr(64, 8);
+    Addr a = 0;
+    for (auto _ : state) {
+        mshr.allocate(a, 1);
+        benchmark::DoNotOptimize(mshr.fill(a));
+        a += kLineBytes;
+    }
+}
+BENCHMARK(BM_MshrAllocateFill);
+
+void
+BM_L2SubmitStep(benchmark::State &state)
+{
+    L2Config cfg;
+    cfg.numBanks = 16;
+    cfg.bankGeometry = {256 * 1024, 16, kLineBytes};
+    StatsRegistry stats;
+    L2Subsystem l2(cfg, &stats);
+    l2.setResponseHandler([](const MemRequest &) {});
+    Cycle now = 0;
+    Addr a = 0;
+    for (auto _ : state) {
+        MemRequest req;
+        req.line = a;
+        req.completionKey = a;
+        a += kLineBytes;
+        l2.submit(req, now);
+        ++now;
+        l2.step(now);
+    }
+}
+BENCHMARK(BM_L2SubmitStep);
+
+void
+BM_CompositionSnapshot(benchmark::State &state)
+{
+    SetAssocCache cache({4 * 1024 * 1024 / 16, 16, kLineBytes});
+    for (Addr a = 0; a < 2048 * kLineBytes; a += kLineBytes) {
+        cache.access(a, false, 0, DataClass::Texture);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.composition());
+    }
+}
+BENCHMARK(BM_CompositionSnapshot);
+
+} // namespace
+} // namespace crisp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Table I: simulator capability matrix.
+ *
+ * The table's claim for CRISP — the only simulator running raster rendering
+ * AND general compute, concurrently — is demonstrated rather than merely
+ * printed: three smoke simulations run a rendering-only frame, a
+ * compute-only kernel batch, and a concurrent mix, and the table row is
+ * emitted only after all three complete on the same timing model.
+ */
+
+#include "bench_util.hpp"
+#include "workloads/submit.hpp"
+
+using namespace crisp;
+using namespace crisp::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    header("Table I", "simulator capability comparison");
+
+    // 1. Rendering-only.
+    AddressSpace heap;
+    Scene scene = buildPistol(heap);
+    const FrameResult frame =
+        runFrame(scene, 320, 180, GpuConfig::jetsonOrin());
+    const bool rendering_ok = frame.stats.kernelsCompleted > 0 &&
+                              frame.stats.l1TexAccesses > 0;
+
+    // 2. Compute-only (CUDA-style trace kernels).
+    AddressSpace cheap;
+    Gpu compute_gpu(GpuConfig::jetsonOrin());
+    const StreamId cs = compute_gpu.createStream("compute");
+    for (const KernelInfo &k : buildVio(cheap)) {
+        compute_gpu.enqueueKernel(cs, k);
+    }
+    const bool compute_ok = compute_gpu.run(500'000'000ull).completed;
+
+    // 3. Concurrent rendering + compute with intra-SM sharing.
+    AddressSpace heap2(0x8000'0000ull);
+    Gpu both(GpuConfig::jetsonOrin());
+    const StreamId gs = both.createStream("graphics");
+    const StreamId ks = both.createStream("compute");
+    PipelineConfig pc;
+    pc.width = 320;
+    pc.height = 180;
+    RenderPipeline pipe(pc, heap2);
+    const RenderSubmission sub = pipe.submit(scene);
+    submitFrame(both, gs, sub);
+    for (const KernelInfo &k : buildHolo(heap2, 1)) {
+        both.enqueueKernel(ks, k);
+    }
+    PartitionConfig part;
+    part.policy = PartitionPolicy::FineGrained;
+    both.setPartition(part);
+    const bool concurrent_ok = both.run(500'000'000ull).completed &&
+                               both.stats().stream(gs).instructions > 0 &&
+                               both.stats().stream(ks).instructions > 0;
+
+    Table t({"Simulator", "Rendering Pipeline", "Shader Model",
+             "GPGPU model", "Workloads"});
+    t.addRow({"Attila", "Yes", "Unified", "No", "Rendering"});
+    t.addRow({"Teapot", "Yes", "non-Unified", "No", "Rendering"});
+    t.addRow({"GLTraceSim", "Yes", "Approximated", "No", "Rendering"});
+    t.addRow({"Emerald", "Yes", "Unified", "No", "Rendering"});
+    t.addRow({"Skybox", "Yes", "Unified", "No", "Rendering"});
+    t.addRow({"Vulkan-Sim", "Ray-Tracing only", "Ray Tracing", "No",
+              "Ray Tracing"});
+    t.addRow({"GPGPU-Sim", "No", "N/A", "Yes", "CUDA"});
+    t.addRow({"Accel-Sim", "No", "N/A", "Yes", "CUDA"});
+    t.addRow({"CRISP (this repo)",
+              rendering_ok ? "Yes (verified)" : "FAILED",
+              "Unified",
+              compute_ok ? "Yes (verified)" : "FAILED",
+              concurrent_ok ? "Rendering + CUDA (verified)" : "FAILED"});
+    std::printf("%s\n", t.toText().c_str());
+
+    std::printf("rendering-only:    %s (%llu graphics kernels)\n",
+                rendering_ok ? "ok" : "FAILED",
+                static_cast<unsigned long long>(
+                    frame.stats.kernelsCompleted));
+    std::printf("compute-only:      %s\n", compute_ok ? "ok" : "FAILED");
+    std::printf("concurrent mix:    %s\n",
+                concurrent_ok ? "ok" : "FAILED");
+    return rendering_ok && compute_ok && concurrent_ok ? 0 : 1;
+}

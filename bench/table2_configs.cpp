@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Table II: the two simulation configurations (Jetson Orin, RTX 3070).
+ * Prints the resolved parameters of both presets in the paper's layout and
+ * cross-checks the derived quantities the rest of the harness relies on.
+ */
+
+#include "bench_util.hpp"
+
+using namespace crisp;
+using namespace crisp::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    header("Table II", "simulation configurations");
+
+    const GpuConfig orin = GpuConfig::jetsonOrin();
+    const GpuConfig rtx = GpuConfig::rtx3070();
+
+    auto mem_desc = [](const GpuConfig &g) {
+        return g.memoryDesc + ", " + Table::num(g.memoryBandwidthGBs, 0) +
+               "GB/s";
+    };
+    auto l1_desc = [](const GpuConfig &g) {
+        return std::to_string(
+                   (g.sm.l1SizeBytes + g.sm.smemBytes) / 1024) +
+               " KB";
+    };
+
+    Table t({"", "Jetson Orin", "RTX 3070"});
+    t.addRow({"# SMs", std::to_string(orin.numSms),
+              std::to_string(rtx.numSms)});
+    t.addRow({"# Registers / SM", std::to_string(orin.sm.registers),
+              std::to_string(rtx.sm.registers)});
+    t.addRow({"L1 Data Cache + Shared Memory", l1_desc(orin),
+              l1_desc(rtx)});
+    t.addRow({"# Warps / SM",
+              "Warps/SM = " + std::to_string(orin.sm.maxWarps) +
+                  ", Schedulers/SM = " +
+                  std::to_string(orin.sm.numSchedulers),
+              "same"});
+    t.addRow({"# Exec Units",
+              std::to_string(orin.sm.fp32Units) + " FPs, " +
+                  std::to_string(orin.sm.sfuUnits) + " SFUs, " +
+                  std::to_string(orin.sm.intUnits) + " INTs, " +
+                  std::to_string(orin.sm.tensorUnits) + " TENSORs",
+              "same"});
+    t.addRow({"L2 Cache",
+              std::to_string(orin.l2.numBanks *
+                             orin.l2.bankGeometry.sizeBytes / (1 << 20)) +
+                  " MB / " + std::to_string(orin.l2.numBanks) + " banks",
+              std::to_string(rtx.l2.numBanks *
+                             rtx.l2.bankGeometry.sizeBytes / (1 << 20)) +
+                  " MB / " + std::to_string(rtx.l2.numBanks) + " banks"});
+    t.addRow({"Compute Core Clock",
+              Table::num(orin.coreClockMhz, 0) + " MHz",
+              Table::num(rtx.coreClockMhz, 0) + " MHz"});
+    t.addRow({"Memory", mem_desc(orin), mem_desc(rtx)});
+    t.addRow({"DRAM bytes / core cycle (derived)",
+              Table::num(orin.dramBytesPerCycle(), 1),
+              Table::num(rtx.dramBytesPerCycle(), 1)});
+    std::printf("%s\n", t.toText().c_str());
+    t.writeCsv("table2_configs.csv");
+
+    // Cross-checks against the paper's stated values.
+    bool ok = true;
+    ok &= orin.numSms == 14 && rtx.numSms == 46;
+    ok &= orin.sm.registers == 65536 && rtx.sm.registers == 65536;
+    ok &= orin.l2.numBanks * orin.l2.bankGeometry.sizeBytes ==
+          4ull * 1024 * 1024;
+    ok &= rtx.l2.numBanks * rtx.l2.bankGeometry.sizeBytes ==
+          4ull * 1024 * 1024;
+    ok &= orin.memoryBandwidthGBs == 200.0 &&
+          rtx.memoryBandwidthGBs == 448.0;
+    std::printf("cross-check vs Table II: %s\n", ok ? "ok" : "MISMATCH");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Multi-frame animation: orbit the camera around the Planets scene,
+ * render and simulate each frame, and report per-frame timing plus a
+ * per-kernel breakdown of the last frame — the frame-sequence workflow an
+ * XR runtime drives (render, then asynchronous timewarp, every frame).
+ *
+ * Usage: animation [frames=6] [--dump-frames]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "gpu/gpu.hpp"
+#include "graphics/pipeline.hpp"
+#include "workloads/compute.hpp"
+#include "workloads/scenes.hpp"
+#include "workloads/submit.hpp"
+
+using namespace crisp;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const uint32_t frames =
+        argc > 1 && std::isdigit(argv[1][0])
+            ? static_cast<uint32_t>(std::atoi(argv[1]))
+            : 6;
+    bool dump = false;
+    for (int i = 1; i < argc; ++i) {
+        dump |= std::strcmp(argv[i], "--dump-frames") == 0;
+    }
+
+    AddressSpace heap;
+    Scene scene = buildPlanets(heap);
+    PipelineConfig pc;
+    pc.width = 480;
+    pc.height = 270;
+    RenderPipeline pipe(pc, heap);
+    const GpuConfig gpu_cfg = GpuConfig::jetsonOrin();
+
+    Table t({"frame", "camera angle", "fragments", "sim cycles",
+             "frame ms", "ATW ms"});
+    std::vector<RenderSubmission> keep;  // traces must outlive the run
+    for (uint32_t f = 0; f < frames; ++f) {
+        // Orbit the camera.
+        const float angle =
+            2.0f * static_cast<float>(M_PI) * f / frames;
+        const Vec3 eye = {30.0f * std::sin(angle), 14.0f,
+                          30.0f * std::cos(angle)};
+        scene.camera.eye = eye;
+        scene.camera.view = Mat4::lookAt(eye, {0, 0, 0}, {0, 1, 0});
+
+        keep.push_back(pipe.submit(scene));
+        const RenderSubmission &sub = keep.back();
+        if (dump) {
+            char name[64];
+            std::snprintf(name, sizeof(name), "planets_f%02u.ppm", f);
+            pipe.framebuffer().writePpm(name);
+        }
+
+        // Per frame: render, then timewarp the result (async compute).
+        Gpu gpu(gpu_cfg);
+        const StreamId gfx = gpu.createStream("graphics");
+        const StreamId atw = gpu.createStream("atw");
+        submitFrame(gpu, gfx, sub);
+        AddressSpace cheap(0x8000'0000ull);
+        for (const KernelInfo &k :
+             buildTimewarp(cheap, pipe.framebuffer().colorAddr(0, 0),
+                           pc.width, pc.height)) {
+            gpu.enqueueKernel(atw, k);
+        }
+        PartitionConfig part;
+        part.policy = PartitionPolicy::FineGrained;
+        part.priorityStream = gfx;
+        gpu.setPartition(part);
+        const auto r = gpu.run(2'000'000'000ull);
+        fatal_if(!r.completed, "frame %u did not drain", f);
+
+        t.addRow({std::to_string(f),
+                  Table::num(angle * 180.0 / M_PI, 0) + " deg",
+                  std::to_string(sub.totalFragments()),
+                  std::to_string(r.cycles),
+                  Table::num(gpu_cfg.cyclesToMs(gpu.streamFinishCycle(gfx)),
+                             4),
+                  Table::num(gpu_cfg.cyclesToMs(gpu.streamFinishCycle(atw)),
+                             4)});
+
+        if (f + 1 == frames) {
+            std::printf("last frame kernel breakdown:\n");
+            Table kt({"kernel", "stream", "CTAs", "launch", "complete",
+                      "cycles"});
+            for (const auto &rec : gpu.kernelLog()) {
+                kt.addRow({rec.name,
+                           rec.stream == gfx ? "gfx" : "atw",
+                           std::to_string(rec.ctas),
+                           std::to_string(rec.launchCycle),
+                           std::to_string(rec.completeCycle),
+                           std::to_string(rec.completeCycle -
+                                          rec.launchCycle)});
+            }
+            std::printf("%s\n", kt.toText().c_str());
+        }
+    }
+    std::printf("%s", t.toText().c_str());
+    std::printf("\nframe times vary with the camera angle (visible "
+                "asteroid count changes the fragment load); the timewarp "
+                "pass overlaps rendering as async compute.\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Async compute demo: one frame of Sponza PBR shares a Jetson Orin with
+ * the VIO pipeline under each partitioning method the simulator models
+ * (§III-A, Fig 4) — serial, default exhaustive, MPS, MiG and fine-grained
+ * intra-SM — and prints where the time goes for each.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "gpu/gpu.hpp"
+#include "graphics/pipeline.hpp"
+#include "workloads/compute.hpp"
+#include "workloads/scenes.hpp"
+#include "workloads/submit.hpp"
+
+using namespace crisp;
+
+int
+main()
+{
+    setVerbose(false);
+    const GpuConfig gpu_cfg = GpuConfig::jetsonOrin();
+
+    AddressSpace heap;
+    const Scene scene = buildSponza(heap, /*pbr=*/true);
+    PipelineConfig pc;
+    pc.width = 480;
+    pc.height = 270;
+    AddressSpace fb_heap(0x4000'0000ull);
+    RenderPipeline pipe(pc, fb_heap);
+    const RenderSubmission frame = pipe.submit(scene);
+
+    struct Config
+    {
+        const char *name;
+        bool twoStreams;
+        PartitionPolicy policy;
+        bool priority;
+    };
+    const Config configs[] = {
+        {"serial (one stream)", false, PartitionPolicy::Exhaustive, false},
+        {"exhaustive (2 streams)", true, PartitionPolicy::Exhaustive,
+         false},
+        {"MPS (SM split)", true, PartitionPolicy::Mps, false},
+        {"MiG (SM + L2 banks)", true, PartitionPolicy::Mig, false},
+        {"async compute (intra-SM)", true, PartitionPolicy::FineGrained,
+         true},
+    };
+
+    Table t({"configuration", "total cycles", "gfx done", "vio done",
+             "gfx IPC", "vio IPC"});
+    for (const Config &cfg : configs) {
+        AddressSpace cheap(0x8000'0000ull);
+        Gpu gpu(gpu_cfg);
+        const StreamId gfx = gpu.createStream("graphics");
+        const StreamId cmp =
+            cfg.twoStreams ? gpu.createStream("compute") : gfx;
+        submitFrame(gpu, gfx, frame);
+        for (const KernelInfo &k : buildVio(cheap)) {
+            gpu.enqueueKernel(cmp, k);
+        }
+        PartitionConfig part;
+        part.policy = cfg.policy;
+        if (cfg.priority) {
+            part.priorityStream = gfx;
+        }
+        gpu.setPartition(part);
+        const auto r = gpu.run(2'000'000'000ull);
+        fatal_if(!r.completed, "run did not drain");
+        t.addRow({cfg.name, std::to_string(r.cycles),
+                  std::to_string(gpu.streamFinishCycle(gfx)),
+                  cfg.twoStreams
+                      ? std::to_string(gpu.streamFinishCycle(cmp))
+                      : "(same stream)",
+                  Table::num(gpu.stats().stream(gfx).ipc(), 2),
+                  cfg.twoStreams
+                      ? Table::num(gpu.stats().stream(cmp).ipc(), 2)
+                      : "-"});
+    }
+    std::printf("%s\n", t.toText().c_str());
+    std::printf("Concurrent schemes overlap the VIO system task with the "
+                "frame; async compute shares every SM and lets compute "
+                "fill idle issue slots.\n");
+    return 0;
+}

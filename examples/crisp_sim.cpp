@@ -1,0 +1,272 @@
+/**
+ * @file
+ * crisp_sim: the command-line simulator driver.
+ *
+ * Composes any rendering scene with any compute workload on either GPU
+ * preset under any partitioning method, runs the cycle-level simulation
+ * and prints (optionally CSV-dumps) per-stream statistics — the front
+ * door a user points their own experiments at.
+ *
+ * Usage:
+ *   crisp_sim [options]
+ *     --scene NAME      SPL|SPH|PT|IT|PL|MT|none        (default SPL)
+ *     --compute NAME    VIO|HOLO|NN|ATW|none            (default none)
+ *     --gpu NAME        rtx3070|orin                    (default rtx3070)
+ *     --policy NAME     exhaustive|mps|mig|fg|fg-slicer|mps-tap
+ *     --width N --height N                              (default 640x360)
+ *     --share F         graphics resource share under fg (default 0.5)
+ *     --lod 0|1         mipmapped texturing              (default 1)
+ *     --frames N        frames to render                 (default 1)
+ *     --image FILE      dump the rendered frame as PPM
+ *     --csv FILE        dump per-stream stats as CSV
+ *     --kernels         print the per-kernel execution log
+ *     --quiet           suppress the banner
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "gpu/gpu.hpp"
+#include "graphics/pipeline.hpp"
+#include "partition/tap.hpp"
+#include "partition/warped_slicer.hpp"
+#include "workloads/compute.hpp"
+#include "workloads/scenes.hpp"
+#include "workloads/submit.hpp"
+
+using namespace crisp;
+
+namespace
+{
+
+struct Options
+{
+    std::string scene = "SPL";
+    std::string compute = "none";
+    std::string gpu = "rtx3070";
+    std::string policy = "exhaustive";
+    uint32_t width = 640;
+    uint32_t height = 360;
+    double share = 0.5;
+    bool lod = true;
+    uint32_t frames = 1;
+    std::string image;
+    std::string csv;
+    bool kernels = false;
+    bool quiet = false;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int &i) -> const char * {
+        fatal_if(i + 1 >= argc, "missing value for %s", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--scene") {
+            opt.scene = need(i);
+        } else if (a == "--compute") {
+            opt.compute = need(i);
+        } else if (a == "--gpu") {
+            opt.gpu = need(i);
+        } else if (a == "--policy") {
+            opt.policy = need(i);
+        } else if (a == "--width") {
+            opt.width = static_cast<uint32_t>(std::atoi(need(i)));
+        } else if (a == "--height") {
+            opt.height = static_cast<uint32_t>(std::atoi(need(i)));
+        } else if (a == "--share") {
+            opt.share = std::atof(need(i));
+        } else if (a == "--lod") {
+            opt.lod = std::atoi(need(i)) != 0;
+        } else if (a == "--frames") {
+            opt.frames = static_cast<uint32_t>(std::atoi(need(i)));
+        } else if (a == "--image") {
+            opt.image = need(i);
+        } else if (a == "--csv") {
+            opt.csv = need(i);
+        } else if (a == "--kernels") {
+            opt.kernels = true;
+        } else if (a == "--quiet") {
+            opt.quiet = true;
+        } else if (a == "--help" || a == "-h") {
+            std::printf("see the header of examples/crisp_sim.cpp\n");
+            std::exit(0);
+        } else {
+            fatal("unknown option %s", a.c_str());
+        }
+    }
+    fatal_if(opt.scene == "none" && opt.compute == "none",
+             "nothing to simulate: pass --scene and/or --compute");
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const Options opt = parseArgs(argc, argv);
+
+    const GpuConfig gpu_cfg = opt.gpu == "orin" ? GpuConfig::jetsonOrin()
+        : opt.gpu == "rtx3070"
+        ? GpuConfig::rtx3070()
+        : (fatal("unknown gpu %s", opt.gpu.c_str()), GpuConfig{});
+
+    Gpu gpu(gpu_cfg);
+    AddressSpace heap;
+    std::unique_ptr<Scene> scene;
+    std::unique_ptr<RenderPipeline> pipeline;
+    RenderSubmission frame;
+    StreamId gfx = kInvalidStream;
+    StreamId cmp = kInvalidStream;
+
+    if (opt.scene != "none") {
+        scene = std::make_unique<Scene>(buildSceneByName(opt.scene, heap));
+        PipelineConfig pc;
+        pc.width = opt.width;
+        pc.height = opt.height;
+        pc.lodEnabled = opt.lod;
+        pipeline = std::make_unique<RenderPipeline>(pc, heap);
+        gfx = gpu.createStream("graphics");
+    }
+    if (opt.compute != "none") {
+        cmp = gpu.createStream("compute");
+    }
+
+    // Queue the work.
+    std::vector<RenderSubmission> frames;
+    for (uint32_t f = 0; f < opt.frames && pipeline; ++f) {
+        frames.push_back(pipeline->submit(*scene));
+        submitFrame(gpu, gfx, frames.back());
+    }
+    if (cmp != kInvalidStream) {
+        std::vector<KernelInfo> kernels;
+        if (opt.compute == "VIO") {
+            kernels = buildVio(heap, opt.frames);
+        } else if (opt.compute == "HOLO") {
+            kernels = buildHolo(heap);
+        } else if (opt.compute == "NN") {
+            kernels = buildNn(heap);
+        } else if (opt.compute == "ATW") {
+            const Addr color = pipeline
+                ? pipeline->framebuffer().colorAddr(0, 0)
+                : heap.alloc(4ull * opt.width * opt.height);
+            kernels = buildTimewarp(heap, color, opt.width, opt.height);
+        } else {
+            fatal("unknown compute workload %s", opt.compute.c_str());
+        }
+        for (const KernelInfo &k : kernels) {
+            gpu.enqueueKernel(cmp, k);
+        }
+    }
+
+    // Partitioning.
+    PartitionConfig part;
+    std::unique_ptr<WarpedSlicer> slicer;
+    std::unique_ptr<TapController> tap;
+    if (opt.policy == "exhaustive") {
+        part.policy = PartitionPolicy::Exhaustive;
+    } else if (opt.policy == "mps" || opt.policy == "mps-tap") {
+        part.policy = PartitionPolicy::Mps;
+    } else if (opt.policy == "mig") {
+        part.policy = PartitionPolicy::Mig;
+    } else if (opt.policy == "fg" || opt.policy == "fg-slicer") {
+        part.policy = PartitionPolicy::FineGrained;
+        if (gfx != kInvalidStream) {
+            part.share[gfx] = opt.share;
+            part.priorityStream = gfx;
+        }
+    } else {
+        fatal("unknown policy %s", opt.policy.c_str());
+    }
+    gpu.setPartition(part);
+    if (opt.policy == "fg-slicer" && gfx != kInvalidStream &&
+        cmp != kInvalidStream) {
+        WarpedSlicerConfig wc;
+        wc.streamA = gfx;
+        wc.streamB = cmp;
+        slicer = std::make_unique<WarpedSlicer>(wc);
+        gpu.addController(slicer.get());
+    }
+    if (opt.policy == "mps-tap" && gfx != kInvalidStream &&
+        cmp != kInvalidStream) {
+        TapConfig tc;
+        tc.gfxStream = gfx;
+        tc.computeStream = cmp;
+        tap = std::make_unique<TapController>(tc, gpu);
+        gpu.addController(tap.get());
+    }
+
+    if (!opt.quiet) {
+        std::printf("crisp_sim: scene=%s compute=%s gpu=%s policy=%s "
+                    "%ux%u lod=%d frames=%u\n",
+                    opt.scene.c_str(), opt.compute.c_str(),
+                    gpu_cfg.name.c_str(), opt.policy.c_str(), opt.width,
+                    opt.height, opt.lod ? 1 : 0, opt.frames);
+    }
+
+    const auto r = gpu.run(8'000'000'000ull);
+    fatal_if(!r.completed, "simulation did not drain");
+
+    if (!opt.image.empty() && pipeline) {
+        pipeline->framebuffer().writePpm(opt.image);
+    }
+
+    Table t({"stream", "cycles(first..last)", "kernels", "instructions",
+             "IPC", "L1 hit%", "L2 hit%", "tex acc", "dram rd"});
+    auto add_stream = [&](const char *name, StreamId id) {
+        if (id == kInvalidStream) {
+            return;
+        }
+        const StreamStats &st = gpu.stats().stream(id);
+        t.addRow({name,
+                  std::to_string(st.firstCycle) + ".." +
+                      std::to_string(gpu.streamFinishCycle(id)),
+                  std::to_string(st.kernelsCompleted),
+                  std::to_string(st.instructions), Table::num(st.ipc(), 2),
+                  Table::num(100 * st.l1HitRate(), 1),
+                  Table::num(100 * st.l2HitRate(), 1),
+                  std::to_string(st.l1TexAccesses),
+                  std::to_string(st.dramReads)});
+    };
+    add_stream("graphics", gfx);
+    add_stream("compute", cmp);
+    std::printf("total: %llu cycles = %.4f ms on %s (L2 hit %.1f%%, DRAM "
+                "busy %.1f%%)\n\n",
+                static_cast<unsigned long long>(r.cycles),
+                gpu_cfg.cyclesToMs(r.cycles), gpu_cfg.name.c_str(),
+                100.0 * gpu.l2().hitRate(),
+                100.0 * gpu.l2().dramBusyCycles() / r.cycles);
+    std::printf("%s", t.toText().c_str());
+    if (!opt.csv.empty()) {
+        t.writeCsv(opt.csv);
+        std::printf("wrote %s\n", opt.csv.c_str());
+    }
+    if (opt.kernels) {
+        std::printf("\nper-kernel execution log:\n");
+        Table kt({"kernel", "stream", "CTAs", "launch", "complete",
+                  "cycles"});
+        for (const auto &rec : gpu.kernelLog()) {
+            kt.addRow({rec.name,
+                       rec.stream == gfx ? "graphics" : "compute",
+                       std::to_string(rec.ctas),
+                       std::to_string(rec.launchCycle),
+                       std::to_string(rec.completeCycle),
+                       std::to_string(rec.completeCycle -
+                                      rec.launchCycle)});
+        }
+        std::printf("%s", kt.toText().c_str());
+    }
+    return 0;
+}

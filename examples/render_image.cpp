@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Functional rendering demo: renders any evaluation scene to a PPM image
+ * (the paper's Fig 5 shows Planets rendered by the model), and with
+ * --lod-compare renders Sponza twice — mipmapping on and off — to
+ * reproduce the visual comparison of Fig 8 (LoD off shows texture moire;
+ * mipmapping anti-aliases naturally during downsampling).
+ *
+ * Usage:
+ *   render_image [scene] [width] [height] [out.ppm]
+ *   render_image --lod-compare
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "graphics/pipeline.hpp"
+#include "workloads/scenes.hpp"
+
+using namespace crisp;
+
+namespace
+{
+
+void
+renderOne(const std::string &scene_name, uint32_t width, uint32_t height,
+          bool lod, const std::string &out)
+{
+    AddressSpace heap;
+    const Scene scene = buildSceneByName(scene_name, heap);
+    PipelineConfig pc;
+    pc.width = width;
+    pc.height = height;
+    pc.lodEnabled = lod;
+    RenderPipeline pipe(pc, heap);
+    const RenderSubmission sub = pipe.submit(scene);
+    pipe.framebuffer().writePpm(out);
+    std::printf("%s @ %ux%u (LoD %s): %zu drawcalls, %llu fragments -> "
+                "%s\n",
+                scene_name.c_str(), width, height, lod ? "on" : "off",
+                sub.reports.size(),
+                static_cast<unsigned long long>(sub.totalFragments()),
+                out.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+
+    if (argc > 1 && std::strcmp(argv[1], "--lod-compare") == 0) {
+        // Fig 8: Sponza with and without mipmapping.
+        renderOne("SPL", 640, 360, true, "sponza_lod_on.ppm");
+        renderOne("SPL", 640, 360, false, "sponza_lod_off.ppm");
+        std::printf("compare sponza_lod_on.ppm vs sponza_lod_off.ppm: "
+                    "without LoD the tiled floor aliases (moire), with LoD "
+                    "the mip chain anti-aliases it.\n");
+        return 0;
+    }
+
+    const std::string scene = argc > 1 ? argv[1] : "IT";
+    const uint32_t width =
+        argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 960;
+    const uint32_t height =
+        argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 540;
+    const std::string out = argc > 4 ? argv[4] : scene + ".ppm";
+    renderOne(scene, width, height, true, out);
+    return 0;
+}

@@ -1,0 +1,76 @@
+#ifndef CRISP_COMMON_LOGGING_HPP
+#define CRISP_COMMON_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic() is for simulator bugs (conditions that can never legally occur);
+ * fatal() is for user errors (bad configuration, invalid arguments).
+ * inform()/warn() report status without stopping the simulation.
+ */
+
+namespace crisp
+{
+
+namespace logging_detail
+{
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Global verbosity switch; tests silence inform() output. */
+extern bool verbose;
+} // namespace logging_detail
+
+/** Enable or disable inform() output (warnings always print). */
+void setVerbose(bool on);
+bool isVerbose();
+
+} // namespace crisp
+
+/** Abort: an internal simulator invariant was violated (a CRISP bug). */
+#define panic(...)                                                            \
+    ::crisp::logging_detail::panicImpl(                                       \
+        __FILE__, __LINE__, ::crisp::logging_detail::formatMessage(__VA_ARGS__))
+
+/** Exit(1): the simulation cannot continue due to a user/config error. */
+#define fatal(...)                                                            \
+    ::crisp::logging_detail::fatalImpl(                                       \
+        __FILE__, __LINE__, ::crisp::logging_detail::formatMessage(__VA_ARGS__))
+
+/** Non-fatal warning about approximated or suspicious behaviour. */
+#define warn(...)                                                             \
+    ::crisp::logging_detail::warnImpl(                                        \
+        ::crisp::logging_detail::formatMessage(__VA_ARGS__))
+
+/** Informational status message (suppressed unless verbose). */
+#define inform(...)                                                           \
+    ::crisp::logging_detail::informImpl(                                      \
+        ::crisp::logging_detail::formatMessage(__VA_ARGS__))
+
+/** panic() unless the invariant holds. */
+#define panic_if(cond, ...)                                                   \
+    do {                                                                      \
+        if (cond) {                                                           \
+            panic(__VA_ARGS__);                                               \
+        }                                                                     \
+    } while (0)
+
+/** fatal() unless the user-facing condition holds. */
+#define fatal_if(cond, ...)                                                   \
+    do {                                                                      \
+        if (cond) {                                                           \
+            fatal(__VA_ARGS__);                                               \
+        }                                                                     \
+    } while (0)
+
+#endif // CRISP_COMMON_LOGGING_HPP

@@ -1,0 +1,90 @@
+#include "common/metrics.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    panic_if(xs.size() != ys.size(), "pearson: length mismatch %zu vs %zu",
+             xs.size(), ys.size());
+    const size_t n = xs.size();
+    if (n < 2) {
+        return 0.0;
+    }
+    double mx = 0.0;
+    double my = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        mx += xs[i];
+        my += ys[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0) {
+        return 0.0;
+    }
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+mape(const std::vector<double> &reference, const std::vector<double> &predicted)
+{
+    panic_if(reference.size() != predicted.size(),
+             "mape: length mismatch %zu vs %zu", reference.size(),
+             predicted.size());
+    double total = 0.0;
+    size_t used = 0;
+    for (size_t i = 0; i < reference.size(); ++i) {
+        if (reference[i] == 0.0) {
+            continue;
+        }
+        total += std::fabs((predicted[i] - reference[i]) / reference[i]);
+        ++used;
+    }
+    return used == 0 ? 0.0 : 100.0 * total / static_cast<double>(used);
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty()) {
+        return 0.0;
+    }
+    double total = 0.0;
+    for (double x : xs) {
+        total += x;
+    }
+    return total / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty()) {
+        return 0.0;
+    }
+    double log_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0) {
+            return 0.0;
+        }
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace crisp

@@ -1,0 +1,37 @@
+#ifndef CRISP_COMMON_METRICS_HPP
+#define CRISP_COMMON_METRICS_HPP
+
+#include <vector>
+
+namespace crisp
+{
+
+/**
+ * @file
+ * Correlation metrics used by the validation studies (Figs 3, 6 and 9):
+ * Pearson correlation between simulator and hardware-oracle counters, and
+ * Mean Absolute Percentage Error for per-drawcall traffic counts.
+ */
+
+/**
+ * Pearson correlation coefficient of two equal-length series.
+ * Returns 0 for degenerate inputs (fewer than two points or zero variance).
+ */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/**
+ * Mean Absolute Percentage Error of @p predicted against @p reference,
+ * in percent. Reference points equal to zero are skipped.
+ */
+double mape(const std::vector<double> &reference,
+            const std::vector<double> &predicted);
+
+/** Arithmetic mean (0 for an empty series). */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean (0 if any element is <= 0 or the series is empty). */
+double geomean(const std::vector<double> &xs);
+
+} // namespace crisp
+
+#endif // CRISP_COMMON_METRICS_HPP

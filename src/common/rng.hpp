@@ -1,0 +1,54 @@
+#ifndef CRISP_COMMON_RNG_HPP
+#define CRISP_COMMON_RNG_HPP
+
+#include <cstdint>
+
+namespace crisp
+{
+
+/**
+ * Deterministic pseudo-random generator (xoshiro256**).
+ *
+ * Every stochastic element of the simulator (scene generation, oracle noise)
+ * draws from an explicitly seeded Rng so runs are reproducible bit-for-bit
+ * across platforms; std::mt19937 distributions are implementation-defined,
+ * so we implement the distributions ourselves.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed (splitmix64 expansion). */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection-free Lemire reduction. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Standard normal via Box-Muller (deterministic). */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+  private:
+    uint64_t state_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace crisp
+
+#endif // CRISP_COMMON_RNG_HPP

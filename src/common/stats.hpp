@@ -1,0 +1,121 @@
+#ifndef CRISP_COMMON_STATS_HPP
+#define CRISP_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace crisp
+{
+
+/**
+ * A fixed-bucket histogram over non-negative integer samples.
+ *
+ * Used for the paper's static trace analyses such as Fig 10 (texture cache
+ * lines referenced per CTA).
+ */
+class Histogram
+{
+  public:
+    /** @param max_value samples above this are clamped into the last bucket */
+    explicit Histogram(uint64_t max_value = 64);
+
+    void add(uint64_t value, uint64_t weight = 1);
+
+    uint64_t count(uint64_t bucket) const;
+    uint64_t totalSamples() const { return samples_; }
+    double mean() const;
+    /** Smallest value with a non-zero count, or 0 when empty. */
+    uint64_t minValue() const;
+    uint64_t maxValue() const;
+    /** Bucket with the highest count (the mode); ties pick the smaller. */
+    uint64_t modeBucket() const;
+    uint64_t maxTracked() const { return maxValue_; }
+
+    /** Merge another histogram into this one (same max_value required). */
+    void merge(const Histogram &other);
+
+  private:
+    uint64_t maxValue_;
+    uint64_t samples_ = 0;
+    uint64_t weightedSum_ = 0;
+    std::vector<uint64_t> buckets_;
+};
+
+/**
+ * Per-stream statistics block.
+ *
+ * The paper (§III-A) notes that Accel-Sim aggregates statistics across
+ * streams, which is misleading under concurrent execution, and extends the
+ * model to per-stream stat tracking. StreamStats is the per-stream record;
+ * StatsRegistry owns one per stream plus the machine-wide aggregates.
+ */
+struct StreamStats
+{
+    uint64_t cycles = 0;            ///< Cycles in which the stream had work.
+    uint64_t instructions = 0;      ///< Warp-instructions issued.
+    uint64_t warpsLaunched = 0;
+    uint64_t ctasLaunched = 0;
+    uint64_t kernelsCompleted = 0;
+
+    uint64_t l1Accesses = 0;
+    uint64_t l1Hits = 0;
+    uint64_t l1TexAccesses = 0;     ///< Texture loads through the unified L1.
+    uint64_t l2Accesses = 0;
+    uint64_t l2Hits = 0;
+    uint64_t dramReads = 0;
+    uint64_t dramWrites = 0;
+    uint64_t smemAccesses = 0;
+    uint64_t smemBankConflicts = 0;
+
+    Cycle firstCycle = 0;           ///< Cycle the first CTA issued.
+    Cycle lastCycle = 0;            ///< Cycle the last CTA committed.
+
+    double l1HitRate() const;
+    double l2HitRate() const;
+    double ipc() const;
+};
+
+/**
+ * Registry of named scalar counters plus per-stream stat blocks.
+ *
+ * Scalar counters support ad-hoc instrumentation from any module; the
+ * structured per-stream blocks back the paper's concurrency case studies.
+ */
+class StatsRegistry
+{
+  public:
+    /** Add to a named machine-wide counter, creating it on first use. */
+    void add(const std::string &name, uint64_t delta = 1);
+    uint64_t get(const std::string &name) const;
+
+    /** Per-stream structured stats (created on first access). */
+    StreamStats &stream(StreamId id);
+    const StreamStats *findStream(StreamId id) const;
+    const std::map<StreamId, StreamStats> &allStreams() const;
+
+    /** Sum of a member over all streams, e.g. total instructions. */
+    template <typename T>
+    uint64_t
+    sumOver(T StreamStats::*member) const
+    {
+        uint64_t total = 0;
+        for (const auto &[id, st] : streams_) {
+            total += static_cast<uint64_t>(st.*member);
+        }
+        return total;
+    }
+
+    void clear();
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+    std::map<StreamId, StreamStats> streams_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_COMMON_STATS_HPP

@@ -1,0 +1,115 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    panic_if(headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers_.size(),
+             "row width %zu does not match header width %zu", cells.size(),
+             headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::toText() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size()) {
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+            }
+        }
+        out << '\n';
+    };
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    }
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_) {
+        emit_row(row);
+    }
+    return out.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            // Quote cells containing separators.
+            const bool quote =
+                row[c].find_first_of(",\"\n") != std::string::npos;
+            if (quote) {
+                out << '"';
+                for (char ch : row[c]) {
+                    if (ch == '"') {
+                        out << '"';
+                    }
+                    out << ch;
+                }
+                out << '"';
+            } else {
+                out << row[c];
+            }
+            if (c + 1 < row.size()) {
+                out << ',';
+            }
+        }
+        out << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_) {
+        emit(row);
+    }
+    return out.str();
+}
+
+bool
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("could not write CSV to %s", path.c_str());
+        return false;
+    }
+    f << toCsv();
+    return true;
+}
+
+} // namespace crisp

@@ -1,0 +1,44 @@
+#ifndef CRISP_COMMON_TABLE_HPP
+#define CRISP_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace crisp
+{
+
+/**
+ * Small column-aligned table printer used by the benchmark harnesses to
+ * reproduce the paper's tables/figure series as text, with optional CSV
+ * output for plotting.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render with aligned columns, suitable for terminals. */
+    std::string toText() const;
+
+    /** Render as CSV. */
+    std::string toCsv() const;
+
+    /** Write CSV to a file; returns false (with a warning) on failure. */
+    bool writeCsv(const std::string &path) const;
+
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_COMMON_TABLE_HPP

@@ -1,0 +1,51 @@
+#ifndef CRISP_COMMON_TYPES_HPP
+#define CRISP_COMMON_TYPES_HPP
+
+#include <cstdint>
+
+namespace crisp
+{
+
+/** Simulation time in core clock cycles. */
+using Cycle = uint64_t;
+
+/** A byte address in the simulated GPU's global address space. */
+using Addr = uint64_t;
+
+/** Identifier of a hardware stream (graphics batch or compute stream). */
+using StreamId = uint32_t;
+
+/** Identifier of a kernel within the simulation. */
+using KernelId = uint32_t;
+
+/** Number of threads per warp, fixed across all modeled GPUs. */
+inline constexpr uint32_t kWarpSize = 32;
+
+/** Cache line size in bytes (Table II GPUs use 128 B lines). */
+inline constexpr uint32_t kLineBytes = 128;
+
+/** Memory access sector size in bytes (coalescing granularity). */
+inline constexpr uint32_t kSectorBytes = 32;
+
+/** Invalid/unassigned stream sentinel. */
+inline constexpr StreamId kInvalidStream = 0xffffffffu;
+
+/**
+ * Classification of the data held by a cache line, used for the paper's
+ * L2-composition case studies (Figs 11 and 15).
+ */
+enum class DataClass : uint8_t
+{
+    Unknown = 0,  ///< Not attributed (e.g. never filled).
+    Texture,      ///< Texel data sampled by fragment shaders.
+    Pipeline,     ///< Inter-stage rendering data (vertex attrs, framebuffer).
+    Compute,      ///< Data touched by general compute kernels.
+    NumClasses
+};
+
+/** Human-readable name for a DataClass value. */
+const char *dataClassName(DataClass c);
+
+} // namespace crisp
+
+#endif // CRISP_COMMON_TYPES_HPP

@@ -1,0 +1,640 @@
+#include "core/sm.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+CtaFootprint
+CtaFootprint::of(const KernelInfo &k)
+{
+    CtaFootprint fp;
+    fp.threads = k.threadsPerCta();
+    fp.registers = k.threadsPerCta() * k.regsPerThread;
+    fp.smemBytes = k.smemPerCta;
+    fp.warps = k.warpsPerCta();
+    return fp;
+}
+
+Sm::Sm(uint32_t sm_id, const SmConfig &cfg, MemFabricPort *fabric,
+       StatsRegistry *stats)
+    : smId_(sm_id),
+      cfg_(cfg),
+      fabric_(fabric),
+      stats_(stats),
+      l1_({cfg.l1SizeBytes, cfg.l1Ways, kLineBytes}),
+      l1Mshr_(cfg.l1MshrEntries, cfg.l1MshrTargets)
+{
+    panic_if(fabric_ == nullptr || stats_ == nullptr,
+             "SM requires a fabric port and stats registry");
+    warps_.resize(cfg_.maxWarps);
+    freeSlots_.reserve(cfg_.maxWarps);
+    for (uint32_t s = cfg_.maxWarps; s-- > 0;) {
+        freeSlots_.push_back(s);
+    }
+    unitFreeAt_.resize(static_cast<size_t>(OpClass::NumClasses));
+    for (OpClass cls : {OpClass::FP32, OpClass::INT, OpClass::SFU,
+                        OpClass::Tensor}) {
+        unitFreeAt_[static_cast<size_t>(cls)].assign(cfg_.unitsFor(cls), 0);
+    }
+}
+
+bool
+Sm::canAccept(const KernelInfo &kernel) const
+{
+    const CtaFootprint fp = CtaFootprint::of(kernel);
+    if (freeSlots_.size() < fp.warps || liveCtas_.size() >= cfg_.maxCtas) {
+        return false;
+    }
+    if (usedThreads_ + fp.threads > cfg_.maxWarps * kWarpSize ||
+        usedRegisters_ + fp.registers > cfg_.registers ||
+        usedSmem_ + fp.smemBytes > cfg_.smemBytes) {
+        return false;
+    }
+    auto qit = quotas_.find(kernel.stream);
+    if (qit != quotas_.end()) {
+        const SmQuota &q = qit->second;
+        CtaFootprint used;
+        auto uit = usedByStream_.find(kernel.stream);
+        if (uit != usedByStream_.end()) {
+            used = uit->second;
+        }
+        if (used.threads + fp.threads > q.maxThreads ||
+            used.registers + fp.registers > q.maxRegisters ||
+            used.smemBytes + fp.smemBytes > q.maxSmemBytes) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+Sm::launchCta(const KernelInfo &kernel, KernelId kernel_id,
+              uint32_t cta_index, Cycle now)
+{
+    panic_if(!canAccept(kernel), "launchCta without canAccept");
+    panic_if(!kernel.source, "kernel %s has no trace source",
+             kernel.name.c_str());
+
+    CtaTrace trace = kernel.source->generate(cta_index);
+    const CtaFootprint fp = CtaFootprint::of(kernel);
+
+    const uint32_t key = nextCtaKey_++;
+    CtaState &cta = liveCtas_[key];
+    cta.stream = kernel.stream;
+    cta.kernel = kernel_id;
+    cta.footprint = fp;
+
+    usedThreads_ += fp.threads;
+    usedRegisters_ += fp.registers;
+    usedSmem_ += fp.smemBytes;
+    CtaFootprint &su = usedByStream_[kernel.stream];
+    su.threads += fp.threads;
+    su.registers += fp.registers;
+    su.smemBytes += fp.smemBytes;
+    su.warps += fp.warps;
+
+    auto &st = stats_->stream(kernel.stream);
+    st.ctasLaunched++;
+    if (st.firstCycle == 0) {
+        st.firstCycle = now;
+    }
+
+    // Pad with empty warps if the generator produced fewer than the launch
+    // geometry implies (partial CTAs at grid edges produce fewer warps).
+    const uint32_t want = fp.warps;
+    for (uint32_t w = 0; w < want; ++w) {
+        panic_if(freeSlots_.empty(), "warp slots exhausted mid-launch");
+        const uint32_t slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        WarpState &warp = warps_[slot];
+        warp = WarpState{};
+        warp.slot = slot;
+        warp.ctaKey = key;
+        warp.stream = kernel.stream;
+        warp.live = true;
+        warp.age = ++warpAgeCounter_;
+        if (w < trace.warps.size()) {
+            warp.trace = std::move(trace.warps[w]);
+        }
+        cta.warpSlots.push_back(slot);
+        cta.liveWarps++;
+        activeWarps_++;
+        st.warpsLaunched++;
+    }
+
+    // Immediately retire warps with empty traces.
+    for (uint32_t slot : std::vector<uint32_t>(cta.warpSlots)) {
+        WarpState &warp = warps_[slot];
+        if (warp.live && warp.trace.instrs.empty()) {
+            finishWarp(warp, now);
+        }
+    }
+}
+
+void
+Sm::setCtaDoneHandler(CtaDoneHandler handler)
+{
+    onCtaDone_ = std::move(handler);
+}
+
+void
+Sm::setQuota(StreamId stream, const SmQuota &quota)
+{
+    quotas_[stream] = quota;
+}
+
+void
+Sm::clearQuotas()
+{
+    quotas_.clear();
+}
+
+void
+Sm::setIssuePriority(StreamId stream, int priority)
+{
+    issuePriority_[stream] = priority;
+}
+
+void
+Sm::clearIssuePriorities()
+{
+    issuePriority_.clear();
+}
+
+bool
+Sm::idle() const
+{
+    return activeWarps_ == 0 && ldstQueue_.empty() && trackers_.empty() &&
+           writebacks_.empty() && fabricRetry_.empty();
+}
+
+uint32_t
+Sm::activeWarpsOf(StreamId stream) const
+{
+    uint32_t count = 0;
+    for (const auto &w : warps_) {
+        if (w.live && w.stream == stream) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+uint32_t
+Sm::activeCtasOf(StreamId stream) const
+{
+    uint32_t count = 0;
+    for (const auto &[key, cta] : liveCtas_) {
+        if (cta.stream == stream) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+uint32_t
+Sm::usedThreadsOf(StreamId stream) const
+{
+    auto it = usedByStream_.find(stream);
+    return it == usedByStream_.end() ? 0 : it->second.threads;
+}
+
+uint64_t
+Sm::issuedInstrsOf(StreamId stream) const
+{
+    auto it = issuedByStream_.find(stream);
+    return it == issuedByStream_.end() ? 0 : it->second;
+}
+
+void
+Sm::scheduleWriteback(uint32_t slot, uint8_t reg, Cycle when)
+{
+    writebacks_.emplace(when, std::make_pair(slot, reg));
+}
+
+void
+Sm::releaseBarrier(CtaState &cta)
+{
+    for (uint32_t slot : cta.warpSlots) {
+        warps_[slot].atBarrier = false;
+    }
+    cta.warpsAtBarrier = 0;
+}
+
+void
+Sm::finishWarp(WarpState &warp, Cycle now)
+{
+    warp.live = false;
+    activeWarps_--;
+    auto it = liveCtas_.find(warp.ctaKey);
+    panic_if(it == liveCtas_.end(), "warp finished with no live CTA");
+    CtaState &cta = it->second;
+    cta.liveWarps--;
+
+    if (cta.liveWarps == 0) {
+        // CTA commit: release resources for future CTAs (possibly of the
+        // other partition after a dynamic ratio change, §III-A).
+        usedThreads_ -= cta.footprint.threads;
+        usedRegisters_ -= cta.footprint.registers;
+        usedSmem_ -= cta.footprint.smemBytes;
+        CtaFootprint &su = usedByStream_[cta.stream];
+        su.threads -= cta.footprint.threads;
+        su.registers -= cta.footprint.registers;
+        su.smemBytes -= cta.footprint.smemBytes;
+        su.warps -= cta.footprint.warps;
+        for (uint32_t slot : cta.warpSlots) {
+            freeSlots_.push_back(slot);
+        }
+        auto &st = stats_->stream(cta.stream);
+        st.lastCycle = std::max(st.lastCycle, now);
+        const StreamId stream = cta.stream;
+        const KernelId kernel = cta.kernel;
+        liveCtas_.erase(it);
+        if (onCtaDone_) {
+            onCtaDone_(smId_, stream, kernel);
+        }
+    } else if (cta.warpsAtBarrier == cta.liveWarps &&
+               cta.warpsAtBarrier > 0) {
+        // The exiting warp was the last one not waiting: release.
+        releaseBarrier(cta);
+    }
+}
+
+uint32_t
+Sm::smemConflictCycles(const TraceInstr &instr) const
+{
+    // Serialization equals the maximum number of distinct 4B words that
+    // map to the same bank across the active lanes.
+    std::vector<uint32_t> perBank(cfg_.smemBanks, 0);
+    uint32_t worst = 1;
+    std::vector<Addr> seen;
+    seen.reserve(instr.addrs.size());
+    for (Addr a : instr.addrs) {
+        const Addr word = a / 4;
+        if (std::find(seen.begin(), seen.end(), word) != seen.end()) {
+            continue;   // broadcast within the warp is conflict-free
+        }
+        seen.push_back(word);
+        const uint32_t bank = static_cast<uint32_t>(word % cfg_.smemBanks);
+        worst = std::max(worst, ++perBank[bank]);
+    }
+    return worst;
+}
+
+bool
+Sm::issueMemory(WarpState &warp, const TraceInstr &instr, Cycle now)
+{
+    auto prio = issuePriority_.find(warp.stream);
+    const bool is_priority =
+        prio != issuePriority_.end() && prio->second < 0;
+    // Lower-priority streams may only fill half the LDST queue, so an
+    // async-compute stream cannot head-of-line block graphics memory
+    // instructions.
+    const size_t limit = is_priority || issuePriority_.empty()
+        ? cfg_.ldstQueueDepth
+        : cfg_.ldstQueueDepth / 2;
+    if (ldstQueue_.size() >= limit) {
+        return false;
+    }
+    const bool store = isStore(instr.opcode);
+    const bool texture = instr.opcode == Opcode::TEX;
+    std::vector<Addr> lines = coalesceToLines(instr);
+    panic_if(lines.empty(), "memory instruction with no addresses");
+
+    LdstEntry entry;
+    entry.stream = warp.stream;
+    entry.cls = instr.dataClass;
+    entry.write = store;
+    entry.texture = texture;
+    entry.lines = std::move(lines);
+
+    if (!store) {
+        const uint64_t id = nextTracker_++;
+        LoadTracker tracker;
+        tracker.warpSlot = warp.slot;
+        tracker.reg = instr.dst;
+        tracker.remaining = static_cast<uint32_t>(entry.lines.size());
+        tracker.isTexture = texture;
+        trackers_.emplace(id, tracker);
+        entry.tracker = id;
+        if (instr.hasDst()) {
+            warp.pendingWrites.set(instr.dst);
+        }
+    }
+    (void)now;
+    if (is_priority) {
+        // Priority entries service ahead of queued lower-priority ones
+        // (but stay ordered among themselves).
+        auto pos = ldstQueue_.begin();
+        while (pos != ldstQueue_.end()) {
+            auto p = issuePriority_.find(pos->stream);
+            if (p == issuePriority_.end() || p->second >= 0) {
+                break;
+            }
+            ++pos;
+        }
+        ldstQueue_.insert(pos, std::move(entry));
+    } else {
+        ldstQueue_.push_back(std::move(entry));
+    }
+    return true;
+}
+
+bool
+Sm::tryIssue(WarpState &warp, Cycle now)
+{
+    if (!warp.live || warp.atBarrier || warp.pc >= warp.trace.instrs.size()) {
+        return false;
+    }
+    const TraceInstr &instr = warp.trace.instrs[warp.pc];
+
+    // Register scoreboard: stall on RAW and WAW hazards.
+    if (instr.hasDst() && warp.pendingWrites.test(instr.dst)) {
+        return false;
+    }
+    for (uint8_t src : instr.srcs) {
+        if (src != kNoReg && warp.pendingWrites.test(src)) {
+            return false;
+        }
+    }
+
+    const OpClass cls = opcodeClass(instr.opcode);
+    switch (cls) {
+      case OpClass::FP32:
+      case OpClass::INT:
+      case OpClass::SFU:
+      case OpClass::Tensor: {
+        auto &pool = unitFreeAt_[static_cast<size_t>(cls)];
+        auto unit = std::min_element(pool.begin(), pool.end());
+        if (*unit > now) {
+            return false;
+        }
+        *unit = now + cfg_.intervalFor(cls);
+        if (instr.hasDst()) {
+            warp.pendingWrites.set(instr.dst);
+            scheduleWriteback(warp.slot, instr.dst,
+                              now + cfg_.latencyFor(cls));
+        }
+        break;
+      }
+      case OpClass::MemShared: {
+        if (smemPortFreeAt_ > now) {
+            return false;
+        }
+        const uint32_t serial = smemConflictCycles(instr);
+        smemPortFreeAt_ = now + serial;
+        auto &st = stats_->stream(warp.stream);
+        st.smemAccesses++;
+        st.smemBankConflicts += serial - 1;
+        if (instr.hasDst()) {
+            warp.pendingWrites.set(instr.dst);
+            scheduleWriteback(warp.slot, instr.dst,
+                              now + cfg_.smemLatency + serial - 1);
+        }
+        break;
+      }
+      case OpClass::MemConst:
+        if (instr.hasDst()) {
+            warp.pendingWrites.set(instr.dst);
+            scheduleWriteback(warp.slot, instr.dst, now + cfg_.constLatency);
+        }
+        break;
+      case OpClass::MemGlobal:
+      case OpClass::MemTexture:
+        if (!issueMemory(warp, instr, now)) {
+            return false;
+        }
+        break;
+      case OpClass::Barrier: {
+        CtaState &cta = liveCtas_.at(warp.ctaKey);
+        warp.atBarrier = true;
+        if (++cta.warpsAtBarrier == cta.liveWarps) {
+            releaseBarrier(cta);
+        }
+        break;
+      }
+      case OpClass::Control:
+        break;
+      default:
+        panic("unhandled op class %d", static_cast<int>(cls));
+    }
+
+    warp.pc++;
+    auto &st = stats_->stream(warp.stream);
+    st.instructions++;
+    issuedByStream_[warp.stream]++;
+
+    if (instr.opcode == Opcode::EXIT || warp.pc >= warp.trace.instrs.size()) {
+        finishWarp(warp, now);
+    }
+    return true;
+}
+
+void
+Sm::stepLdst(Cycle now)
+{
+    uint32_t ports = cfg_.l1PortsPerCycle;
+    while (ports > 0 && !ldstQueue_.empty()) {
+        LdstEntry &entry = ldstQueue_.front();
+        bool stalled = false;
+        while (ports > 0 && !entry.lines.empty()) {
+            const Addr line = entry.lines.back();
+            auto &st = stats_->stream(entry.stream);
+
+            if (entry.write) {
+                // Write-through, no-allocate L1.
+                l1_.access(line, true, entry.stream, entry.cls, false);
+                MemRequest req;
+                req.line = line;
+                req.write = true;
+                req.stream = entry.stream;
+                req.dataClass = entry.cls;
+                req.smId = smId_;
+                if (!fabric_->submitToL2(req, now)) {
+                    stalled = true;
+                    break;
+                }
+                st.l1Accesses++;
+                entry.lines.pop_back();
+                --ports;
+                continue;
+            }
+
+            // Load path through the unified L1.
+            if (l1Mshr_.pending(line)) {
+                const auto outcome = l1Mshr_.allocate(line, entry.tracker);
+                if (outcome == Mshr::Outcome::Stall) {
+                    stalled = true;
+                    break;
+                }
+                st.l1Accesses++;
+                if (entry.texture) {
+                    st.l1TexAccesses++;
+                }
+                entry.lines.pop_back();
+                --ports;
+                continue;
+            }
+
+            const bool would_miss = !l1_.probe(line, entry.stream);
+            if (would_miss && l1Mshr_.full()) {
+                stalled = true;
+                break;
+            }
+
+            auto res = l1_.access(line, false, entry.stream, entry.cls,
+                                  /*allocate_on_miss=*/false);
+            st.l1Accesses++;
+            if (entry.texture) {
+                st.l1TexAccesses++;
+            }
+            if (res.hit) {
+                st.l1Hits++;
+                auto tit = trackers_.find(entry.tracker);
+                panic_if(tit == trackers_.end(), "L1 hit for dead tracker");
+                if (--tit->second.remaining == 0) {
+                    scheduleWriteback(tit->second.warpSlot, tit->second.reg,
+                                      now + cfg_.l1HitLatency);
+                    trackers_.erase(tit);
+                }
+            } else {
+                const auto outcome = l1Mshr_.allocate(line, entry.tracker);
+                panic_if(outcome != Mshr::Outcome::NewEntry,
+                         "L1 MSHR allocate failed after capacity check");
+                MemRequest req;
+                req.line = line;
+                req.write = false;
+                req.stream = entry.stream;
+                req.dataClass = entry.cls;
+                req.smId = smId_;
+                req.completionKey = line;
+                if (!fabric_->submitToL2(req, now)) {
+                    // Fabric refused: the MSHR entry stays allocated; park
+                    // the request in the egress queue and re-send later.
+                    fabricRetry_.push_back(req);
+                }
+            }
+            entry.lines.pop_back();
+            --ports;
+        }
+        if (entry.lines.empty()) {
+            ldstQueue_.pop_front();
+            continue;
+        }
+        if (stalled) {
+            break;
+        }
+    }
+}
+
+void
+Sm::memResponse(const MemRequest &resp, Cycle now)
+{
+    // Fill the unified L1 (reads only; write-through stores never respond).
+    l1_.access(resp.line, false, resp.stream, resp.dataClass, true);
+    for (uint64_t key : l1Mshr_.fill(resp.line)) {
+        auto tit = trackers_.find(key);
+        if (tit == trackers_.end()) {
+            continue;
+        }
+        if (--tit->second.remaining == 0) {
+            scheduleWriteback(tit->second.warpSlot, tit->second.reg, now);
+            trackers_.erase(tit);
+        }
+    }
+}
+
+void
+Sm::step(Cycle now)
+{
+    // Drain fabric submissions that were refused by backpressure.
+    while (!fabricRetry_.empty() &&
+           fabric_->submitToL2(fabricRetry_.front(), now)) {
+        fabricRetry_.pop_front();
+    }
+
+    // Commit due register writebacks (clears scoreboard entries).
+    while (!writebacks_.empty() && writebacks_.begin()->first <= now) {
+        auto node = writebacks_.extract(writebacks_.begin());
+        const auto [slot, reg] = node.mapped();
+        if (reg != kNoReg) {
+            warps_[slot].pendingWrites.reset(reg);
+        }
+    }
+
+    stepLdst(now);
+
+    // Count active cycles per stream (streams with live warps this cycle).
+    {
+        std::map<StreamId, bool> seen;
+        for (const auto &[key, cta] : liveCtas_) {
+            if (cta.liveWarps > 0 && !seen[cta.stream]) {
+                seen[cta.stream] = true;
+                stats_->stream(cta.stream).cycles++;
+            }
+        }
+    }
+
+    // GTO issue with stream priorities: each scheduler owns the slots with
+    // slot % numSchedulers == id and picks, in order, by (stream priority,
+    // greediness, age). The greedy bit keeps a warp issuing back-to-back
+    // until it stalls; priority lets graphics warps claim issue slots ahead
+    // of a lower-priority async-compute stream.
+    auto priority_of = [this](StreamId s) {
+        auto it = issuePriority_.find(s);
+        return it == issuePriority_.end() ? 0 : it->second;
+    };
+    std::vector<WarpState *> cands;
+    cands.reserve(cfg_.maxWarps / cfg_.numSchedulers + 1);
+    for (uint32_t sched = 0; sched < cfg_.numSchedulers; ++sched) {
+        cands.clear();
+        for (uint32_t slot = sched; slot < cfg_.maxWarps;
+             slot += cfg_.numSchedulers) {
+            if (warps_[slot].live) {
+                cands.push_back(&warps_[slot]);
+            }
+        }
+        if (cfg_.scheduler == SchedulerPolicy::Gto) {
+            std::sort(cands.begin(), cands.end(),
+                      [&](const WarpState *a, const WarpState *b) {
+                          const int pa = priority_of(a->stream);
+                          const int pb = priority_of(b->stream);
+                          if (pa != pb) {
+                              return pa < pb;
+                          }
+                          if (a->greedy != b->greedy) {
+                              return a->greedy;
+                          }
+                          return a->age < b->age;
+                      });
+        } else {
+            // Loose round-robin: rotate the start position each cycle,
+            // still respecting stream priorities.
+            const size_t rot = cands.empty()
+                ? 0
+                : static_cast<size_t>(now) % cands.size();
+            std::rotate(cands.begin(), cands.begin() + rot, cands.end());
+            std::stable_sort(cands.begin(), cands.end(),
+                             [&](const WarpState *a, const WarpState *b) {
+                                 return priority_of(a->stream) <
+                                        priority_of(b->stream);
+                             });
+        }
+        for (WarpState *w : cands) {
+            if (tryIssue(*w, now)) {
+                for (WarpState *o : cands) {
+                    o->greedy = false;
+                }
+                if (w->live) {
+                    w->greedy = true;
+                }
+                break;
+            }
+        }
+    }
+}
+
+} // namespace crisp

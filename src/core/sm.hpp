@@ -1,0 +1,217 @@
+#ifndef CRISP_CORE_SM_HPP
+#define CRISP_CORE_SM_HPP
+
+#include <bitset>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/sm_config.hpp"
+#include "isa/trace.hpp"
+#include "mem/cache.hpp"
+#include "mem/mem_request.hpp"
+#include "mem/mshr.hpp"
+
+namespace crisp
+{
+
+/** Port through which an SM injects line requests into the L2 subsystem. */
+class MemFabricPort
+{
+  public:
+    virtual ~MemFabricPort() = default;
+    /** @return false when the fabric refuses the request (backpressure). */
+    virtual bool submitToL2(MemRequest req, Cycle now) = 0;
+};
+
+/** Resource footprint of a CTA, used by quota and occupancy accounting. */
+struct CtaFootprint
+{
+    uint32_t threads = 0;
+    uint32_t registers = 0;
+    uint32_t smemBytes = 0;
+    uint32_t warps = 0;
+
+    static CtaFootprint of(const KernelInfo &k);
+};
+
+/** Per-stream resource quota inside one SM (fine-grained partitioning). */
+struct SmQuota
+{
+    uint32_t maxThreads = ~0u;
+    uint32_t maxRegisters = ~0u;
+    uint32_t maxSmemBytes = ~0u;
+};
+
+/**
+ * Cycle-level Streaming Multiprocessor model.
+ *
+ * Replays warp traces with in-order issue per warp, a register scoreboard,
+ * greedy-then-oldest (GTO) warp scheduling across numSchedulers schedulers,
+ * per-class execution unit pools with initiation intervals, a shared-memory
+ * bank-conflict model, barriers, and a unified L1 data cache with MSHRs in
+ * front of the L2 fabric. Texture loads flow through the unified L1, per the
+ * paper's Ampere model (§III).
+ *
+ * Resource usage is tracked per stream so the GPU-level CTA scheduler can
+ * implement the fine-grained intra-SM partitioning methods.
+ */
+class Sm
+{
+  public:
+    using CtaDoneHandler =
+        std::function<void(uint32_t smId, StreamId stream, KernelId kernel)>;
+
+    Sm(uint32_t sm_id, const SmConfig &cfg, MemFabricPort *fabric,
+       StatsRegistry *stats);
+
+    /**
+     * Try to place one CTA of @p kernel on this SM, honoring total resources
+     * and the stream's quota. @return false if it does not fit.
+     */
+    bool canAccept(const KernelInfo &kernel) const;
+
+    /** Launch a CTA (caller must have checked canAccept). */
+    void launchCta(const KernelInfo &kernel, KernelId kernel_id,
+                   uint32_t cta_index, Cycle now);
+
+    /** Advance the SM by one cycle. */
+    void step(Cycle now);
+
+    /** Response from the L2 fabric for a previously submitted line. */
+    void memResponse(const MemRequest &resp, Cycle now);
+
+    /** Called when a CTA's last warp exits. */
+    void setCtaDoneHandler(CtaDoneHandler handler);
+
+    /** Per-stream intra-SM quota (fine-grained partitioning). */
+    void setQuota(StreamId stream, const SmQuota &quota);
+    void clearQuotas();
+
+    /**
+     * Warp-scheduler issue priority (lower issues first; default 0).
+     * Async compute runs the compute queue at lower priority so graphics
+     * warps keep their issue slots and compute fills the gaps.
+     */
+    void setIssuePriority(StreamId stream, int priority);
+    void clearIssuePriorities();
+
+    bool idle() const;
+    uint32_t activeWarps() const { return activeWarps_; }
+    uint32_t activeWarpsOf(StreamId stream) const;
+    uint32_t activeCtas() const
+    {
+        return static_cast<uint32_t>(liveCtas_.size());
+    }
+    uint32_t activeCtasOf(StreamId stream) const;
+    uint32_t usedThreadsOf(StreamId stream) const;
+
+    /** Instructions issued by this SM for @p stream (sampling phases). */
+    uint64_t issuedInstrsOf(StreamId stream) const;
+
+    uint32_t smId() const { return smId_; }
+    const SmConfig &config() const { return cfg_; }
+
+  private:
+    struct WarpState
+    {
+        WarpTrace trace;
+        size_t pc = 0;
+        uint32_t slot = 0;
+        uint32_t ctaKey = 0;
+        StreamId stream = 0;
+        bool live = false;
+        bool atBarrier = false;
+        bool greedy = false;        ///< Current greedy pick of its scheduler.
+        uint64_t age = 0;           ///< Launch order for GTO.
+        std::bitset<256> pendingWrites;
+    };
+
+    struct CtaState
+    {
+        StreamId stream = 0;
+        KernelId kernel = 0;
+        CtaFootprint footprint;
+        uint32_t liveWarps = 0;
+        uint32_t warpsAtBarrier = 0;
+        std::vector<uint32_t> warpSlots;
+    };
+
+    struct LoadTracker
+    {
+        uint32_t warpSlot = 0;
+        uint8_t reg = kNoReg;
+        uint32_t remaining = 0;
+        bool isTexture = false;
+    };
+
+    /** An in-flight memory instruction working through the LDST unit. */
+    struct LdstEntry
+    {
+        uint64_t tracker = 0;
+        StreamId stream = 0;
+        DataClass cls = DataClass::Unknown;
+        bool write = false;
+        bool texture = false;
+        std::vector<Addr> lines;    ///< Remaining lines to inject.
+    };
+
+    bool tryIssue(WarpState &warp, Cycle now);
+    bool issueMemory(WarpState &warp, const TraceInstr &instr, Cycle now);
+    void scheduleWriteback(uint32_t slot, uint8_t reg, Cycle when);
+    void finishWarp(WarpState &warp, Cycle now);
+    void releaseBarrier(CtaState &cta);
+    void stepLdst(Cycle now);
+    uint32_t smemConflictCycles(const TraceInstr &instr) const;
+
+    uint32_t smId_;
+    SmConfig cfg_;
+    MemFabricPort *fabric_;
+    StatsRegistry *stats_;
+    CtaDoneHandler onCtaDone_;
+
+    std::vector<WarpState> warps_;          // one per warp slot
+    std::vector<uint32_t> freeSlots_;
+    std::unordered_map<uint32_t, CtaState> liveCtas_;
+    uint32_t nextCtaKey_ = 0;
+    uint64_t warpAgeCounter_ = 0;
+    uint32_t activeWarps_ = 0;
+
+    // Aggregate and per-stream resource usage.
+    uint32_t usedThreads_ = 0;
+    uint32_t usedRegisters_ = 0;
+    uint32_t usedSmem_ = 0;
+    std::map<StreamId, CtaFootprint> usedByStream_;
+    std::map<StreamId, SmQuota> quotas_;
+    std::map<StreamId, int> issuePriority_;
+    std::map<StreamId, uint64_t> issuedByStream_;
+
+    // Execution unit pools: busy-until per unit, indexed by OpClass.
+    std::vector<std::vector<Cycle>> unitFreeAt_;
+    // Shared-memory port: serialized by bank conflicts, independent of the
+    // ALU pipes (compute kernels heavy on shared memory do not steal issue
+    // bandwidth from rendering's address math).
+    Cycle smemPortFreeAt_ = 0;
+
+    // Pending register writebacks ordered by completion cycle.
+    std::multimap<Cycle, std::pair<uint32_t, uint8_t>> writebacks_;
+
+    // LDST unit.
+    std::deque<LdstEntry> ldstQueue_;
+    /** Miss requests refused by the fabric, waiting to be re-sent. */
+    std::deque<MemRequest> fabricRetry_;
+    std::unordered_map<uint64_t, LoadTracker> trackers_;
+    uint64_t nextTracker_ = 1;
+
+    // Unified L1 data cache.
+    SetAssocCache l1_;
+    Mshr l1Mshr_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_CORE_SM_HPP

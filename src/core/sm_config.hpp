@@ -1,0 +1,78 @@
+#ifndef CRISP_CORE_SM_CONFIG_HPP
+#define CRISP_CORE_SM_CONFIG_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+
+namespace crisp
+{
+
+/** Warp scheduler policy. */
+enum class SchedulerPolicy : uint8_t
+{
+    /** Greedy-then-oldest: keep issuing one warp until it stalls. */
+    Gto,
+    /** Loose round-robin: rotate the starting warp every cycle. */
+    Lrr,
+};
+
+/**
+ * Per-SM microarchitecture parameters (Table II row "per SM").
+ *
+ * Defaults follow the paper's Ampere-class configuration: 64 warp slots, 4
+ * schedulers, 4 units of each execution class, 64K registers, and a unified
+ * L1 data cache shared with shared memory.
+ */
+struct SmConfig
+{
+    SchedulerPolicy scheduler = SchedulerPolicy::Gto;
+    uint32_t maxWarps = 64;
+    uint32_t maxCtas = 32;
+    uint32_t numSchedulers = 4;
+    uint32_t registers = 65536;
+    uint32_t smemBytes = 100 * 1024;
+
+    /** Unified L1 data cache (texture accesses use this cache too). */
+    uint64_t l1SizeBytes = 128 * 1024;
+    uint32_t l1Ways = 8;
+    Cycle l1HitLatency = 32;
+    uint32_t l1MshrEntries = 48;
+    uint32_t l1MshrTargets = 8;
+    /** Line-requests the L1 can accept per cycle (LDST ports). */
+    uint32_t l1PortsPerCycle = 4;
+    /** In-flight memory instructions the LDST unit can queue. */
+    uint32_t ldstQueueDepth = 32;
+
+    /** Execution unit counts (one pool per OpClass). */
+    uint32_t fp32Units = 4;
+    uint32_t intUnits = 4;
+    uint32_t sfuUnits = 4;
+    uint32_t tensorUnits = 4;
+
+    /** Result latencies (cycles from issue to writeback). */
+    Cycle fp32Latency = 4;
+    Cycle intLatency = 4;
+    Cycle sfuLatency = 21;
+    Cycle tensorLatency = 16;
+    Cycle smemLatency = 24;
+    Cycle constLatency = 8;
+
+    /** Initiation intervals (cycles a unit is blocked per instruction). */
+    uint32_t fp32Interval = 1;
+    uint32_t intInterval = 1;
+    uint32_t sfuInterval = 8;
+    uint32_t tensorInterval = 2;
+
+    /** Shared memory banks for the conflict model. */
+    uint32_t smemBanks = 32;
+
+    uint32_t unitsFor(OpClass cls) const;
+    Cycle latencyFor(OpClass cls) const;
+    uint32_t intervalFor(OpClass cls) const;
+};
+
+} // namespace crisp
+
+#endif // CRISP_CORE_SM_CONFIG_HPP

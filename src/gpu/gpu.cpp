@@ -1,0 +1,402 @@
+#include "gpu/gpu.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+Gpu::Gpu(const GpuConfig &cfg) : cfg_(cfg)
+{
+    fatal_if(cfg_.numSms == 0, "GPU needs at least one SM");
+    l2_ = std::make_unique<L2Subsystem>(cfg_.l2, &stats_);
+    l2_->setResponseHandler([this](const MemRequest &resp) {
+        panic_if(resp.smId >= sms_.size(), "response for unknown SM %u",
+                 resp.smId);
+        sms_[resp.smId]->memResponse(resp, cycle_);
+    });
+    sms_.reserve(cfg_.numSms);
+    for (uint32_t i = 0; i < cfg_.numSms; ++i) {
+        sms_.push_back(std::make_unique<Sm>(i, cfg_.sm, this, &stats_));
+        sms_.back()->setCtaDoneHandler(
+            [this](uint32_t sm_id, StreamId stream, KernelId kernel) {
+                onCtaDone(sm_id, stream, kernel);
+            });
+        allSms_.push_back(i);
+    }
+}
+
+StreamId
+Gpu::createStream(const std::string &name)
+{
+    const StreamId id = nextStream_++;
+    streams_[id].name = name;
+    return id;
+}
+
+KernelId
+Gpu::enqueueKernel(StreamId stream, KernelInfo info)
+{
+    auto it = streams_.find(stream);
+    fatal_if(it == streams_.end(), "enqueue on unknown stream %u", stream);
+    return enqueueKernelAfter(stream, std::move(info),
+                              it->second.lastEnqueued);
+}
+
+KernelId
+Gpu::enqueueKernelAfter(StreamId stream, KernelInfo info,
+                        KernelId depends_on)
+{
+    return enqueueKernelAfter(stream, std::move(info), depends_on, 0);
+}
+
+KernelId
+Gpu::enqueueKernelAfter(StreamId stream, KernelInfo info,
+                        KernelId depends_on, Cycle delay)
+{
+    auto it = streams_.find(stream);
+    fatal_if(it == streams_.end(), "enqueue on unknown stream %u", stream);
+    fatal_if(!info.source, "kernel %s has no trace source",
+             info.name.c_str());
+    fatal_if(info.numCtas() == 0, "kernel %s launches zero CTAs",
+             info.name.c_str());
+    // A CTA that can never fit an empty SM would hang the machine.
+    const CtaFootprint fp = CtaFootprint::of(info);
+    fatal_if(fp.threads > cfg_.sm.maxWarps * kWarpSize ||
+                 fp.registers > cfg_.sm.registers ||
+                 fp.smemBytes > cfg_.sm.smemBytes,
+             "kernel %s CTA (%u threads, %u regs, %u B smem) exceeds SM "
+             "capacity", info.name.c_str(), fp.threads, fp.registers,
+             fp.smemBytes);
+    info.stream = stream;
+    const KernelId id = nextKernel_++;
+    QueuedKernel q;
+    q.id = id;
+    q.info = std::move(info);
+    q.dependsOn = depends_on;
+    q.delay = delay;
+    it->second.queue.push_back(std::move(q));
+    it->second.lastEnqueued = id;
+    it->second.everUsed = true;
+    return id;
+}
+
+void
+Gpu::setPartition(const PartitionConfig &partition)
+{
+    partition_ = partition;
+    applyPartition();
+}
+
+void
+Gpu::addController(GpuController *controller)
+{
+    panic_if(controller == nullptr, "null controller");
+    controllers_.push_back(controller);
+}
+
+SmQuota
+Gpu::quotaFromShare(double share) const
+{
+    SmQuota q;
+    q.maxThreads =
+        static_cast<uint32_t>(share * cfg_.sm.maxWarps * kWarpSize);
+    q.maxRegisters = static_cast<uint32_t>(share * cfg_.sm.registers);
+    q.maxSmemBytes = static_cast<uint32_t>(share * cfg_.sm.smemBytes);
+    return q;
+}
+
+void
+Gpu::setUniformQuota(StreamId stream, double share)
+{
+    const SmQuota q = quotaFromShare(share);
+    for (auto &sm : sms_) {
+        sm->setQuota(stream, q);
+    }
+}
+
+void
+Gpu::setSmQuota(uint32_t sm_index, StreamId stream, const SmQuota &quota)
+{
+    panic_if(sm_index >= sms_.size(), "SM index out of range");
+    sms_[sm_index]->setQuota(stream, quota);
+}
+
+void
+Gpu::applyPartition()
+{
+    smAssignment_.clear();
+    for (auto &sm : sms_) {
+        sm->clearQuotas();
+        sm->clearIssuePriorities();
+    }
+    l2_->clearBankMasks();
+
+    if (partition_.policy == PartitionPolicy::Exhaustive) {
+        return;
+    }
+
+    // Determine the resource share of each stream (default: even split).
+    std::vector<StreamId> ids;
+    for (const auto &[id, ss] : streams_) {
+        ids.push_back(id);
+    }
+    fatal_if(ids.empty(), "partitioning with no streams");
+    std::map<StreamId, double> share;
+    double assigned = 0.0;
+    uint32_t unassigned = 0;
+    for (StreamId id : ids) {
+        auto it = partition_.share.find(id);
+        if (it != partition_.share.end()) {
+            share[id] = it->second;
+            assigned += it->second;
+        } else {
+            ++unassigned;
+        }
+    }
+    for (StreamId id : ids) {
+        if (!share.count(id)) {
+            share[id] = std::max(0.0, 1.0 - assigned) / unassigned;
+        }
+    }
+
+    if (partition_.policy == PartitionPolicy::FineGrained) {
+        // All SMs run all streams under per-stream quotas.
+        for (StreamId id : ids) {
+            setUniformQuota(id, share[id]);
+        }
+        if (partition_.priorityStream != kInvalidStream) {
+            for (auto &sm : sms_) {
+                sm->setIssuePriority(partition_.priorityStream, -1);
+            }
+        }
+        return;
+    }
+
+    // MPS / MiG: contiguous SM ranges proportional to the share.
+    uint32_t next_sm = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+        uint32_t count = (i + 1 == ids.size())
+            ? cfg_.numSms - next_sm
+            : std::max<uint32_t>(
+                  1, static_cast<uint32_t>(share[ids[i]] * cfg_.numSms));
+        count = std::min(count, cfg_.numSms - next_sm);
+        auto &assign = smAssignment_[ids[i]];
+        for (uint32_t s = 0; s < count; ++s) {
+            assign.push_back(next_sm++);
+        }
+    }
+
+    if (partition_.policy == PartitionPolicy::Mig) {
+        // Bank-level L2 partitioning: contiguous bank ranges per stream.
+        uint32_t next_bank = 0;
+        const uint32_t banks = cfg_.l2.numBanks;
+        for (size_t i = 0; i < ids.size(); ++i) {
+            uint32_t count = (i + 1 == ids.size())
+                ? banks - next_bank
+                : std::max<uint32_t>(
+                      1, static_cast<uint32_t>(share[ids[i]] * banks));
+            count = std::min(count, banks - next_bank);
+            uint64_t mask = 0;
+            for (uint32_t b = 0; b < count; ++b) {
+                mask |= 1ull << (next_bank++);
+            }
+            l2_->setStreamBankMask(ids[i], mask);
+        }
+    }
+}
+
+const std::vector<uint32_t> &
+Gpu::allowedSms(StreamId stream)
+{
+    auto it = smAssignment_.find(stream);
+    return it == smAssignment_.end() ? allSms_ : it->second;
+}
+
+void
+Gpu::promoteReadyKernels(StreamState &ss)
+{
+    while (!ss.queue.empty() && ss.active.size() < kMaxActiveKernels) {
+        const QueuedKernel &front = ss.queue.front();
+        if (front.dependsOn != kNoDependency) {
+            if (!ss.completed.count(front.dependsOn)) {
+                break;
+            }
+            // Fixed-function FIFO latency between the dependency's
+            // completion and this kernel's eligibility (paper SIV).
+            if (front.delay > 0 &&
+                cycle_ < ss.completedAt[front.dependsOn] + front.delay) {
+                break;
+            }
+        }
+        ActiveKernel ak;
+        ak.id = front.id;
+        ak.info = std::move(ss.queue.front().info);
+        ss.queue.pop_front();
+        ss.active.push_back(std::move(ak));
+        launchCycles_[ss.active.back().id] = cycle_;
+        for (auto *c : controllers_) {
+            c->onKernelLaunch(*this, ss.active.back().info,
+                              ss.active.back().id);
+        }
+    }
+}
+
+void
+Gpu::issueCtas()
+{
+    // Track which SMs already accepted a CTA this cycle (launch throughput
+    // of one CTA per SM per cycle).
+    std::vector<bool> launched(sms_.size(), false);
+
+    for (auto &[id, ss] : streams_) {
+        promoteReadyKernels(ss);
+        bool starved = false;
+        for (ActiveKernel &ak : ss.active) {
+            const uint32_t total = ak.info.numCtas();
+            if (ak.nextCta >= total) {
+                continue;   // all issued, waiting for commits
+            }
+            for (uint32_t sm_id : allowedSms(id)) {
+                if (launched[sm_id]) {
+                    continue;
+                }
+                if (ak.nextCta >= total) {
+                    break;
+                }
+                if (sms_[sm_id]->canAccept(ak.info)) {
+                    sms_[sm_id]->launchCta(ak.info, ak.id, ak.nextCta++,
+                                           cycle_);
+                    launched[sm_id] = true;
+                }
+            }
+            if (ak.nextCta < total) {
+                starved = true;
+            }
+        }
+        if (partition_.policy == PartitionPolicy::Exhaustive && starved) {
+            // The default scheduler drains one kernel before the next
+            // stream's kernel may claim resources.
+            break;
+        }
+    }
+}
+
+void
+Gpu::onCtaDone(uint32_t sm_id, StreamId stream, KernelId kernel)
+{
+    (void)sm_id;
+    auto it = streams_.find(stream);
+    panic_if(it == streams_.end(), "CTA done for unknown stream %u", stream);
+    StreamState &ss = it->second;
+    auto ak = std::find_if(ss.active.begin(), ss.active.end(),
+                           [&](const ActiveKernel &k) {
+                               return k.id == kernel;
+                           });
+    panic_if(ak == ss.active.end(),
+             "CTA done for inactive kernel %u on stream %u", kernel, stream);
+    if (++ak->ctasDone == ak->info.numCtas()) {
+        ss.completed.insert(kernel);
+        ss.completedAt[kernel] = cycle_;
+        KernelRecord rec;
+        rec.id = kernel;
+        rec.name = ak->info.name;
+        rec.stream = stream;
+        rec.ctas = ak->info.numCtas();
+        rec.launchCycle = launchCycles_[kernel];
+        rec.completeCycle = cycle_;
+        kernelLog_.push_back(std::move(rec));
+        ss.active.erase(ak);
+        stats_.stream(stream).kernelsCompleted++;
+        for (auto *c : controllers_) {
+            c->onKernelComplete(*this, stream, kernel);
+        }
+        if (ss.queue.empty() && ss.active.empty()) {
+            ss.finishCycle = cycle_;
+        }
+    }
+}
+
+void
+Gpu::tick()
+{
+    ++cycle_;
+    issueCtas();
+    for (auto &sm : sms_) {
+        sm->step(cycle_);
+    }
+    l2_->step(cycle_);
+    for (auto *c : controllers_) {
+        c->onCycle(*this, cycle_);
+    }
+}
+
+bool
+Gpu::done() const
+{
+    for (const auto &[id, ss] : streams_) {
+        if (!ss.active.empty() || !ss.queue.empty()) {
+            return false;
+        }
+    }
+    for (const auto &sm : sms_) {
+        if (!sm->idle()) {
+            return false;
+        }
+    }
+    return l2_->idle();
+}
+
+Gpu::RunResult
+Gpu::run(Cycle max_cycles)
+{
+    RunResult result;
+    while (cycle_ < max_cycles) {
+        if (done()) {
+            result.completed = true;
+            break;
+        }
+        tick();
+    }
+    result.cycles = cycle_;
+    return result;
+}
+
+uint32_t
+Gpu::busyStreams() const
+{
+    uint32_t count = 0;
+    for (const auto &[id, ss] : streams_) {
+        if (!ss.active.empty() || !ss.queue.empty()) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+uint64_t
+Gpu::pendingKernels() const
+{
+    uint64_t count = 0;
+    for (const auto &[id, ss] : streams_) {
+        count += ss.queue.size() + ss.active.size();
+    }
+    return count;
+}
+
+Cycle
+Gpu::streamFinishCycle(StreamId stream) const
+{
+    auto it = streams_.find(stream);
+    fatal_if(it == streams_.end(), "unknown stream %u", stream);
+    return it->second.finishCycle;
+}
+
+bool
+Gpu::submitToL2(MemRequest req, Cycle now)
+{
+    return l2_->submit(std::move(req), now);
+}
+
+} // namespace crisp

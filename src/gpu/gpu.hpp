@@ -1,0 +1,255 @@
+#ifndef CRISP_GPU_GPU_HPP
+#define CRISP_GPU_GPU_HPP
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/sm.hpp"
+#include "gpu/gpu_config.hpp"
+#include "mem/l2_subsystem.hpp"
+
+namespace crisp
+{
+
+class Gpu;
+
+/** GPU spatial-partitioning methods modeled by CRISP (§III-A, Fig 4). */
+enum class PartitionPolicy
+{
+    /**
+     * Accel-Sim default: CTAs of one kernel launch exhaustively before the
+     * next kernel is considered; big kernels leave no room for concurrency.
+     */
+    Exhaustive,
+    /** MPS: SMs split between streams; L2 and memory fully shared. */
+    Mps,
+    /** MiG: SMs split and L2 banks partitioned per stream. */
+    Mig,
+    /**
+     * Fine-grained intra-SM partitioning (Vulkan async-compute style):
+     * every SM runs both streams under per-stream resource quotas.
+     */
+    FineGrained,
+};
+
+/** Partition policy plus per-stream resource shares (default: even). */
+struct PartitionConfig
+{
+    PartitionPolicy policy = PartitionPolicy::Exhaustive;
+    /** Resource share per stream; missing streams share what is left. */
+    std::map<StreamId, double> share;
+    /**
+     * Under FineGrained sharing, warps of this stream issue ahead of other
+     * streams' warps — the async-compute arrangement where the graphics
+     * queue keeps priority and compute fills idle issue slots. Ignored for
+     * the inter-SM policies.
+     */
+    StreamId priorityStream = kInvalidStream;
+};
+
+/**
+ * Observer/controller attached to the GPU's cycle loop.
+ *
+ * The dynamic partitioning mechanisms (Warped-Slicer, TAP) are implemented
+ * as controllers: they watch launches, completions and cycles, and steer
+ * quotas / set windows through the Gpu's public hooks.
+ */
+class GpuController
+{
+  public:
+    virtual ~GpuController() = default;
+    virtual void onKernelLaunch(Gpu &gpu, const KernelInfo &info,
+                                KernelId id)
+    {
+        (void)gpu;
+        (void)info;
+        (void)id;
+    }
+    virtual void onKernelComplete(Gpu &gpu, StreamId stream, KernelId id)
+    {
+        (void)gpu;
+        (void)stream;
+        (void)id;
+    }
+    virtual void onCycle(Gpu &gpu, Cycle now)
+    {
+        (void)gpu;
+        (void)now;
+    }
+};
+
+/**
+ * Top-level GPU model: SMs + shared L2/DRAM + the CTA scheduler with the
+ * paper's partitioning policies, driven by in-order streams of trace
+ * kernels. Statistics are kept **per stream** (§III-A).
+ */
+class Gpu : public MemFabricPort
+{
+  public:
+    explicit Gpu(const GpuConfig &cfg);
+
+    /** Create an in-order command stream. */
+    StreamId createStream(const std::string &name);
+
+    /** Sentinel for enqueueKernelAfter: no dependency. */
+    static constexpr KernelId kNoDependency = 0;
+
+    /**
+     * Append a kernel to a stream (kernel.stream is overwritten). The
+     * kernel starts only after the previously enqueued kernel on this
+     * stream completes (classic in-order stream semantics).
+     */
+    KernelId enqueueKernel(StreamId stream, KernelInfo info);
+
+    /**
+     * Append a kernel that may start as soon as @p depends_on (a kernel
+     * previously enqueued on the same stream) has completed —
+     * kNoDependency starts immediately. This models the rendering
+     * pipeline's drawcall overlap: a drawcall's fragment kernel waits only
+     * for its own vertex kernel, not for earlier drawcalls to drain
+     * (Immediate Tiled Rendering keeps multiple draws in flight).
+     */
+    KernelId enqueueKernelAfter(StreamId stream, KernelInfo info,
+                                KernelId depends_on);
+
+    /**
+     * Like enqueueKernelAfter, with a fixed-function stage delay: the
+     * kernel becomes eligible @p delay cycles after its dependency
+     * completes. Models the paper's §IV suggestion that unmodeled
+     * fixed-function stages (primitive assembly, binning) behave as FIFO
+     * queues with fixed latency between the shader stages.
+     */
+    KernelId enqueueKernelAfter(StreamId stream, KernelInfo info,
+                                KernelId depends_on, Cycle delay);
+
+    /** Select the partitioning method; applies SM/bank masks and quotas. */
+    void setPartition(const PartitionConfig &partition);
+
+    /** Attach a dynamic controller (not owned). */
+    void addController(GpuController *controller);
+
+    /** Advance one core cycle. */
+    void tick();
+
+    /** Run until everything drains or @p max_cycles elapse. */
+    struct RunResult
+    {
+        Cycle cycles = 0;
+        bool completed = false;
+    };
+    RunResult run(Cycle max_cycles = ~0ull);
+
+    bool done() const;
+    Cycle now() const { return cycle_; }
+
+    // --- Introspection and controller hooks -------------------------------
+
+    StatsRegistry &stats() { return stats_; }
+    const StatsRegistry &stats() const { return stats_; }
+    L2Subsystem &l2() { return *l2_; }
+    const L2Subsystem &l2() const { return *l2_; }
+    Sm &sm(uint32_t index) { return *sms_[index]; }
+    uint32_t numSms() const { return static_cast<uint32_t>(sms_.size()); }
+    const GpuConfig &config() const { return cfg_; }
+
+    /** Uniform intra-SM quota for @p stream as a fraction of SM resources. */
+    void setUniformQuota(StreamId stream, double share);
+
+    /** Per-SM quota override (Warped-Slicer's sampling phase). */
+    void setSmQuota(uint32_t sm_index, StreamId stream, const SmQuota &quota);
+
+    /** Quota helper: footprint share of one SM's resources. */
+    SmQuota quotaFromShare(double share) const;
+
+    /** Streams that still have queued or running kernels. */
+    uint32_t busyStreams() const;
+
+    /** Number of kernels still queued (not yet fully committed). */
+    uint64_t pendingKernels() const;
+
+    /** First cycle at which every kernel of @p stream had committed. */
+    Cycle streamFinishCycle(StreamId stream) const;
+
+    /** One completed kernel's execution record. */
+    struct KernelRecord
+    {
+        KernelId id = 0;
+        std::string name;
+        StreamId stream = 0;
+        uint32_t ctas = 0;
+        Cycle launchCycle = 0;
+        Cycle completeCycle = 0;
+    };
+
+    /** Execution log of every completed kernel, in completion order. */
+    const std::vector<KernelRecord> &kernelLog() const
+    {
+        return kernelLog_;
+    }
+
+    // MemFabricPort
+    bool submitToL2(MemRequest req, Cycle now) override;
+
+  private:
+    struct QueuedKernel
+    {
+        KernelId id = 0;
+        KernelInfo info;
+        KernelId dependsOn = kNoDependency;
+        Cycle delay = 0;          ///< Fixed-function latency after dep.
+    };
+
+    struct ActiveKernel
+    {
+        KernelId id = 0;
+        KernelInfo info;
+        uint32_t nextCta = 0;
+        uint32_t ctasDone = 0;
+    };
+
+    struct StreamState
+    {
+        std::string name;
+        std::deque<QueuedKernel> queue;
+        std::vector<ActiveKernel> active;
+        std::set<KernelId> completed;
+        std::map<KernelId, Cycle> completedAt;
+        KernelId lastEnqueued = kNoDependency;
+        Cycle finishCycle = 0;
+        bool everUsed = false;
+    };
+
+    /** Kernels of one stream allowed in flight simultaneously. */
+    static constexpr size_t kMaxActiveKernels = 6;
+
+    void applyPartition();
+    void issueCtas();
+    void onCtaDone(uint32_t sm_id, StreamId stream, KernelId kernel);
+    void promoteReadyKernels(StreamState &ss);
+    const std::vector<uint32_t> &allowedSms(StreamId stream);
+
+    GpuConfig cfg_;
+    StatsRegistry stats_;
+    std::unique_ptr<L2Subsystem> l2_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+    std::map<StreamId, StreamState> streams_;
+    std::map<StreamId, std::vector<uint32_t>> smAssignment_;
+    std::vector<uint32_t> allSms_;
+    std::vector<GpuController *> controllers_;
+    PartitionConfig partition_;
+    std::vector<KernelRecord> kernelLog_;
+    std::map<KernelId, Cycle> launchCycles_;
+    Cycle cycle_ = 0;
+    StreamId nextStream_ = 0;
+    KernelId nextKernel_ = 1;
+};
+
+} // namespace crisp
+
+#endif // CRISP_GPU_GPU_HPP

@@ -1,0 +1,64 @@
+#include "gpu/gpu_config.hpp"
+
+namespace crisp
+{
+
+void
+GpuConfig::finalize()
+{
+    l2.dramBytesPerCycle = dramBytesPerCycle();
+    // Crossbar bandwidth scales with the SM count (32 B/cycle per SM port).
+    l2.icntBytesPerCycle = 32.0 * numSms;
+}
+
+GpuConfig
+GpuConfig::rtx3070()
+{
+    GpuConfig cfg;
+    cfg.name = "RTX 3070";
+    cfg.numSms = 46;
+    cfg.coreClockMhz = 1132.0;
+    cfg.memoryDesc = "GDDR6";
+    cfg.memoryBandwidthGBs = 448.0;
+
+    cfg.sm.maxWarps = 64;
+    cfg.sm.numSchedulers = 4;
+    cfg.sm.registers = 65536;
+    // 128 KB combined L1 + shared memory. The graphics driver carves the
+    // majority for shared memory, leaving a 32 KB L1/texture cache slice
+    // (GA10x carveout behaviour); this is also what pushes texture reuse
+    // out to the L2, as the paper's hit rates reflect.
+    cfg.sm.l1SizeBytes = 32 * 1024;
+    cfg.sm.smemBytes = 96 * 1024;
+
+    cfg.l2.numBanks = 16;
+    cfg.l2.bankGeometry = {4ull * 1024 * 1024 / 16, 16, kLineBytes};
+    cfg.finalize();
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::jetsonOrin()
+{
+    GpuConfig cfg;
+    cfg.name = "Jetson Orin";
+    cfg.numSms = 14;
+    cfg.coreClockMhz = 1300.0;
+    cfg.memoryDesc = "LPDDR5";
+    cfg.memoryBandwidthGBs = 200.0;
+
+    cfg.sm.maxWarps = 64;
+    cfg.sm.numSchedulers = 4;
+    cfg.sm.registers = 65536;
+    // 196 KB combined L1 + shared memory. Orin's larger array leaves a
+    // 64 KB L1 slice beside a 132 KB shared-memory carveout.
+    cfg.sm.l1SizeBytes = 64 * 1024;
+    cfg.sm.smemBytes = 132 * 1024;
+
+    cfg.l2.numBanks = 8;
+    cfg.l2.bankGeometry = {4ull * 1024 * 1024 / 8, 16, kLineBytes};
+    cfg.finalize();
+    return cfg;
+}
+
+} // namespace crisp

@@ -1,0 +1,42 @@
+#ifndef CRISP_GRAPHICS_ADDRESS_SPACE_HPP
+#define CRISP_GRAPHICS_ADDRESS_SPACE_HPP
+
+#include "common/types.hpp"
+
+namespace crisp
+{
+
+/**
+ * Bump allocator for the simulated GPU's global address space.
+ *
+ * The trace-driven model needs every resource (textures, vertex buffers,
+ * framebuffers, compute arrays, inter-stage pipeline buffers) to live at a
+ * distinct global address so the cache hierarchy sees realistic conflict
+ * and reuse behaviour. Nothing is ever freed: a simulation allocates its
+ * working set once, like a resident Vulkan device heap.
+ */
+class AddressSpace
+{
+  public:
+    /** @param base first byte of the device heap */
+    explicit AddressSpace(Addr base = 0x1000'0000ull) : next_(base) {}
+
+    /** Allocate @p bytes aligned to @p align (power of two). */
+    Addr
+    alloc(uint64_t bytes, uint64_t align = kLineBytes)
+    {
+        next_ = (next_ + align - 1) & ~(align - 1);
+        const Addr out = next_;
+        next_ += bytes;
+        return out;
+    }
+
+    Addr allocatedEnd() const { return next_; }
+
+  private:
+    Addr next_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_GRAPHICS_ADDRESS_SPACE_HPP

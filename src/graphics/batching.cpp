@@ -1,0 +1,77 @@
+#include "graphics/batching.hpp"
+
+#include <unordered_map>
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+std::vector<VertexBatch>
+buildVertexBatches(const std::vector<uint32_t> &indices, uint32_t batch_size)
+{
+    fatal_if(batch_size < 3, "batch size must fit at least one triangle");
+    panic_if(indices.size() % 3 != 0, "index count not a multiple of 3");
+
+    std::vector<VertexBatch> batches;
+    VertexBatch current;
+    std::unordered_map<uint32_t, uint32_t> slot;  // mesh index -> batch slot
+    slot.reserve(batch_size * 2);
+
+    auto flush = [&]() {
+        if (!current.tris.empty()) {
+            batches.push_back(std::move(current));
+        }
+        current = VertexBatch{};
+        slot.clear();
+    };
+
+    for (size_t i = 0; i + 2 < indices.size(); i += 3) {
+        const uint32_t tri[3] = {indices[i], indices[i + 1], indices[i + 2]};
+        // Count new unique vertices this triangle would add (repeated
+        // vertices within a degenerate triangle count once).
+        uint32_t fresh = 0;
+        for (int k = 0; k < 3; ++k) {
+            bool seen = slot.count(tri[k]) != 0;
+            for (int j = 0; j < k; ++j) {
+                if (tri[j] == tri[k]) {
+                    seen = true;
+                }
+            }
+            if (!seen) {
+                ++fresh;
+            }
+        }
+
+        if (current.uniqueVerts.size() + fresh > batch_size) {
+            flush();
+        }
+        std::array<uint32_t, 3> local{};
+        for (int k = 0; k < 3; ++k) {
+            auto it = slot.find(tri[k]);
+            if (it == slot.end()) {
+                const uint32_t s =
+                    static_cast<uint32_t>(current.uniqueVerts.size());
+                current.uniqueVerts.push_back(tri[k]);
+                current.firstUsePos.push_back(static_cast<uint32_t>(i) + k);
+                it = slot.emplace(tri[k], s).first;
+            }
+            local[k] = it->second;
+        }
+        current.tris.push_back(local);
+    }
+    flush();
+    return batches;
+}
+
+uint64_t
+totalVsInvocations(const std::vector<VertexBatch> &batches)
+{
+    uint64_t total = 0;
+    for (const auto &b : batches) {
+        total += b.uniqueVerts.size();
+    }
+    return total;
+}
+
+} // namespace crisp

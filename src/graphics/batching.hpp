@@ -1,0 +1,51 @@
+#ifndef CRISP_GRAPHICS_BATCHING_HPP
+#define CRISP_GRAPHICS_BATCHING_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace crisp
+{
+
+/** Default batch capacity; Fig 3 finds 96 matches hardware best. */
+inline constexpr uint32_t kDefaultVertexBatchSize = 96;
+
+/**
+ * A vertex shading batch.
+ *
+ * Contemporary GPUs no longer keep a post-transform vertex cache; instead
+ * the primitive distributor accumulates triangles into fixed-capacity
+ * batches and deduplicates vertex references *within the batch only*
+ * (Kerbl et al.; paper §I and Fig 2 stage 2). Each unique slot becomes one
+ * vertex shader invocation.
+ */
+struct VertexBatch
+{
+    /** Mesh vertex indices in first-use order (one VS invocation each). */
+    std::vector<uint32_t> uniqueVerts;
+    /** Index-stream position of each unique vertex's first use (the
+     * address the primitive distributor fetched it from). */
+    std::vector<uint32_t> firstUsePos;
+    /** Triangles as positions into uniqueVerts. */
+    std::vector<std::array<uint32_t, 3>> tris;
+};
+
+/**
+ * Split an index stream into vertex batches with in-batch deduplication.
+ *
+ * A batch closes when admitting the next triangle would exceed
+ * @p batch_size unique vertices. A vertex referenced by triangles in two
+ * different batches is shaded twice — exactly the redundancy hardware
+ * accepts to avoid a global vertex cache.
+ */
+std::vector<VertexBatch> buildVertexBatches(
+    const std::vector<uint32_t> &indices,
+    uint32_t batch_size = kDefaultVertexBatchSize);
+
+/** Total VS invocations across batches (Fig 3's y/x axis quantity). */
+uint64_t totalVsInvocations(const std::vector<VertexBatch> &batches);
+
+} // namespace crisp
+
+#endif // CRISP_GRAPHICS_BATCHING_HPP

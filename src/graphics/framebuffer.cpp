@@ -1,0 +1,117 @@
+#include "graphics/framebuffer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+Framebuffer::Framebuffer(uint32_t width, uint32_t height, AddressSpace &heap)
+    : width_(width), height_(height)
+{
+    fatal_if(width == 0 || height == 0, "framebuffer with zero dimension");
+    colorBase_ = heap.alloc(4ull * width * height);
+    depthBase_ = heap.alloc(4ull * width * height);
+    color_.resize(4ull * width * height);
+    depth_.resize(static_cast<size_t>(width) * height);
+    clear();
+}
+
+void
+Framebuffer::clear(const Texel &c)
+{
+    for (size_t i = 0; i < depth_.size(); ++i) {
+        depth_[i] = 1.0f;
+        color_[4 * i + 0] = static_cast<uint8_t>(c.r * 255.0f);
+        color_[4 * i + 1] = static_cast<uint8_t>(c.g * 255.0f);
+        color_[4 * i + 2] = static_cast<uint8_t>(c.b * 255.0f);
+        color_[4 * i + 3] = static_cast<uint8_t>(c.a * 255.0f);
+    }
+}
+
+bool
+Framebuffer::depthTestAndSet(uint32_t x, uint32_t y, float depth)
+{
+    panic_if(x >= width_ || y >= height_, "depth test out of bounds");
+    float &d = depth_[static_cast<size_t>(y) * width_ + x];
+    if (depth < d) {
+        d = depth;
+        return true;
+    }
+    return false;
+}
+
+float
+Framebuffer::depthAt(uint32_t x, uint32_t y) const
+{
+    panic_if(x >= width_ || y >= height_, "depth read out of bounds");
+    return depth_[static_cast<size_t>(y) * width_ + x];
+}
+
+void
+Framebuffer::writeColor(uint32_t x, uint32_t y, const Texel &c)
+{
+    panic_if(x >= width_ || y >= height_, "color write out of bounds");
+    const size_t i = (static_cast<size_t>(y) * width_ + x) * 4;
+    color_[i + 0] = static_cast<uint8_t>(std::clamp(c.r, 0.0f, 1.0f) * 255);
+    color_[i + 1] = static_cast<uint8_t>(std::clamp(c.g, 0.0f, 1.0f) * 255);
+    color_[i + 2] = static_cast<uint8_t>(std::clamp(c.b, 0.0f, 1.0f) * 255);
+    color_[i + 3] = static_cast<uint8_t>(std::clamp(c.a, 0.0f, 1.0f) * 255);
+}
+
+Texel
+Framebuffer::colorAt(uint32_t x, uint32_t y) const
+{
+    panic_if(x >= width_ || y >= height_, "color read out of bounds");
+    const size_t i = (static_cast<size_t>(y) * width_ + x) * 4;
+    return {color_[i] / 255.0f, color_[i + 1] / 255.0f,
+            color_[i + 2] / 255.0f, color_[i + 3] / 255.0f};
+}
+
+Addr
+Framebuffer::colorAddr(uint32_t x, uint32_t y) const
+{
+    return colorBase_ + 4ull * (static_cast<Addr>(y) * width_ + x);
+}
+
+Addr
+Framebuffer::depthAddr(uint32_t x, uint32_t y) const
+{
+    return depthBase_ + 4ull * (static_cast<Addr>(y) * width_ + x);
+}
+
+bool
+Framebuffer::writePpm(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f) {
+        warn("cannot write PPM to %s", path.c_str());
+        return false;
+    }
+    f << "P6\n" << width_ << " " << height_ << "\n255\n";
+    for (size_t i = 0; i < depth_.size(); ++i) {
+        f.put(static_cast<char>(color_[4 * i]));
+        f.put(static_cast<char>(color_[4 * i + 1]));
+        f.put(static_cast<char>(color_[4 * i + 2]));
+    }
+    return static_cast<bool>(f);
+}
+
+double
+Framebuffer::diff(const Framebuffer &other) const
+{
+    panic_if(width_ != other.width_ || height_ != other.height_,
+             "framebuffer size mismatch in diff");
+    uint64_t total = 0;
+    for (size_t i = 0; i < color_.size(); ++i) {
+        total += static_cast<uint64_t>(
+            std::abs(static_cast<int>(color_[i]) -
+                     static_cast<int>(other.color_[i])));
+    }
+    return static_cast<double>(total) / static_cast<double>(color_.size());
+}
+
+} // namespace crisp

@@ -1,0 +1,63 @@
+#ifndef CRISP_GRAPHICS_FRAMEBUFFER_HPP
+#define CRISP_GRAPHICS_FRAMEBUFFER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graphics/address_space.hpp"
+#include "graphics/texture.hpp"
+
+namespace crisp
+{
+
+/**
+ * Color + depth render target.
+ *
+ * Holds both functional contents (RGBA8 color, float depth, dumpable as a
+ * PPM image: Figs 5 and 8) and simulated addresses so fragment-shader color
+ * writes generate realistic pipeline memory traffic.
+ */
+class Framebuffer
+{
+  public:
+    Framebuffer(uint32_t width, uint32_t height, AddressSpace &heap);
+
+    uint32_t width() const { return width_; }
+    uint32_t height() const { return height_; }
+
+    void clear(const Texel &color = {0.05f, 0.05f, 0.08f, 1.0f});
+
+    /** Depth test (less-than) and conditional depth write. */
+    bool depthTestAndSet(uint32_t x, uint32_t y, float depth);
+
+    /** Read current depth (1.0 = far plane). */
+    float depthAt(uint32_t x, uint32_t y) const;
+
+    void writeColor(uint32_t x, uint32_t y, const Texel &color);
+    Texel colorAt(uint32_t x, uint32_t y) const;
+
+    /** Address of the 4-byte color pixel (STG targets). */
+    Addr colorAddr(uint32_t x, uint32_t y) const;
+    /** Address of the 4-byte depth value. */
+    Addr depthAddr(uint32_t x, uint32_t y) const;
+
+    /** Dump color as a binary PPM. @return false on I/O failure. */
+    bool writePpm(const std::string &path) const;
+
+    /** Mean absolute per-channel difference vs another framebuffer. */
+    double diff(const Framebuffer &other) const;
+
+  private:
+    uint32_t width_;
+    uint32_t height_;
+    Addr colorBase_;
+    Addr depthBase_;
+    std::vector<uint8_t> color_;  // RGBA8
+    std::vector<float> depth_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_GRAPHICS_FRAMEBUFFER_HPP

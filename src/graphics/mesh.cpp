@@ -1,0 +1,170 @@
+#include "graphics/mesh.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace crisp
+{
+
+Mesh::Mesh(std::string name, std::vector<Vertex> vertices,
+           std::vector<uint32_t> indices, AddressSpace &heap)
+    : name_(std::move(name)),
+      vertices_(std::move(vertices)),
+      indices_(std::move(indices))
+{
+    fatal_if(indices_.size() % 3 != 0, "mesh %s index count not a multiple "
+             "of 3", name_.c_str());
+    for (uint32_t idx : indices_) {
+        fatal_if(idx >= vertices_.size(), "mesh %s index out of range",
+                 name_.c_str());
+    }
+    vbAddr_ = heap.alloc(static_cast<uint64_t>(vertices_.size()) *
+                         Vertex::kStrideBytes);
+    ibAddr_ = heap.alloc(4ull * indices_.size());
+}
+
+Mesh
+Mesh::makePlane(const std::string &name, uint32_t n, float size,
+                float uv_tile, AddressSpace &heap)
+{
+    fatal_if(n == 0, "plane needs at least one quad");
+    std::vector<Vertex> verts;
+    std::vector<uint32_t> idx;
+    const float step = size / static_cast<float>(n);
+    for (uint32_t z = 0; z <= n; ++z) {
+        for (uint32_t x = 0; x <= n; ++x) {
+            Vertex v;
+            v.position = {x * step - size / 2, 0.0f, z * step - size / 2};
+            v.normal = {0.0f, 1.0f, 0.0f};
+            v.uv = {uv_tile * x / n, uv_tile * z / n};
+            verts.push_back(v);
+        }
+    }
+    const uint32_t pitch = n + 1;
+    for (uint32_t z = 0; z < n; ++z) {
+        for (uint32_t x = 0; x < n; ++x) {
+            const uint32_t a = z * pitch + x;
+            idx.insert(idx.end(), {a, a + 1, a + pitch});
+            idx.insert(idx.end(), {a + 1, a + pitch + 1, a + pitch});
+        }
+    }
+    return Mesh(name, std::move(verts), std::move(idx), heap);
+}
+
+Mesh
+Mesh::makeSphere(const std::string &name, uint32_t stacks, uint32_t slices,
+                 float radius, AddressSpace &heap)
+{
+    fatal_if(stacks < 2 || slices < 3, "sphere tessellation too coarse");
+    std::vector<Vertex> verts;
+    std::vector<uint32_t> idx;
+    for (uint32_t s = 0; s <= stacks; ++s) {
+        const float phi = M_PI * s / stacks;
+        for (uint32_t t = 0; t <= slices; ++t) {
+            const float theta = 2.0f * M_PI * t / slices;
+            Vertex v;
+            v.normal = {std::sin(phi) * std::cos(theta), std::cos(phi),
+                        std::sin(phi) * std::sin(theta)};
+            v.position = v.normal * radius;
+            v.uv = {static_cast<float>(t) / slices,
+                    static_cast<float>(s) / stacks};
+            verts.push_back(v);
+        }
+    }
+    const uint32_t pitch = slices + 1;
+    for (uint32_t s = 0; s < stacks; ++s) {
+        for (uint32_t t = 0; t < slices; ++t) {
+            const uint32_t a = s * pitch + t;
+            idx.insert(idx.end(), {a, a + pitch, a + 1});
+            idx.insert(idx.end(), {a + 1, a + pitch, a + pitch + 1});
+        }
+    }
+    return Mesh(name, std::move(verts), std::move(idx), heap);
+}
+
+Mesh
+Mesh::makeBox(const std::string &name, const Vec3 &extent, AddressSpace &heap,
+              float uv_tile)
+{
+    std::vector<Vertex> verts;
+    std::vector<uint32_t> idx;
+    const Vec3 h = extent * 0.5f;
+    const Vec3 normals[6] = {{1, 0, 0}, {-1, 0, 0}, {0, 1, 0},
+                             {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
+    for (const Vec3 &nrm : normals) {
+        // Build a tangent frame per face.
+        const Vec3 up = std::fabs(nrm.y) > 0.9f ? Vec3{1, 0, 0}
+                                                : Vec3{0, 1, 0};
+        const Vec3 tan = nrm.cross(up).normalized();
+        const Vec3 bit = nrm.cross(tan);
+        const uint32_t base = static_cast<uint32_t>(verts.size());
+        for (int i = 0; i < 4; ++i) {
+            const float su = (i == 1 || i == 2) ? 1.0f : -1.0f;
+            const float sv = (i >= 2) ? 1.0f : -1.0f;
+            Vertex v;
+            v.position = Vec3{nrm.x * h.x, nrm.y * h.y, nrm.z * h.z} +
+                         Vec3{tan.x * h.x, tan.y * h.y, tan.z * h.z} * su +
+                         Vec3{bit.x * h.x, bit.y * h.y, bit.z * h.z} * sv;
+            v.normal = nrm;
+            v.uv = {uv_tile * (su + 1) / 2, uv_tile * (sv + 1) / 2};
+            verts.push_back(v);
+        }
+        idx.insert(idx.end(),
+                   {base, base + 1, base + 2, base, base + 2, base + 3});
+    }
+    return Mesh(name, std::move(verts), std::move(idx), heap);
+}
+
+Mesh
+Mesh::makeCylinder(const std::string &name, uint32_t slices, float radius,
+                   float height, AddressSpace &heap, float uv_tile)
+{
+    fatal_if(slices < 3, "cylinder tessellation too coarse");
+    std::vector<Vertex> verts;
+    std::vector<uint32_t> idx;
+    for (uint32_t ring = 0; ring <= 1; ++ring) {
+        for (uint32_t t = 0; t <= slices; ++t) {
+            const float theta = 2.0f * M_PI * t / slices;
+            Vertex v;
+            v.normal = {std::cos(theta), 0.0f, std::sin(theta)};
+            v.position = {radius * v.normal.x, ring * height,
+                          radius * v.normal.z};
+            v.uv = {uv_tile * t / slices,
+                    uv_tile * 0.5f * static_cast<float>(ring)};
+            verts.push_back(v);
+        }
+    }
+    const uint32_t pitch = slices + 1;
+    for (uint32_t t = 0; t < slices; ++t) {
+        idx.insert(idx.end(), {t, t + pitch, t + 1});
+        idx.insert(idx.end(), {t + 1, t + pitch, t + pitch + 1});
+    }
+    return Mesh(name, std::move(verts), std::move(idx), heap);
+}
+
+Mesh
+Mesh::makeRock(const std::string &name, uint32_t stacks, uint32_t slices,
+               float radius, uint64_t seed, AddressSpace &heap)
+{
+    Mesh sphere = makeSphere(name, stacks, slices, radius, heap);
+    // Perturb radially with deterministic noise; keep the shared heap
+    // allocation from the sphere constructor.
+    Rng rng(seed);
+    std::vector<Vertex> verts = sphere.vertices_;
+    // Seam vertices (first/last slice column) must stay matched, so perturb
+    // by a hash of the normal direction rather than per-vertex randomness.
+    for (auto &v : verts) {
+        const float a = v.normal.x * 12.9898f + v.normal.y * 78.233f +
+                        v.normal.z * 37.719f +
+                        static_cast<float>(rng.nextDouble() * 0.0);
+        const float noise = std::fabs(std::sin(a * 43758.5453f));
+        const float scale = 0.75f + 0.5f * noise;
+        v.position = v.normal * (radius * scale);
+    }
+    sphere.vertices_ = std::move(verts);
+    return sphere;
+}
+
+} // namespace crisp

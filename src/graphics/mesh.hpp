@@ -1,0 +1,94 @@
+#ifndef CRISP_GRAPHICS_MESH_HPP
+#define CRISP_GRAPHICS_MESH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graphics/address_space.hpp"
+#include "graphics/vec.hpp"
+
+namespace crisp
+{
+
+/** One vertex of an indexed mesh (interleaved layout in device memory). */
+struct Vertex
+{
+    Vec3 position;
+    Vec3 normal;
+    Vec2 uv;
+
+    /** Interleaved stride in the simulated vertex buffer. */
+    static constexpr uint32_t kStrideBytes = 32;
+};
+
+/**
+ * An indexed triangle mesh resident in the simulated address space.
+ *
+ * Vertex data lives at vbAddr with Vertex::kStrideBytes stride; indices are
+ * 32-bit at ibAddr. The index stream's locality is what the batch-based
+ * vertex shading stage (Fig 2, stage 2) exploits, so procedural meshes are
+ * generated with the strip-order index patterns real content has.
+ */
+class Mesh
+{
+  public:
+    Mesh(std::string name, std::vector<Vertex> vertices,
+         std::vector<uint32_t> indices, AddressSpace &heap);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Vertex> &vertices() const { return vertices_; }
+    const std::vector<uint32_t> &indices() const { return indices_; }
+    uint32_t triangleCount() const
+    {
+        return static_cast<uint32_t>(indices_.size() / 3);
+    }
+
+    Addr vertexAddr(uint32_t index) const
+    {
+        return vbAddr_ + static_cast<Addr>(index) * Vertex::kStrideBytes;
+    }
+    Addr indexAddr(uint32_t i) const { return ibAddr_ + 4ull * i; }
+    Addr vbAddr() const { return vbAddr_; }
+    Addr ibAddr() const { return ibAddr_; }
+
+    // --- Procedural constructors used by the evaluation scenes -----------
+
+    /** Flat grid of (n x n) quads in the XZ plane, uv spanning [0, tile]. */
+    static Mesh makePlane(const std::string &name, uint32_t n, float size,
+                          float uv_tile, AddressSpace &heap);
+
+    /** UV sphere with the given tessellation. */
+    static Mesh makeSphere(const std::string &name, uint32_t stacks,
+                           uint32_t slices, float radius,
+                           AddressSpace &heap);
+
+    /** Axis-aligned box with per-face uv spanning [0, uv_tile]. */
+    static Mesh makeBox(const std::string &name, const Vec3 &extent,
+                        AddressSpace &heap, float uv_tile = 1.0f);
+
+    /** Open cylinder (columns in the Sponza-like atrium). */
+    static Mesh makeCylinder(const std::string &name, uint32_t slices,
+                             float radius, float height, AddressSpace &heap,
+                             float uv_tile = 2.0f);
+
+    /**
+     * Irregular rocky blob (asteroids in the Planets scene): a sphere with
+     * deterministic radial noise.
+     */
+    static Mesh makeRock(const std::string &name, uint32_t stacks,
+                         uint32_t slices, float radius, uint64_t seed,
+                         AddressSpace &heap);
+
+  private:
+    std::string name_;
+    std::vector<Vertex> vertices_;
+    std::vector<uint32_t> indices_;
+    Addr vbAddr_ = 0;
+    Addr ibAddr_ = 0;
+};
+
+} // namespace crisp
+
+#endif // CRISP_GRAPHICS_MESH_HPP

@@ -1,0 +1,199 @@
+#include "graphics/raster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+Rasterizer::Rasterizer(Framebuffer &fb, uint32_t tile_size)
+    : fb_(fb), tileSize_(tile_size)
+{
+    fatal_if(tile_size == 0, "tile size must be positive");
+    tilesX_ = (fb.width() + tile_size - 1) / tile_size;
+    tilesY_ = (fb.height() + tile_size - 1) / tile_size;
+}
+
+void
+Rasterizer::submit(const Vec4 clip[3], const Vec2 uv[3], uint32_t tri_id,
+                   uint32_t layer)
+{
+    stats_.trisSubmitted++;
+
+    // Near-plane and frustum culling. Triangles that straddle the near
+    // plane are dropped rather than clipped; evaluation scenes keep
+    // geometry in front of the camera so this loses nothing in practice.
+    for (int i = 0; i < 3; ++i) {
+        if (clip[i].w <= 1e-5f) {
+            stats_.trisCulledFrustum++;
+            return;
+        }
+    }
+    auto outside = [&](auto pred) {
+        return pred(clip[0]) && pred(clip[1]) && pred(clip[2]);
+    };
+    if (outside([](const Vec4 &v) { return v.x < -v.w; }) ||
+        outside([](const Vec4 &v) { return v.x > v.w; }) ||
+        outside([](const Vec4 &v) { return v.y < -v.w; }) ||
+        outside([](const Vec4 &v) { return v.y > v.w; }) ||
+        outside([](const Vec4 &v) { return v.z < 0.0f; }) ||
+        outside([](const Vec4 &v) { return v.z > v.w; })) {
+        stats_.trisCulledFrustum++;
+        return;
+    }
+
+    // Screen mapping (y down).
+    const float w = static_cast<float>(fb_.width());
+    const float h = static_cast<float>(fb_.height());
+    Vec2 p[3];
+    float zndc[3];
+    float invw[3];
+    for (int i = 0; i < 3; ++i) {
+        invw[i] = 1.0f / clip[i].w;
+        p[i].x = (clip[i].x * invw[i] * 0.5f + 0.5f) * w;
+        p[i].y = (0.5f - clip[i].y * invw[i] * 0.5f) * h;
+        zndc[i] = clip[i].z * invw[i];
+    }
+
+    // Signed area; back-face cull. Vulkan's default front face is
+    // counter-clockwise in framebuffer coordinates (y down), which is a
+    // positive signed area here.
+    const float area = (p[1].x - p[0].x) * (p[2].y - p[0].y) -
+                       (p[2].x - p[0].x) * (p[1].y - p[0].y);
+    if (std::fabs(area) < 1e-8f) {
+        stats_.trisCulledDegenerate++;
+        return;
+    }
+    if (area < 0.0f) {
+        stats_.trisCulledBackface++;
+        return;
+    }
+    const float inv_area = 1.0f / area;
+
+    // Barycentric coordinates are affine in screen space:
+    // lambda_i(x, y) = li_a + li_b * x + li_c * y.
+    float lb[3];
+    float lc[3];
+    float la[3];
+    for (int i = 0; i < 3; ++i) {
+        const Vec2 &q = p[(i + 1) % 3];
+        const Vec2 &r = p[(i + 2) % 3];
+        lb[i] = (q.y - r.y) * inv_area;
+        lc[i] = (r.x - q.x) * inv_area;
+        la[i] = (q.x * r.y - r.x * q.y) * inv_area;
+    }
+
+    auto interpolate = [&](float x, float y, Vec2 &out_uv,
+                           float &out_z) {
+        float lam[3];
+        for (int i = 0; i < 3; ++i) {
+            lam[i] = la[i] + lb[i] * x + lc[i] * y;
+        }
+        // Perspective-correct uv; affine depth.
+        const float denom =
+            lam[0] * invw[0] + lam[1] * invw[1] + lam[2] * invw[2];
+        const float inv_denom = denom != 0.0f ? 1.0f / denom : 0.0f;
+        out_uv.x = (lam[0] * invw[0] * uv[0].x + lam[1] * invw[1] * uv[1].x +
+                    lam[2] * invw[2] * uv[2].x) *
+                   inv_denom;
+        out_uv.y = (lam[0] * invw[0] * uv[0].y + lam[1] * invw[1] * uv[1].y +
+                    lam[2] * invw[2] * uv[2].y) *
+                   inv_denom;
+        out_z = lam[0] * zndc[0] + lam[1] * zndc[1] + lam[2] * zndc[2];
+    };
+
+    // Pixel bounding box clamped to the screen.
+    const float min_xf = std::min({p[0].x, p[1].x, p[2].x});
+    const float max_xf = std::max({p[0].x, p[1].x, p[2].x});
+    const float min_yf = std::min({p[0].y, p[1].y, p[2].y});
+    const float max_yf = std::max({p[0].y, p[1].y, p[2].y});
+    const int32_t min_x = std::max(0, static_cast<int32_t>(min_xf));
+    const int32_t max_x = std::min(static_cast<int32_t>(fb_.width()) - 1,
+                                   static_cast<int32_t>(max_xf));
+    const int32_t min_y = std::max(0, static_cast<int32_t>(min_yf));
+    const int32_t max_y = std::min(static_cast<int32_t>(fb_.height()) - 1,
+                                   static_cast<int32_t>(max_yf));
+    if (min_x > max_x || min_y > max_y) {
+        stats_.trisCulledFrustum++;
+        return;
+    }
+
+    // Visit in 2x2 quad order so consecutive fragments form quads.
+    const int32_t qminx = min_x & ~1;
+    const int32_t qminy = min_y & ~1;
+    for (int32_t qy = qminy; qy <= max_y; qy += 2) {
+        for (int32_t qx = qminx; qx <= max_x; qx += 2) {
+            for (int32_t sub = 0; sub < 4; ++sub) {
+                const int32_t x = qx + (sub & 1);
+                const int32_t y = qy + (sub >> 1);
+                if (x < min_x || x > max_x || y < min_y || y > max_y) {
+                    continue;
+                }
+                const float cx = static_cast<float>(x) + 0.5f;
+                const float cy = static_cast<float>(y) + 0.5f;
+                float lam[3];
+                bool inside = true;
+                for (int i = 0; i < 3; ++i) {
+                    lam[i] = la[i] + lb[i] * cx + lc[i] * cy;
+                    if (lam[i] < 0.0f) {
+                        inside = false;
+                        break;
+                    }
+                }
+                if (!inside) {
+                    continue;
+                }
+                Vec2 f_uv;
+                float f_z;
+                interpolate(cx, cy, f_uv, f_z);
+                stats_.fragsGenerated++;
+                if (!fb_.depthTestAndSet(static_cast<uint32_t>(x),
+                                         static_cast<uint32_t>(y), f_z)) {
+                    stats_.fragsEarlyZKilled++;
+                    continue;
+                }
+                // Analytic derivatives for LoD: evaluate uv one pixel to
+                // the right and below.
+                Vec2 uv_dx;
+                Vec2 uv_dy;
+                float dummy;
+                interpolate(cx + 1.0f, cy, uv_dx, dummy);
+                interpolate(cx, cy + 1.0f, uv_dy, dummy);
+
+                Fragment frag;
+                frag.x = static_cast<uint16_t>(x);
+                frag.y = static_cast<uint16_t>(y);
+                frag.depth = f_z;
+                frag.uv = f_uv;
+                frag.duvdx = uv_dx - f_uv;
+                frag.duvdy = uv_dy - f_uv;
+                frag.tri = tri_id;
+                frag.layer = layer;
+
+                const uint32_t tile_index =
+                    (static_cast<uint32_t>(y) / tileSize_) * tilesX_ +
+                    static_cast<uint32_t>(x) / tileSize_;
+                TileBin &bin = bins_[tile_index];
+                bin.tileX = static_cast<uint32_t>(x) / tileSize_;
+                bin.tileY = static_cast<uint32_t>(y) / tileSize_;
+                bin.frags.push_back(frag);
+            }
+        }
+    }
+}
+
+std::vector<TileBin>
+Rasterizer::takeBins()
+{
+    std::vector<TileBin> out;
+    out.reserve(bins_.size());
+    for (auto &[index, bin] : bins_) {
+        out.push_back(std::move(bin));
+    }
+    bins_.clear();
+    return out;
+}
+
+} // namespace crisp

@@ -1,0 +1,94 @@
+#ifndef CRISP_GRAPHICS_RASTER_HPP
+#define CRISP_GRAPHICS_RASTER_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graphics/framebuffer.hpp"
+#include "graphics/vec.hpp"
+
+namespace crisp
+{
+
+/**
+ * A shaded sample produced by the rasterizer.
+ *
+ * The texture-coordinate derivatives (ddx, ddy) are computed here, during
+ * rasterization, and later looked up by the texture unit for mip selection
+ * — the paper's approach to LoD without strict quad execution (§III).
+ */
+struct Fragment
+{
+    uint16_t x = 0;
+    uint16_t y = 0;
+    float depth = 0.0f;
+    Vec2 uv;
+    Vec2 duvdx;
+    Vec2 duvdy;
+    uint32_t tri = 0;     ///< Drawcall-local triangle id (attribute fetch).
+    uint32_t layer = 0;   ///< Texture array layer (instanced draws).
+};
+
+/** Fragments binned to one screen tile. */
+struct TileBin
+{
+    uint32_t tileX = 0;
+    uint32_t tileY = 0;
+    std::vector<Fragment> frags;
+};
+
+/** Counters over one drawcall's rasterization. */
+struct RasterStats
+{
+    uint64_t trisSubmitted = 0;
+    uint64_t trisCulledFrustum = 0;
+    uint64_t trisCulledBackface = 0;
+    uint64_t trisCulledDegenerate = 0;
+    uint64_t fragsGenerated = 0;
+    uint64_t fragsEarlyZKilled = 0;
+};
+
+/**
+ * Tiled rasterizer with early-Z.
+ *
+ * Implements the fixed-function stages 4-5 of the modeled pipeline (Fig 2):
+ * clip-space culling, screen mapping, edge-function coverage at pixel
+ * centers, perspective-correct attribute interpolation, early depth test
+ * against the framebuffer, analytic LoD derivatives, and binning into
+ * screen tiles (Immediate Tiled Rendering). Pixels are visited in 2x2 quad
+ * order so warps formed from consecutive fragments contain whole quads.
+ */
+class Rasterizer
+{
+  public:
+    /** @param tile_size square tile edge in pixels */
+    Rasterizer(Framebuffer &fb, uint32_t tile_size = 16);
+
+    /**
+     * Rasterize one triangle given clip-space positions and per-vertex uv.
+     * Fragments that survive early-Z are appended to the tile bins.
+     */
+    void submit(const Vec4 clip[3], const Vec2 uv[3], uint32_t tri_id,
+                uint32_t layer);
+
+    /** Bins with at least one fragment, in tile raster order. */
+    std::vector<TileBin> takeBins();
+
+    const RasterStats &stats() const { return stats_; }
+    uint32_t tileSize() const { return tileSize_; }
+    uint32_t tilesX() const { return tilesX_; }
+    uint32_t tilesY() const { return tilesY_; }
+
+  private:
+    Framebuffer &fb_;
+    uint32_t tileSize_;
+    uint32_t tilesX_;
+    uint32_t tilesY_;
+    RasterStats stats_;
+    std::map<uint32_t, TileBin> bins_;  // tile index -> bin
+};
+
+} // namespace crisp
+
+#endif // CRISP_GRAPHICS_RASTER_HPP

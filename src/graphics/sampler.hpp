@@ -1,0 +1,61 @@
+#ifndef CRISP_GRAPHICS_SAMPLER_HPP
+#define CRISP_GRAPHICS_SAMPLER_HPP
+
+#include <vector>
+
+#include "graphics/texture.hpp"
+#include "graphics/vec.hpp"
+
+namespace crisp
+{
+
+/** Texture filtering mode. */
+enum class TexFilter : uint8_t
+{
+    Nearest,
+    Bilinear,
+    /** Bilinear on the two nearest mip levels, blended by fractional LoD. */
+    Trilinear,
+};
+
+/**
+ * Texture unit model: mipmap level selection and texel address generation.
+ *
+ * LoD is computed from the screen-space texture coordinate derivatives
+ * (ddx, ddy) that the rasterizer pre-computes per fragment (§III): the
+ * texture unit looks the value up instead of deriving it from quads at
+ * execution time. With LoD disabled the unit always references level 0,
+ * which is the configuration the paper's Fig 9 uses as the broken baseline.
+ */
+class Sampler
+{
+  public:
+    /**
+     * Level-of-detail from UV derivatives.
+     * @param duvdx d(uv)/dx in normalized coordinates per pixel
+     * @param duvdy d(uv)/dy in normalized coordinates per pixel
+     * @return fractional LoD, clamped to >= 0
+     */
+    static float computeLod(const Texture2D &tex, const Vec2 &duvdx,
+                            const Vec2 &duvdy);
+
+    /**
+     * Byte addresses touched by one sample (1 texel for nearest, up to 4
+     * for bilinear). Duplicates are *not* removed here; the texture unit
+     * merges them when the warp's accesses are coalesced.
+     */
+    static void footprint(const Texture2D &tex, const Vec2 &uv, float lod,
+                          uint32_t layer, TexFilter filter,
+                          std::vector<Addr> &out);
+
+    /** Functional sample used when rendering actual images. */
+    static Texel sample(const Texture2D &tex, const Vec2 &uv, float lod,
+                        uint32_t layer, TexFilter filter);
+
+    /** Integer mip level for a fractional LoD (nearest-level policy). */
+    static uint32_t selectLevel(const Texture2D &tex, float lod);
+};
+
+} // namespace crisp
+
+#endif // CRISP_GRAPHICS_SAMPLER_HPP

@@ -1,0 +1,110 @@
+#ifndef CRISP_GRAPHICS_SCENE_HPP
+#define CRISP_GRAPHICS_SCENE_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graphics/mesh.hpp"
+#include "graphics/sampler.hpp"
+#include "graphics/texture.hpp"
+
+namespace crisp
+{
+
+/**
+ * Shading model of a material.
+ *
+ * The paper contrasts *basic* shading (one texture per drawcall, e.g. the
+ * Khronos Sponza) with *Physically-Based Rendering* (eight maps sampled per
+ * fragment, e.g. Pistol and the Godot Sponza); the different texture counts
+ * and formats drive the L2-composition differences of Fig 11.
+ */
+enum class ShaderKind : uint8_t
+{
+    Basic,  ///< Diffuse texture + simple lambert term.
+    Pbr,    ///< 8 maps: irradiance, BRDF LUT, albedo, normal, prefilter,
+            ///< ambient occlusion, metallic, roughness.
+};
+
+/** Material: shader archetype plus its bound textures. */
+struct Material
+{
+    std::string name;
+    ShaderKind kind = ShaderKind::Basic;
+    std::vector<const Texture2D *> textures;
+    TexFilter filter = TexFilter::Bilinear;
+
+    /** Extra per-fragment ALU work (procedural shading, e.g. Material
+     * Testers' generated patterns). */
+    uint32_t extraFragmentAlu = 0;
+};
+
+/** One draw call: a mesh instance batch with a material and transform. */
+struct DrawCall
+{
+    std::string name;
+    const Mesh *mesh = nullptr;
+    const Material *material = nullptr;
+    Mat4 model = Mat4::identity();
+
+    /**
+     * Instanced drawing (the Planets workload): the mesh is drawn once per
+     * instance with a per-instance transform and texture array layer, all
+     * within a single draw call. Instance data is fetched from a dedicated
+     * buffer, giving the streaming access pattern described in §V-A.
+     */
+    uint32_t instanceCount = 1;
+    std::vector<Mat4> instanceModels;      ///< size == instanceCount if > 1
+    std::vector<uint32_t> instanceLayers;  ///< texture layer per instance
+    Addr instanceBufAddr = 0;
+};
+
+/** Camera with precomputed view/projection. */
+struct Camera
+{
+    Mat4 view = Mat4::identity();
+    Mat4 proj = Mat4::identity();
+    Vec3 eye;
+};
+
+/**
+ * A renderable scene: resources plus the ordered draw list submitted at the
+ * vkQueueSubmit equivalent. The scene owns its meshes, textures and
+ * materials so workload factories can hand a self-contained object to the
+ * pipeline.
+ */
+struct Scene
+{
+    std::string name;
+    Camera camera;
+    std::vector<DrawCall> draws;
+
+    // Owned resources (stable addresses; DrawCall/Material point into them).
+    std::vector<std::unique_ptr<Mesh>> meshes;
+    std::vector<std::unique_ptr<Texture2D>> textures;
+    std::vector<std::unique_ptr<Material>> materials;
+
+    Mesh *
+    addMesh(Mesh mesh)
+    {
+        meshes.push_back(std::make_unique<Mesh>(std::move(mesh)));
+        return meshes.back().get();
+    }
+    Texture2D *
+    addTexture(std::unique_ptr<Texture2D> tex)
+    {
+        textures.push_back(std::move(tex));
+        return textures.back().get();
+    }
+    Material *
+    addMaterial(Material mat)
+    {
+        materials.push_back(std::make_unique<Material>(std::move(mat)));
+        return materials.back().get();
+    }
+};
+
+} // namespace crisp
+
+#endif // CRISP_GRAPHICS_SCENE_HPP

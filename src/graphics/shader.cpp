@@ -1,0 +1,44 @@
+#include "graphics/shader.hpp"
+
+namespace crisp
+{
+
+ShaderCost
+ShaderCost::vertex()
+{
+    ShaderCost c;
+    // clip = P * V * M * pos (one combined mat4: 16 FFMA) plus normal
+    // transform (9 FFMA) and viewport/uv housekeeping.
+    c.fp32Ops = 30;
+    c.intOps = 6;
+    c.sfuOps = 0;
+    c.registers = 32;
+    return c;
+}
+
+ShaderCost
+ShaderCost::fragment(ShaderKind kind)
+{
+    ShaderCost c;
+    switch (kind) {
+      case ShaderKind::Basic:
+        // Interpolate + one diffuse lookup + lambert term.
+        c.fp32Ops = 14;
+        c.intOps = 6;
+        c.sfuOps = 1;
+        c.registers = 32;
+        break;
+      case ShaderKind::Pbr:
+        // Cook-Torrance style direct light + IBL combination over 8 maps:
+        // dominated by FMA chains and several transcendentals (pow, exp,
+        // rsqrt) — mirrors the paper's description of PBR complexity.
+        c.fp32Ops = 96;
+        c.intOps = 18;
+        c.sfuOps = 6;
+        c.registers = 48;
+        break;
+    }
+    return c;
+}
+
+} // namespace crisp

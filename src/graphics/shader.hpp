@@ -1,0 +1,37 @@
+#ifndef CRISP_GRAPHICS_SHADER_HPP
+#define CRISP_GRAPHICS_SHADER_HPP
+
+#include <cstdint>
+
+#include "graphics/scene.hpp"
+
+namespace crisp
+{
+
+/**
+ * Instruction-mix description of a shader archetype.
+ *
+ * The paper obtains shaders through a NIR->PTX translator and maps each PTX
+ * instruction to a SASS instruction for the trace (§III). CRISP-as-rebuilt
+ * takes the equivalent shortcut one level up: each shader archetype (basic,
+ * PBR, vertex transform) is described by its instruction mix, and the
+ * emission pass lowers it to trace instructions with exact memory
+ * addresses. Counts approximate Mesa-compiled GLSL for the same shaders.
+ */
+struct ShaderCost
+{
+    uint32_t fp32Ops = 0;    ///< FFMA/FADD/FMUL count per invocation.
+    uint32_t intOps = 0;     ///< Address math and packing.
+    uint32_t sfuOps = 0;     ///< Transcendentals (normalize, pow, exp).
+    uint32_t registers = 32; ///< Live registers per thread.
+
+    /** Vertex transform: two mat4 multiplies plus uv/normal housekeeping. */
+    static ShaderCost vertex();
+
+    /** Fragment cost for a shading model. */
+    static ShaderCost fragment(ShaderKind kind);
+};
+
+} // namespace crisp
+
+#endif // CRISP_GRAPHICS_SHADER_HPP

@@ -1,0 +1,230 @@
+#include "graphics/texture.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+uint32_t
+texFormatBytes(TexFormat fmt)
+{
+    switch (fmt) {
+      case TexFormat::R8: return 1;
+      case TexFormat::RG8: return 2;
+      case TexFormat::RGBA8: return 4;
+      case TexFormat::RGBA16F: return 8;
+      default:
+        panic("unknown texture format %d", static_cast<int>(fmt));
+    }
+}
+
+void
+texTileDims(TexFormat fmt, uint32_t &tile_w, uint32_t &tile_h)
+{
+    switch (fmt) {
+      case TexFormat::R8:
+      case TexFormat::RG8:
+        tile_w = 8;
+        tile_h = 8;
+        break;
+      case TexFormat::RGBA8:
+      case TexFormat::RGBA16F:
+        tile_w = 4;
+        tile_h = 4;
+        break;
+      default:
+        panic("unknown texture format %d", static_cast<int>(fmt));
+    }
+}
+
+Texture2D::Texture2D(std::string name, uint32_t width, uint32_t height,
+                     TexFormat fmt, AddressSpace &heap, uint32_t layers,
+                     bool mipmapped, uint64_t pattern_seed)
+    : name_(std::move(name)),
+      width_(width),
+      height_(height),
+      layers_(layers),
+      fmt_(fmt)
+{
+    fatal_if(width == 0 || height == 0 || layers == 0,
+             "texture %s has a zero dimension", name_.c_str());
+
+    // Total levels: log2(max dim) + 1 (paper §VI-B).
+    uint32_t levels = 1;
+    if (mipmapped) {
+        uint32_t dim = std::max(width_, height_);
+        while (dim > 1) {
+            dim /= 2;
+            ++levels;
+        }
+    }
+
+    uint32_t tile_w;
+    uint32_t tile_h;
+    texTileDims(fmt_, tile_w, tile_h);
+    uint64_t offset = 0;
+    for (uint32_t l = 0; l < levels; ++l) {
+        levelOffsets_.push_back(offset);
+        // Block-linear storage pads each level to whole tiles.
+        const uint64_t tiles_x = (levelWidthRaw(l) + tile_w - 1) / tile_w;
+        const uint64_t tiles_y = (levelHeightRaw(l) + tile_h - 1) / tile_h;
+        offset += tiles_x * tiles_y * tile_w * tile_h * layers_ *
+                  texFormatBytes(fmt_);
+    }
+    sizeBytes_ = offset;
+    base_ = heap.alloc(sizeBytes_);
+
+    buildContent(pattern_seed);
+    buildMipChain();
+}
+
+// levelWidth/levelHeight must be usable from the constructor before
+// levelOffsets_ is complete, so the raw versions take no bounds check.
+uint32_t
+Texture2D::levelWidth(uint32_t level) const
+{
+    panic_if(level >= numLevels(), "level %u out of range", level);
+    return levelWidthRaw(level);
+}
+
+uint32_t
+Texture2D::levelHeight(uint32_t level) const
+{
+    panic_if(level >= numLevels(), "level %u out of range", level);
+    return levelHeightRaw(level);
+}
+
+Addr
+Texture2D::texelAddr(uint32_t level, uint32_t layer, uint32_t x,
+                     uint32_t y) const
+{
+    panic_if(level >= numLevels(), "level %u out of range", level);
+    const uint32_t w = levelWidthRaw(level);
+    const uint32_t h = levelHeightRaw(level);
+    panic_if(layer >= layers_, "layer %u out of range", layer);
+    x = std::min(x, w - 1);
+    y = std::min(y, h - 1);
+
+    // Block-linear addressing: tiles are row-major, texels row-major
+    // within a tile, layers stacked per level.
+    uint32_t tile_w;
+    uint32_t tile_h;
+    texTileDims(fmt_, tile_w, tile_h);
+    const uint64_t tiles_x = (w + tile_w - 1) / tile_w;
+    const uint64_t tiles_y = (h + tile_h - 1) / tile_h;
+    const uint64_t tile_index =
+        (static_cast<uint64_t>(y) / tile_h) * tiles_x + x / tile_w;
+    const uint64_t in_tile =
+        (static_cast<uint64_t>(y) % tile_h) * tile_w + x % tile_w;
+    const uint64_t layer_bytes =
+        tiles_x * tiles_y * tile_w * tile_h * texFormatBytes(fmt_);
+    return base_ + levelOffsets_[level] + layer * layer_bytes +
+           (tile_index * tile_w * tile_h + in_tile) * texFormatBytes(fmt_);
+}
+
+Texel
+Texture2D::fetch(uint32_t level, uint32_t layer, int32_t x, int32_t y) const
+{
+    level = std::min(level, numLevels() - 1);
+    layer = std::min(layer, layers_ - 1);
+    const int32_t w = static_cast<int32_t>(levelWidthRaw(level));
+    const int32_t h = static_cast<int32_t>(levelHeightRaw(level));
+    // Wrap addressing.
+    x = ((x % w) + w) % w;
+    y = ((y % h) + h) % h;
+    return data_[level][(static_cast<size_t>(layer) * h + y) * w + x];
+}
+
+void
+Texture2D::buildContent(uint64_t seed)
+{
+    data_.resize(numLevels());
+    data_[0].resize(static_cast<size_t>(width_) * height_ * layers_);
+    Rng rng(seed * 0x51ed2701u + 11);
+
+    // Procedural content: a layered pattern of large colour patches with
+    // high-frequency detail, so downsampling (mipmapping) changes values
+    // smoothly and rendered output is visually interpretable.
+    for (uint32_t layer = 0; layer < layers_; ++layer) {
+        const float hue = rng.nextDouble() * 6.0f;
+        const float checker = 8.0f + static_cast<float>(rng.nextBelow(24));
+        for (uint32_t y = 0; y < height_; ++y) {
+            for (uint32_t x = 0; x < width_; ++x) {
+                const float u = static_cast<float>(x) / width_;
+                const float v = static_cast<float>(y) / height_;
+                const int cx = static_cast<int>(u * checker);
+                const int cy = static_cast<int>(v * checker);
+                const float base = ((cx + cy) % 2 == 0) ? 0.85f : 0.35f;
+                const float detail =
+                    0.15f * std::sin(u * 97.0f + hue) *
+                    std::cos(v * 83.0f + hue);
+                Texel t;
+                t.r = std::clamp(base + detail, 0.0f, 1.0f);
+                t.g = std::clamp(
+                    base * (0.5f + 0.5f * std::sin(hue)) + detail, 0.0f,
+                    1.0f);
+                t.b = std::clamp(
+                    base * (0.5f + 0.5f * std::cos(hue)) - detail, 0.0f,
+                    1.0f);
+                data_[0][(static_cast<size_t>(layer) * height_ + y) *
+                             width_ + x] = t;
+            }
+        }
+    }
+}
+
+void
+Texture2D::buildMipChain()
+{
+    for (uint32_t l = 1; l < numLevels(); ++l) {
+        const uint32_t pw = levelWidthRaw(l - 1);
+        const uint32_t ph = levelHeightRaw(l - 1);
+        const uint32_t w = levelWidthRaw(l);
+        const uint32_t h = levelHeightRaw(l);
+        data_[l].resize(static_cast<size_t>(w) * h * layers_);
+        for (uint32_t layer = 0; layer < layers_; ++layer) {
+            for (uint32_t y = 0; y < h; ++y) {
+                for (uint32_t x = 0; x < w; ++x) {
+                    // 2x2 box filter from the previous level.
+                    Texel acc;
+                    acc.a = 0.0f;
+                    int count = 0;
+                    for (uint32_t dy = 0; dy < 2; ++dy) {
+                        for (uint32_t dx = 0; dx < 2; ++dx) {
+                            const uint32_t sx = std::min(2 * x + dx, pw - 1);
+                            const uint32_t sy = std::min(2 * y + dy, ph - 1);
+                            const Texel &s =
+                                data_[l - 1]
+                                     [(static_cast<size_t>(layer) * ph + sy) *
+                                          pw + sx];
+                            acc.r += s.r;
+                            acc.g += s.g;
+                            acc.b += s.b;
+                            acc.a += s.a;
+                            ++count;
+                        }
+                    }
+                    const float inv = 1.0f / static_cast<float>(count);
+                    acc.r *= inv;
+                    acc.g *= inv;
+                    acc.b *= inv;
+                    acc.a *= inv;
+                    data_[l][(static_cast<size_t>(layer) * h + y) * w + x] =
+                        acc;
+                }
+            }
+        }
+    }
+}
+
+uint64_t
+Texture2D::levelBytes(uint32_t level) const
+{
+    return static_cast<uint64_t>(levelWidthRaw(level)) *
+           levelHeightRaw(level) * layers_ * texFormatBytes(fmt_);
+}
+
+} // namespace crisp

@@ -1,0 +1,123 @@
+#ifndef CRISP_GRAPHICS_TEXTURE_HPP
+#define CRISP_GRAPHICS_TEXTURE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graphics/address_space.hpp"
+
+namespace crisp
+{
+
+/** Texel storage formats used by the evaluated materials. */
+enum class TexFormat : uint8_t
+{
+    R8,       ///< 1 byte/texel (masks: ambient occlusion, roughness...).
+    RG8,      ///< 2 bytes/texel (normal XY).
+    RGBA8,    ///< 4 bytes/texel (albedo and most colour maps).
+    RGBA16F,  ///< 8 bytes/texel (HDR irradiance/prefilter maps).
+};
+
+/** Bytes per texel for a format. */
+uint32_t texFormatBytes(TexFormat fmt);
+
+/**
+ * Block-linear tile edge for a format: GPU textures are stored in small
+ * 2D tiles so one cache line covers a square texel neighborhood instead of
+ * a 1D row run. Narrow formats use larger tiles so a tile still spans
+ * 64-128 bytes.
+ */
+void texTileDims(TexFormat fmt, uint32_t &tile_w, uint32_t &tile_h);
+
+/** A sampled RGBA colour in [0,1]. */
+struct Texel
+{
+    float r = 0.0f;
+    float g = 0.0f;
+    float b = 0.0f;
+    float a = 1.0f;
+};
+
+/**
+ * A 2D texture (optionally an array texture with several layers) with a
+ * full mipmap chain.
+ *
+ * Mip level L is the base image downsampled by 2^L per axis; the driver
+ * generates levels 0..log2(dim) with a box filter before execution (§VI-B).
+ * The texture owns a region of the simulated address space so the sampler
+ * can compute the byte address of every texel; the same storage also holds
+ * functional texel values so examples can render actual images.
+ */
+class Texture2D
+{
+  public:
+    /**
+     * Create a texture with procedural content.
+     *
+     * @param layers number of array layers (Planets' 3D texture uses > 1)
+     * @param mipmapped generate the full chain; false keeps only level 0
+     */
+    Texture2D(std::string name, uint32_t width, uint32_t height,
+              TexFormat fmt, AddressSpace &heap, uint32_t layers = 1,
+              bool mipmapped = true, uint64_t pattern_seed = 1);
+
+    const std::string &name() const { return name_; }
+    uint32_t width() const { return width_; }
+    uint32_t height() const { return height_; }
+    uint32_t layers() const { return layers_; }
+    TexFormat format() const { return fmt_; }
+    uint32_t numLevels() const
+    {
+        return static_cast<uint32_t>(levelOffsets_.size());
+    }
+    Addr baseAddr() const { return base_; }
+    uint64_t sizeBytes() const { return sizeBytes_; }
+
+    uint32_t levelWidth(uint32_t level) const;
+    uint32_t levelHeight(uint32_t level) const;
+
+    /**
+     * Byte address of texel (x, y) of @p layer at @p level; this is the
+     * address the TEX instruction carries into the unified L1.
+     */
+    Addr texelAddr(uint32_t level, uint32_t layer, uint32_t x,
+                   uint32_t y) const;
+
+    /** Functional texel fetch with wrap addressing. */
+    Texel fetch(uint32_t level, uint32_t layer, int32_t x, int32_t y) const;
+
+  private:
+    void buildContent(uint64_t seed);
+    void buildMipChain();
+    uint64_t levelBytes(uint32_t level) const;
+
+    uint32_t levelWidthRaw(uint32_t level) const
+    {
+        const uint32_t w = width_ >> level;
+        return w == 0 ? 1 : w;
+    }
+    uint32_t levelHeightRaw(uint32_t level) const
+    {
+        const uint32_t h = height_ >> level;
+        return h == 0 ? 1 : h;
+    }
+
+    std::string name_;
+    uint32_t width_;
+    uint32_t height_;
+    uint32_t layers_;
+    TexFormat fmt_;
+    Addr base_ = 0;
+    uint64_t sizeBytes_ = 0;
+    /** Byte offset of each level from base (all layers contiguous). */
+    std::vector<uint64_t> levelOffsets_;
+    /** Functional storage: per level, layers * w * h texels. */
+    std::vector<std::vector<Texel>> data_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_GRAPHICS_TEXTURE_HPP

@@ -1,0 +1,201 @@
+#ifndef CRISP_GRAPHICS_VEC_HPP
+#define CRISP_GRAPHICS_VEC_HPP
+
+#include <cmath>
+
+namespace crisp
+{
+
+/**
+ * @file
+ * Minimal vector/matrix math for the functional rendering pipeline.
+ * Column-major Mat4 with the usual model/view/projection helpers; only what
+ * the vertex transform, rasterizer and samplers need.
+ */
+
+struct Vec2
+{
+    float x = 0.0f;
+    float y = 0.0f;
+
+    Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    Vec2 operator*(float s) const { return {x * s, y * s}; }
+};
+
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+
+    float dot(const Vec3 &o) const { return x * o.x + y * o.y + z * o.z; }
+    Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+    float length() const { return std::sqrt(dot(*this)); }
+    Vec3
+    normalized() const
+    {
+        const float len = length();
+        return len > 0.0f ? *this * (1.0f / len) : Vec3{};
+    }
+};
+
+struct Vec4
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+    float w = 0.0f;
+
+    Vec4() = default;
+    Vec4(float xx, float yy, float zz, float ww) : x(xx), y(yy), z(zz), w(ww)
+    {
+    }
+    Vec4(const Vec3 &v, float ww) : x(v.x), y(v.y), z(v.z), w(ww) {}
+
+    Vec3 xyz() const { return {x, y, z}; }
+};
+
+/** Column-major 4x4 matrix: m[c][r]. */
+struct Mat4
+{
+    float m[4][4] = {};
+
+    static Mat4
+    identity()
+    {
+        Mat4 r;
+        for (int i = 0; i < 4; ++i) {
+            r.m[i][i] = 1.0f;
+        }
+        return r;
+    }
+
+    static Mat4
+    translation(const Vec3 &t)
+    {
+        Mat4 r = identity();
+        r.m[3][0] = t.x;
+        r.m[3][1] = t.y;
+        r.m[3][2] = t.z;
+        return r;
+    }
+
+    static Mat4
+    scaling(const Vec3 &s)
+    {
+        Mat4 r;
+        r.m[0][0] = s.x;
+        r.m[1][1] = s.y;
+        r.m[2][2] = s.z;
+        r.m[3][3] = 1.0f;
+        return r;
+    }
+
+    static Mat4
+    rotationY(float radians)
+    {
+        Mat4 r = identity();
+        const float c = std::cos(radians);
+        const float s = std::sin(radians);
+        r.m[0][0] = c;
+        r.m[0][2] = -s;
+        r.m[2][0] = s;
+        r.m[2][2] = c;
+        return r;
+    }
+
+    static Mat4
+    rotationX(float radians)
+    {
+        Mat4 r = identity();
+        const float c = std::cos(radians);
+        const float s = std::sin(radians);
+        r.m[1][1] = c;
+        r.m[1][2] = s;
+        r.m[2][1] = -s;
+        r.m[2][2] = c;
+        return r;
+    }
+
+    /** Right-handed perspective projection (depth 0..1 after divide). */
+    static Mat4
+    perspective(float fovy_rad, float aspect, float znear, float zfar)
+    {
+        Mat4 r;
+        const float f = 1.0f / std::tan(fovy_rad / 2.0f);
+        r.m[0][0] = f / aspect;
+        r.m[1][1] = f;
+        r.m[2][2] = zfar / (znear - zfar);
+        r.m[2][3] = -1.0f;
+        r.m[3][2] = (znear * zfar) / (znear - zfar);
+        return r;
+    }
+
+    static Mat4
+    lookAt(const Vec3 &eye, const Vec3 &center, const Vec3 &up)
+    {
+        const Vec3 fwd = (center - eye).normalized();
+        const Vec3 side = fwd.cross(up).normalized();
+        const Vec3 upv = side.cross(fwd);
+        Mat4 r = identity();
+        r.m[0][0] = side.x;
+        r.m[1][0] = side.y;
+        r.m[2][0] = side.z;
+        r.m[0][1] = upv.x;
+        r.m[1][1] = upv.y;
+        r.m[2][1] = upv.z;
+        r.m[0][2] = -fwd.x;
+        r.m[1][2] = -fwd.y;
+        r.m[2][2] = -fwd.z;
+        r.m[3][0] = -side.dot(eye);
+        r.m[3][1] = -upv.dot(eye);
+        r.m[3][2] = fwd.dot(eye);
+        return r;
+    }
+
+    Mat4
+    operator*(const Mat4 &o) const
+    {
+        Mat4 r;
+        for (int c = 0; c < 4; ++c) {
+            for (int row = 0; row < 4; ++row) {
+                float acc = 0.0f;
+                for (int k = 0; k < 4; ++k) {
+                    acc += m[k][row] * o.m[c][k];
+                }
+                r.m[c][row] = acc;
+            }
+        }
+        return r;
+    }
+
+    Vec4
+    operator*(const Vec4 &v) const
+    {
+        Vec4 r;
+        r.x = m[0][0] * v.x + m[1][0] * v.y + m[2][0] * v.z + m[3][0] * v.w;
+        r.y = m[0][1] * v.x + m[1][1] * v.y + m[2][1] * v.z + m[3][1] * v.w;
+        r.z = m[0][2] * v.x + m[1][2] * v.y + m[2][2] * v.z + m[3][2] * v.w;
+        r.w = m[0][3] * v.x + m[1][3] * v.y + m[2][3] * v.z + m[3][3] * v.w;
+        return r;
+    }
+};
+
+} // namespace crisp
+
+#endif // CRISP_GRAPHICS_VEC_HPP

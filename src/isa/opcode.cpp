@@ -1,0 +1,105 @@
+#include "isa/opcode.hpp"
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+OpClass
+opcodeClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::FADD:
+      case Opcode::FMUL:
+      case Opcode::FFMA:
+      case Opcode::FSETP:
+        return OpClass::FP32;
+      case Opcode::IADD:
+      case Opcode::IMAD:
+      case Opcode::ISETP:
+      case Opcode::LOP:
+      case Opcode::SHF:
+      case Opcode::MOV:
+      case Opcode::SEL:
+        return OpClass::INT;
+      case Opcode::MUFU_RCP:
+      case Opcode::MUFU_SIN:
+      case Opcode::MUFU_EX2:
+      case Opcode::MUFU_SQRT:
+        return OpClass::SFU;
+      case Opcode::HMMA:
+        return OpClass::Tensor;
+      case Opcode::LDG:
+      case Opcode::STG:
+        return OpClass::MemGlobal;
+      case Opcode::LDS:
+      case Opcode::STS:
+        return OpClass::MemShared;
+      case Opcode::LDC:
+        return OpClass::MemConst;
+      case Opcode::TEX:
+        return OpClass::MemTexture;
+      case Opcode::BRA:
+      case Opcode::EXIT:
+        return OpClass::Control;
+      case Opcode::BAR:
+        return OpClass::Barrier;
+      default:
+        panic("unknown opcode %d", static_cast<int>(op));
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::FADD: return "FADD";
+      case Opcode::FMUL: return "FMUL";
+      case Opcode::FFMA: return "FFMA";
+      case Opcode::FSETP: return "FSETP";
+      case Opcode::IADD: return "IADD";
+      case Opcode::IMAD: return "IMAD";
+      case Opcode::ISETP: return "ISETP";
+      case Opcode::LOP: return "LOP";
+      case Opcode::SHF: return "SHF";
+      case Opcode::MOV: return "MOV";
+      case Opcode::SEL: return "SEL";
+      case Opcode::MUFU_RCP: return "MUFU.RCP";
+      case Opcode::MUFU_SIN: return "MUFU.SIN";
+      case Opcode::MUFU_EX2: return "MUFU.EX2";
+      case Opcode::MUFU_SQRT: return "MUFU.SQRT";
+      case Opcode::HMMA: return "HMMA";
+      case Opcode::LDG: return "LDG";
+      case Opcode::STG: return "STG";
+      case Opcode::LDS: return "LDS";
+      case Opcode::STS: return "STS";
+      case Opcode::LDC: return "LDC";
+      case Opcode::TEX: return "TEX";
+      case Opcode::BRA: return "BRA";
+      case Opcode::BAR: return "BAR";
+      case Opcode::EXIT: return "EXIT";
+      default: return "???";
+    }
+}
+
+bool
+isMemory(Opcode op)
+{
+    switch (opcodeClass(op)) {
+      case OpClass::MemGlobal:
+      case OpClass::MemShared:
+      case OpClass::MemConst:
+      case OpClass::MemTexture:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::STG || op == Opcode::STS;
+}
+
+} // namespace crisp

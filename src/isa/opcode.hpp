@@ -1,0 +1,85 @@
+#ifndef CRISP_ISA_OPCODE_HPP
+#define CRISP_ISA_OPCODE_HPP
+
+#include <cstdint>
+
+namespace crisp
+{
+
+/**
+ * SASS-like trace opcodes.
+ *
+ * CRISP is trace-driven: the functional frontends (the graphics pipeline and
+ * the synthetic CUDA-kernel generators) emit instructions in this reduced
+ * SASS-flavoured ISA, and the timing model replays them. The set mirrors the
+ * opcode classes Accel-Sim's trace parser distinguishes; exact SASS encodings
+ * are irrelevant to timing, only the executing unit and memory behaviour
+ * matter.
+ */
+enum class Opcode : uint8_t
+{
+    // Single-precision float pipe.
+    FADD,
+    FMUL,
+    FFMA,
+    FSETP,
+    // Integer pipe.
+    IADD,
+    IMAD,
+    ISETP,
+    LOP,
+    SHF,
+    MOV,
+    SEL,
+    // Special-function unit (transcendentals).
+    MUFU_RCP,
+    MUFU_SIN,
+    MUFU_EX2,
+    MUFU_SQRT,
+    // Tensor core matrix-multiply-accumulate.
+    HMMA,
+    // Memory.
+    LDG,   ///< Load from global memory.
+    STG,   ///< Store to global memory.
+    LDS,   ///< Load from shared memory.
+    STS,   ///< Store to shared memory.
+    LDC,   ///< Load from constant memory (uniform, models c[] accesses).
+    TEX,   ///< Texture sample (issued to the unified L1 data cache).
+    // Control.
+    BRA,
+    BAR,   ///< CTA-wide barrier.
+    EXIT,
+    NumOpcodes
+};
+
+/** Functional unit / pipeline an opcode executes on. */
+enum class OpClass : uint8_t
+{
+    FP32,
+    INT,
+    SFU,
+    Tensor,
+    MemGlobal,
+    MemShared,
+    MemConst,
+    MemTexture,
+    Control,
+    Barrier,
+    NumClasses
+};
+
+/** Pipeline class for an opcode. */
+OpClass opcodeClass(Opcode op);
+
+/** Mnemonic string for tracing/debug output. */
+const char *opcodeName(Opcode op);
+
+/** True if the opcode reads or writes memory (incl. TEX). */
+bool isMemory(Opcode op);
+
+/** True if the opcode writes to global memory. */
+bool isStore(Opcode op);
+
+} // namespace crisp
+
+#endif // CRISP_ISA_OPCODE_HPP

@@ -1,0 +1,66 @@
+#include "isa/trace.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+uint64_t
+CtaTrace::totalInstrs() const
+{
+    uint64_t total = 0;
+    for (const auto &w : warps) {
+        total += w.instrs.size();
+    }
+    return total;
+}
+
+CtaTrace
+VectorCtaSource::generate(uint32_t cta_index) const
+{
+    panic_if(cta_index >= ctas_.size(), "CTA index %u out of range (%zu)",
+             cta_index, ctas_.size());
+    return ctas_[cta_index];
+}
+
+namespace
+{
+
+std::vector<Addr>
+coalesce(const TraceInstr &instr, uint32_t granule)
+{
+    std::vector<Addr> out;
+    if (instr.addrs.empty()) {
+        return out;
+    }
+    const uint32_t bytes = std::max<uint32_t>(instr.accessBytes, 1);
+    out.reserve(instr.addrs.size());
+    for (Addr a : instr.addrs) {
+        const Addr first = a / granule;
+        const Addr last = (a + bytes - 1) / granule;
+        for (Addr blk = first; blk <= last; ++blk) {
+            out.push_back(blk * granule);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace
+
+std::vector<Addr>
+coalesceToLines(const TraceInstr &instr)
+{
+    return coalesce(instr, kLineBytes);
+}
+
+std::vector<Addr>
+coalesceToSectors(const TraceInstr &instr)
+{
+    return coalesce(instr, kSectorBytes);
+}
+
+} // namespace crisp

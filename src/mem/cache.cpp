@@ -1,0 +1,211 @@
+#include "mem/cache.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+SetAssocCache::SetAssocCache(const CacheGeometry &geom) : geom_(geom)
+{
+    fatal_if(geom_.lineBytes == 0 || geom_.ways == 0,
+             "invalid cache geometry");
+    fatal_if(geom_.sizeBytes % (geom_.lineBytes * geom_.ways) != 0,
+             "cache size %llu not divisible into %u-way sets",
+             static_cast<unsigned long long>(geom_.sizeBytes), geom_.ways);
+    lines_.resize(static_cast<size_t>(geom_.numSets()) * geom_.ways);
+}
+
+uint32_t
+SetAssocCache::mapSet(Addr line, StreamId stream) const
+{
+    const uint32_t num_sets = geom_.numSets();
+    // Simple xor-fold hash decorrelates strided accesses across sets.
+    const Addr blk = line / geom_.lineBytes;
+    uint32_t set = static_cast<uint32_t>((blk ^ (blk >> 13)) % num_sets);
+    for (const auto &w : windows_) {
+        if (w.stream == stream && w.count > 0) {
+            return w.first + set % w.count;
+        }
+    }
+    return set;
+}
+
+SetAssocCache::Line *
+SetAssocCache::findLine(uint32_t set, Addr tag)
+{
+    Line *base = &lines_[static_cast<size_t>(set) * geom_.ways];
+    for (uint32_t w = 0; w < geom_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            return &base[w];
+        }
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::findLine(uint32_t set, Addr tag) const
+{
+    return const_cast<SetAssocCache *>(this)->findLine(set, tag);
+}
+
+uint32_t
+SetAssocCache::lruPosition(uint32_t set, const Line *line) const
+{
+    // Count lines in the set more recently used than this one.
+    const Line *base = &lines_[static_cast<size_t>(set) * geom_.ways];
+    uint32_t pos = 0;
+    for (uint32_t w = 0; w < geom_.ways; ++w) {
+        if (&base[w] != line && base[w].valid &&
+            base[w].lastUse > line->lastUse) {
+            ++pos;
+        }
+    }
+    return pos;
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr line, bool write, StreamId stream, DataClass cls,
+                      bool allocate_on_miss)
+{
+    const bool sectored = geom_.sectorBytes != 0;
+    uint8_t sector_bit = 0xff;  // unsectored: every sector at once
+    if (sectored) {
+        panic_if(line % geom_.sectorBytes != 0,
+                 "unaligned sector address %llx",
+                 static_cast<unsigned long long>(line));
+        const uint32_t sector = static_cast<uint32_t>(
+            line % geom_.lineBytes / geom_.sectorBytes);
+        sector_bit = static_cast<uint8_t>(1u << sector);
+        line -= line % geom_.lineBytes;
+    } else {
+        panic_if(line % geom_.lineBytes != 0, "unaligned line address %llx",
+                 static_cast<unsigned long long>(line));
+    }
+    ++accesses_;
+    const Addr tag = line / geom_.lineBytes;
+    const uint32_t set = mapSet(line, stream);
+
+    CacheAccessResult res;
+    if (Line *hit_line = findLine(set, tag)) {
+        if (sectored && !(hit_line->validSectors & sector_bit)) {
+            // Tag hit, sector miss: fetch just this sector, no eviction.
+            ++sectorMisses_;
+            res.sectorMiss = true;
+            if (allocate_on_miss) {
+                hit_line->validSectors |= sector_bit;
+                hit_line->lastUse = ++useCounter_;
+                hit_line->dirty = hit_line->dirty || write;
+            }
+            return res;
+        }
+        ++hits_;
+        res.hit = true;
+        res.hitLruPos = lruPosition(set, hit_line);
+        hit_line->lastUse = ++useCounter_;
+        hit_line->dirty = hit_line->dirty || write;
+        // A line can be promoted between classes (e.g. pipeline data later
+        // reread as compute); keep the original class, matching how the
+        // paper attributes a line to its producer.
+        return res;
+    }
+
+    if (!allocate_on_miss) {
+        return res;
+    }
+
+    // Choose a victim: first invalid way, otherwise true LRU.
+    Line *base = &lines_[static_cast<size_t>(set) * geom_.ways];
+    Line *victim = nullptr;
+    for (uint32_t w = 0; w < geom_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+    }
+    if (victim == nullptr) {
+        victim = base;
+        for (uint32_t w = 1; w < geom_.ways; ++w) {
+            if (base[w].lastUse < victim->lastUse) {
+                victim = &base[w];
+            }
+        }
+        res.evicted = true;
+        res.evictedLine = victim->tag * geom_.lineBytes;
+        res.evictedDirty = victim->dirty;
+    }
+
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lastUse = ++useCounter_;
+    victim->stream = stream;
+    victim->cls = cls;
+    victim->validSectors = sector_bit;
+    return res;
+}
+
+bool
+SetAssocCache::probe(Addr line, StreamId stream) const
+{
+    const Addr tag = line / geom_.lineBytes;
+    return findLine(mapSet(line, stream), tag) != nullptr;
+}
+
+void
+SetAssocCache::invalidateAll()
+{
+    for (auto &l : lines_) {
+        l = Line{};
+    }
+}
+
+void
+SetAssocCache::invalidateStream(StreamId stream)
+{
+    for (auto &l : lines_) {
+        if (l.valid && l.stream == stream) {
+            l = Line{};
+        }
+    }
+}
+
+void
+SetAssocCache::setStreamSetWindow(StreamId stream, uint32_t first,
+                                  uint32_t count)
+{
+    panic_if(first + count > geom_.numSets(),
+             "set window [%u, %u) exceeds %u sets", first, first + count,
+             geom_.numSets());
+    for (auto &w : windows_) {
+        if (w.stream == stream) {
+            w.first = first;
+            w.count = count;
+            return;
+        }
+    }
+    windows_.push_back({stream, first, count});
+}
+
+void
+SetAssocCache::clearSetWindows()
+{
+    windows_.clear();
+}
+
+CacheComposition
+SetAssocCache::composition() const
+{
+    CacheComposition comp;
+    comp.totalLines = lines_.size();
+    for (const auto &l : lines_) {
+        if (l.valid) {
+            ++comp.validLines;
+            ++comp.byClass[static_cast<size_t>(l.cls)];
+        }
+    }
+    return comp;
+}
+
+} // namespace crisp

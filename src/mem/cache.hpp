@@ -1,0 +1,189 @@
+#ifndef CRISP_MEM_CACHE_HPP
+#define CRISP_MEM_CACHE_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace crisp
+{
+
+/** Geometry of a set-associative cache. */
+struct CacheGeometry
+{
+    uint64_t sizeBytes = 128 * 1024;
+    uint32_t ways = 8;
+    uint32_t lineBytes = kLineBytes;
+    /**
+     * Sector size in bytes; 0 models an unsectored cache. Accel-Sim's
+     * Ampere caches are sectored (32 B sectors in 128 B lines): tags are
+     * line-granularity but data validity and fills are per sector, so a
+     * miss fetches 32 B instead of the whole line.
+     */
+    uint32_t sectorBytes = 0;
+
+    uint32_t numLines() const
+    {
+        return static_cast<uint32_t>(sizeBytes / lineBytes);
+    }
+    uint32_t numSets() const { return numLines() / ways; }
+    uint32_t
+    sectorsPerLine() const
+    {
+        return sectorBytes == 0 ? 1 : lineBytes / sectorBytes;
+    }
+};
+
+/** Outcome of a single cache probe. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /**
+     * Sectored caches only: the tag matched but the requested sector was
+     * not yet valid — a "sector miss" that fetches sectorBytes without
+     * evicting anything.
+     */
+    bool sectorMiss = false;
+    /**
+     * LRU stack position of the hit within its set (0 = MRU). Valid only on
+     * hits; used by utility monitors (TAP case study).
+     */
+    uint32_t hitLruPos = 0;
+    /** True when a valid line was evicted to make room. */
+    bool evicted = false;
+    Addr evictedLine = 0;
+    bool evictedDirty = false;
+};
+
+/** Per-class line occupancy snapshot (L2 composition, Figs 11/15). */
+struct CacheComposition
+{
+    /** Valid-line count per DataClass, indexed by the enum value. */
+    std::array<uint64_t, static_cast<size_t>(DataClass::NumClasses)> byClass{};
+    uint64_t validLines = 0;
+    uint64_t totalLines = 0;
+
+    /** Share of *valid* lines holding class @p c (composition plots). */
+    double fraction(DataClass c) const
+    {
+        return validLines == 0
+            ? 0.0
+            : static_cast<double>(byClass[static_cast<size_t>(c)]) /
+                  static_cast<double>(validLines);
+    }
+
+    /** Occupancy of the whole array. */
+    double validFraction() const
+    {
+        return totalLines == 0
+            ? 0.0
+            : static_cast<double>(validLines) /
+                  static_cast<double>(totalLines);
+    }
+};
+
+/**
+ * Set-associative cache tag store with true-LRU replacement.
+ *
+ * Models tags and replacement state only (the simulator is trace-driven, so
+ * no data payload is needed). Supports the paper's set-level partitioning:
+ * an optional per-stream set *window* remaps a stream's accesses into a
+ * contiguous subset of the sets, which is how CRISP models TAP's L2 set
+ * assignment ("each bank is partitioned by assigning sets to each workload",
+ * §VI-C) without disturbing unpartitioned streams.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheGeometry &geom);
+
+    /**
+     * Probe and (on a read or write-allocate miss) fill the line.
+     *
+     * @param line line-aligned address (sectored caches accept any
+     *        sector-aligned address and validate just that sector)
+     * @param write true for stores (write-allocate policy)
+     * @param stream owning stream for partition/composition accounting
+     * @param cls data classification recorded on fill
+     * @param allocate_on_miss when false, a miss does not install the line
+     *        (used for the L1's write-through/no-allocate stores)
+     */
+    CacheAccessResult access(Addr line, bool write, StreamId stream,
+                             DataClass cls, bool allocate_on_miss = true);
+
+    /** Sector misses observed (sectored geometries only). */
+    uint64_t sectorMisses() const { return sectorMisses_; }
+
+    /** True if the line is currently resident (no LRU update). */
+    bool probe(Addr line, StreamId stream) const;
+
+    /** Invalidate everything (partition reconfiguration). */
+    void invalidateAll();
+
+    /** Invalidate lines owned by one stream. */
+    void invalidateStream(StreamId stream);
+
+    /**
+     * Restrict @p stream to @p count sets starting at @p first. Accesses are
+     * remapped with modulo into the window. Pass count = numSets, first = 0
+     * to reset to the full cache.
+     */
+    void setStreamSetWindow(StreamId stream, uint32_t first, uint32_t count);
+
+    /** Remove all set windows (fully shared cache). */
+    void clearSetWindows();
+
+    /** Occupancy snapshot for composition plots. */
+    CacheComposition composition() const;
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t hits() const { return hits_; }
+    double hitRate() const
+    {
+        return accesses_ == 0
+            ? 0.0
+            : static_cast<double>(hits_) / static_cast<double>(accesses_);
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        uint64_t lastUse = 0;
+        StreamId stream = kInvalidStream;
+        DataClass cls = DataClass::Unknown;
+        /** Per-sector validity (bit i = sector i); unused when unsectored. */
+        uint8_t validSectors = 0;
+    };
+
+    struct SetWindow
+    {
+        StreamId stream = kInvalidStream;
+        uint32_t first = 0;
+        uint32_t count = 0;
+    };
+
+    uint32_t mapSet(Addr line, StreamId stream) const;
+    Line *findLine(uint32_t set, Addr tag);
+    const Line *findLine(uint32_t set, Addr tag) const;
+    uint32_t lruPosition(uint32_t set, const Line *line) const;
+
+    CacheGeometry geom_;
+    std::vector<Line> lines_;   // sets * ways, row-major by set
+    std::vector<SetWindow> windows_;
+    uint64_t useCounter_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t sectorMisses_ = 0;
+};
+
+} // namespace crisp
+
+#endif // CRISP_MEM_CACHE_HPP

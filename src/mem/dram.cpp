@@ -1,0 +1,27 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+DramChannel::DramChannel(double bytes_per_cycle, Cycle access_latency)
+    : bytesPerCycle_(bytes_per_cycle), accessLatency_(access_latency)
+{
+    fatal_if(bytes_per_cycle <= 0.0, "DRAM bandwidth must be positive");
+}
+
+Cycle
+DramChannel::service(Cycle now, uint32_t bytes)
+{
+    const double start = std::max(static_cast<double>(now), freeAt_);
+    const double occupancy = static_cast<double>(bytes) / bytesPerCycle_;
+    freeAt_ = start + occupancy;
+    busyCycles_ += occupancy;
+    ++requests_;
+    return static_cast<Cycle>(freeAt_) + accessLatency_;
+}
+
+} // namespace crisp

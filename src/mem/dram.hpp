@@ -1,0 +1,56 @@
+#ifndef CRISP_MEM_DRAM_HPP
+#define CRISP_MEM_DRAM_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace crisp
+{
+
+/**
+ * Bandwidth/latency DRAM channel model.
+ *
+ * Each memory partition owns one channel. A request occupies the channel for
+ * line_bytes / bytes_per_cycle cycles (bandwidth) and completes a fixed
+ * access latency after its service slot (CAS + row overheads folded into one
+ * number, as in Accel-Sim's simple DRAM mode). Queued requests serialize,
+ * which is what makes the Fig 14 workload pairs bandwidth-bound.
+ */
+class DramChannel
+{
+  public:
+    /**
+     * @param bytes_per_cycle channel bandwidth in bytes per core cycle
+     * @param access_latency fixed access latency in core cycles
+     */
+    DramChannel(double bytes_per_cycle, Cycle access_latency);
+
+    /**
+     * Schedule a @p bytes transfer arriving at @p now.
+     * @return the cycle at which the data is available.
+     */
+    Cycle service(Cycle now, uint32_t bytes);
+
+    /** Cycles the channel has spent transferring data. */
+    double busyCycles() const { return busyCycles_; }
+    uint64_t requests() const { return requests_; }
+
+    /** Utilization over the first @p elapsed cycles. */
+    double utilization(Cycle elapsed) const
+    {
+        return elapsed == 0 ? 0.0
+                            : busyCycles_ / static_cast<double>(elapsed);
+    }
+
+  private:
+    double bytesPerCycle_;
+    Cycle accessLatency_;
+    double freeAt_ = 0.0;      // fractional cycle the channel frees up
+    double busyCycles_ = 0.0;
+    uint64_t requests_ = 0;
+};
+
+} // namespace crisp
+
+#endif // CRISP_MEM_DRAM_HPP

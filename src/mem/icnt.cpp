@@ -1,0 +1,27 @@
+#include "mem/icnt.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+IcntLink::IcntLink(double bytes_per_cycle, Cycle latency)
+    : bytesPerCycle_(bytes_per_cycle), latency_(latency)
+{
+    fatal_if(bytes_per_cycle <= 0.0, "interconnect bandwidth must be positive");
+}
+
+Cycle
+IcntLink::transfer(Cycle now, uint32_t bytes)
+{
+    const double start = std::max(static_cast<double>(now), freeAt_);
+    const double occupancy = static_cast<double>(bytes) / bytesPerCycle_;
+    freeAt_ = start + occupancy;
+    busyCycles_ += occupancy;
+    ++packets_;
+    return static_cast<Cycle>(freeAt_) + latency_;
+}
+
+} // namespace crisp

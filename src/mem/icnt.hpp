@@ -1,0 +1,43 @@
+#ifndef CRISP_MEM_ICNT_HPP
+#define CRISP_MEM_ICNT_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace crisp
+{
+
+/**
+ * One direction of the SM<->L2 interconnect.
+ *
+ * Modeled as a shared channel with a fixed traversal latency plus a
+ * bandwidth constraint: each packet occupies the channel for
+ * bytes / bytes_per_cycle cycles. The rendering pipeline also uses this
+ * path when post-cull attributes are redistributed between SMs (§III).
+ */
+class IcntLink
+{
+  public:
+    IcntLink(double bytes_per_cycle, Cycle latency);
+
+    /**
+     * Schedule a packet of @p bytes entering at @p now.
+     * @return cycle at which the packet is delivered.
+     */
+    Cycle transfer(Cycle now, uint32_t bytes);
+
+    double busyCycles() const { return busyCycles_; }
+    uint64_t packets() const { return packets_; }
+
+  private:
+    double bytesPerCycle_;
+    Cycle latency_;
+    double freeAt_ = 0.0;
+    double busyCycles_ = 0.0;
+    uint64_t packets_ = 0;
+};
+
+} // namespace crisp
+
+#endif // CRISP_MEM_ICNT_HPP

@@ -1,0 +1,314 @@
+#include "mem/l2_subsystem.hpp"
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+L2Subsystem::L2Subsystem(const L2Config &cfg, StatsRegistry *stats)
+    : cfg_(cfg),
+      stats_(stats),
+      requestLink_(cfg.icntBytesPerCycle, cfg.icntLatency),
+      responseLink_(cfg.icntBytesPerCycle, cfg.icntLatency),
+      dram_(cfg.dramBytesPerCycle, cfg.dramLatency)
+{
+    fatal_if(cfg_.numBanks == 0, "L2 needs at least one bank");
+    panic_if(stats_ == nullptr, "L2 needs a stats registry");
+    banks_.reserve(cfg_.numBanks);
+    bankQueues_.resize(cfg_.numBanks);
+    bankFreeAt_.assign(cfg_.numBanks, 0);
+    for (uint32_t b = 0; b < cfg_.numBanks; ++b) {
+        banks_.emplace_back(cfg_.bankGeometry);
+        mshrs_.emplace_back(cfg_.mshrEntriesPerBank,
+                            cfg_.mshrTargetsPerEntry);
+    }
+}
+
+void
+L2Subsystem::setResponseHandler(ResponseHandler handler)
+{
+    onResponse_ = std::move(handler);
+}
+
+void
+L2Subsystem::setAccessListener(AccessListener listener)
+{
+    onAccess_ = std::move(listener);
+}
+
+namespace
+{
+
+// The L2 MSHR merges misses from different SMs; each target key must carry
+// the requesting SM so the fill can route every response correctly.
+uint64_t
+encodeTarget(const MemRequest &req)
+{
+    if (!req.expectsResponse()) {
+        return MemRequest::kNoCompletion;
+    }
+    panic_if(req.completionKey >= (1ull << 48),
+             "completion key too large to encode");
+    return (static_cast<uint64_t>(req.smId) + 1) << 48 | req.completionKey;
+}
+
+void
+decodeTarget(uint64_t key, MemRequest &req)
+{
+    req.smId = static_cast<uint32_t>((key >> 48) - 1);
+    req.completionKey = key & ((1ull << 48) - 1);
+}
+
+} // namespace
+
+uint32_t
+L2Subsystem::bankFor(Addr line, StreamId stream) const
+{
+    const Addr blk = line / kLineBytes;
+    const uint64_t h = blk ^ (blk >> 7) ^ (blk >> 17);
+    auto it = bankMasks_.find(stream);
+    if (it == bankMasks_.end() || it->second == 0) {
+        return static_cast<uint32_t>(h % cfg_.numBanks);
+    }
+    // Hash across only the banks enabled in this stream's mask.
+    const uint64_t mask = it->second;
+    const uint32_t allowed = __builtin_popcountll(mask);
+    uint32_t pick = static_cast<uint32_t>(h % allowed);
+    for (uint32_t b = 0; b < cfg_.numBanks; ++b) {
+        if (mask & (1ull << b)) {
+            if (pick == 0) {
+                return b;
+            }
+            --pick;
+        }
+    }
+    panic("bank mask %llx has no banks below numBanks",
+          static_cast<unsigned long long>(mask));
+}
+
+bool
+L2Subsystem::submit(MemRequest req, Cycle now)
+{
+    const uint32_t bank = bankFor(req.line, req.stream);
+    if (bankQueues_[bank].size() >= cfg_.bankQueueCapacity) {
+        return false;
+    }
+    // Request packet: header only for reads, header + line data for writes.
+    const uint32_t bytes = req.write ? kLineBytes + 8 : 8;
+    req.readyAt = requestLink_.transfer(now, bytes);
+    bankQueues_[bank].push_back(std::move(req));
+    return true;
+}
+
+void
+L2Subsystem::respond(MemRequest req, Cycle now, Cycle ready)
+{
+    if (!req.expectsResponse()) {
+        return;
+    }
+    (void)now;
+    const Cycle delivered = responseLink_.transfer(ready, kLineBytes + 8);
+    pendingResponses_.emplace(delivered, std::move(req));
+}
+
+void
+L2Subsystem::step(Cycle now)
+{
+    // 1. Complete DRAM fills whose data has returned.
+    while (!pendingFills_.empty() && pendingFills_.begin()->first <= now) {
+        auto node = pendingFills_.extract(pendingFills_.begin());
+        const Cycle ready = node.key();
+        PendingFill &pf = node.mapped();
+        auto &bank = banks_[pf.bank];
+        auto res = bank.access(pf.req.line, pf.req.write, pf.req.stream,
+                               pf.req.dataClass);
+        if (res.evicted && res.evictedDirty) {
+            // Dirty writeback consumes DRAM write bandwidth.
+            dram_.service(ready, kLineBytes);
+            stats_->stream(pf.req.stream).dramWrites++;
+        }
+        for (uint64_t key : mshrs_[pf.bank].fill(pf.req.line)) {
+            if (key == MemRequest::kNoCompletion) {
+                continue;
+            }
+            MemRequest resp = pf.req;
+            decodeTarget(key, resp);
+            respond(std::move(resp), now, ready);
+        }
+    }
+
+    // 2. Each bank services queued requests at its slice bandwidth.
+    const Cycle bank_occupancy = static_cast<Cycle>(
+        std::max(1.0, kLineBytes / cfg_.bankBytesPerCycle));
+    for (uint32_t b = 0; b < cfg_.numBanks; ++b) {
+        auto &queue = bankQueues_[b];
+        if (queue.empty() || queue.front().readyAt > now ||
+            bankFreeAt_[b] > now) {
+            continue;
+        }
+        MemRequest &req = queue.front();
+        auto &st = stats_->stream(req.stream);
+
+        if (mshrs_[b].pending(req.line)) {
+            // Merge with the in-flight fill.
+            const auto outcome =
+                mshrs_[b].allocate(req.line, encodeTarget(req));
+            if (outcome == Mshr::Outcome::Stall) {
+                continue;   // retry next cycle
+            }
+            st.l2Accesses++;
+            if (onAccess_) {
+                onAccess_(req.stream, req.line, false, 0);
+            }
+            bankFreeAt_[b] = now + bank_occupancy;
+            queue.pop_front();
+            continue;
+        }
+
+        if (mshrs_[b].full()) {
+            // No MSHR space for a potential miss: stall before touching the
+            // tag array so a retried miss still pays the DRAM round trip.
+            continue;
+        }
+
+        auto res = banks_[b].access(req.line, req.write, req.stream,
+                                    req.dataClass);
+        st.l2Accesses++;
+        if (onAccess_) {
+            onAccess_(req.stream, req.line, res.hit, res.hitLruPos);
+        }
+        if (res.hit) {
+            st.l2Hits++;
+            respond(req, now, now + cfg_.l2Latency);
+            bankFreeAt_[b] = now + bank_occupancy;
+            queue.pop_front();
+            continue;
+        }
+
+        // Miss: the access() above already installed the tag; roll the
+        // timing through DRAM. Dirty victim costs a writeback.
+        if (res.evicted && res.evictedDirty) {
+            dram_.service(now, kLineBytes);
+            st.dramWrites++;
+        }
+        const auto outcome = mshrs_[b].allocate(req.line, encodeTarget(req));
+        panic_if(outcome != Mshr::Outcome::NewEntry,
+                 "MSHR allocate failed after capacity check");
+        st.dramReads++;
+        const Cycle data_ready = dram_.service(now, kLineBytes);
+        pendingFills_.emplace(data_ready, PendingFill{req, b});
+        bankFreeAt_[b] = now + bank_occupancy;
+        queue.pop_front();
+    }
+
+    // 3. Deliver due responses to the SMs.
+    while (!pendingResponses_.empty() &&
+           pendingResponses_.begin()->first <= now) {
+        auto node = pendingResponses_.extract(pendingResponses_.begin());
+        panic_if(!onResponse_, "L2 response with no handler installed");
+        onResponse_(node.mapped());
+    }
+}
+
+bool
+L2Subsystem::idle() const
+{
+    if (!pendingFills_.empty() || !pendingResponses_.empty()) {
+        return false;
+    }
+    for (const auto &q : bankQueues_) {
+        if (!q.empty()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+L2Subsystem::setStreamBankMask(StreamId stream, uint64_t mask)
+{
+    const uint64_t valid = cfg_.numBanks >= 64
+        ? ~0ull
+        : ((1ull << cfg_.numBanks) - 1);
+    fatal_if((mask & valid) == 0, "bank mask selects no valid banks");
+    bankMasks_[stream] = mask & valid;
+}
+
+void
+L2Subsystem::clearBankMasks()
+{
+    bankMasks_.clear();
+}
+
+void
+L2Subsystem::setStreamSetWindow(StreamId stream, uint32_t first,
+                                uint32_t count)
+{
+    for (auto &bank : banks_) {
+        bank.setStreamSetWindow(stream, first, count);
+    }
+}
+
+void
+L2Subsystem::clearSetWindows()
+{
+    for (auto &bank : banks_) {
+        bank.clearSetWindows();
+    }
+}
+
+CacheComposition
+L2Subsystem::composition() const
+{
+    CacheComposition total;
+    for (const auto &bank : banks_) {
+        const CacheComposition c = bank.composition();
+        total.validLines += c.validLines;
+        total.totalLines += c.totalLines;
+        for (size_t i = 0; i < c.byClass.size(); ++i) {
+            total.byClass[i] += c.byClass[i];
+        }
+    }
+    return total;
+}
+
+uint64_t
+L2Subsystem::accesses() const
+{
+    uint64_t total = 0;
+    for (const auto &bank : banks_) {
+        total += bank.accesses();
+    }
+    return total;
+}
+
+uint64_t
+L2Subsystem::hits() const
+{
+    uint64_t total = 0;
+    for (const auto &bank : banks_) {
+        total += bank.hits();
+    }
+    return total;
+}
+
+double
+L2Subsystem::hitRate() const
+{
+    const uint64_t a = accesses();
+    return a == 0 ? 0.0 : static_cast<double>(hits()) / static_cast<double>(a);
+}
+
+double
+L2Subsystem::dramBusyCycles() const
+{
+    return dram_.busyCycles();
+}
+
+uint64_t
+L2Subsystem::dramRequests() const
+{
+    return dram_.requests();
+}
+
+} // namespace crisp

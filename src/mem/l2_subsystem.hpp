@@ -1,0 +1,140 @@
+#ifndef CRISP_MEM_L2_SUBSYSTEM_HPP
+#define CRISP_MEM_L2_SUBSYSTEM_HPP
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/icnt.hpp"
+#include "mem/mem_request.hpp"
+#include "mem/mshr.hpp"
+
+namespace crisp
+{
+
+/** Configuration of the shared L2 + DRAM side of the machine. */
+struct L2Config
+{
+    uint32_t numBanks = 16;
+    CacheGeometry bankGeometry{256 * 1024, 16, kLineBytes};
+    Cycle l2Latency = 90;             ///< Probe-to-data latency (core cycles).
+    Cycle icntLatency = 25;           ///< One-way interconnect latency.
+    double icntBytesPerCycle = 512;   ///< Per-direction icnt bandwidth.
+    double dramBytesPerCycle = 396;   ///< Aggregate DRAM bandwidth.
+    Cycle dramLatency = 180;          ///< DRAM access latency.
+    uint32_t mshrEntriesPerBank = 64;
+    uint32_t mshrTargetsPerEntry = 8;
+    uint32_t bankQueueCapacity = 32;
+    /**
+     * Data bandwidth of one L2 bank (slice) in bytes per cycle: a 128 B
+     * line occupies the bank for several cycles. This is what MiG's
+     * bank-level partitioning halves for each stream (Fig 14).
+     */
+    double bankBytesPerCycle = 32.0;
+};
+
+/**
+ * Shared L2 cache + DRAM subsystem: banked tag stores, per-bank queues,
+ * MSHRs, and DRAM channels behind an interconnect.
+ *
+ * Supports the paper's three L2 organizations:
+ *  - **MPS**: fully shared (default);
+ *  - **MiG**: bank-level partitioning via per-stream bank masks;
+ *  - **TAP**: set-level partitioning via per-stream set windows in every
+ *    bank (Section VI-C).
+ *
+ * Responses are delivered through a callback, so the owner (the GPU model)
+ * can route completions back to the issuing SM.
+ */
+class L2Subsystem
+{
+  public:
+    using ResponseHandler = std::function<void(const MemRequest &)>;
+    /** Observer invoked on every bank access (stream, line, hit, lruPos). */
+    using AccessListener =
+        std::function<void(StreamId, Addr, bool, uint32_t)>;
+
+    L2Subsystem(const L2Config &cfg, StatsRegistry *stats);
+
+    /** Install the response callback (must be set before stepping). */
+    void setResponseHandler(ResponseHandler handler);
+
+    /** Optional access observer (used by TAP's utility monitors). */
+    void setAccessListener(AccessListener listener);
+
+    /**
+     * Try to enqueue a request from an SM at cycle @p now.
+     * @return false if the target bank queue is full (caller retries).
+     */
+    bool submit(MemRequest req, Cycle now);
+
+    /** Advance all banks and deliver due responses/fills. */
+    void step(Cycle now);
+
+    /** True when no request is in flight anywhere in the subsystem. */
+    bool idle() const;
+
+    /**
+     * MiG-style bank partitioning: restrict @p stream to the banks with set
+     * bits in @p mask. Requests hash across only those banks.
+     */
+    void setStreamBankMask(StreamId stream, uint64_t mask);
+    void clearBankMasks();
+
+    /**
+     * TAP-style set partitioning: give @p stream @p count sets starting at
+     * @p first within every bank.
+     */
+    void setStreamSetWindow(StreamId stream, uint32_t first, uint32_t count);
+    void clearSetWindows();
+
+    /** Aggregate composition across banks (Figs 11 and 15). */
+    CacheComposition composition() const;
+
+    uint64_t accesses() const;
+    uint64_t hits() const;
+    double hitRate() const;
+    double dramBusyCycles() const;
+    uint64_t dramRequests() const;
+
+    const L2Config &config() const { return cfg_; }
+
+  private:
+    struct PendingFill
+    {
+        MemRequest req;
+        uint32_t bank;
+    };
+
+    uint32_t bankFor(Addr line, StreamId stream) const;
+    void respond(MemRequest req, Cycle now, Cycle ready);
+
+    L2Config cfg_;
+    StatsRegistry *stats_;
+    ResponseHandler onResponse_;
+    AccessListener onAccess_;
+
+    std::vector<SetAssocCache> banks_;
+    std::vector<std::deque<MemRequest>> bankQueues_;
+    std::vector<Cycle> bankFreeAt_;
+    std::vector<Mshr> mshrs_;
+    IcntLink requestLink_;
+    IcntLink responseLink_;
+    DramChannel dram_;
+
+    /** Fills ordered by data-return time. */
+    std::multimap<Cycle, PendingFill> pendingFills_;
+    /** Responses ordered by delivery time. */
+    std::multimap<Cycle, MemRequest> pendingResponses_;
+
+    std::map<StreamId, uint64_t> bankMasks_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_MEM_L2_SUBSYSTEM_HPP

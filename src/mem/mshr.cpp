@@ -1,0 +1,51 @@
+#include "mem/mshr.hpp"
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+Mshr::Mshr(uint32_t num_entries, uint32_t max_targets)
+    : numEntries_(num_entries), maxTargets_(max_targets)
+{
+    fatal_if(num_entries == 0 || max_targets == 0,
+             "MSHR needs at least one entry and one target");
+}
+
+Mshr::Outcome
+Mshr::allocate(Addr line, uint64_t key)
+{
+    auto it = table_.find(line);
+    if (it != table_.end()) {
+        if (it->second.size() >= maxTargets_) {
+            return Outcome::Stall;
+        }
+        it->second.push_back(key);
+        return Outcome::Merged;
+    }
+    if (table_.size() >= numEntries_) {
+        return Outcome::Stall;
+    }
+    table_.emplace(line, std::vector<uint64_t>{key});
+    return Outcome::NewEntry;
+}
+
+bool
+Mshr::pending(Addr line) const
+{
+    return table_.count(line) != 0;
+}
+
+std::vector<uint64_t>
+Mshr::fill(Addr line)
+{
+    auto it = table_.find(line);
+    if (it == table_.end()) {
+        return {};
+    }
+    std::vector<uint64_t> keys = std::move(it->second);
+    table_.erase(it);
+    return keys;
+}
+
+} // namespace crisp

@@ -1,0 +1,64 @@
+#ifndef CRISP_MEM_MSHR_HPP
+#define CRISP_MEM_MSHR_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace crisp
+{
+
+/**
+ * Miss Status Holding Register file.
+ *
+ * Tracks outstanding line misses and merges secondary misses to the same
+ * line into the existing entry, so one fill satisfies all waiters. Full
+ * MSHRs (or a full target list) stall the requester, which is one of the
+ * throughput limits that make workloads bandwidth-bound in the TAP study.
+ */
+class Mshr
+{
+  public:
+    /**
+     * @param num_entries distinct outstanding lines
+     * @param max_targets merged requests per line (incl. the primary)
+     */
+    Mshr(uint32_t num_entries, uint32_t max_targets);
+
+    /** Result of trying to record a miss. */
+    enum class Outcome
+    {
+        NewEntry,   ///< Primary miss: caller must send a fill request.
+        Merged,     ///< Secondary miss merged; no new downstream request.
+        Stall       ///< No entry/target space; caller must retry later.
+    };
+
+    /** Record a miss for @p line with completion @p key. */
+    Outcome allocate(Addr line, uint64_t key);
+
+    /** True if a fill for @p line is already outstanding. */
+    bool pending(Addr line) const;
+
+    /**
+     * The fill arrived: pops and returns all completion keys waiting on the
+     * line (empty if the line was not pending).
+     */
+    std::vector<uint64_t> fill(Addr line);
+
+    uint32_t entriesInUse() const
+    {
+        return static_cast<uint32_t>(table_.size());
+    }
+    bool full() const { return entriesInUse() >= numEntries_; }
+
+  private:
+    uint32_t numEntries_;
+    uint32_t maxTargets_;
+    std::unordered_map<Addr, std::vector<uint64_t>> table_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_MEM_MSHR_HPP

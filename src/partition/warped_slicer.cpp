@@ -1,0 +1,99 @@
+#include "partition/warped_slicer.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+
+WarpedSlicer::WarpedSlicer(const WarpedSlicerConfig &cfg) : cfg_(cfg)
+{
+    fatal_if(cfg_.numConfigs < 2, "need at least two sampled configs");
+}
+
+double
+WarpedSlicer::shareForConfig(uint32_t config) const
+{
+    // Config c grants stream A (c+1)/(numConfigs+1) of the SM.
+    return static_cast<double>(config + 1) /
+           static_cast<double>(cfg_.numConfigs + 1);
+}
+
+void
+WarpedSlicer::beginSampling(Gpu &gpu, Cycle now)
+{
+    sampling_ = true;
+    samplingPhases_++;
+    sampleEnd_ = now + cfg_.sampleCycles;
+    baselineA_.resize(gpu.numSms());
+    baselineB_.resize(gpu.numSms());
+    for (uint32_t s = 0; s < gpu.numSms(); ++s) {
+        baselineA_[s] = gpu.sm(s).issuedInstrsOf(cfg_.streamA);
+        baselineB_[s] = gpu.sm(s).issuedInstrsOf(cfg_.streamB);
+        const uint32_t config = s % cfg_.numConfigs;
+        const double share = shareForConfig(config);
+        gpu.setSmQuota(s, cfg_.streamA, gpu.quotaFromShare(share));
+        gpu.setSmQuota(s, cfg_.streamB, gpu.quotaFromShare(1.0 - share));
+    }
+}
+
+void
+WarpedSlicer::finishSampling(Gpu &gpu, Cycle now)
+{
+    sampling_ = false;
+
+    // Aggregate per-config progress of both streams.
+    std::vector<double> progA(cfg_.numConfigs, 0.0);
+    std::vector<double> progB(cfg_.numConfigs, 0.0);
+    for (uint32_t s = 0; s < gpu.numSms(); ++s) {
+        const uint32_t config = s % cfg_.numConfigs;
+        progA[config] += static_cast<double>(
+            gpu.sm(s).issuedInstrsOf(cfg_.streamA) - baselineA_[s]);
+        progB[config] += static_cast<double>(
+            gpu.sm(s).issuedInstrsOf(cfg_.streamB) - baselineB_[s]);
+    }
+    const double max_a = *std::max_element(progA.begin(), progA.end());
+    const double max_b = *std::max_element(progB.begin(), progB.end());
+
+    // Water-filling over the sampled performance curves: maximize the sum
+    // of normalized throughputs.
+    uint32_t best = cfg_.numConfigs / 2;
+    double best_score = -1.0;
+    for (uint32_t c = 0; c < cfg_.numConfigs; ++c) {
+        const double na = max_a > 0.0 ? progA[c] / max_a : 0.0;
+        const double nb = max_b > 0.0 ? progB[c] / max_b : 0.0;
+        const double score = na + nb;
+        if (score > best_score) {
+            best_score = score;
+            best = c;
+        }
+    }
+
+    shareA_ = shareForConfig(best);
+    decisions_.emplace_back(now, shareA_);
+    for (uint32_t s = 0; s < gpu.numSms(); ++s) {
+        gpu.setSmQuota(s, cfg_.streamA, gpu.quotaFromShare(shareA_));
+        gpu.setSmQuota(s, cfg_.streamB, gpu.quotaFromShare(1.0 - shareA_));
+    }
+}
+
+void
+WarpedSlicer::onKernelLaunch(Gpu &gpu, const KernelInfo &info, KernelId id)
+{
+    (void)info;
+    (void)id;
+    // The dynamic partition is reset at each new kernel launch (compute)
+    // and each new drawcall (rendering), per §VI-C.
+    beginSampling(gpu, gpu.now());
+}
+
+void
+WarpedSlicer::onCycle(Gpu &gpu, Cycle now)
+{
+    if (sampling_ && now >= sampleEnd_) {
+        finishSampling(gpu, now);
+    }
+}
+
+} // namespace crisp

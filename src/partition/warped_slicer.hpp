@@ -1,0 +1,71 @@
+#ifndef CRISP_PARTITION_WARPED_SLICER_HPP
+#define CRISP_PARTITION_WARPED_SLICER_HPP
+
+#include <map>
+#include <vector>
+
+#include "gpu/gpu.hpp"
+
+namespace crisp
+{
+
+/** Warped-Slicer tuning knobs. */
+struct WarpedSlicerConfig
+{
+    StreamId streamA = 0;       ///< Rendering stream.
+    StreamId streamB = 1;       ///< Compute stream.
+    Cycle sampleCycles = 4000;  ///< Length of the sampling window.
+    uint32_t numConfigs = 4;    ///< Distinct quota splits sampled at once.
+};
+
+/**
+ * Warped-Slicer (Xu et al., ISCA'16) on top of fine-grained intra-SM
+ * partitioning, as evaluated in the paper's Fig 12/13 case study.
+ *
+ * At each kernel launch (a new drawcall on the rendering stream or a new
+ * kernel on the compute stream) the mechanism enters a sampling phase:
+ * different SMs run different static quota splits in parallel, and the
+ * per-SM instruction progress of each stream is recorded. At the end of the
+ * window a water-filling pass picks the split that maximizes the combined
+ * normalized throughput, which is then applied to every SM until the next
+ * launch resets the process.
+ */
+class WarpedSlicer : public GpuController
+{
+  public:
+    explicit WarpedSlicer(const WarpedSlicerConfig &cfg);
+
+    void onKernelLaunch(Gpu &gpu, const KernelInfo &info,
+                        KernelId id) override;
+    void onCycle(Gpu &gpu, Cycle now) override;
+
+    /** Share of SM resources currently granted to stream A. */
+    double currentShareA() const { return shareA_; }
+
+    /** (cycle, shareA) decisions, for the Fig 13 style timeline. */
+    const std::vector<std::pair<Cycle, double>> &decisions() const
+    {
+        return decisions_;
+    }
+
+    uint64_t samplingPhases() const { return samplingPhases_; }
+
+  private:
+    double shareForConfig(uint32_t config) const;
+    void beginSampling(Gpu &gpu, Cycle now);
+    void finishSampling(Gpu &gpu, Cycle now);
+
+    WarpedSlicerConfig cfg_;
+    bool sampling_ = false;
+    Cycle sampleEnd_ = 0;
+    double shareA_ = 0.5;
+    uint64_t samplingPhases_ = 0;
+    /** Issued-instruction counters per SM per stream at window start. */
+    std::vector<uint64_t> baselineA_;
+    std::vector<uint64_t> baselineB_;
+    std::vector<std::pair<Cycle, double>> decisions_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_PARTITION_WARPED_SLICER_HPP

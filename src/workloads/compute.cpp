@@ -1,0 +1,348 @@
+#include "workloads/compute.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "isa/trace_builder.hpp"
+
+namespace crisp
+{
+
+namespace
+{
+
+uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Compute one lane's address for a pattern. */
+Addr
+patternAddr(const MemPattern &p, uint64_t global_thread, uint32_t access,
+            uint32_t iteration)
+{
+    const uint64_t elems = std::max<uint64_t>(
+        1, p.regionBytes / p.accessBytes);
+    uint64_t index = 0;
+    switch (p.kind) {
+      case MemPatternKind::Streaming:
+        index = global_thread * p.count + access +
+                static_cast<uint64_t>(iteration) * elems / 7;
+        break;
+      case MemPatternKind::Stencil: {
+        // Neighborhood taps around the thread's pixel: offsets alternate
+        // horizontally and vertically.
+        static const int64_t taps[] = {0, 1, -1, 0, 0, 2, -2, 0};
+        const int64_t dx = taps[(access * 2) % 8];
+        const int64_t dy = taps[(access * 2 + 1) % 8];
+        const int64_t linear = static_cast<int64_t>(global_thread) + dx +
+                               dy * static_cast<int64_t>(p.rowPitch);
+        index = static_cast<uint64_t>(
+            std::clamp<int64_t>(linear, 0,
+                                static_cast<int64_t>(elems) - 1));
+        break;
+      }
+      case MemPatternKind::Gather:
+        index = mix64(global_thread * 131 + access * 17 + iteration) % elems;
+        break;
+      case MemPatternKind::Broadcast:
+        index = (access + iteration * 13) % std::min<uint64_t>(elems, 1024);
+        break;
+    }
+    return p.base + (index % elems) * p.accessBytes;
+}
+
+/** Trace generator for a declarative compute kernel. */
+class ComputeCtaGenerator : public CtaGenerator
+{
+  public:
+    explicit ComputeCtaGenerator(ComputeKernelDesc desc)
+        : desc_(std::move(desc))
+    {
+    }
+
+    CtaTrace
+    generate(uint32_t cta_index) const override
+    {
+        const ComputeKernelDesc &d = desc_;
+        CtaTrace cta;
+        const uint32_t warps = (d.threadsPerCta + kWarpSize - 1) / kWarpSize;
+        for (uint32_t w = 0; w < warps; ++w) {
+            const uint32_t lanes =
+                std::min(kWarpSize, d.threadsPerCta - w * kWarpSize);
+            TraceBuilder tb(lanes);
+            const uint64_t thread_base =
+                static_cast<uint64_t>(cta_index) * d.threadsPerCta +
+                w * kWarpSize;
+
+            for (uint32_t it = 0; it < d.iterations; ++it) {
+                uint8_t load_reg = 2;
+                for (const MemPattern &p : d.loads) {
+                    for (uint32_t a = 0; a < p.count; ++a) {
+                        std::vector<Addr> addrs;
+                        addrs.reserve(lanes);
+                        for (uint32_t l = 0; l < lanes; ++l) {
+                            addrs.push_back(
+                                patternAddr(p, thread_base + l, a, it));
+                        }
+                        tb.mem(Opcode::LDG, load_reg, std::move(addrs),
+                               p.accessBytes, DataClass::Compute);
+                        load_reg = static_cast<uint8_t>(
+                            2 + ((load_reg - 1) % 6));
+                    }
+                }
+                if (d.smemStores > 0) {
+                    for (uint32_t s = 0; s < d.smemStores; ++s) {
+                        // Conflict-free layout: lane-linear word addresses.
+                        tb.memStrided(Opcode::STS, 2,
+                                      (w * kWarpSize) * 4 + s * 4096, 4, 4,
+                                      DataClass::Compute);
+                    }
+                }
+                if (d.barrierPerIteration) {
+                    tb.bar();
+                }
+                for (uint32_t s = 0; s < d.smemLoads; ++s) {
+                    tb.memStrided(Opcode::LDS, 3,
+                                  (s % 4) * 1024 + (w % 4) * 128, 4, 4,
+                                  DataClass::Compute);
+                }
+                for (uint32_t i = 0; i < d.intOps; ++i) {
+                    tb.alu(Opcode::IMAD, 9, 2, 3);
+                }
+                for (uint32_t i = 0; i < d.fp32Ops; ++i) {
+                    tb.alu(Opcode::FFMA,
+                           static_cast<uint8_t>(10 + (i & 3)), 2,
+                           static_cast<uint8_t>(10 + ((i + 1) & 3)));
+                }
+                for (uint32_t i = 0; i < d.sfuOps; ++i) {
+                    tb.alu(Opcode::MUFU_SIN, 14, 10);
+                }
+                for (uint32_t i = 0; i < d.tensorOps; ++i) {
+                    tb.alu(Opcode::HMMA, 15, 3, 10);
+                }
+                if (d.barrierPerIteration) {
+                    tb.bar();
+                }
+            }
+
+            if (d.hasStore) {
+                for (uint32_t a = 0; a < d.store.count; ++a) {
+                    std::vector<Addr> addrs;
+                    addrs.reserve(lanes);
+                    for (uint32_t l = 0; l < lanes; ++l) {
+                        addrs.push_back(
+                            patternAddr(d.store, thread_base + l, a, 0));
+                    }
+                    tb.mem(Opcode::STG, 10, std::move(addrs),
+                           d.store.accessBytes, DataClass::Compute);
+                }
+            }
+            tb.exit();
+            cta.warps.push_back(tb.take());
+        }
+        return cta;
+    }
+
+  private:
+    ComputeKernelDesc desc_;
+};
+
+} // namespace
+
+KernelInfo
+buildComputeKernel(const ComputeKernelDesc &desc)
+{
+    fatal_if(desc.ctas == 0 || desc.threadsPerCta == 0,
+             "kernel %s has an empty launch", desc.name.c_str());
+    KernelInfo info;
+    info.name = desc.name;
+    info.grid = {desc.ctas, 1, 1};
+    info.cta = {desc.threadsPerCta, 1, 1};
+    info.regsPerThread = desc.regsPerThread;
+    info.smemPerCta = desc.smemPerCta;
+    info.source = std::make_shared<ComputeCtaGenerator>(desc);
+    return info;
+}
+
+std::vector<KernelInfo>
+buildVio(AddressSpace &heap, uint32_t frames, uint32_t width,
+         uint32_t height)
+{
+    std::vector<KernelInfo> kernels;
+    const uint64_t image_bytes = static_cast<uint64_t>(width) * height;
+    const Addr img_a = heap.alloc(image_bytes);
+    const Addr img_b = heap.alloc(image_bytes);
+    const Addr remap_table = heap.alloc(image_bytes * 8);
+    const Addr features = heap.alloc(1 << 16);
+
+    for (uint32_t f = 0; f < frames; ++f) {
+        for (uint32_t level = 0; level < 2; ++level) {
+            const uint32_t w = width >> level;
+            const uint32_t h = height >> level;
+            const uint32_t pixels = w * h;
+            const uint32_t ctas = std::max(1u, pixels / 256);
+
+            ComputeKernelDesc gauss;
+            gauss.name = "vio.gauss.l" + std::to_string(level);
+            gauss.ctas = ctas;
+            gauss.regsPerThread = 24;
+            gauss.fp32Ops = 22;
+            gauss.intOps = 10;
+            gauss.loads = {{MemPatternKind::Stencil, img_a, pixels, 1, 5,
+                            w}};
+            gauss.store = {MemPatternKind::Streaming, img_b, pixels, 1, 1,
+                           w};
+            gauss.hasStore = true;
+            kernels.push_back(buildComputeKernel(gauss));
+
+            ComputeKernelDesc remap;
+            remap.name = "vio.remap.l" + std::to_string(level);
+            remap.ctas = ctas;
+            remap.regsPerThread = 28;
+            remap.fp32Ops = 12;
+            remap.intOps = 14;
+            remap.loads = {
+                {MemPatternKind::Streaming, remap_table, pixels * 8ull, 8,
+                 1, w},
+                {MemPatternKind::Gather, img_b, pixels, 1, 4, w}};
+            remap.store = {MemPatternKind::Streaming, img_a, pixels, 1, 1,
+                           w};
+            remap.hasStore = true;
+            kernels.push_back(buildComputeKernel(remap));
+
+            ComputeKernelDesc fast;
+            fast.name = "vio.fast.l" + std::to_string(level);
+            fast.ctas = ctas;
+            fast.regsPerThread = 32;
+            fast.intOps = 34;   // Bresenham-circle comparisons.
+            fast.fp32Ops = 4;
+            fast.loads = {{MemPatternKind::Stencil, img_a, pixels, 1, 8,
+                           w}};
+            fast.store = {MemPatternKind::Streaming, features, 1 << 16, 4,
+                          1, w};
+            fast.hasStore = true;
+            kernels.push_back(buildComputeKernel(fast));
+
+            ComputeKernelDesc flow;
+            flow.name = "vio.flow.l" + std::to_string(level);
+            flow.ctas = std::max(1u, ctas / 4);  // sparse feature windows
+            flow.regsPerThread = 40;
+            flow.fp32Ops = 56;
+            flow.intOps = 12;
+            flow.sfuOps = 2;
+            flow.iterations = 2;
+            flow.loads = {{MemPatternKind::Stencil, img_a, pixels, 1, 6, w},
+                          {MemPatternKind::Stencil, img_b, pixels, 1, 6,
+                           w}};
+            flow.store = {MemPatternKind::Streaming, features, 1 << 16, 8,
+                          1, w};
+            flow.hasStore = true;
+            kernels.push_back(buildComputeKernel(flow));
+        }
+    }
+    return kernels;
+}
+
+std::vector<KernelInfo>
+buildHolo(AddressSpace &heap, uint32_t points)
+{
+    std::vector<KernelInfo> kernels;
+    const Addr point_buf = heap.alloc(1 << 16);
+    const Addr phase_buf = heap.alloc(1 << 22);
+
+    for (uint32_t p = 0; p < points; ++p) {
+        ComputeKernelDesc holo;
+        holo.name = "holo.phase." + std::to_string(p);
+        holo.ctas = 224;
+        holo.regsPerThread = 40;
+        holo.iterations = 4;
+        // Phase accumulation: long FMA chains plus sin/cos per point.
+        holo.fp32Ops = 48;
+        holo.sfuOps = 6;
+        holo.intOps = 6;
+        holo.loads = {{MemPatternKind::Broadcast, point_buf, 1 << 16, 16,
+                       1, 1}};
+        holo.store = {MemPatternKind::Streaming, phase_buf, 1 << 22, 4, 1,
+                      1};
+        holo.hasStore = true;
+        kernels.push_back(buildComputeKernel(holo));
+    }
+    return kernels;
+}
+
+std::vector<KernelInfo>
+buildNn(AddressSpace &heap, uint32_t layers)
+{
+    std::vector<KernelInfo> kernels;
+    const Addr activations = heap.alloc(1 << 22);
+    const Addr weights = heap.alloc(1 << 22);
+    const Addr output = heap.alloc(1 << 22);
+
+    for (uint32_t l = 0; l < layers; ++l) {
+        ComputeKernelDesc conv;
+        conv.name = "nn.conv." + std::to_string(l);
+        // Batch fixed at two eye images: grids too small to fill the GPU.
+        conv.ctas = 16 + 8 * (l % 2);
+        conv.threadsPerCta = 256;
+        conv.regsPerThread = 64;
+        conv.smemPerCta = 32 * 1024;
+        conv.iterations = 16;  // k-loop over input-channel tiles
+        conv.barrierPerIteration = true;
+        // Blocked GEMM: both the weight tile of the current k-step and
+        // the (small, batch-2) activation tiles are shared across CTAs —
+        // the network's layers fit on-chip, so its DRAM and L1 footprints
+        // are tiny and it coexists gently with texture-heavy rendering.
+        conv.loads = {
+            {MemPatternKind::Broadcast, activations, 256 * 1024, 8, 1, 256},
+            {MemPatternKind::Broadcast, weights, 128 * 1024, 8, 2, 256}};
+        conv.smemStores = 2;
+        conv.smemLoads = 8;
+        conv.tensorOps = 8;
+        conv.fp32Ops = 12;
+        conv.intOps = 8;
+        conv.store = {MemPatternKind::Streaming, output, 1 << 22, 8, 2,
+                      256};
+        conv.hasStore = true;
+        kernels.push_back(buildComputeKernel(conv));
+    }
+    return kernels;
+}
+
+std::vector<KernelInfo>
+buildTimewarp(AddressSpace &heap, Addr frame_color, uint32_t width,
+              uint32_t height)
+{
+    std::vector<KernelInfo> kernels;
+    const uint64_t frame_bytes = 4ull * width * height;
+    const Addr warped = heap.alloc(frame_bytes);
+
+    for (uint32_t eye = 0; eye < 2; ++eye) {
+        ComputeKernelDesc warp;
+        warp.name = "atw.eye" + std::to_string(eye);
+        warp.ctas = std::max(1u, width * height / 512);
+        warp.threadsPerCta = 256;
+        warp.regsPerThread = 32;
+        // Per pixel: pose re-projection math (two mat3 transforms plus a
+        // perspective divide) and a distortion-corrected gather of the
+        // rendered frame.
+        warp.fp32Ops = 28;
+        warp.intOps = 8;
+        warp.sfuOps = 2;
+        warp.loads = {{MemPatternKind::Gather, frame_color, frame_bytes, 4,
+                       4, width}};
+        warp.store = {MemPatternKind::Streaming, warped, frame_bytes, 4, 1,
+                      width};
+        warp.hasStore = true;
+        kernels.push_back(buildComputeKernel(warp));
+    }
+    return kernels;
+}
+
+} // namespace crisp

@@ -1,0 +1,81 @@
+#ifndef CRISP_WORKLOADS_ORACLE_HPP
+#define CRISP_WORKLOADS_ORACLE_HPP
+
+#include "common/rng.hpp"
+#include "gpu/gpu_config.hpp"
+#include "graphics/pipeline.hpp"
+
+namespace crisp
+{
+
+/** Oracle noise/calibration knobs. */
+struct OracleConfig
+{
+    uint64_t seed = 0xC0FFEE;
+    /** Relative measurement noise on frame times (profiler jitter). */
+    double frameNoise = 0.06;
+    /** Relative noise on L1 texture access counters. */
+    double texNoise = 0.12;
+    /** Relative noise on the profiler's thread counts. */
+    double vsNoise = 0.01;
+    /**
+     * Hardware-vs-simulator speed bias: the paper observes simulated frame
+     * times are consistently longer than silicon (missing driver shader
+     * optimizations, §VI-A); the oracle's analytic model runs this much
+     * faster than the simulator's trace cost model.
+     */
+    double hwSpeedFactor = 0.50;
+};
+
+/**
+ * HardwareOracle: the stand-in for the NVIDIA RTX 3070 / Jetson Orin
+ * silicon the paper validates against (Figs 3, 6, 9).
+ *
+ * We have no GPU or vendor profiler in this environment, so validation
+ * targets come from an *independent analytic model* of the same workloads:
+ * profiler-style exact counters where hardware reports exact values
+ * (vertex invocations), quad-granularity texture-unit merging for L1
+ * texture accesses, and a roofline-style frame-time estimate — each with
+ * deterministic measurement noise. Because the oracle shares no code with
+ * the cycle-level timing model, correlating the two is a meaningful
+ * validation exercise of the same *kind* the paper performs, though
+ * absolute correlation numbers are calibration targets rather than silicon
+ * measurements (see DESIGN.md, substitutions).
+ */
+class HardwareOracle
+{
+  public:
+    explicit HardwareOracle(const OracleConfig &cfg = {});
+
+    /**
+     * Profiler-reported vertex shader invocation count for one drawcall
+     * (exact thread count, unlike the simulator's warps x 32; Fig 3).
+     */
+    double vsInvocations(const DrawcallReport &report) const;
+
+    /**
+     * "Silicon" L1 texture access count for one drawcall's fragment
+     * kernel: the hardware texture unit merges requests at quad
+     * granularity before they reach the L1, modeled here by counting
+     * distinct 128 B lines per quad (Fig 9).
+     */
+    double l1TexAccesses(const KernelInfo &fs_kernel,
+                         uint32_t draw_salt = 0) const;
+
+    /**
+     * Measured frame time in milliseconds for a full submission on the
+     * given GPU: a roofline estimate over shader work and DRAM traffic
+     * plus per-drawcall submission overhead (Fig 6).
+     */
+    double frameTimeMs(const RenderSubmission &submission,
+                       const GpuConfig &gpu) const;
+
+  private:
+    double noisy(double value, double rel_sigma, uint64_t salt) const;
+
+    OracleConfig cfg_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_WORKLOADS_ORACLE_HPP

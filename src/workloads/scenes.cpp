@@ -1,0 +1,390 @@
+#include "workloads/scenes.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace crisp
+{
+
+namespace
+{
+
+/** Create a basic (single diffuse map) material. */
+Material *
+addBasicMaterial(Scene &scene, AddressSpace &heap, const std::string &name,
+                 uint32_t tex_dim, uint64_t seed,
+                 uint32_t extra_alu = 0)
+{
+    Material mat;
+    mat.name = name;
+    mat.kind = ShaderKind::Basic;
+    mat.extraFragmentAlu = extra_alu;
+    mat.textures.push_back(scene.addTexture(std::make_unique<Texture2D>(
+        name + ".albedo", tex_dim, tex_dim, TexFormat::RGBA8, heap, 1, true,
+        seed)));
+    return scene.addMaterial(std::move(mat));
+}
+
+/**
+ * Create a PBR material with the paper's eight maps: irradiance, BRDF LUT,
+ * albedo, normal, prefilter, ambient occlusion, metallic, roughness — in
+ * their typical formats.
+ */
+Material *
+addPbrMaterial(Scene &scene, AddressSpace &heap, const std::string &name,
+               uint32_t tex_dim, uint64_t seed)
+{
+    struct MapDesc
+    {
+        const char *suffix;
+        TexFormat fmt;
+        uint32_t dim;
+    };
+    const MapDesc maps[8] = {
+        {"irradiance", TexFormat::RGBA16F, 128},
+        {"brdf", TexFormat::RG8, 256},
+        {"albedo", TexFormat::RGBA8, tex_dim},
+        {"normal", TexFormat::RGBA8, tex_dim},
+        {"prefilter", TexFormat::RGBA16F, 128},
+        {"ao", TexFormat::R8, tex_dim},
+        {"metallic", TexFormat::R8, tex_dim},
+        {"roughness", TexFormat::R8, tex_dim},
+    };
+    Material mat;
+    mat.name = name;
+    mat.kind = ShaderKind::Pbr;
+    for (uint32_t i = 0; i < 8; ++i) {
+        mat.textures.push_back(scene.addTexture(std::make_unique<Texture2D>(
+            name + "." + maps[i].suffix, maps[i].dim, maps[i].dim,
+            maps[i].fmt, heap, 1, true, seed * 8 + i)));
+    }
+    return scene.addMaterial(std::move(mat));
+}
+
+void
+addDraw(Scene &scene, const std::string &name, Mesh *mesh, Material *mat,
+        const Mat4 &model)
+{
+    DrawCall d;
+    d.name = name;
+    d.mesh = mesh;
+    d.material = mat;
+    d.model = model;
+    scene.draws.push_back(std::move(d));
+}
+
+Camera
+makeCamera(const Vec3 &eye, const Vec3 &center, float aspect,
+           float fovy_deg = 60.0f)
+{
+    Camera cam;
+    cam.eye = eye;
+    cam.view = Mat4::lookAt(eye, center, {0.0f, 1.0f, 0.0f});
+    cam.proj = Mat4::perspective(fovy_deg * static_cast<float>(M_PI) /
+                                     180.0f,
+                                 aspect, 0.1f, 200.0f);
+    return cam;
+}
+
+} // namespace
+
+Scene
+buildSponza(AddressSpace &heap, bool pbr)
+{
+    Scene scene;
+    scene.name = pbr ? "SPH" : "SPL";
+    scene.camera = makeCamera({11.0f, 3.2f, 0.5f}, {0.0f, 2.4f, 0.0f},
+                              16.0f / 9.0f, 65.0f);
+
+    // Shared geometry of the atrium.
+    Mesh *floor = scene.addMesh(Mesh::makePlane("floor", 24, 28.0f, 10.0f,
+                                                heap));
+    Mesh *ceiling = scene.addMesh(Mesh::makePlane("ceiling", 12, 28.0f,
+                                                  8.0f, heap));
+    // Large surfaces tile their textures heavily, like real game content:
+    // the repeated texels are what give Sponza its high L2 hit rate.
+    Mesh *column = scene.addMesh(Mesh::makeCylinder("column", 20, 0.45f,
+                                                    5.0f, heap, 6.0f));
+    Mesh *wall = scene.addMesh(Mesh::makeBox("wall", {26.0f, 6.0f, 0.8f},
+                                             heap, 12.0f));
+    Mesh *arch = scene.addMesh(Mesh::makeBox("arch", {2.2f, 1.2f, 1.0f},
+                                             heap, 3.0f));
+    Mesh *curtain = scene.addMesh(Mesh::makePlane("curtain", 16, 4.0f, 2.0f,
+                                                  heap));
+    Mesh *pot = scene.addMesh(Mesh::makeSphere("pot", 14, 18, 0.6f, heap));
+
+    // Material groups: the Khronos version uses one basic texture per
+    // drawcall; the Godot version replaces them with PBR material sets.
+    auto make_mat = [&](const std::string &name, uint32_t dim,
+                        uint64_t seed) {
+        return pbr ? addPbrMaterial(scene, heap, name, dim, seed)
+                   : addBasicMaterial(scene, heap, name, dim, seed);
+    };
+    Material *m_floor = make_mat("sponza.floor", 512, 101);
+    Material *m_stone = make_mat("sponza.stone", 512, 102);
+    Material *m_wall = make_mat("sponza.wall", 512, 103);
+    Material *m_fabric = make_mat("sponza.fabric", 256, 104);
+    Material *m_bronze = make_mat("sponza.bronze", 256, 105);
+
+    addDraw(scene, "floor", floor, m_floor, Mat4::identity());
+    // The ceiling faces downward into the atrium.
+    addDraw(scene, "ceiling", ceiling, m_wall,
+            Mat4::translation({0.0f, 7.5f, 0.0f}) *
+                Mat4::rotationX(static_cast<float>(M_PI)));
+    addDraw(scene, "wall.n", wall, m_wall,
+            Mat4::translation({0.0f, 3.0f, -6.5f}));
+    addDraw(scene, "wall.s", wall, m_wall,
+            Mat4::translation({0.0f, 3.0f, 6.5f}));
+
+    // Two colonnades of columns with arches between them.
+    for (int i = 0; i < 6; ++i) {
+        const float x = -10.0f + 4.0f * static_cast<float>(i);
+        addDraw(scene, "col.n" + std::to_string(i), column, m_stone,
+                Mat4::translation({x, 0.0f, -4.0f}));
+        addDraw(scene, "col.s" + std::to_string(i), column, m_stone,
+                Mat4::translation({x, 0.0f, 4.0f}));
+        if (i < 5) {
+            addDraw(scene, "arch" + std::to_string(i), arch, m_stone,
+                    Mat4::translation({x + 2.0f, 5.4f, -4.0f}));
+        }
+    }
+    // Hanging curtains along the upper gallery.
+    for (int i = 0; i < 4; ++i) {
+        const float x = -8.0f + 5.0f * static_cast<float>(i);
+        Mat4 m = Mat4::translation({x, 4.5f, 0.0f}) *
+                 Mat4::rotationX(static_cast<float>(M_PI) / 2.0f);
+        addDraw(scene, "curtain" + std::to_string(i), curtain, m_fabric, m);
+    }
+    // Decorative pots on the floor.
+    for (int i = 0; i < 3; ++i) {
+        addDraw(scene, "pot" + std::to_string(i), pot, m_bronze,
+                Mat4::translation({-6.0f + 6.0f * static_cast<float>(i),
+                                   0.6f, 0.0f}));
+    }
+    return scene;
+}
+
+Scene
+buildPistol(AddressSpace &heap)
+{
+    Scene scene;
+    scene.name = "PT";
+    scene.camera = makeCamera({0.9f, 0.45f, 1.3f}, {0.0f, 0.1f, 0.0f},
+                              16.0f / 9.0f, 45.0f);
+
+    Mesh *body = scene.addMesh(Mesh::makeBox("body", {0.9f, 0.28f, 0.12f},
+                                             heap));
+    Mesh *barrel = scene.addMesh(Mesh::makeCylinder("barrel", 28, 0.05f,
+                                                    0.8f, heap));
+    Mesh *grip = scene.addMesh(Mesh::makeBox("grip", {0.22f, 0.5f, 0.1f},
+                                             heap));
+    Mesh *sight = scene.addMesh(Mesh::makeSphere("sight", 16, 20, 0.035f,
+                                                 heap));
+    Mesh *trigger = scene.addMesh(Mesh::makeCylinder("trigger", 18, 0.08f,
+                                                     0.04f, heap));
+
+    // One high-resolution 8-map PBR material shared by the whole object,
+    // matching the pbrtexture sample.
+    Material *metal = addPbrMaterial(scene, heap, "pistol.metal", 1024,
+                                     201);
+
+    addDraw(scene, "body", body, metal,
+            Mat4::translation({0.0f, 0.2f, 0.0f}));
+    addDraw(scene, "barrel", barrel, metal,
+            Mat4::translation({0.45f, 0.24f, 0.0f}) *
+                Mat4::rotationY(static_cast<float>(M_PI) / 2.0f) *
+                Mat4::rotationX(static_cast<float>(M_PI) / 2.0f));
+    addDraw(scene, "grip", grip, metal,
+            Mat4::translation({-0.32f, -0.12f, 0.0f}) *
+                Mat4::rotationY(0.15f));
+    addDraw(scene, "sight", sight, metal,
+            Mat4::translation({0.1f, 0.38f, 0.0f}));
+    addDraw(scene, "trigger", trigger, metal,
+            Mat4::translation({-0.05f, 0.0f, 0.0f}) *
+                Mat4::rotationX(static_cast<float>(M_PI) / 2.0f));
+    return scene;
+}
+
+Scene
+buildPlanets(AddressSpace &heap, uint32_t instances)
+{
+    Scene scene;
+    scene.name = "IT";
+    scene.camera = makeCamera({0.0f, 14.0f, 30.0f}, {0.0f, 0.0f, 0.0f},
+                              16.0f / 9.0f, 55.0f);
+
+    Mesh *planet = scene.addMesh(Mesh::makeSphere("planet", 28, 40, 6.0f,
+                                                  heap));
+    Mesh *rock = scene.addMesh(Mesh::makeRock("rock", 12, 16, 0.5f, 7,
+                                              heap));
+
+    Material *m_planet = addBasicMaterial(scene, heap, "planet.surface",
+                                          512, 301);
+
+    // The asteroid material is a layered array texture; the layer index is
+    // a per-instance vertex attribute (§V-A).
+    Material *m_rock = [&] {
+        Material mat;
+        mat.name = "rock.layers";
+        mat.kind = ShaderKind::Basic;
+        mat.textures.push_back(scene.addTexture(std::make_unique<Texture2D>(
+            "rock.array", 256, 256, TexFormat::RGBA8, heap, 8, true, 302)));
+        return scene.addMaterial(std::move(mat));
+    }();
+
+    addDraw(scene, "planet", planet, m_planet, Mat4::identity());
+
+    DrawCall belt;
+    belt.name = "asteroid.belt";
+    belt.mesh = rock;
+    belt.material = m_rock;
+    belt.instanceCount = instances;
+    belt.instanceBufAddr = heap.alloc(64ull * instances);
+    Rng rng(303);
+    for (uint32_t i = 0; i < instances; ++i) {
+        const float angle = 2.0f * static_cast<float>(M_PI) *
+                            static_cast<float>(i) / instances;
+        const float radius =
+            10.0f + 4.0f * static_cast<float>(rng.nextDouble());
+        const float y =
+            1.5f * static_cast<float>(rng.nextDouble() - 0.5);
+        const float s =
+            0.5f + 1.2f * static_cast<float>(rng.nextDouble());
+        belt.instanceModels.push_back(
+            Mat4::translation({radius * std::cos(angle), y,
+                               radius * std::sin(angle)}) *
+            Mat4::rotationY(angle * 3.0f) * Mat4::scaling({s, s, s}));
+        belt.instanceLayers.push_back(i % 8);
+    }
+    scene.draws.push_back(std::move(belt));
+    return scene;
+}
+
+Scene
+buildPlatformer(AddressSpace &heap)
+{
+    Scene scene;
+    scene.name = "PL";
+    scene.camera = makeCamera({10.0f, 7.0f, 14.0f}, {0.0f, 1.5f, 0.0f},
+                              16.0f / 9.0f, 60.0f);
+
+    Mesh *ground = scene.addMesh(Mesh::makePlane("ground", 20, 40.0f, 12.0f,
+                                                 heap));
+    Mesh *platform = scene.addMesh(Mesh::makeBox("platform",
+                                                 {2.4f, 0.5f, 2.4f}, heap));
+    Mesh *crate = scene.addMesh(Mesh::makeBox("crate", {1.0f, 1.0f, 1.0f},
+                                              heap));
+    Mesh *coin = scene.addMesh(Mesh::makeSphere("coin", 10, 14, 0.3f,
+                                                heap));
+    Mesh *player = scene.addMesh(Mesh::makeSphere("player", 18, 24, 0.7f,
+                                                  heap));
+
+    Material *m_grass = addBasicMaterial(scene, heap, "pl.grass", 512, 401);
+    Material *m_stone = addBasicMaterial(scene, heap, "pl.stone", 256, 402);
+    Material *m_wood = addBasicMaterial(scene, heap, "pl.wood", 256, 403);
+    Material *m_gold = addBasicMaterial(scene, heap, "pl.gold", 128, 404);
+    Material *m_player = addPbrMaterial(scene, heap, "pl.player", 256, 405);
+
+    addDraw(scene, "ground", ground, m_grass, Mat4::identity());
+
+    Rng rng(406);
+    for (int i = 0; i < 14; ++i) {
+        const float x = static_cast<float>(rng.uniform(-12.0, 12.0));
+        const float z = static_cast<float>(rng.uniform(-10.0, 10.0));
+        const float y = 0.5f + 0.8f * static_cast<float>(i % 5);
+        addDraw(scene, "platform" + std::to_string(i), platform, m_stone,
+                Mat4::translation({x, y, z}));
+        if (i % 2 == 0) {
+            addDraw(scene, "crate" + std::to_string(i), crate, m_wood,
+                    Mat4::translation({x, y + 0.8f, z}));
+        }
+        if (i % 3 == 0) {
+            addDraw(scene, "coin" + std::to_string(i), coin, m_gold,
+                    Mat4::translation({x, y + 1.8f, z}));
+        }
+    }
+    addDraw(scene, "player", player, m_player,
+            Mat4::translation({4.0f, 1.2f, 6.0f}));
+    return scene;
+}
+
+Scene
+buildMaterialTesters(AddressSpace &heap)
+{
+    Scene scene;
+    scene.name = "MT";
+    scene.camera = makeCamera({0.0f, 2.5f, 9.0f}, {0.0f, 0.0f, 0.0f},
+                              16.0f / 9.0f, 50.0f);
+
+    Mesh *ball = scene.addMesh(Mesh::makeSphere("tester", 26, 36, 1.0f,
+                                                heap));
+    Mesh *stand = scene.addMesh(Mesh::makePlane("stand", 8, 16.0f, 4.0f,
+                                                heap));
+
+    Material *m_floor = addBasicMaterial(scene, heap, "mt.floor", 256, 501);
+    addDraw(scene, "stand", stand, m_floor,
+            Mat4::translation({0.0f, -1.2f, 0.0f}));
+
+    // A 3x3 grid of testers alternating material complexity, including
+    // procedural materials with extra per-fragment ALU work.
+    for (int row = 0; row < 3; ++row) {
+        for (int col = 0; col < 3; ++col) {
+            const int id = row * 3 + col;
+            const std::string name = "mt.ball" + std::to_string(id);
+            Material *mat = nullptr;
+            switch (id % 3) {
+              case 0:
+                mat = addPbrMaterial(scene, heap, name, 256, 510 + id);
+                break;
+              case 1:
+                mat = addBasicMaterial(scene, heap, name, 256, 510 + id);
+                break;
+              default:
+                // Procedural: cheap texture but heavy generated shading.
+                mat = addBasicMaterial(scene, heap, name, 64, 510 + id,
+                                       /*extra_alu=*/48);
+                break;
+            }
+            addDraw(scene, name, ball, mat,
+                    Mat4::translation({-3.0f + 3.0f * col,
+                                       2.4f - 2.4f * row, 0.0f}));
+        }
+    }
+    return scene;
+}
+
+const std::vector<std::string> &
+allSceneNames()
+{
+    static const std::vector<std::string> names = {"SPH", "PL", "MT",
+                                                   "SPL", "PT", "IT"};
+    return names;
+}
+
+Scene
+buildSceneByName(const std::string &name, AddressSpace &heap)
+{
+    if (name == "SPL") {
+        return buildSponza(heap, false);
+    }
+    if (name == "SPH") {
+        return buildSponza(heap, true);
+    }
+    if (name == "PT") {
+        return buildPistol(heap);
+    }
+    if (name == "IT") {
+        return buildPlanets(heap);
+    }
+    if (name == "PL") {
+        return buildPlatformer(heap);
+    }
+    if (name == "MT") {
+        return buildMaterialTesters(heap);
+    }
+    fatal("unknown scene %s", name.c_str());
+}
+
+} // namespace crisp

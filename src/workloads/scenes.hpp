@@ -1,0 +1,51 @@
+#ifndef CRISP_WORKLOADS_SCENES_HPP
+#define CRISP_WORKLOADS_SCENES_HPP
+
+#include <string>
+#include <vector>
+
+#include "graphics/scene.hpp"
+
+namespace crisp
+{
+
+/**
+ * @file
+ * Procedural stand-ins for the paper's rendering workloads (§V-A). The
+ * original scenes are real Vulkan applications traced through Mesa; these
+ * builders reproduce their *structural* properties — material/shader type,
+ * texture counts and formats, geometric density, instancing — which are
+ * what drive the memory-system behaviour the paper studies.
+ *
+ *  - SPL  Sponza (Khronos Vulkan-Samples): basic shading, 1 texture/draw.
+ *  - SPH  Sponza PBR (Godot): same atrium with 8-map PBR materials.
+ *  - PT   Pistol: one high-detail PBR object, 8 maps (pbrtexture sample).
+ *  - IT   Planets: instanced drawing with a layered array texture.
+ *  - PL   Platformer 3D (Godot demo): many small objects, mixed materials.
+ *  - MT   Material Testers (Godot demo): sphere grid of varied materials.
+ */
+
+/** Sponza atrium; @p pbr selects the Godot PBR version (SPH) vs SPL. */
+Scene buildSponza(AddressSpace &heap, bool pbr);
+
+/** Antique metallic pistol rendered with PBR and eight maps (PT). */
+Scene buildPistol(AddressSpace &heap);
+
+/** Instanced asteroid field around a planet, layered texture (IT). */
+Scene buildPlanets(AddressSpace &heap, uint32_t instances = 160);
+
+/** Platformer level: ground, platforms, collectibles (PL). */
+Scene buildPlatformer(AddressSpace &heap);
+
+/** Material testers: a grid of spheres with varied materials (MT). */
+Scene buildMaterialTesters(AddressSpace &heap);
+
+/** Short names of all evaluation scenes, in the paper's order. */
+const std::vector<std::string> &allSceneNames();
+
+/** Build a scene by its short name (SPL, SPH, PT, IT, PL, MT). */
+Scene buildSceneByName(const std::string &name, AddressSpace &heap);
+
+} // namespace crisp
+
+#endif // CRISP_WORKLOADS_SCENES_HPP

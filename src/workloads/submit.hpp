@@ -1,0 +1,48 @@
+#ifndef CRISP_WORKLOADS_SUBMIT_HPP
+#define CRISP_WORKLOADS_SUBMIT_HPP
+
+#include <vector>
+
+#include "gpu/gpu.hpp"
+#include "graphics/pipeline.hpp"
+
+namespace crisp
+{
+
+/**
+ * Enqueue a rendered frame on a GPU stream with its intra-frame
+ * dependencies, so drawcalls overlap the way Immediate Tiled Rendering
+ * pipelines them (a fragment kernel waits only on its own vertex kernel).
+ *
+ * @return the KernelId of each submitted kernel, parallel to
+ *         submission.kernels.
+ */
+/**
+ * @param fixed_function_delay cycles between a vertex kernel's completion
+ *        and its fragment kernel's eligibility, modeling the primitive
+ *        assembly/binning FIFO the paper suggests in SIV (0 = free).
+ */
+inline std::vector<KernelId>
+submitFrame(Gpu &gpu, StreamId stream, const RenderSubmission &submission,
+            Cycle fixed_function_delay = 0)
+{
+    std::vector<KernelId> ids;
+    ids.reserve(submission.kernels.size());
+    for (size_t i = 0; i < submission.kernels.size(); ++i) {
+        const int dep = i < submission.dependsOn.size()
+            ? submission.dependsOn[i]
+            : -1;
+        const KernelId dep_id =
+            dep >= 0 ? ids[static_cast<size_t>(dep)] : Gpu::kNoDependency;
+        ids.push_back(gpu.enqueueKernelAfter(stream, submission.kernels[i],
+                                             dep_id,
+                                             dep >= 0
+                                                 ? fixed_function_delay
+                                                 : 0));
+    }
+    return ids;
+}
+
+} // namespace crisp
+
+#endif // CRISP_WORKLOADS_SUBMIT_HPP

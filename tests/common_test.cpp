@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace crisp
+{
+namespace
+{
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) {
+            ++same;
+        }
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(9);
+    for (uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000ull}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.nextBelow(bound), bound);
+        }
+    }
+    EXPECT_EQ(rng.nextBelow(0), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    double sum2 = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Histogram, BasicCounts)
+{
+    Histogram h(10);
+    h.add(3);
+    h.add(3);
+    h.add(5);
+    EXPECT_EQ(h.count(3), 2u);
+    EXPECT_EQ(h.count(5), 1u);
+    EXPECT_EQ(h.totalSamples(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), (3.0 + 3.0 + 5.0) / 3.0);
+    EXPECT_EQ(h.modeBucket(), 3u);
+    EXPECT_EQ(h.minValue(), 3u);
+    EXPECT_EQ(h.maxValue(), 5u);
+}
+
+TEST(Histogram, ClampsOverflowIntoLastBucket)
+{
+    Histogram h(4);
+    h.add(100);
+    EXPECT_EQ(h.count(4), 1u);
+    // Mean keeps the true value even when the bucket clamps.
+    EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a(8);
+    Histogram b(8);
+    a.add(1);
+    b.add(1);
+    b.add(2);
+    a.merge(b);
+    EXPECT_EQ(a.count(1), 2u);
+    EXPECT_EQ(a.count(2), 1u);
+    EXPECT_EQ(a.totalSamples(), 3u);
+}
+
+TEST(Histogram, EmptyIsSane)
+{
+    Histogram h(4);
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+}
+
+TEST(Metrics, PearsonPerfectCorrelation)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Metrics, PearsonAntiCorrelation)
+{
+    std::vector<double> xs = {1, 2, 3};
+    std::vector<double> ys = {3, 2, 1};
+    EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Metrics, PearsonDegenerateInputs)
+{
+    EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+    EXPECT_DOUBLE_EQ(pearson({1.0}, {2.0}), 0.0);
+    EXPECT_DOUBLE_EQ(pearson({1.0, 1.0}, {2.0, 3.0}), 0.0);
+}
+
+TEST(Metrics, MapeBasics)
+{
+    std::vector<double> ref = {100, 200};
+    std::vector<double> pred = {110, 180};
+    EXPECT_NEAR(mape(ref, pred), (10.0 + 10.0) / 2.0, 1e-9);
+}
+
+TEST(Metrics, MapeSkipsZeroReference)
+{
+    std::vector<double> ref = {0, 100};
+    std::vector<double> pred = {50, 150};
+    EXPECT_NEAR(mape(ref, pred), 50.0, 1e-9);
+}
+
+TEST(Metrics, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({1.0, -1.0}), 0.0);
+}
+
+TEST(StreamStatsTest, Rates)
+{
+    StreamStats st;
+    st.l1Accesses = 10;
+    st.l1Hits = 7;
+    st.l2Accesses = 4;
+    st.l2Hits = 1;
+    st.instructions = 100;
+    st.firstCycle = 10;
+    st.lastCycle = 60;
+    EXPECT_DOUBLE_EQ(st.l1HitRate(), 0.7);
+    EXPECT_DOUBLE_EQ(st.l2HitRate(), 0.25);
+    EXPECT_DOUBLE_EQ(st.ipc(), 2.0);
+}
+
+TEST(StatsRegistryTest, CountersAndStreams)
+{
+    StatsRegistry stats;
+    stats.add("foo");
+    stats.add("foo", 4);
+    EXPECT_EQ(stats.get("foo"), 5u);
+    EXPECT_EQ(stats.get("missing"), 0u);
+
+    stats.stream(0).instructions = 10;
+    stats.stream(1).instructions = 20;
+    EXPECT_EQ(stats.sumOver(&StreamStats::instructions), 30u);
+    EXPECT_NE(stats.findStream(0), nullptr);
+    EXPECT_EQ(stats.findStream(9), nullptr);
+
+    stats.clear();
+    EXPECT_EQ(stats.get("foo"), 0u);
+    EXPECT_EQ(stats.allStreams().size(), 0u);
+}
+
+TEST(TableTest, TextAndCsv)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", Table::num(1.5, 1)});
+    t.addRow({"with,comma", "2"});
+    const std::string text = t.toText();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("1.5"), std::string::npos);
+    const std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(DataClassTest, Names)
+{
+    EXPECT_STREQ(dataClassName(DataClass::Texture), "texture");
+    EXPECT_STREQ(dataClassName(DataClass::Pipeline), "pipeline");
+    EXPECT_STREQ(dataClassName(DataClass::Compute), "compute");
+    EXPECT_STREQ(dataClassName(DataClass::Unknown), "unknown");
+}
+
+} // namespace
+} // namespace crisp

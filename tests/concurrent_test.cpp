@@ -1,0 +1,429 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "gpu/gpu.hpp"
+#include "graphics/pipeline.hpp"
+#include "partition/tap.hpp"
+#include "partition/warped_slicer.hpp"
+#include "workloads/compute.hpp"
+#include "workloads/scenes.hpp"
+#include "workloads/submit.hpp"
+
+namespace crisp
+{
+namespace
+{
+
+GpuConfig
+smallGpu()
+{
+    GpuConfig cfg;
+    cfg.name = "small";
+    cfg.numSms = 4;
+    cfg.coreClockMhz = 1000.0;
+    cfg.memoryBandwidthGBs = 128.0;
+    cfg.l2.numBanks = 4;
+    cfg.l2.bankGeometry = {128 * 1024, 8, kLineBytes};
+    cfg.finalize();
+    return cfg;
+}
+
+RenderSubmission
+smallFrame(AddressSpace &heap)
+{
+    // Built once per test; the scene must outlive the gpu run, so the
+    // caller owns the heap and we leak the scene into a static holder.
+    static std::vector<std::unique_ptr<Scene>> keep_alive;
+    keep_alive.push_back(
+        std::make_unique<Scene>(buildSceneByName("PT", heap)));
+    PipelineConfig pc;
+    pc.width = 160;
+    pc.height = 90;
+    RenderPipeline pipe(pc, heap);
+    return pipe.submit(*keep_alive.back());
+}
+
+// ---------------------------------------------------------------------
+// Every partitioning policy completes a mixed workload with per-stream
+// progress on both streams.
+// ---------------------------------------------------------------------
+
+class PolicySweep : public ::testing::TestWithParam<PartitionPolicy>
+{
+};
+
+TEST_P(PolicySweep, MixedWorkloadDrains)
+{
+    AddressSpace heap;
+    Gpu gpu(smallGpu());
+    const StreamId gfx = gpu.createStream("graphics");
+    const StreamId cmp = gpu.createStream("compute");
+    const RenderSubmission frame = smallFrame(heap);
+    submitFrame(gpu, gfx, frame);
+    AddressSpace cheap(0x8000'0000ull);
+    for (const KernelInfo &k : buildVio(cheap, 1, 160, 120)) {
+        gpu.enqueueKernel(cmp, k);
+    }
+    PartitionConfig part;
+    part.policy = GetParam();
+    if (part.policy == PartitionPolicy::FineGrained) {
+        part.priorityStream = gfx;
+    }
+    gpu.setPartition(part);
+    const auto r = gpu.run(500'000'000ull);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(gpu.stats().stream(gfx).instructions, 0u);
+    EXPECT_GT(gpu.stats().stream(cmp).instructions, 0u);
+    EXPECT_GT(gpu.stats().stream(gfx).l1TexAccesses, 0u);
+    EXPECT_EQ(gpu.stats().stream(cmp).l1TexAccesses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicySweep,
+    ::testing::Values(PartitionPolicy::Exhaustive, PartitionPolicy::Mps,
+                      PartitionPolicy::Mig, PartitionPolicy::FineGrained),
+    [](const ::testing::TestParamInfo<PartitionPolicy> &info) {
+        switch (info.param) {
+          case PartitionPolicy::Exhaustive: return "Exhaustive";
+          case PartitionPolicy::Mps: return "Mps";
+          case PartitionPolicy::Mig: return "Mig";
+          case PartitionPolicy::FineGrained: return "FineGrained";
+          default: return "Unknown";
+        }
+    });
+
+// ---------------------------------------------------------------------
+// submitFrame dependency: a fragment kernel never launches before its
+// vertex kernel completes; independent drawcalls do overlap.
+// ---------------------------------------------------------------------
+
+TEST(SubmitFrameTest, FragmentWaitsForItsVertexKernel)
+{
+    AddressSpace heap;
+    Gpu gpu(smallGpu());
+    const StreamId gfx = gpu.createStream("graphics");
+    const RenderSubmission frame = smallFrame(heap);
+    const std::vector<KernelId> ids = submitFrame(gpu, gfx, frame);
+
+    struct Watcher : GpuController
+    {
+        std::map<KernelId, Cycle> launch;
+        std::map<KernelId, Cycle> complete;
+        void
+        onKernelLaunch(Gpu &gpu, const KernelInfo &, KernelId id) override
+        {
+            launch[id] = gpu.now();
+        }
+        void
+        onKernelComplete(Gpu &gpu, StreamId, KernelId id) override
+        {
+            complete[id] = gpu.now();
+        }
+    } watcher;
+    gpu.addController(&watcher);
+    ASSERT_TRUE(gpu.run(500'000'000ull).completed);
+
+    bool overlap_seen = false;
+    for (const auto &r : frame.reports) {
+        if (r.fsKernelIndex == ~0u) {
+            continue;
+        }
+        const KernelId vs = ids[r.vsKernelIndex];
+        const KernelId fs = ids[r.fsKernelIndex];
+        ASSERT_TRUE(watcher.launch.count(fs));
+        ASSERT_TRUE(watcher.complete.count(vs));
+        EXPECT_GE(watcher.launch[fs], watcher.complete[vs])
+            << r.name << ": FS launched before its VS completed";
+    }
+    // At least one kernel launched before an earlier one completed
+    // (pipelining across drawcalls).
+    std::vector<KernelId> sorted = ids;
+    for (size_t i = 1; i < sorted.size(); ++i) {
+        if (watcher.launch.count(sorted[i]) &&
+            watcher.complete.count(sorted[i - 1]) &&
+            watcher.launch[sorted[i]] < watcher.complete[sorted[i - 1]]) {
+            overlap_seen = true;
+        }
+    }
+    EXPECT_TRUE(overlap_seen) << "drawcalls never overlapped";
+}
+
+// ---------------------------------------------------------------------
+// Dynamic quota changes mid-run: the machine stays consistent and the
+// freed-at-commit semantics let the other stream grow (§III-A).
+// ---------------------------------------------------------------------
+
+TEST(DynamicRepartition, QuotaFlipMidRunDrains)
+{
+    AddressSpace cheap;
+    Gpu gpu(smallGpu());
+    const StreamId a = gpu.createStream("a");
+    const StreamId b = gpu.createStream("b");
+    ComputeKernelDesc d;
+    d.name = "loop";
+    d.ctas = 64;
+    d.threadsPerCta = 128;
+    d.regsPerThread = 32;
+    d.iterations = 3;
+    d.fp32Ops = 24;
+    d.loads = {{MemPatternKind::Streaming, cheap.alloc(1 << 20), 1 << 20,
+                4, 2, 128}};
+    gpu.enqueueKernel(a, buildComputeKernel(d));
+    d.name = "loop2";
+    gpu.enqueueKernel(b, buildComputeKernel(d));
+    PartitionConfig part;
+    part.policy = PartitionPolicy::FineGrained;
+    gpu.setPartition(part);
+
+    struct Flipper : GpuController
+    {
+        StreamId a;
+        StreamId b;
+        bool flipped = false;
+        void
+        onCycle(Gpu &gpu, Cycle now) override
+        {
+            if (!flipped && now > 2000) {
+                flipped = true;
+                gpu.setUniformQuota(a, 0.25);
+                gpu.setUniformQuota(b, 0.75);
+            }
+        }
+    } flipper;
+    flipper.a = a;
+    flipper.b = b;
+    gpu.addController(&flipper);
+    ASSERT_TRUE(gpu.run(100'000'000ull).completed);
+    EXPECT_TRUE(flipper.flipped);
+}
+
+// ---------------------------------------------------------------------
+// Whole-machine determinism including L2, controllers and two streams.
+// ---------------------------------------------------------------------
+
+TEST(ConcurrentDeterminism, SameRunSameCycles)
+{
+    auto run_once = []() {
+        AddressSpace heap;
+        Gpu gpu(smallGpu());
+        const StreamId gfx = gpu.createStream("g");
+        const StreamId cmp = gpu.createStream("c");
+        const RenderSubmission frame = smallFrame(heap);
+        submitFrame(gpu, gfx, frame);
+        AddressSpace cheap(0x8000'0000ull);
+        for (const KernelInfo &k : buildHolo(cheap, 1)) {
+            gpu.enqueueKernel(cmp, k);
+        }
+        PartitionConfig part;
+        part.policy = PartitionPolicy::FineGrained;
+        part.priorityStream = gfx;
+        gpu.setPartition(part);
+        const auto r = gpu.run(500'000'000ull);
+        return std::make_tuple(r.cycles,
+                               gpu.stats().stream(gfx).instructions,
+                               gpu.stats().stream(cmp).l2Accesses);
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------------
+// Controllers compose: TAP and Warped-Slicer attached simultaneously
+// (set partitioning + dynamic quotas) still drain.
+// ---------------------------------------------------------------------
+
+TEST(Controllers, TapAndSlicerCompose)
+{
+    AddressSpace heap;
+    Gpu gpu(smallGpu());
+    const StreamId gfx = gpu.createStream("g");
+    const StreamId cmp = gpu.createStream("c");
+    const RenderSubmission frame = smallFrame(heap);
+    submitFrame(gpu, gfx, frame);
+    AddressSpace cheap(0x8000'0000ull);
+    for (const KernelInfo &k : buildNn(cheap, 2)) {
+        gpu.enqueueKernel(cmp, k);
+    }
+    PartitionConfig part;
+    part.policy = PartitionPolicy::FineGrained;
+    part.priorityStream = gfx;
+    gpu.setPartition(part);
+
+    WarpedSlicerConfig wc;
+    wc.streamA = gfx;
+    wc.streamB = cmp;
+    wc.sampleCycles = 500;
+    WarpedSlicer slicer(wc);
+    gpu.addController(&slicer);
+    TapConfig tc;
+    tc.gfxStream = gfx;
+    tc.computeStream = cmp;
+    tc.epoch = 1000;
+    TapController tap(tc, gpu);
+    gpu.addController(&tap);
+
+    ASSERT_TRUE(gpu.run(500'000'000ull).completed);
+    EXPECT_GE(slicer.samplingPhases(), 1u);
+    EXPECT_FALSE(tap.decisions().empty());
+}
+
+
+// ---------------------------------------------------------------------
+// More than two workloads (§IV: "the simulation framework can be easily
+// extended to support more than 2 workloads"): graphics plus two compute
+// streams share the machine under fine-grained quotas.
+// ---------------------------------------------------------------------
+
+TEST(ThreeStreams, GraphicsPlusTwoComputeStreamsDrain)
+{
+    AddressSpace heap;
+    Gpu gpu(smallGpu());
+    const StreamId gfx = gpu.createStream("graphics");
+    const StreamId vio = gpu.createStream("vio");
+    const StreamId atw = gpu.createStream("atw");
+    const RenderSubmission frame = smallFrame(heap);
+    submitFrame(gpu, gfx, frame);
+    AddressSpace cheap(0x8000'0000ull);
+    for (const KernelInfo &k : buildVio(cheap, 1, 160, 120)) {
+        gpu.enqueueKernel(vio, k);
+    }
+    for (const KernelInfo &k :
+         buildTimewarp(cheap, cheap.alloc(4ull * 160 * 90), 160, 90)) {
+        gpu.enqueueKernel(atw, k);
+    }
+    PartitionConfig part;
+    part.policy = PartitionPolicy::FineGrained;
+    part.share[gfx] = 0.5;
+    part.share[vio] = 0.25;
+    part.share[atw] = 0.25;
+    part.priorityStream = gfx;
+    gpu.setPartition(part);
+    ASSERT_TRUE(gpu.run(800'000'000ull).completed);
+    for (StreamId s : {gfx, vio, atw}) {
+        EXPECT_GT(gpu.stats().stream(s).instructions, 0u) << s;
+        EXPECT_GT(gpu.streamFinishCycle(s), 0u);
+    }
+}
+
+TEST(ThreeStreams, MpsSplitsSmsThreeWays)
+{
+    AddressSpace cheap;
+    GpuConfig cfg = smallGpu();
+    cfg.numSms = 6;
+    cfg.finalize();
+    Gpu gpu(cfg);
+    const StreamId a = gpu.createStream("a");
+    const StreamId b = gpu.createStream("b");
+    const StreamId c = gpu.createStream("c");
+    ComputeKernelDesc d;
+    d.name = "k";
+    d.ctas = 24;
+    d.threadsPerCta = 128;
+    d.regsPerThread = 32;
+    d.fp32Ops = 32;
+    d.loads = {{MemPatternKind::Streaming, cheap.alloc(1 << 20), 1 << 20,
+                4, 1, 128}};
+    for (StreamId s : {a, b, c}) {
+        gpu.enqueueKernel(s, buildComputeKernel(d));
+    }
+    PartitionConfig part;
+    part.policy = PartitionPolicy::Mps;
+    gpu.setPartition(part);
+
+    struct Sampler : GpuController
+    {
+        std::array<std::set<uint32_t>, 3> smsUsed;
+        std::array<StreamId, 3> ids;
+        void
+        onCycle(Gpu &gpu, Cycle) override
+        {
+            for (uint32_t s = 0; s < gpu.numSms(); ++s) {
+                for (int i = 0; i < 3; ++i) {
+                    if (gpu.sm(s).activeCtasOf(ids[i]) > 0) {
+                        smsUsed[i].insert(s);
+                    }
+                }
+            }
+        }
+    } sampler;
+    sampler.ids = {a, b, c};
+    gpu.addController(&sampler);
+    ASSERT_TRUE(gpu.run(400'000'000ull).completed);
+    // Each stream ran on a disjoint pair of SMs.
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(sampler.smsUsed[i].size(), 2u);
+        for (int j = i + 1; j < 3; ++j) {
+            for (uint32_t sm : sampler.smsUsed[i]) {
+                EXPECT_EQ(sampler.smsUsed[j].count(sm), 0u);
+            }
+        }
+    }
+}
+
+
+// ---------------------------------------------------------------------
+// Fixed-function FIFO latency between shader stages (SIV): a fragment
+// kernel becomes eligible only delay cycles after its vertex kernel
+// completed.
+// ---------------------------------------------------------------------
+
+TEST(SubmitFrameTest, FixedFunctionDelayPostponesFragmentKernels)
+{
+    AddressSpace heap;
+    const RenderSubmission frame = smallFrame(heap);
+
+    struct Watcher : GpuController
+    {
+        std::map<KernelId, Cycle> launch;
+        std::map<KernelId, Cycle> complete;
+        void
+        onKernelLaunch(Gpu &gpu, const KernelInfo &, KernelId id) override
+        {
+            launch[id] = gpu.now();
+        }
+        void
+        onKernelComplete(Gpu &gpu, StreamId, KernelId id) override
+        {
+            complete[id] = gpu.now();
+        }
+    };
+
+    auto run = [&](Cycle delay) {
+        Gpu gpu(smallGpu());
+        const StreamId gfx = gpu.createStream("graphics");
+        const std::vector<KernelId> ids =
+            submitFrame(gpu, gfx, frame, delay);
+        Watcher watcher;
+        gpu.addController(&watcher);
+        EXPECT_TRUE(gpu.run(500'000'000ull).completed);
+        Cycle min_gap = ~0ull;
+        for (const auto &r : frame.reports) {
+            if (r.fsKernelIndex == ~0u) {
+                continue;
+            }
+            const Cycle vs_done = watcher.complete[ids[r.vsKernelIndex]];
+            const Cycle fs_start = watcher.launch[ids[r.fsKernelIndex]];
+            min_gap = std::min(min_gap, fs_start - vs_done);
+        }
+        return min_gap;
+    };
+
+    EXPECT_GE(run(500), 500u);
+    EXPECT_LT(run(0), 500u);
+}
+
+// NN's small-batch grids cannot fill a large machine (paper §V-B).
+TEST(WorkloadShape, NnUnderfillsBigGpu)
+{
+    AddressSpace heap;
+    const auto kernels = buildNn(heap, 1);
+    const GpuConfig rtx = GpuConfig::rtx3070();
+    for (const auto &k : kernels) {
+        EXPECT_LT(k.numCtas(), rtx.numSms)
+            << "NN grid should not fill 46 SMs";
+    }
+}
+
+} // namespace
+} // namespace crisp

@@ -1,0 +1,378 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/sm.hpp"
+#include "isa/trace_builder.hpp"
+
+namespace crisp
+{
+namespace
+{
+
+/** Fabric stub with configurable latency (same as core_test). */
+class DelayFabric : public MemFabricPort
+{
+  public:
+    explicit DelayFabric(Cycle delay) : delay_(delay) {}
+
+    bool
+    submitToL2(MemRequest req, Cycle now) override
+    {
+        if (!req.write) {
+            pending_.emplace(now + delay_, req);
+        }
+        return true;
+    }
+
+    void
+    step(Sm &sm, Cycle now)
+    {
+        while (!pending_.empty() && pending_.begin()->first <= now) {
+            auto node = pending_.extract(pending_.begin());
+            sm.memResponse(node.mapped(), now);
+        }
+    }
+
+  private:
+    Cycle delay_;
+    std::multimap<Cycle, MemRequest> pending_;
+};
+
+KernelInfo
+warpKernel(WarpTrace warp, StreamId stream = 0, uint32_t regs = 16)
+{
+    CtaTrace cta;
+    cta.warps.push_back(std::move(warp));
+    KernelInfo k;
+    k.name = "prop";
+    k.stream = stream;
+    k.grid = {1, 1, 1};
+    k.cta = {32, 1, 1};
+    k.regsPerThread = regs;
+    k.source = std::make_shared<VectorCtaSource>(
+        std::vector<CtaTrace>{std::move(cta)});
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// Instruction latency sweep: a two-instruction dependence chain takes at
+// least the producing class's latency.
+// ---------------------------------------------------------------------
+
+struct LatencyCase
+{
+    Opcode op;
+    const char *name;
+};
+
+class LatencySweep : public ::testing::TestWithParam<LatencyCase>
+{
+};
+
+TEST_P(LatencySweep, DependenceChainPaysProducerLatency)
+{
+    const LatencyCase c = GetParam();
+    SmConfig cfg;
+    DelayFabric fabric(100);
+    StatsRegistry stats;
+    Sm sm(0, cfg, &fabric, &stats);
+
+    TraceBuilder tb(32);
+    tb.alu(c.op, 5, 1, 2);
+    tb.alu(Opcode::FFMA, 6, 5, 5);  // depends on the producer
+    tb.exit();
+    const auto k = warpKernel(tb.take());
+    sm.launchCta(k, 1, 0, 0);
+    Cycle now = 0;
+    while (!sm.idle() && now < 10000) {
+        ++now;
+        sm.step(now);
+        fabric.step(sm, now);
+    }
+    const Cycle expect = cfg.latencyFor(opcodeClass(c.op));
+    EXPECT_GE(now, expect);
+    EXPECT_LE(now, expect + cfg.fp32Latency + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classes, LatencySweep,
+    ::testing::Values(LatencyCase{Opcode::FFMA, "fp32"},
+                      LatencyCase{Opcode::IMAD, "int"},
+                      LatencyCase{Opcode::MUFU_SIN, "sfu"},
+                      LatencyCase{Opcode::HMMA, "tensor"}),
+    [](const ::testing::TestParamInfo<LatencyCase> &info) {
+        return info.param.name;
+    });
+
+// ---------------------------------------------------------------------
+// Barrier sweep: all warp counts synchronize and drain.
+// ---------------------------------------------------------------------
+
+class BarrierSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(BarrierSweep, AllWarpsDrain)
+{
+    const uint32_t warps = GetParam();
+    SmConfig cfg;
+    DelayFabric fabric(50);
+    StatsRegistry stats;
+    Sm sm(0, cfg, &fabric, &stats);
+
+    CtaTrace cta;
+    for (uint32_t w = 0; w < warps; ++w) {
+        TraceBuilder tb(32);
+        // Stagger work before the barrier so arrival times differ.
+        tb.aluChain(Opcode::FFMA, 5, 2, w + 1);
+        tb.bar();
+        tb.alu(Opcode::IADD, 6, 1);
+        tb.exit();
+        cta.warps.push_back(tb.take());
+    }
+    KernelInfo k;
+    k.name = "bar";
+    k.grid = {1, 1, 1};
+    k.cta = {warps * 32, 1, 1};
+    k.regsPerThread = 16;
+    k.source = std::make_shared<VectorCtaSource>(
+        std::vector<CtaTrace>{std::move(cta)});
+    ASSERT_TRUE(sm.canAccept(k));
+    sm.launchCta(k, 1, 0, 0);
+    Cycle now = 0;
+    while (!sm.idle() && now < 100000) {
+        ++now;
+        sm.step(now);
+        fabric.step(sm, now);
+    }
+    EXPECT_TRUE(sm.idle()) << warps << " warps deadlocked at the barrier";
+    EXPECT_EQ(stats.stream(0).instructions,
+              static_cast<uint64_t>(warps) * (warps + 1) / 2 +
+                  3ull * warps);
+}
+
+INSTANTIATE_TEST_SUITE_P(WarpCounts, BarrierSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+// ---------------------------------------------------------------------
+// Regression: a lower-priority stream must not starve the priority
+// stream's issue slots or head-of-line block its memory instructions.
+// ---------------------------------------------------------------------
+
+TEST(PriorityRegression, PriorityStreamProgressesUnderFlood)
+{
+    SmConfig cfg;
+    DelayFabric fabric(200);
+    StatsRegistry stats;
+    Sm sm(0, cfg, &fabric, &stats);
+    sm.setIssuePriority(/*stream=*/1, -1);
+
+    // Stream 0 floods: many warps of back-to-back loads + ALU.
+    KernelInfo flood;
+    {
+        CtaTrace cta;
+        for (int w = 0; w < 24; ++w) {
+            TraceBuilder tb(32);
+            for (int i = 0; i < 30; ++i) {
+                tb.memStrided(Opcode::LDG, 4,
+                              0x100000 + 0x4000 * w + 0x100 * i,
+                              kLineBytes, 4, DataClass::Compute);
+                tb.alu(Opcode::IMAD, 5, 4, 4);
+            }
+            tb.exit();
+            cta.warps.push_back(tb.take());
+        }
+        flood.name = "flood";
+        flood.stream = 0;
+        flood.grid = {1, 1, 1};
+        flood.cta = {24 * 32, 1, 1};
+        flood.regsPerThread = 16;
+        flood.source = std::make_shared<VectorCtaSource>(
+            std::vector<CtaTrace>{std::move(cta)});
+    }
+    sm.launchCta(flood, 1, 0, 0);
+
+    // Let the flood occupy the LDST queue first.
+    Cycle now = 0;
+    for (int i = 0; i < 20; ++i) {
+        ++now;
+        sm.step(now);
+        fabric.step(sm, now);
+    }
+
+    // Priority stream: one short warp with a load.
+    TraceBuilder tb(32);
+    tb.memUniform(Opcode::LDG, 4, 0x900000, 4, DataClass::Texture);
+    tb.alu(Opcode::FFMA, 5, 4, 4);
+    tb.exit();
+    auto k = warpKernel(tb.take(), /*stream=*/1);
+    ASSERT_TRUE(sm.canAccept(k));
+    sm.launchCta(k, 2, 0, now);
+    const Cycle launch = now;
+    while (stats.stream(1).instructions < 3 && now - launch < 5000) {
+        ++now;
+        sm.step(now);
+        fabric.step(sm, now);
+    }
+    // Without priority, the flood's LDST entries would delay this far
+    // beyond a couple of memory round trips.
+    EXPECT_LT(now - launch, 1500u);
+    while (!sm.idle() && now < 200000) {
+        ++now;
+        sm.step(now);
+        fabric.step(sm, now);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Quota invariant under churn: per-stream thread usage never exceeds the
+// quota while CTAs launch and retire.
+// ---------------------------------------------------------------------
+
+class QuotaSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(QuotaSweep, UsageNeverExceedsQuota)
+{
+    const uint32_t quota_threads = GetParam();
+    SmConfig cfg;
+    DelayFabric fabric(80);
+    StatsRegistry stats;
+    Sm sm(0, cfg, &fabric, &stats);
+    SmQuota q;
+    q.maxThreads = quota_threads;
+    sm.setQuota(2, q);
+
+    KernelInfo k;
+    {
+        CtaTrace cta;
+        TraceBuilder tb(32);
+        tb.memUniform(Opcode::LDG, 4, 0x5000, 4, DataClass::Compute);
+        tb.alu(Opcode::FFMA, 5, 4, 4);
+        tb.exit();
+        cta.warps.push_back(tb.take());
+        cta.warps.push_back(cta.warps[0]);
+        k.name = "quota";
+        k.stream = 2;
+        k.grid = {64, 1, 1};
+        k.cta = {64, 1, 1};
+        k.regsPerThread = 16;
+        k.source = std::make_shared<VectorCtaSource>(
+            std::vector<CtaTrace>(64, cta));
+    }
+    uint32_t launched = 0;
+    Cycle now = 0;
+    while ((launched < 64 || !sm.idle()) && now < 500000) {
+        if (launched < 64 && sm.canAccept(k)) {
+            sm.launchCta(k, 1, launched++, now);
+        }
+        ++now;
+        sm.step(now);
+        fabric.step(sm, now);
+        EXPECT_LE(sm.usedThreadsOf(2), quota_threads);
+    }
+    EXPECT_EQ(launched, 64u);
+    EXPECT_TRUE(sm.idle());
+}
+
+INSTANTIATE_TEST_SUITE_P(Quotas, QuotaSweep,
+                         ::testing::Values(64u, 128u, 256u, 1024u));
+
+
+// ---------------------------------------------------------------------
+// LRR scheduler option: both policies drain the same workload; LRR
+// spreads issue across warps instead of sticking with one.
+// ---------------------------------------------------------------------
+
+class SchedulerSweep : public ::testing::TestWithParam<SchedulerPolicy>
+{
+};
+
+TEST_P(SchedulerSweep, MultiWarpKernelDrains)
+{
+    SmConfig cfg;
+    cfg.scheduler = GetParam();
+    DelayFabric fabric(100);
+    StatsRegistry stats;
+    Sm sm(0, cfg, &fabric, &stats);
+    CtaTrace cta;
+    for (int w = 0; w < 12; ++w) {
+        TraceBuilder tb(32);
+        tb.memStrided(Opcode::LDG, 4, 0x10000 + w * 0x1000, 4, 4,
+                      DataClass::Compute);
+        tb.aluChain(Opcode::FFMA, 5, 4, 10);
+        tb.exit();
+        cta.warps.push_back(tb.take());
+    }
+    KernelInfo k;
+    k.name = "sched";
+    k.grid = {1, 1, 1};
+    k.cta = {12 * 32, 1, 1};
+    k.regsPerThread = 16;
+    k.source = std::make_shared<VectorCtaSource>(
+        std::vector<CtaTrace>{std::move(cta)});
+    sm.launchCta(k, 1, 0, 0);
+    Cycle now = 0;
+    while (!sm.idle() && now < 100000) {
+        ++now;
+        sm.step(now);
+        fabric.step(sm, now);
+    }
+    EXPECT_TRUE(sm.idle());
+    EXPECT_EQ(stats.stream(0).instructions, 12u * 12u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SchedulerSweep,
+                         ::testing::Values(SchedulerPolicy::Gto,
+                                           SchedulerPolicy::Lrr),
+                         [](const auto &info) {
+                             return info.param == SchedulerPolicy::Gto
+                                 ? "Gto"
+                                 : "Lrr";
+                         });
+
+// ---------------------------------------------------------------------
+// Determinism: the same kernel replayed twice takes identical cycles.
+// ---------------------------------------------------------------------
+
+TEST(CoreProperty, SimulationIsDeterministic)
+{
+    auto run_once = []() {
+        SmConfig cfg;
+        DelayFabric fabric(120);
+        StatsRegistry stats;
+        Sm sm(0, cfg, &fabric, &stats);
+        CtaTrace cta;
+        for (int w = 0; w < 8; ++w) {
+            TraceBuilder tb(32);
+            tb.memStrided(Opcode::LDG, 4, 0x10000 + w * 0x800, 4, 4,
+                          DataClass::Compute);
+            tb.aluChain(Opcode::FFMA, 5, 4, 12);
+            tb.memStrided(Opcode::STG, 5, 0x80000 + w * 0x800, 4, 4,
+                          DataClass::Compute);
+            tb.exit();
+            cta.warps.push_back(tb.take());
+        }
+        KernelInfo k;
+        k.name = "det";
+        k.grid = {1, 1, 1};
+        k.cta = {256, 1, 1};
+        k.regsPerThread = 16;
+        k.source = std::make_shared<VectorCtaSource>(
+            std::vector<CtaTrace>{std::move(cta)});
+        sm.launchCta(k, 1, 0, 0);
+        Cycle now = 0;
+        while (!sm.idle() && now < 100000) {
+            ++now;
+            sm.step(now);
+            fabric.step(sm, now);
+        }
+        return std::make_pair(now, stats.stream(0).instructions);
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace crisp

@@ -1,0 +1,431 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "graphics/batching.hpp"
+#include "graphics/mesh.hpp"
+#include "graphics/pipeline.hpp"
+#include "graphics/raster.hpp"
+#include "graphics/sampler.hpp"
+#include "workloads/scenes.hpp"
+
+namespace crisp
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Rasterizer geometric properties over random triangles.
+// ---------------------------------------------------------------------
+
+class RandomTriangleSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomTriangleSweep, FragmentsLieInsideTheirTriangle)
+{
+    Rng rng(GetParam());
+    AddressSpace heap;
+    Framebuffer fb(128, 128, heap);
+    Rasterizer rast(fb);
+
+    Vec4 clip[3];
+    Vec2 uv[3] = {{0, 0}, {1, 0}, {0, 1}};
+    for (int i = 0; i < 3; ++i) {
+        clip[i] = Vec4(static_cast<float>(rng.uniform(-1.2, 1.2)),
+                       static_cast<float>(rng.uniform(-1.2, 1.2)), 0.5f,
+                       1.0f);
+    }
+    rast.submit(clip, uv, 0, 0);
+
+    // Screen-space vertices (same transform as the rasterizer).
+    Vec2 p[3];
+    for (int i = 0; i < 3; ++i) {
+        p[i].x = (clip[i].x * 0.5f + 0.5f) * 128.0f;
+        p[i].y = (0.5f - clip[i].y * 0.5f) * 128.0f;
+    }
+    const float area = (p[1].x - p[0].x) * (p[2].y - p[0].y) -
+                       (p[2].x - p[0].x) * (p[1].y - p[0].y);
+    uint64_t frags = 0;
+    for (const auto &bin : rast.takeBins()) {
+        for (const auto &f : bin.frags) {
+            ++frags;
+            const float cx = f.x + 0.5f;
+            const float cy = f.y + 0.5f;
+            // All three sub-areas must have the sign of the full area.
+            for (int e = 0; e < 3; ++e) {
+                const Vec2 &a = p[e];
+                const Vec2 &b = p[(e + 1) % 3];
+                const float edge =
+                    (b.x - a.x) * (cy - a.y) - (cx - a.x) * (b.y - a.y);
+                EXPECT_GE(edge * area, -1e-2f)
+                    << "fragment outside its triangle";
+            }
+            // uv interpolation stays within the triangle's uv hull.
+            EXPECT_GE(f.uv.x, -1e-3f);
+            EXPECT_LE(f.uv.x, 1.0f + 1e-3f);
+            EXPECT_GE(f.uv.y, -1e-3f);
+            EXPECT_LE(f.uv.y, 1.0f + 1e-3f);
+        }
+    }
+    EXPECT_EQ(frags, rast.stats().fragsGenerated -
+                         rast.stats().fragsEarlyZKilled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTriangleSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------
+// Winding regressions (found during bring-up: planes viewed from above
+// were backface-culled and spheres showed their inside).
+// ---------------------------------------------------------------------
+
+TEST(WindingRegression, PlaneVisibleFromAbove)
+{
+    AddressSpace heap;
+    Scene scene;
+    scene.camera.eye = {0.0f, 5.0f, 8.0f};
+    scene.camera.view = Mat4::lookAt(scene.camera.eye, {0, 0, 0},
+                                     {0, 1, 0});
+    scene.camera.proj = Mat4::perspective(1.0f, 1.0f, 0.1f, 100.0f);
+    Mesh *plane =
+        scene.addMesh(Mesh::makePlane("p", 4, 10.0f, 1.0f, heap));
+    Material mat;
+    mat.kind = ShaderKind::Basic;
+    mat.textures.push_back(scene.addTexture(std::make_unique<Texture2D>(
+        "t", 32, 32, TexFormat::RGBA8, heap)));
+    Material *m = scene.addMaterial(std::move(mat));
+    DrawCall d;
+    d.name = "p";
+    d.mesh = plane;
+    d.material = m;
+    scene.draws.push_back(std::move(d));
+
+    PipelineConfig pc;
+    pc.width = 64;
+    pc.height = 64;
+    RenderPipeline pipe(pc, heap);
+    const RenderSubmission sub = pipe.submit(scene);
+    EXPECT_GT(sub.reports[0].fragments, 500u);
+    EXPECT_EQ(sub.reports[0].raster.trisCulledBackface, 0u);
+}
+
+TEST(WindingRegression, SphereShowsFrontHemisphere)
+{
+    AddressSpace heap;
+    Scene scene;
+    scene.camera.eye = {0.0f, 0.0f, 3.0f};
+    scene.camera.view = Mat4::lookAt(scene.camera.eye, {0, 0, 0},
+                                     {0, 1, 0});
+    scene.camera.proj = Mat4::perspective(1.0f, 1.0f, 0.1f, 100.0f);
+    Mesh *ball =
+        scene.addMesh(Mesh::makeSphere("s", 16, 24, 1.0f, heap));
+    Material mat;
+    mat.kind = ShaderKind::Basic;
+    mat.textures.push_back(scene.addTexture(std::make_unique<Texture2D>(
+        "t", 32, 32, TexFormat::RGBA8, heap)));
+    Material *m = scene.addMaterial(std::move(mat));
+    DrawCall d;
+    d.name = "s";
+    d.mesh = ball;
+    d.material = m;
+    scene.draws.push_back(std::move(d));
+
+    PipelineConfig pc;
+    pc.width = 64;
+    pc.height = 64;
+    RenderPipeline pipe(pc, heap);
+    pipe.submit(scene);
+    // Front surface is at view distance 2 (depth much closer than the
+    // back surface at distance 4).
+    const float zn = 0.1f;
+    const float zf = 100.0f;
+    auto ndc = [&](float dist) {
+        return (zf / (zn - zf) * -dist + (zn * zf) / (zn - zf)) / dist;
+    };
+    EXPECT_NEAR(pipe.framebuffer().depthAt(32, 32), ndc(2.0f), 0.002f);
+}
+
+// ---------------------------------------------------------------------
+// Early-Z order independence of the final depth buffer.
+// ---------------------------------------------------------------------
+
+TEST(RasterProperty, DepthBufferOrderIndependent)
+{
+    AddressSpace heap_a;
+    AddressSpace heap_b;
+    Framebuffer fb_a(64, 64, heap_a);
+    Framebuffer fb_b(64, 64, heap_b);
+    const Vec2 uv[3] = {{0, 0}, {0.5f, 1}, {1, 0}};
+    const Vec4 near_tri[3] = {{-2.0f, -2.0f, 0.2f, 1.0f},
+                              {0.0f, 2.0f, 0.2f, 1.0f},
+                              {2.0f, -2.0f, 0.2f, 1.0f}};
+    const Vec4 far_tri[3] = {{-2.0f, -2.0f, 0.8f, 1.0f},
+                             {0.0f, 2.0f, 0.8f, 1.0f},
+                             {2.0f, -2.0f, 0.8f, 1.0f}};
+    {
+        Rasterizer r(fb_a);
+        r.submit(near_tri, uv, 0, 0);
+        r.submit(far_tri, uv, 1, 0);
+    }
+    {
+        Rasterizer r(fb_b);
+        r.submit(far_tri, uv, 0, 0);
+        r.submit(near_tri, uv, 1, 0);
+    }
+    for (uint32_t y = 0; y < 64; ++y) {
+        for (uint32_t x = 0; x < 64; ++x) {
+            ASSERT_FLOAT_EQ(fb_a.depthAt(x, y), fb_b.depthAt(x, y));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sampler LoD monotonicity over derivative magnitudes and formats.
+// ---------------------------------------------------------------------
+
+class LodSweep : public ::testing::TestWithParam<TexFormat>
+{
+};
+
+TEST_P(LodSweep, LodMonotonicInDerivative)
+{
+    AddressSpace heap;
+    Texture2D tex("t", 128, 128, GetParam(), heap);
+    float prev = -1.0f;
+    for (float scale : {0.5f, 1.0f, 2.0f, 4.0f, 8.0f, 32.0f}) {
+        const float d = scale / 128.0f;
+        const float lod =
+            Sampler::computeLod(tex, {d, 0.0f}, {0.0f, d});
+        EXPECT_GE(lod, prev);
+        prev = lod;
+    }
+    // And the selected level is bounded by the chain length.
+    EXPECT_LT(Sampler::selectLevel(tex, prev), tex.numLevels());
+}
+
+TEST_P(LodSweep, FootprintAddressesInsideAllocation)
+{
+    AddressSpace heap;
+    Texture2D tex("t", 64, 32, GetParam(), heap, 2);
+    Rng rng(7);
+    std::vector<Addr> fp;
+    for (int i = 0; i < 200; ++i) {
+        fp.clear();
+        const Vec2 uv = {static_cast<float>(rng.uniform(-2.0, 2.0)),
+                         static_cast<float>(rng.uniform(-2.0, 2.0))};
+        const float lod = static_cast<float>(rng.uniform(0.0, 8.0));
+        const uint32_t layer = static_cast<uint32_t>(rng.nextBelow(2));
+        Sampler::footprint(tex, uv, lod, layer, TexFilter::Bilinear, fp);
+        for (Addr a : fp) {
+            EXPECT_GE(a, tex.baseAddr());
+            EXPECT_LT(a, tex.baseAddr() + tex.sizeBytes());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, LodSweep,
+                         ::testing::Values(TexFormat::R8, TexFormat::RG8,
+                                           TexFormat::RGBA8,
+                                           TexFormat::RGBA16F));
+
+// ---------------------------------------------------------------------
+// Batching conservation properties over batch sizes.
+// ---------------------------------------------------------------------
+
+class BatchSizeSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(BatchSizeSweep, TriangleAndVertexConservation)
+{
+    const uint32_t batch_size = GetParam();
+    AddressSpace heap;
+    const Mesh mesh = Mesh::makeSphere("s", 12, 18, 1.0f, heap);
+    const auto batches = buildVertexBatches(mesh.indices(), batch_size);
+
+    uint64_t tris = 0;
+    for (const auto &b : batches) {
+        tris += b.tris.size();
+        // Every triangle's local references resolve to the same mesh
+        // vertex the original index stream named.
+        for (const auto &t : b.tris) {
+            for (uint32_t v : t) {
+                ASSERT_LT(v, b.uniqueVerts.size());
+            }
+        }
+        // Unique really means unique within the batch.
+        std::set<uint32_t> seen(b.uniqueVerts.begin(),
+                                b.uniqueVerts.end());
+        EXPECT_EQ(seen.size(), b.uniqueVerts.size());
+        // First-use positions point at matching index entries.
+        for (size_t s = 0; s < b.uniqueVerts.size(); ++s) {
+            ASSERT_LT(b.firstUsePos[s], mesh.indices().size());
+            EXPECT_EQ(mesh.indices()[b.firstUsePos[s]],
+                      b.uniqueVerts[s]);
+        }
+    }
+    EXPECT_EQ(tris, mesh.triangleCount());
+
+    // Invocations bounded between full-dedup and no-dedup.
+    const uint64_t inv = totalVsInvocations(batches);
+    EXPECT_GE(inv, mesh.vertices().size());
+    EXPECT_LE(inv, mesh.indices().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatchSizeSweep,
+                         ::testing::Values(3u, 8u, 24u, 96u, 333u));
+
+
+// ---------------------------------------------------------------------
+// Trilinear filtering extension.
+// ---------------------------------------------------------------------
+
+TEST(TrilinearTest, FootprintSpansTwoLevels)
+{
+    AddressSpace heap;
+    Texture2D tex("t", 64, 64, TexFormat::RGBA8, heap);
+    std::vector<Addr> fp;
+    Sampler::footprint(tex, {0.4f, 0.6f}, 1.5f, 0, TexFilter::Trilinear,
+                       fp);
+    ASSERT_EQ(fp.size(), 8u);
+    // The two bilinear quartets live in different mip levels: disjoint
+    // address ranges.
+    const Addr lo_min = *std::min_element(fp.begin(), fp.begin() + 4);
+    const Addr hi_min = *std::min_element(fp.begin() + 4, fp.end());
+    EXPECT_NE(lo_min / 4096, hi_min / 4096);
+}
+
+TEST(TrilinearTest, TopOfChainClampsBothLevels)
+{
+    AddressSpace heap;
+    Texture2D tex("t", 16, 16, TexFormat::RGBA8, heap);
+    std::vector<Addr> fp;
+    Sampler::footprint(tex, {0.5f, 0.5f}, 100.0f, 0, TexFilter::Trilinear,
+                       fp);
+    ASSERT_EQ(fp.size(), 8u);
+    // Both quartets reference the 1x1 top level.
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(fp[i], fp[i + 4]);
+    }
+}
+
+TEST(TrilinearTest, SampleBlendsBetweenLevels)
+{
+    AddressSpace heap;
+    Texture2D tex("t", 32, 32, TexFormat::RGBA8, heap);
+    const Vec2 uv = {0.3f, 0.7f};
+    const Texel lo = Sampler::sample(tex, uv, 1.0f, 0,
+                                     TexFilter::Bilinear);
+    const Texel hi = Sampler::sample(tex, uv, 2.0f, 0,
+                                     TexFilter::Bilinear);
+    const Texel mid = Sampler::sample(tex, uv, 1.5f, 0,
+                                      TexFilter::Trilinear);
+    EXPECT_NEAR(mid.r, 0.5f * (lo.r + hi.r), 1e-5f);
+    EXPECT_NEAR(mid.g, 0.5f * (lo.g + hi.g), 1e-5f);
+}
+
+TEST(TrilinearTest, PipelineEmitsEightTexFetchesPerSample)
+{
+    AddressSpace heap;
+    Scene scene;
+    scene.camera.eye = {0.0f, 0.0f, 3.0f};
+    scene.camera.view = Mat4::lookAt(scene.camera.eye, {0, 0, 0},
+                                     {0, 1, 0});
+    scene.camera.proj = Mat4::perspective(1.0f, 1.0f, 0.1f, 100.0f);
+    Mesh *ball = scene.addMesh(Mesh::makeSphere("s", 10, 14, 1.0f, heap));
+    Material mat;
+    mat.kind = ShaderKind::Basic;
+    mat.filter = TexFilter::Trilinear;
+    mat.textures.push_back(scene.addTexture(std::make_unique<Texture2D>(
+        "t", 64, 64, TexFormat::RGBA8, heap)));
+    Material *m = scene.addMaterial(std::move(mat));
+    DrawCall d;
+    d.name = "s";
+    d.mesh = ball;
+    d.material = m;
+    scene.draws.push_back(std::move(d));
+
+    PipelineConfig pc;
+    pc.width = 64;
+    pc.height = 64;
+    RenderPipeline pipe(pc, heap);
+    const RenderSubmission sub = pipe.submit(scene);
+    ASSERT_EQ(sub.kernels.size(), 2u);
+    const CtaTrace cta = sub.kernels[1].source->generate(0);
+    uint32_t tex = 0;
+    for (const auto &in : cta.warps[0].instrs) {
+        tex += in.opcode == Opcode::TEX;
+    }
+    EXPECT_EQ(tex, 8u);  // 1 map x (4 corners x 2 levels)
+}
+
+// ---------------------------------------------------------------------
+// Pipeline-level invariants across scenes and resolutions.
+// ---------------------------------------------------------------------
+
+class SceneResolutionSweep
+    : public ::testing::TestWithParam<std::tuple<const char *, uint32_t>>
+{
+};
+
+TEST_P(SceneResolutionSweep, ReportInvariants)
+{
+    const auto [name, width] = GetParam();
+    AddressSpace heap;
+    const Scene scene = buildSceneByName(name, heap);
+    PipelineConfig pc;
+    pc.width = width;
+    pc.height = width * 9 / 16;
+    RenderPipeline pipe(pc, heap);
+    const RenderSubmission sub = pipe.submit(scene);
+
+    ASSERT_EQ(sub.kernels.size(), sub.dependsOn.size());
+    for (const auto &r : sub.reports) {
+        EXPECT_GE(r.vsThreadsLaunched, r.vsInvocations);
+        EXPECT_LE(r.fragments, r.raster.fragsGenerated);
+        EXPECT_EQ(r.fragments, r.raster.fragsGenerated -
+                                   r.raster.fragsEarlyZKilled);
+        if (r.fsKernelIndex != ~0u) {
+            // FS kernel depends on this drawcall's VS kernel.
+            EXPECT_EQ(sub.dependsOn[r.fsKernelIndex],
+                      static_cast<int>(r.vsKernelIndex));
+            EXPECT_EQ(sub.kernels[r.fsKernelIndex].numCtas(), r.fsCtas);
+        }
+        // Fragments bounded by the framebuffer with some overdraw slack.
+        EXPECT_LT(r.fragments, 4ull * pc.width * pc.height);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenes, SceneResolutionSweep,
+    ::testing::Combine(::testing::Values("SPL", "PT", "IT"),
+                       ::testing::Values(96u, 320u)));
+
+// Functional determinism: submitting the same scene twice produces the
+// same image and the same kernel shapes.
+TEST(PipelineProperty, SubmitIsDeterministic)
+{
+    auto run = []() {
+        AddressSpace heap;
+        const Scene scene = buildSceneByName("PL", heap);
+        PipelineConfig pc;
+        pc.width = 160;
+        pc.height = 90;
+        RenderPipeline pipe(pc, heap);
+        const RenderSubmission sub = pipe.submit(scene);
+        uint64_t sig = sub.totalFragments() * 1000003ull +
+                       sub.totalVsInvocations();
+        for (const auto &k : sub.kernels) {
+            sig = sig * 31 + k.numCtas();
+        }
+        return sig;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace crisp

@@ -1,0 +1,433 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graphics/batching.hpp"
+#include "graphics/framebuffer.hpp"
+#include "graphics/mesh.hpp"
+#include "graphics/pipeline.hpp"
+#include "graphics/raster.hpp"
+#include "graphics/sampler.hpp"
+#include "graphics/texture.hpp"
+
+namespace crisp
+{
+namespace
+{
+
+TEST(TextureTest, FormatBytes)
+{
+    EXPECT_EQ(texFormatBytes(TexFormat::R8), 1u);
+    EXPECT_EQ(texFormatBytes(TexFormat::RG8), 2u);
+    EXPECT_EQ(texFormatBytes(TexFormat::RGBA8), 4u);
+    EXPECT_EQ(texFormatBytes(TexFormat::RGBA16F), 8u);
+}
+
+TEST(TextureTest, MipLevelCountIsLog2Plus1)
+{
+    AddressSpace heap;
+    Texture2D t("t", 64, 64, TexFormat::RGBA8, heap);
+    EXPECT_EQ(t.numLevels(), 7u);  // 64..1
+    EXPECT_EQ(t.levelWidth(0), 64u);
+    EXPECT_EQ(t.levelWidth(3), 8u);
+    EXPECT_EQ(t.levelWidth(6), 1u);
+
+    Texture2D flat("flat", 64, 64, TexFormat::RGBA8, heap, 1,
+                   /*mipmapped=*/false);
+    EXPECT_EQ(flat.numLevels(), 1u);
+}
+
+TEST(TextureTest, NonSquareLevels)
+{
+    AddressSpace heap;
+    Texture2D t("t", 64, 16, TexFormat::RGBA8, heap);
+    EXPECT_EQ(t.numLevels(), 7u);
+    EXPECT_EQ(t.levelHeight(4), 1u);  // clamps at 1
+    EXPECT_EQ(t.levelWidth(4), 4u);
+}
+
+TEST(TextureTest, TexelAddressesDistinctAcrossLevelsAndLayers)
+{
+    AddressSpace heap;
+    Texture2D t("t", 16, 16, TexFormat::RGBA8, heap, 4);
+    std::set<Addr> addrs;
+    for (uint32_t level = 0; level < t.numLevels(); ++level) {
+        for (uint32_t layer = 0; layer < 4; ++layer) {
+            addrs.insert(t.texelAddr(level, layer, 0, 0));
+        }
+    }
+    EXPECT_EQ(addrs.size(), t.numLevels() * 4u);
+    // Addresses stay inside the texture's allocation.
+    for (Addr a : addrs) {
+        EXPECT_GE(a, t.baseAddr());
+        EXPECT_LT(a, t.baseAddr() + t.sizeBytes());
+    }
+}
+
+TEST(TextureTest, BlockLinearLayoutKeepsNeighborhoodsInOneLine)
+{
+    AddressSpace heap;
+    Texture2D t("t", 32, 32, TexFormat::RGBA8, heap);
+    // Within a 4x4 tile, texels are contiguous.
+    EXPECT_EQ(t.texelAddr(0, 0, 1, 0) - t.texelAddr(0, 0, 0, 0), 4u);
+    EXPECT_EQ(t.texelAddr(0, 0, 0, 1) - t.texelAddr(0, 0, 0, 0), 16u);
+    // A whole 4x4 tile (64 B) lands in a single 128 B cache line.
+    const Addr line0 = t.texelAddr(0, 0, 0, 0) / kLineBytes;
+    for (uint32_t y = 0; y < 4; ++y) {
+        for (uint32_t x = 0; x < 4; ++x) {
+            EXPECT_EQ(t.texelAddr(0, 0, x, y) / kLineBytes, line0);
+        }
+    }
+    // The next tile over starts exactly one tile later.
+    EXPECT_EQ(t.texelAddr(0, 0, 4, 0) - t.texelAddr(0, 0, 0, 0), 64u);
+}
+
+TEST(TextureTest, MipChainAveragesContent)
+{
+    AddressSpace heap;
+    Texture2D t("t", 8, 8, TexFormat::RGBA8, heap);
+    // The top level is the average of everything below.
+    double sum = 0.0;
+    for (uint32_t y = 0; y < 8; ++y) {
+        for (uint32_t x = 0; x < 8; ++x) {
+            sum += t.fetch(0, 0, x, y).r;
+        }
+    }
+    const double mean_base = sum / 64.0;
+    const double top = t.fetch(t.numLevels() - 1, 0, 0, 0).r;
+    EXPECT_NEAR(top, mean_base, 0.02);
+}
+
+TEST(SamplerTest, MagnificationSelectsLevelZero)
+{
+    AddressSpace heap;
+    Texture2D t("t", 64, 64, TexFormat::RGBA8, heap);
+    const float lod = Sampler::computeLod(t, {0.001f, 0.0f},
+                                          {0.0f, 0.001f});
+    EXPECT_FLOAT_EQ(lod, 0.0f);
+    EXPECT_EQ(Sampler::selectLevel(t, lod), 0u);
+}
+
+TEST(SamplerTest, MinificationRaisesLevel)
+{
+    AddressSpace heap;
+    Texture2D t("t", 64, 64, TexFormat::RGBA8, heap);
+    // One pixel step covers 4 texels: lod = log2(4) = 2.
+    const float lod = Sampler::computeLod(t, {4.0f / 64.0f, 0.0f},
+                                          {0.0f, 4.0f / 64.0f});
+    EXPECT_NEAR(lod, 2.0f, 1e-4);
+    EXPECT_EQ(Sampler::selectLevel(t, lod), 2u);
+    // LoD clamps at the last level.
+    EXPECT_EQ(Sampler::selectLevel(t, 100.0f), t.numLevels() - 1);
+}
+
+TEST(SamplerTest, FootprintSizes)
+{
+    AddressSpace heap;
+    Texture2D t("t", 32, 32, TexFormat::RGBA8, heap);
+    std::vector<Addr> fp;
+    Sampler::footprint(t, {0.4f, 0.6f}, 0.0f, 0, TexFilter::Nearest, fp);
+    EXPECT_EQ(fp.size(), 1u);
+    fp.clear();
+    Sampler::footprint(t, {0.4f, 0.6f}, 0.0f, 0, TexFilter::Bilinear, fp);
+    EXPECT_EQ(fp.size(), 4u);
+}
+
+TEST(SamplerTest, Fig7MipmapMergesNeighboringLookups)
+{
+    // The paper's Fig 7: four texel requests within a 2x2 region of level 0
+    // collide onto one texel at level 1.
+    AddressSpace heap;
+    Texture2D t("t", 4, 4, TexFormat::RGBA8, heap);
+    const Vec2 uvs[4] = {{0.05f, 0.05f}, {0.30f, 0.05f},
+                         {0.05f, 0.30f}, {0.30f, 0.30f}};
+    std::set<Addr> level0;
+    std::set<Addr> level1;
+    for (const Vec2 &uv : uvs) {
+        std::vector<Addr> fp;
+        Sampler::footprint(t, uv, 0.0f, 0, TexFilter::Nearest, fp);
+        level0.insert(fp[0]);
+        fp.clear();
+        Sampler::footprint(t, uv, 1.0f, 0, TexFilter::Nearest, fp);
+        level1.insert(fp[0]);
+    }
+    EXPECT_EQ(level0.size(), 4u);
+    EXPECT_EQ(level1.size(), 1u);
+}
+
+TEST(SamplerTest, FunctionalSampleInRange)
+{
+    AddressSpace heap;
+    Texture2D t("t", 32, 32, TexFormat::RGBA8, heap);
+    for (float lod : {0.0f, 1.5f, 5.0f}) {
+        const Texel c =
+            Sampler::sample(t, {0.7f, 0.2f}, lod, 0, TexFilter::Bilinear);
+        EXPECT_GE(c.r, 0.0f);
+        EXPECT_LE(c.r, 1.0f);
+    }
+}
+
+TEST(MeshTest, PlaneCounts)
+{
+    AddressSpace heap;
+    Mesh m = Mesh::makePlane("p", 4, 8.0f, 1.0f, heap);
+    EXPECT_EQ(m.vertices().size(), 25u);
+    EXPECT_EQ(m.triangleCount(), 32u);
+}
+
+TEST(MeshTest, SphereIsClosedAndValid)
+{
+    AddressSpace heap;
+    Mesh m = Mesh::makeSphere("s", 8, 12, 1.0f, heap);
+    EXPECT_EQ(m.triangleCount(), 8u * 12u * 2u);
+    for (uint32_t idx : m.indices()) {
+        EXPECT_LT(idx, m.vertices().size());
+    }
+    // All vertices on the unit sphere.
+    for (const Vertex &v : m.vertices()) {
+        EXPECT_NEAR(v.position.length(), 1.0f, 1e-4);
+    }
+}
+
+TEST(MeshTest, AddressesAssignedAndStrided)
+{
+    AddressSpace heap;
+    Mesh m = Mesh::makeBox("b", {1, 1, 1}, heap);
+    EXPECT_EQ(m.vertexAddr(1) - m.vertexAddr(0), Vertex::kStrideBytes);
+    EXPECT_EQ(m.indexAddr(3) - m.indexAddr(0), 12u);
+    EXPECT_NE(m.vbAddr(), m.ibAddr());
+}
+
+TEST(MeshTest, RockIsDeterministic)
+{
+    AddressSpace heap_a;
+    AddressSpace heap_b;
+    Mesh a = Mesh::makeRock("r", 8, 12, 1.0f, 5, heap_a);
+    Mesh b = Mesh::makeRock("r", 8, 12, 1.0f, 5, heap_b);
+    ASSERT_EQ(a.vertices().size(), b.vertices().size());
+    for (size_t i = 0; i < a.vertices().size(); ++i) {
+        EXPECT_FLOAT_EQ(a.vertices()[i].position.x,
+                        b.vertices()[i].position.x);
+    }
+}
+
+TEST(BatchingTest, RespectsBatchCapacity)
+{
+    AddressSpace heap;
+    Mesh m = Mesh::makePlane("p", 16, 8.0f, 1.0f, heap);
+    for (uint32_t batch : {8u, 32u, 96u}) {
+        const auto batches = buildVertexBatches(m.indices(), batch);
+        for (const auto &b : batches) {
+            EXPECT_LE(b.uniqueVerts.size(), batch);
+            EXPECT_FALSE(b.tris.empty());
+            EXPECT_EQ(b.uniqueVerts.size(), b.firstUsePos.size());
+        }
+    }
+}
+
+TEST(BatchingTest, DedupWithinBatchOnly)
+{
+    AddressSpace heap;
+    Mesh m = Mesh::makePlane("p", 16, 8.0f, 1.0f, heap);
+    const uint64_t total_indices = m.indices().size();
+    const uint64_t distinct = m.vertices().size();
+
+    // Tiny batches: nearly no reuse captured.
+    const auto tiny = buildVertexBatches(m.indices(), 3);
+    EXPECT_EQ(totalVsInvocations(tiny), total_indices);
+
+    // One huge batch: full dedup.
+    const auto huge = buildVertexBatches(
+        m.indices(), static_cast<uint32_t>(distinct) + 16);
+    EXPECT_EQ(totalVsInvocations(huge), distinct);
+
+    // The default 96 lies strictly between.
+    const auto mid = buildVertexBatches(m.indices(), 96);
+    EXPECT_LT(totalVsInvocations(mid), total_indices);
+    EXPECT_GT(totalVsInvocations(mid), distinct);
+}
+
+TEST(BatchingTest, InvocationsMonotonicInBatchSize)
+{
+    AddressSpace heap;
+    Mesh m = Mesh::makeSphere("s", 16, 24, 1.0f, heap);
+    uint64_t prev = ~0ull;
+    for (uint32_t batch : {8u, 16u, 32u, 64u, 96u, 192u}) {
+        const uint64_t inv =
+            totalVsInvocations(buildVertexBatches(m.indices(), batch));
+        EXPECT_LE(inv, prev);
+        prev = inv;
+    }
+}
+
+TEST(BatchingTest, TrianglesPreservedAcrossBatches)
+{
+    AddressSpace heap;
+    Mesh m = Mesh::makeSphere("s", 8, 12, 1.0f, heap);
+    const auto batches = buildVertexBatches(m.indices(), 24);
+    uint64_t tris = 0;
+    for (const auto &b : batches) {
+        tris += b.tris.size();
+        // Every local index maps to a valid unique vertex.
+        for (const auto &t : b.tris) {
+            for (uint32_t v : t) {
+                EXPECT_LT(v, b.uniqueVerts.size());
+            }
+        }
+    }
+    EXPECT_EQ(tris, m.triangleCount());
+}
+
+TEST(FramebufferTest, DepthTestAndColor)
+{
+    AddressSpace heap;
+    Framebuffer fb(8, 8, heap);
+    EXPECT_FLOAT_EQ(fb.depthAt(3, 3), 1.0f);
+    EXPECT_TRUE(fb.depthTestAndSet(3, 3, 0.5f));
+    EXPECT_FALSE(fb.depthTestAndSet(3, 3, 0.7f));  // farther: fails
+    EXPECT_TRUE(fb.depthTestAndSet(3, 3, 0.2f));   // nearer: passes
+    fb.writeColor(3, 3, {1.0f, 0.0f, 0.0f, 1.0f});
+    const Texel c = fb.colorAt(3, 3);
+    EXPECT_NEAR(c.r, 1.0f, 1e-2);
+    EXPECT_NEAR(c.g, 0.0f, 1e-2);
+}
+
+TEST(FramebufferTest, AddressesAreDistinctPerPixel)
+{
+    AddressSpace heap;
+    Framebuffer fb(4, 4, heap);
+    EXPECT_EQ(fb.colorAddr(1, 0) - fb.colorAddr(0, 0), 4u);
+    EXPECT_EQ(fb.colorAddr(0, 1) - fb.colorAddr(0, 0), 16u);
+    EXPECT_NE(fb.colorAddr(0, 0), fb.depthAddr(0, 0));
+}
+
+TEST(RasterTest, FullscreenTriangleCoversCenter)
+{
+    AddressSpace heap;
+    Framebuffer fb(32, 32, heap);
+    Rasterizer rast(fb);
+    // A large front-facing triangle covering the screen center.
+    const Vec4 clip[3] = {{-2.0f, -2.0f, 0.5f, 1.0f},
+                          {0.0f, 2.0f, 0.5f, 1.0f},
+                          {2.0f, -2.0f, 0.5f, 1.0f}};
+    const Vec2 uv[3] = {{0, 0}, {0.5f, 1}, {1, 0}};
+    rast.submit(clip, uv, 0, 0);
+    const auto bins = rast.takeBins();
+    EXPECT_FALSE(bins.empty());
+    bool covered_center = false;
+    uint64_t frags = 0;
+    for (const auto &bin : bins) {
+        for (const auto &f : bin.frags) {
+            ++frags;
+            covered_center |= f.x == 16 && f.y == 16;
+        }
+    }
+    EXPECT_TRUE(covered_center);
+    EXPECT_GT(frags, 32u * 32u / 2u);
+    EXPECT_EQ(rast.stats().trisCulledBackface, 0u);
+}
+
+TEST(RasterTest, BackfaceCulled)
+{
+    AddressSpace heap;
+    Framebuffer fb(32, 32, heap);
+    Rasterizer rast(fb);
+    // Same triangle with reversed winding.
+    const Vec4 clip[3] = {{-2.0f, -2.0f, 0.5f, 1.0f},
+                          {2.0f, -2.0f, 0.5f, 1.0f},
+                          {0.0f, 2.0f, 0.5f, 1.0f}};
+    const Vec2 uv[3] = {{0, 0}, {1, 0}, {0.5f, 1}};
+    rast.submit(clip, uv, 0, 0);
+    EXPECT_EQ(rast.stats().trisCulledBackface, 1u);
+    EXPECT_TRUE(rast.takeBins().empty());
+}
+
+TEST(RasterTest, OffscreenTriangleFrustumCulled)
+{
+    AddressSpace heap;
+    Framebuffer fb(32, 32, heap);
+    Rasterizer rast(fb);
+    const Vec4 clip[3] = {{5.0f, 5.0f, 0.5f, 1.0f},
+                          {6.0f, 5.0f, 0.5f, 1.0f},
+                          {5.0f, 6.0f, 0.5f, 1.0f}};
+    const Vec2 uv[3] = {{0, 0}, {1, 0}, {0, 1}};
+    rast.submit(clip, uv, 0, 0);
+    EXPECT_EQ(rast.stats().trisCulledFrustum, 1u);
+}
+
+TEST(RasterTest, EarlyZKillsOccludedFragments)
+{
+    AddressSpace heap;
+    Framebuffer fb(32, 32, heap);
+    Rasterizer rast(fb);
+    const Vec2 uv[3] = {{0, 0}, {0.5f, 1}, {1, 0}};
+    // Near triangle first.
+    const Vec4 near_tri[3] = {{-2.0f, -2.0f, 0.2f, 1.0f},
+                              {0.0f, 2.0f, 0.2f, 1.0f},
+                              {2.0f, -2.0f, 0.2f, 1.0f}};
+    rast.submit(near_tri, uv, 0, 0);
+    const uint64_t frags_near = rast.stats().fragsGenerated;
+    // Same shape behind: every covered pixel fails early-Z.
+    const Vec4 far_tri[3] = {{-2.0f, -2.0f, 0.8f, 1.0f},
+                             {0.0f, 2.0f, 0.8f, 1.0f},
+                             {2.0f, -2.0f, 0.8f, 1.0f}};
+    rast.submit(far_tri, uv, 1, 0);
+    EXPECT_EQ(rast.stats().fragsEarlyZKilled,
+              rast.stats().fragsGenerated - frags_near);
+    EXPECT_GT(rast.stats().fragsEarlyZKilled, 0u);
+}
+
+TEST(RasterTest, UvInterpolationAtCenter)
+{
+    AddressSpace heap;
+    Framebuffer fb(64, 64, heap);
+    Rasterizer rast(fb);
+    const Vec4 clip[3] = {{-4.0f, -4.0f, 0.5f, 1.0f},
+                          {0.0f, 4.0f, 0.5f, 1.0f},
+                          {4.0f, -4.0f, 0.5f, 1.0f}};
+    const Vec2 uv[3] = {{0, 0}, {0.5f, 1}, {1, 0}};
+    rast.submit(clip, uv, 0, 0);
+    for (const auto &bin : rast.takeBins()) {
+        for (const auto &f : bin.frags) {
+            if (f.x == 32 && f.y == 32) {
+                // Screen center: uv should be near the triangle's middle.
+                EXPECT_NEAR(f.uv.x, 0.5f, 0.05f);
+                EXPECT_GT(f.uv.y, 0.2f);
+                EXPECT_LT(f.uv.y, 0.8f);
+            }
+            // Derivatives of a screen-mapped triangle are finite and small.
+            EXPECT_LT(std::fabs(f.duvdx.x), 1.0f);
+            EXPECT_LT(std::fabs(f.duvdy.y), 1.0f);
+        }
+    }
+}
+
+TEST(RasterTest, QuadOrderWithinTiles)
+{
+    AddressSpace heap;
+    Framebuffer fb(16, 16, heap);
+    Rasterizer rast(fb, 16);
+    const Vec4 clip[3] = {{-4.0f, -4.0f, 0.5f, 1.0f},
+                          {0.0f, 4.0f, 0.5f, 1.0f},
+                          {4.0f, -4.0f, 0.5f, 1.0f}};
+    const Vec2 uv[3] = {{0, 0}, {0.5f, 1}, {1, 0}};
+    rast.submit(clip, uv, 0, 0);
+    const auto bins = rast.takeBins();
+    ASSERT_EQ(bins.size(), 1u);
+    // Consecutive runs of 4 fragments from a full quad share a 2x2 block.
+    const auto &frags = bins[0].frags;
+    uint32_t full_quads = 0;
+    for (size_t i = 0; i + 3 < frags.size(); i += 4) {
+        const uint32_t qx = frags[i].x / 2;
+        const uint32_t qy = frags[i].y / 2;
+        bool same = true;
+        for (size_t k = 1; k < 4; ++k) {
+            same &= frags[i + k].x / 2 == qx && frags[i + k].y / 2 == qy;
+        }
+        full_quads += same;
+    }
+    EXPECT_GT(full_quads, 0u);
+}
+
+} // namespace
+} // namespace crisp

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workloads/compute.hpp"
+#include "workloads/oracle.hpp"
+#include "workloads/scenes.hpp"
+
+namespace crisp
+{
+namespace
+{
+
+/** Opcode histogram over a kernel's first CTA. */
+std::map<OpClass, uint64_t>
+opMix(const KernelInfo &k)
+{
+    std::map<OpClass, uint64_t> mix;
+    const CtaTrace cta = k.source->generate(0);
+    for (const auto &w : cta.warps) {
+        for (const auto &in : w.instrs) {
+            mix[opcodeClass(in.opcode)]++;
+        }
+    }
+    return mix;
+}
+
+TEST(ComputeKernels, VioIsManySmallKernels)
+{
+    AddressSpace heap;
+    const auto kernels = buildVio(heap, /*frames=*/1);
+    // 2 pyramid levels x 4 stages.
+    EXPECT_EQ(kernels.size(), 8u);
+    for (const auto &k : kernels) {
+        EXPECT_GT(k.numCtas(), 0u);
+        EXPECT_LE(k.numCtas(), 400u);  // "many small kernels"
+        EXPECT_FALSE(k.name.empty());
+        const CtaTrace cta = k.source->generate(0);
+        EXPECT_GT(cta.totalInstrs(), 0u);
+    }
+    // Two frames double the kernel count.
+    EXPECT_EQ(buildVio(heap, 2).size(), 16u);
+}
+
+TEST(ComputeKernels, VioMemoryAddressesStayInRegion)
+{
+    AddressSpace heap;
+    const Addr start = heap.allocatedEnd();
+    const auto kernels = buildVio(heap, 1);
+    const Addr end = heap.allocatedEnd();
+    for (const auto &k : kernels) {
+        for (uint32_t c : {0u, k.numCtas() - 1}) {
+            const CtaTrace cta = k.source->generate(c);
+            for (const auto &w : cta.warps) {
+                for (const auto &in : w.instrs) {
+                    for (Addr a : in.addrs) {
+                        if (opcodeClass(in.opcode) == OpClass::MemGlobal) {
+                            EXPECT_GE(a, start);
+                            EXPECT_LT(a, end);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(ComputeKernels, HoloIsComputeBound)
+{
+    AddressSpace heap;
+    const auto kernels = buildHolo(heap);
+    ASSERT_FALSE(kernels.empty());
+    const auto mix = opMix(kernels[0]);
+    const uint64_t alu = mix.count(OpClass::FP32)
+        ? mix.at(OpClass::FP32)
+        : 0;
+    const uint64_t sfu =
+        mix.count(OpClass::SFU) ? mix.at(OpClass::SFU) : 0;
+    const uint64_t mem = mix.count(OpClass::MemGlobal)
+        ? mix.at(OpClass::MemGlobal)
+        : 0;
+    // Heavily compute-bound: ALU+SFU dwarf memory operations.
+    EXPECT_GT(alu + sfu, 20 * mem);
+    EXPECT_GT(sfu, 0u);  // sin/cos phase math
+}
+
+TEST(ComputeKernels, NnUsesSharedMemoryAndTensorOps)
+{
+    AddressSpace heap;
+    const auto kernels = buildNn(heap);
+    ASSERT_EQ(kernels.size(), 3u);
+    for (const auto &k : kernels) {
+        EXPECT_GE(k.smemPerCta, 16u * 1024);
+        EXPECT_GE(k.regsPerThread, 48u);
+        // Small-batch network: the grid cannot fill a 46-SM GPU.
+        EXPECT_LT(k.numCtas(), 46u);
+        const auto mix = opMix(k);
+        EXPECT_GT(mix.at(OpClass::Tensor), 0u);
+        EXPECT_GT(mix.at(OpClass::MemShared), 0u);
+        EXPECT_GT(mix.at(OpClass::Barrier), 0u);
+    }
+}
+
+TEST(ComputeKernels, TracesAreDeterministic)
+{
+    AddressSpace heap_a;
+    AddressSpace heap_b;
+    const auto ka = buildHolo(heap_a, 1);
+    const auto kb = buildHolo(heap_b, 1);
+    const CtaTrace a = ka[0].source->generate(3);
+    const CtaTrace b = kb[0].source->generate(3);
+    ASSERT_EQ(a.totalInstrs(), b.totalInstrs());
+    for (size_t w = 0; w < a.warps.size(); ++w) {
+        for (size_t i = 0; i < a.warps[w].instrs.size(); ++i) {
+            EXPECT_EQ(a.warps[w].instrs[i].opcode,
+                      b.warps[w].instrs[i].opcode);
+            EXPECT_EQ(a.warps[w].instrs[i].addrs,
+                      b.warps[w].instrs[i].addrs);
+        }
+    }
+}
+
+TEST(ComputeKernels, GatherPatternIsIrregular)
+{
+    ComputeKernelDesc d;
+    d.name = "gather";
+    d.ctas = 1;
+    d.threadsPerCta = 32;
+    d.loads = {{MemPatternKind::Gather, 0x100000, 1 << 20, 4, 1, 32}};
+    const KernelInfo k = buildComputeKernel(d);
+    const CtaTrace cta = k.source->generate(0);
+    const auto &in = cta.warps[0].instrs[0];
+    ASSERT_EQ(in.addrs.size(), 32u);
+    // Gathered addresses are not monotonically increasing.
+    bool monotone = true;
+    for (size_t i = 1; i < in.addrs.size(); ++i) {
+        monotone &= in.addrs[i] >= in.addrs[i - 1];
+    }
+    EXPECT_FALSE(monotone);
+}
+
+TEST(ComputeKernels, StreamingPatternCoalesces)
+{
+    ComputeKernelDesc d;
+    d.name = "stream";
+    d.ctas = 1;
+    d.threadsPerCta = 32;
+    d.loads = {{MemPatternKind::Streaming, 0x200000, 1 << 20, 4, 1, 32}};
+    const KernelInfo k = buildComputeKernel(d);
+    const CtaTrace cta = k.source->generate(0);
+    const auto lines = coalesceToLines(cta.warps[0].instrs[0]);
+    EXPECT_LE(lines.size(), 2u);
+}
+
+TEST(Scenes, AllBuildersAreDeterministic)
+{
+    for (const std::string &name : allSceneNames()) {
+        AddressSpace ha;
+        AddressSpace hb;
+        const Scene a = buildSceneByName(name, ha);
+        const Scene b = buildSceneByName(name, hb);
+        ASSERT_EQ(a.draws.size(), b.draws.size()) << name;
+        for (size_t i = 0; i < a.draws.size(); ++i) {
+            EXPECT_EQ(a.draws[i].name, b.draws[i].name);
+            EXPECT_EQ(a.draws[i].instanceCount, b.draws[i].instanceCount);
+        }
+    }
+}
+
+TEST(Scenes, ShaderStructureMatchesPaper)
+{
+    AddressSpace heap;
+    // SPL: basic shading, a single texture per drawcall.
+    const Scene spl = buildSponza(heap, false);
+    for (const auto &d : spl.draws) {
+        EXPECT_EQ(d.material->kind, ShaderKind::Basic);
+        EXPECT_EQ(d.material->textures.size(), 1u);
+    }
+    // SPH: the same drawcalls with 8-map PBR materials.
+    AddressSpace heap2;
+    const Scene sph = buildSponza(heap2, true);
+    ASSERT_EQ(sph.draws.size(), spl.draws.size());
+    for (const auto &d : sph.draws) {
+        EXPECT_EQ(d.material->kind, ShaderKind::Pbr);
+        EXPECT_EQ(d.material->textures.size(), 8u);
+    }
+    // IT uses instancing with a layered texture.
+    AddressSpace heap3;
+    const Scene it = buildPlanets(heap3, 32);
+    bool has_instanced = false;
+    for (const auto &d : it.draws) {
+        if (d.instanceCount > 1) {
+            has_instanced = true;
+            EXPECT_EQ(d.instanceModels.size(), d.instanceCount);
+            EXPECT_GT(d.material->textures[0]->layers(), 1u);
+            EXPECT_NE(d.instanceBufAddr, 0u);
+        }
+    }
+    EXPECT_TRUE(has_instanced);
+}
+
+TEST(OracleTest, Deterministic)
+{
+    DrawcallReport r;
+    r.drawIndex = 3;
+    r.vsInvocations = 10000;
+    const HardwareOracle oracle;
+    EXPECT_DOUBLE_EQ(oracle.vsInvocations(r), oracle.vsInvocations(r));
+}
+
+TEST(OracleTest, VsInvocationsTrackReport)
+{
+    const HardwareOracle oracle;
+    DrawcallReport r;
+    r.drawIndex = 1;
+    r.vsInvocations = 50000;
+    const double hw = oracle.vsInvocations(r);
+    EXPECT_NEAR(hw, 50000.0, 50000.0 * 0.05);
+}
+
+TEST(OracleTest, FrameTimeScalesWithWork)
+{
+    const HardwareOracle oracle;
+    const GpuConfig gpu = GpuConfig::rtx3070();
+    RenderSubmission small;
+    DrawcallReport r;
+    r.drawIndex = 0;
+    r.vsInvocations = 1000;
+    r.vsThreadsLaunched = 1024;
+    r.fragments = 10000;
+    r.texturesPerFragment = 1;
+    small.reports.push_back(r);
+
+    RenderSubmission big = small;
+    big.reports[0].fragments = 1000000;
+    big.reports[0].vsThreadsLaunched = 102400;
+    big.reports[0].vsInvocations = 100000;
+
+    EXPECT_GT(oracle.frameTimeMs(big, gpu), oracle.frameTimeMs(small, gpu));
+    EXPECT_GT(oracle.frameTimeMs(small, gpu), 0.0);
+}
+
+TEST(OracleTest, MobileGpuSlowerThanDesktop)
+{
+    const HardwareOracle oracle;
+    RenderSubmission sub;
+    DrawcallReport r;
+    r.drawIndex = 0;
+    r.vsInvocations = 10000;
+    r.vsThreadsLaunched = 10240;
+    r.fragments = 500000;
+    r.texturesPerFragment = 8;
+    sub.reports.push_back(r);
+    EXPECT_GT(oracle.frameTimeMs(sub, GpuConfig::jetsonOrin()),
+              oracle.frameTimeMs(sub, GpuConfig::rtx3070()));
+}
+
+
+TEST(ComputeKernels, TimewarpGathersFromRenderedFrame)
+{
+    AddressSpace heap;
+    const Addr frame = heap.alloc(4ull * 640 * 360);
+    const auto kernels = buildTimewarp(heap, frame, 640, 360);
+    ASSERT_EQ(kernels.size(), 2u);  // one pass per eye
+    for (const auto &k : kernels) {
+        EXPECT_GT(k.numCtas(), 0u);
+        const CtaTrace cta = k.source->generate(0);
+        bool reads_frame = false;
+        bool writes_output = false;
+        for (const auto &w : cta.warps) {
+            for (const auto &in : w.instrs) {
+                if (in.opcode == Opcode::LDG) {
+                    for (Addr a : in.addrs) {
+                        reads_frame |= a >= frame &&
+                                       a < frame + 4ull * 640 * 360;
+                    }
+                }
+                writes_output |= in.opcode == Opcode::STG;
+            }
+        }
+        EXPECT_TRUE(reads_frame) << "ATW must sample the rendered frame";
+        EXPECT_TRUE(writes_output);
+    }
+}
+
+TEST(ComputeKernels, TimewarpGatherIsIrregular)
+{
+    AddressSpace heap;
+    const Addr frame = heap.alloc(4ull * 320 * 180);
+    const auto kernels = buildTimewarp(heap, frame, 320, 180);
+    const CtaTrace cta = kernels[0].source->generate(0);
+    // Distortion-corrected sampling: per-warp loads span multiple lines.
+    for (const auto &w : cta.warps) {
+        for (const auto &in : w.instrs) {
+            if (in.opcode == Opcode::LDG) {
+                EXPECT_GT(coalesceToLines(in).size(), 2u);
+                return;
+            }
+        }
+    }
+    FAIL() << "no gather load found";
+}
+
+} // namespace
+} // namespace crisp
