@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_pipeline.cpp" "bench/CMakeFiles/ablation_pipeline.dir/ablation_pipeline.cpp.o" "gcc" "bench/CMakeFiles/ablation_pipeline.dir/ablation_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/crisp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/crisp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/crisp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphics/CMakeFiles/crisp_graphics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crisp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/crisp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/crisp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crisp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

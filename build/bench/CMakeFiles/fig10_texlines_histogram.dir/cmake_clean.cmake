@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_texlines_histogram.dir/fig10_texlines_histogram.cpp.o"
+  "CMakeFiles/fig10_texlines_histogram.dir/fig10_texlines_histogram.cpp.o.d"
+  "fig10_texlines_histogram"
+  "fig10_texlines_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_texlines_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_l2_composition.dir/fig11_l2_composition.cpp.o"
+  "CMakeFiles/fig11_l2_composition.dir/fig11_l2_composition.cpp.o.d"
+  "fig11_l2_composition"
+  "fig11_l2_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_l2_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

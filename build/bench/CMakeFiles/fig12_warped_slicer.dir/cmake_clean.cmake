@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_warped_slicer.dir/fig12_warped_slicer.cpp.o"
+  "CMakeFiles/fig12_warped_slicer.dir/fig12_warped_slicer.cpp.o.d"
+  "fig12_warped_slicer"
+  "fig12_warped_slicer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_warped_slicer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_tap.dir/fig14_tap.cpp.o"
+  "CMakeFiles/fig14_tap.dir/fig14_tap.cpp.o.d"
+  "fig14_tap"
+  "fig14_tap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_tap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

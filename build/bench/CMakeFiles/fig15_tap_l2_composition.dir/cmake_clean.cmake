@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_tap_l2_composition.dir/fig15_tap_l2_composition.cpp.o"
+  "CMakeFiles/fig15_tap_l2_composition.dir/fig15_tap_l2_composition.cpp.o.d"
+  "fig15_tap_l2_composition"
+  "fig15_tap_l2_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_tap_l2_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_tap_l2_composition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vertex_invocations.dir/fig3_vertex_invocations.cpp.o"
+  "CMakeFiles/fig3_vertex_invocations.dir/fig3_vertex_invocations.cpp.o.d"
+  "fig3_vertex_invocations"
+  "fig3_vertex_invocations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vertex_invocations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_frametime_correlation.dir/fig6_frametime_correlation.cpp.o"
+  "CMakeFiles/fig6_frametime_correlation.dir/fig6_frametime_correlation.cpp.o.d"
+  "fig6_frametime_correlation"
+  "fig6_frametime_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_frametime_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_pcie_anomaly.dir/fig6b_pcie_anomaly.cpp.o"
+  "CMakeFiles/fig6b_pcie_anomaly.dir/fig6b_pcie_anomaly.cpp.o.d"
+  "fig6b_pcie_anomaly"
+  "fig6b_pcie_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_pcie_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_l1tex_lod.dir/fig9_l1tex_lod.cpp.o"
+  "CMakeFiles/fig9_l1tex_lod.dir/fig9_l1tex_lod.cpp.o.d"
+  "fig9_l1tex_lod"
+  "fig9_l1tex_lod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_l1tex_lod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

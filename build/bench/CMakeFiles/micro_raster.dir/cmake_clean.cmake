@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_raster.dir/micro_raster.cpp.o"
+  "CMakeFiles/micro_raster.dir/micro_raster.cpp.o.d"
+  "micro_raster"
+  "micro_raster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_raster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_sim.dir/crisp_sim.cpp.o"
+  "CMakeFiles/crisp_sim.dir/crisp_sim.cpp.o.d"
+  "crisp_sim"
+  "crisp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_common.dir/logging.cpp.o"
+  "CMakeFiles/crisp_common.dir/logging.cpp.o.d"
+  "CMakeFiles/crisp_common.dir/metrics.cpp.o"
+  "CMakeFiles/crisp_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/crisp_common.dir/rng.cpp.o"
+  "CMakeFiles/crisp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/crisp_common.dir/stats.cpp.o"
+  "CMakeFiles/crisp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/crisp_common.dir/table.cpp.o"
+  "CMakeFiles/crisp_common.dir/table.cpp.o.d"
+  "libcrisp_common.a"
+  "libcrisp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

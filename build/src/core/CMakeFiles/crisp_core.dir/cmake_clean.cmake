@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_core.dir/sm.cpp.o"
+  "CMakeFiles/crisp_core.dir/sm.cpp.o.d"
+  "CMakeFiles/crisp_core.dir/sm_config.cpp.o"
+  "CMakeFiles/crisp_core.dir/sm_config.cpp.o.d"
+  "libcrisp_core.a"
+  "libcrisp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

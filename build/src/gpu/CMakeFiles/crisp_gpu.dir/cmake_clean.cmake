@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_gpu.dir/gpu.cpp.o"
+  "CMakeFiles/crisp_gpu.dir/gpu.cpp.o.d"
+  "CMakeFiles/crisp_gpu.dir/gpu_config.cpp.o"
+  "CMakeFiles/crisp_gpu.dir/gpu_config.cpp.o.d"
+  "libcrisp_gpu.a"
+  "libcrisp_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrisp_gpu.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphics/batching.cpp" "src/graphics/CMakeFiles/crisp_graphics.dir/batching.cpp.o" "gcc" "src/graphics/CMakeFiles/crisp_graphics.dir/batching.cpp.o.d"
+  "/root/repo/src/graphics/framebuffer.cpp" "src/graphics/CMakeFiles/crisp_graphics.dir/framebuffer.cpp.o" "gcc" "src/graphics/CMakeFiles/crisp_graphics.dir/framebuffer.cpp.o.d"
+  "/root/repo/src/graphics/mesh.cpp" "src/graphics/CMakeFiles/crisp_graphics.dir/mesh.cpp.o" "gcc" "src/graphics/CMakeFiles/crisp_graphics.dir/mesh.cpp.o.d"
+  "/root/repo/src/graphics/pipeline.cpp" "src/graphics/CMakeFiles/crisp_graphics.dir/pipeline.cpp.o" "gcc" "src/graphics/CMakeFiles/crisp_graphics.dir/pipeline.cpp.o.d"
+  "/root/repo/src/graphics/raster.cpp" "src/graphics/CMakeFiles/crisp_graphics.dir/raster.cpp.o" "gcc" "src/graphics/CMakeFiles/crisp_graphics.dir/raster.cpp.o.d"
+  "/root/repo/src/graphics/sampler.cpp" "src/graphics/CMakeFiles/crisp_graphics.dir/sampler.cpp.o" "gcc" "src/graphics/CMakeFiles/crisp_graphics.dir/sampler.cpp.o.d"
+  "/root/repo/src/graphics/shader.cpp" "src/graphics/CMakeFiles/crisp_graphics.dir/shader.cpp.o" "gcc" "src/graphics/CMakeFiles/crisp_graphics.dir/shader.cpp.o.d"
+  "/root/repo/src/graphics/texture.cpp" "src/graphics/CMakeFiles/crisp_graphics.dir/texture.cpp.o" "gcc" "src/graphics/CMakeFiles/crisp_graphics.dir/texture.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/crisp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crisp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

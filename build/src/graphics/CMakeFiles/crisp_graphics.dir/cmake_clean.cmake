@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_graphics.dir/batching.cpp.o"
+  "CMakeFiles/crisp_graphics.dir/batching.cpp.o.d"
+  "CMakeFiles/crisp_graphics.dir/framebuffer.cpp.o"
+  "CMakeFiles/crisp_graphics.dir/framebuffer.cpp.o.d"
+  "CMakeFiles/crisp_graphics.dir/mesh.cpp.o"
+  "CMakeFiles/crisp_graphics.dir/mesh.cpp.o.d"
+  "CMakeFiles/crisp_graphics.dir/pipeline.cpp.o"
+  "CMakeFiles/crisp_graphics.dir/pipeline.cpp.o.d"
+  "CMakeFiles/crisp_graphics.dir/raster.cpp.o"
+  "CMakeFiles/crisp_graphics.dir/raster.cpp.o.d"
+  "CMakeFiles/crisp_graphics.dir/sampler.cpp.o"
+  "CMakeFiles/crisp_graphics.dir/sampler.cpp.o.d"
+  "CMakeFiles/crisp_graphics.dir/shader.cpp.o"
+  "CMakeFiles/crisp_graphics.dir/shader.cpp.o.d"
+  "CMakeFiles/crisp_graphics.dir/texture.cpp.o"
+  "CMakeFiles/crisp_graphics.dir/texture.cpp.o.d"
+  "libcrisp_graphics.a"
+  "libcrisp_graphics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_graphics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

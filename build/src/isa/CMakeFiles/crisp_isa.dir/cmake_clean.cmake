@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_isa.dir/opcode.cpp.o"
+  "CMakeFiles/crisp_isa.dir/opcode.cpp.o.d"
+  "CMakeFiles/crisp_isa.dir/trace.cpp.o"
+  "CMakeFiles/crisp_isa.dir/trace.cpp.o.d"
+  "CMakeFiles/crisp_isa.dir/trace_builder.cpp.o"
+  "CMakeFiles/crisp_isa.dir/trace_builder.cpp.o.d"
+  "libcrisp_isa.a"
+  "libcrisp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_mem.dir/cache.cpp.o"
+  "CMakeFiles/crisp_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/crisp_mem.dir/dram.cpp.o"
+  "CMakeFiles/crisp_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/crisp_mem.dir/icnt.cpp.o"
+  "CMakeFiles/crisp_mem.dir/icnt.cpp.o.d"
+  "CMakeFiles/crisp_mem.dir/l2_subsystem.cpp.o"
+  "CMakeFiles/crisp_mem.dir/l2_subsystem.cpp.o.d"
+  "CMakeFiles/crisp_mem.dir/mshr.cpp.o"
+  "CMakeFiles/crisp_mem.dir/mshr.cpp.o.d"
+  "libcrisp_mem.a"
+  "libcrisp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

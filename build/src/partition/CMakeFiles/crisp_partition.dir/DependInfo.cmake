@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/tap.cpp" "src/partition/CMakeFiles/crisp_partition.dir/tap.cpp.o" "gcc" "src/partition/CMakeFiles/crisp_partition.dir/tap.cpp.o.d"
+  "/root/repo/src/partition/warped_slicer.cpp" "src/partition/CMakeFiles/crisp_partition.dir/warped_slicer.cpp.o" "gcc" "src/partition/CMakeFiles/crisp_partition.dir/warped_slicer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/crisp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crisp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/crisp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/crisp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crisp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_partition.dir/tap.cpp.o"
+  "CMakeFiles/crisp_partition.dir/tap.cpp.o.d"
+  "CMakeFiles/crisp_partition.dir/warped_slicer.cpp.o"
+  "CMakeFiles/crisp_partition.dir/warped_slicer.cpp.o.d"
+  "libcrisp_partition.a"
+  "libcrisp_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_workloads.dir/compute.cpp.o"
+  "CMakeFiles/crisp_workloads.dir/compute.cpp.o.d"
+  "CMakeFiles/crisp_workloads.dir/oracle.cpp.o"
+  "CMakeFiles/crisp_workloads.dir/oracle.cpp.o.d"
+  "CMakeFiles/crisp_workloads.dir/scenes.cpp.o"
+  "CMakeFiles/crisp_workloads.dir/scenes.cpp.o.d"
+  "libcrisp_workloads.a"
+  "libcrisp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

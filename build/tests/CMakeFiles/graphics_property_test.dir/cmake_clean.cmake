@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphics_property_test.dir/graphics_property_test.cpp.o"
+  "CMakeFiles/graphics_property_test.dir/graphics_property_test.cpp.o.d"
+  "graphics_property_test"
+  "graphics_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphics_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

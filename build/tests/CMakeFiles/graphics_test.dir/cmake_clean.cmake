@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphics_test.dir/graphics_test.cpp.o"
+  "CMakeFiles/graphics_test.dir/graphics_test.cpp.o.d"
+  "graphics_test"
+  "graphics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
