@@ -1,6 +1,7 @@
 #include "core/sm.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.hpp"
 
@@ -95,6 +96,25 @@ Sm::launchCta(const KernelInfo &kernel, KernelId kernel_id,
     su.registers += fp.registers;
     su.smemBytes += fp.smemBytes;
     su.warps += fp.warps;
+
+    // Quota invariant: a launch may never push a stream past its quota
+    // (canAccept guards this; a breach means the accounting or the CTA
+    // scheduler is broken). Dynamic quota *shrinks* legally leave usage
+    // above quota until CTAs commit, so the check belongs here, not in a
+    // periodic scan. The breach is sticky and surfaces via audit.
+    auto qit = quotas_.find(kernel.stream);
+    if (quotaBreach_.empty() && qit != quotas_.end() &&
+        (su.threads > qit->second.maxThreads ||
+         su.registers > qit->second.maxRegisters ||
+         su.smemBytes > qit->second.maxSmemBytes)) {
+        quotaBreach_ = logging_detail::formatMessage(
+            "SM %u stream %u over quota at CTA launch (cycle %llu): used "
+            "thr %u/%u, reg %u/%u, smem %u/%u", smId_, kernel.stream,
+            static_cast<unsigned long long>(now), su.threads,
+            qit->second.maxThreads, su.registers,
+            qit->second.maxRegisters, su.smemBytes,
+            qit->second.maxSmemBytes);
+    }
 
     auto &st = stats_->stream(kernel.stream);
     st.ctasLaunched++;
@@ -284,19 +304,27 @@ Sm::smemConflictCycles(const TraceInstr &instr) const
     return worst;
 }
 
+size_t
+Sm::ldstLimitFor(StreamId stream) const
+{
+    // Lower-priority streams may only fill half the LDST queue, so an
+    // async-compute stream cannot head-of-line block graphics memory
+    // instructions.
+    auto prio = issuePriority_.find(stream);
+    const bool is_priority =
+        prio != issuePriority_.end() && prio->second < 0;
+    return is_priority || issuePriority_.empty()
+        ? cfg_.ldstQueueDepth
+        : cfg_.ldstQueueDepth / 2;
+}
+
 bool
 Sm::issueMemory(WarpState &warp, const TraceInstr &instr, Cycle now)
 {
     auto prio = issuePriority_.find(warp.stream);
     const bool is_priority =
         prio != issuePriority_.end() && prio->second < 0;
-    // Lower-priority streams may only fill half the LDST queue, so an
-    // async-compute stream cannot head-of-line block graphics memory
-    // instructions.
-    const size_t limit = is_priority || issuePriority_.empty()
-        ? cfg_.ldstQueueDepth
-        : cfg_.ldstQueueDepth / 2;
-    if (ldstQueue_.size() >= limit) {
+    if (ldstQueue_.size() >= ldstLimitFor(warp.stream)) {
         return false;
     }
     const bool store = isStore(instr.opcode);
@@ -465,7 +493,8 @@ Sm::stepLdst(Cycle now)
 
             // Load path through the unified L1.
             if (l1Mshr_.pending(line)) {
-                const auto outcome = l1Mshr_.allocate(line, entry.tracker);
+                const auto outcome =
+                    l1Mshr_.allocate(line, entry.tracker, now);
                 if (outcome == Mshr::Outcome::Stall) {
                     stalled = true;
                     break;
@@ -501,7 +530,8 @@ Sm::stepLdst(Cycle now)
                     trackers_.erase(tit);
                 }
             } else {
-                const auto outcome = l1Mshr_.allocate(line, entry.tracker);
+                const auto outcome =
+                    l1Mshr_.allocate(line, entry.tracker, now);
                 panic_if(outcome != Mshr::Outcome::NewEntry,
                          "L1 MSHR allocate failed after capacity check");
                 MemRequest req;
@@ -547,6 +577,181 @@ Sm::memResponse(const MemRequest &resp, Cycle now)
     }
 }
 
+const char *
+Sm::IntegrityProbe::dominantStall() const
+{
+    if (activeWarps == 0) {
+        return ldstQueueDepth + outstandingLoads + fabricRetryDepth > 0
+            ? "mem-drain"
+            : "idle";
+    }
+    const char *label = "ready";
+    uint32_t best = ready;
+    const std::pair<const char *, uint32_t> buckets[] = {
+        {"scoreboard", waitScoreboard}, {"barrier", atBarrier},
+        {"exec-unit", waitExecUnit},    {"smem-port", waitSmem},
+        {"ldst-full", waitLdst},
+    };
+    for (const auto &[name, count] : buckets) {
+        if (count > best) {
+            best = count;
+            label = name;
+        }
+    }
+    return issueFrozen ? "frozen" : label;
+}
+
+Sm::IntegrityProbe
+Sm::probe(Cycle now) const
+{
+    IntegrityProbe p;
+    p.activeWarps = activeWarps_;
+    p.activeCtas = static_cast<uint32_t>(liveCtas_.size());
+    p.ldstQueueDepth = ldstQueue_.size();
+    p.fabricRetryDepth = fabricRetry_.size();
+    p.outstandingLoads = trackers_.size();
+    p.l1MshrEntries = l1Mshr_.entriesInUse();
+    p.issueFrozen = issueFrozen_;
+    if (p.l1MshrEntries > 0) {
+        const auto oldest = l1Mshr_.entries().front();
+        p.oldestMissLine = oldest.line;
+        p.oldestMissAge = now >= oldest.allocatedAt
+            ? now - oldest.allocatedAt
+            : 0;
+    }
+    for (const auto &warp : warps_) {
+        if (!warp.live) {
+            continue;
+        }
+        if (warp.atBarrier) {
+            p.atBarrier++;
+            continue;
+        }
+        if (warp.pc >= warp.trace.instrs.size()) {
+            p.ready++;   // Retires at its next issue opportunity.
+            continue;
+        }
+        const TraceInstr &instr = warp.trace.instrs[warp.pc];
+        bool hazard = instr.hasDst() && warp.pendingWrites.test(instr.dst);
+        for (uint8_t src : instr.srcs) {
+            hazard = hazard ||
+                     (src != kNoReg && warp.pendingWrites.test(src));
+        }
+        if (hazard) {
+            p.waitScoreboard++;
+            continue;
+        }
+        const OpClass cls = opcodeClass(instr.opcode);
+        switch (cls) {
+          case OpClass::FP32:
+          case OpClass::INT:
+          case OpClass::SFU:
+          case OpClass::Tensor: {
+            const auto &pool = unitFreeAt_[static_cast<size_t>(cls)];
+            if (*std::min_element(pool.begin(), pool.end()) > now) {
+                p.waitExecUnit++;
+            } else {
+                p.ready++;
+            }
+            break;
+          }
+          case OpClass::MemShared:
+            if (smemPortFreeAt_ > now) {
+                p.waitSmem++;
+            } else {
+                p.ready++;
+            }
+            break;
+          case OpClass::MemGlobal:
+          case OpClass::MemTexture:
+            if (ldstQueue_.size() >= ldstLimitFor(warp.stream)) {
+                p.waitLdst++;
+            } else {
+                p.ready++;
+            }
+            break;
+          default:
+            p.ready++;
+            break;
+        }
+    }
+    return p;
+}
+
+bool
+Sm::auditAccounting(std::string *detail) const
+{
+    // Runs on every watchdog tick (possibly every cycle): accumulate on
+    // the stack, no per-call allocation.
+    uint32_t threads = 0;
+    uint32_t registers = 0;
+    uint32_t smem = 0;
+    uint32_t live_warps = 0;
+    for (const auto &[key, cta] : liveCtas_) {
+        threads += cta.footprint.threads;
+        registers += cta.footprint.registers;
+        smem += cta.footprint.smemBytes;
+        live_warps += cta.liveWarps;
+    }
+
+    auto fail = [&](const std::string &msg) {
+        if (detail) {
+            *detail = msg;
+        }
+        return false;
+    };
+    using logging_detail::formatMessage;
+
+    if (!quotaBreach_.empty()) {
+        return fail(quotaBreach_);
+    }
+
+    if (threads != usedThreads_ || registers != usedRegisters_ ||
+        smem != usedSmem_) {
+        return fail(formatMessage(
+            "SM %u tracked usage (thr %u, reg %u, smem %u) != recomputed "
+            "(thr %u, reg %u, smem %u)", smId_, usedThreads_,
+            usedRegisters_, usedSmem_, threads, registers, smem));
+    }
+    if (live_warps != activeWarps_) {
+        return fail(formatMessage(
+            "SM %u tracked active warps %u != recomputed %u", smId_,
+            activeWarps_, live_warps));
+    }
+    if (usedThreads_ > cfg_.maxWarps * kWarpSize ||
+        usedRegisters_ > cfg_.registers || usedSmem_ > cfg_.smemBytes) {
+        return fail(formatMessage(
+            "SM %u allocation (thr %u, reg %u, smem %u) exceeds capacity "
+            "(thr %u, reg %u, smem %u)", smId_, usedThreads_,
+            usedRegisters_, usedSmem_, cfg_.maxWarps * kWarpSize,
+            cfg_.registers, cfg_.smemBytes));
+    }
+    for (const auto &[stream, used] : usedByStream_) {
+        CtaFootprint expect;
+        for (const auto &[key, cta] : liveCtas_) {
+            if (cta.stream != stream) {
+                continue;
+            }
+            expect.threads += cta.footprint.threads;
+            expect.registers += cta.footprint.registers;
+            expect.smemBytes += cta.footprint.smemBytes;
+            expect.warps += cta.footprint.warps;
+        }
+        if (used.threads != expect.threads ||
+            used.registers != expect.registers ||
+            used.smemBytes != expect.smemBytes ||
+            used.warps != expect.warps) {
+            return fail(formatMessage(
+                "SM %u stream %u tracked usage (thr %u, reg %u, smem %u, "
+                "warps %u) != recomputed (thr %u, reg %u, smem %u, warps "
+                "%u)", smId_, stream, used.threads, used.registers,
+                used.smemBytes, used.warps, expect.threads,
+                expect.registers, expect.smemBytes, expect.warps));
+        }
+    }
+    return true;
+}
+
 void
 Sm::step(Cycle now)
 {
@@ -576,6 +781,13 @@ Sm::step(Cycle now)
                 stats_->stream(cta.stream).cycles++;
             }
         }
+    }
+
+    // Fault injection: a frozen issue stage stops dead while writebacks
+    // and in-flight memory continue, so the SM quietly stops committing —
+    // the hang class the forward-progress watchdog exists to diagnose.
+    if (issueFrozen_) {
+        return;
     }
 
     // GTO issue with stream priorities: each scheduler owns the slots with

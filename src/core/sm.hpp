@@ -6,6 +6,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -116,6 +117,59 @@ class Sm
     uint32_t smId() const { return smId_; }
     const SmConfig &config() const { return cfg_; }
 
+    // --- Integrity introspection ------------------------------------------
+
+    /**
+     * Occupancy plus a per-warp stall classification, sampled between
+     * cycles. Feeds the watchdog's HangReport: when nothing commits, the
+     * dominant stall reason per SM is the first thing a debugger wants.
+     */
+    struct IntegrityProbe
+    {
+        uint32_t activeWarps = 0;
+        uint32_t activeCtas = 0;
+        uint32_t atBarrier = 0;       ///< Warps parked at a CTA barrier.
+        uint32_t waitScoreboard = 0;  ///< Blocked on a pending register.
+        uint32_t waitExecUnit = 0;    ///< Execution unit pool busy.
+        uint32_t waitSmem = 0;        ///< Shared-memory port busy.
+        uint32_t waitLdst = 0;        ///< LDST queue at its stream's limit.
+        uint32_t ready = 0;           ///< Could issue next cycle.
+        uint64_t ldstQueueDepth = 0;
+        uint64_t fabricRetryDepth = 0;
+        uint64_t outstandingLoads = 0;///< Load trackers awaiting data.
+        uint32_t l1MshrEntries = 0;
+        Addr oldestMissLine = 0;      ///< Line of the oldest L1 MSHR entry.
+        Cycle oldestMissAge = 0;      ///< Its age in cycles (0 when none).
+        bool issueFrozen = false;
+
+        /** Largest stall bucket as a short label ("scoreboard", ...). */
+        const char *dominantStall() const;
+    };
+    IntegrityProbe probe(Cycle now) const;
+
+    /**
+     * Recompute resource accounting from live CTAs and compare against the
+     * incrementally tracked totals, per-stream usage and SM capacity.
+     * @return false (with @p detail filled) on any mismatch.
+     */
+    bool auditAccounting(std::string *detail) const;
+
+    /** Fault injection: freeze or thaw this SM's issue stage. */
+    void setIssueFrozen(bool frozen) { issueFrozen_ = frozen; }
+    bool issueFrozen() const { return issueFrozen_; }
+
+    /**
+     * Fault injection: skew the tracked thread count without touching any
+     * CTA, modeling an accounting leak. auditAccounting() must catch it.
+     */
+    void skewAccountingForFaultInjection(uint32_t threads)
+    {
+        usedThreads_ += threads;
+    }
+
+    const Mshr &l1Mshr() const { return l1Mshr_; }
+    size_t fabricRetryDepth() const { return fabricRetry_.size(); }
+
   private:
     struct WarpState
     {
@@ -162,6 +216,7 @@ class Sm
 
     bool tryIssue(WarpState &warp, Cycle now);
     bool issueMemory(WarpState &warp, const TraceInstr &instr, Cycle now);
+    size_t ldstLimitFor(StreamId stream) const;
     void scheduleWriteback(uint32_t slot, uint8_t reg, Cycle when);
     void finishWarp(WarpState &warp, Cycle now);
     void releaseBarrier(CtaState &cta);
@@ -180,6 +235,9 @@ class Sm
     uint32_t nextCtaKey_ = 0;
     uint64_t warpAgeCounter_ = 0;
     uint32_t activeWarps_ = 0;
+    bool issueFrozen_ = false;
+    /** First quota breach observed at CTA launch (sticky; "" = none). */
+    std::string quotaBreach_;
 
     // Aggregate and per-stream resource usage.
     uint32_t usedThreads_ = 0;

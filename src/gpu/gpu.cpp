@@ -1,8 +1,12 @@
 #include "gpu/gpu.hpp"
 
 #include <algorithm>
+#include <cinttypes>
+#include <utility>
 
 #include "common/logging.hpp"
+#include "integrity/checks.hpp"
+#include "integrity/fault_injector.hpp"
 
 namespace crisp
 {
@@ -57,6 +61,15 @@ Gpu::enqueueKernelAfter(StreamId stream, KernelInfo info,
 {
     auto it = streams_.find(stream);
     fatal_if(it == streams_.end(), "enqueue on unknown stream %u", stream);
+    // Dependencies must name a kernel previously enqueued on this stream;
+    // anything else would make the new kernel wait forever on an id that
+    // can never complete (the classic silent-hang bug this validation and
+    // the stream-liveness checker both exist for).
+    fatal_if(depends_on != kNoDependency &&
+                 !it->second.everEnqueued.count(depends_on),
+             "stream %s: kernel %s depends on id %u, which was never "
+             "enqueued on this stream", it->second.name.c_str(),
+             info.name.c_str(), depends_on);
     fatal_if(!info.source, "kernel %s has no trace source",
              info.name.c_str());
     fatal_if(info.numCtas() == 0, "kernel %s launches zero CTAs",
@@ -76,15 +89,37 @@ Gpu::enqueueKernelAfter(StreamId stream, KernelInfo info,
     q.info = std::move(info);
     q.dependsOn = depends_on;
     q.delay = delay;
+    // Fault injection: overwrite the (validated) dependency with an id
+    // that can never complete, after validation so only the injector can
+    // smuggle one in. The stream-liveness checker must catch it.
+    if (faultInjector_ && depends_on != kNoDependency &&
+        faultInjector_->corruptNextDependency()) {
+        q.dependsOn = integrity::FaultInjector::kCorruptDependencyId;
+    }
     it->second.queue.push_back(std::move(q));
     it->second.lastEnqueued = id;
     it->second.everUsed = true;
+    it->second.everEnqueued.insert(id);
     return id;
 }
 
 void
 Gpu::setPartition(const PartitionConfig &partition)
 {
+    double total = 0.0;
+    for (const auto &[id, share] : partition.share) {
+        fatal_if(!streams_.count(id),
+                 "partition names stream %u, which does not exist", id);
+        fatal_if(share < 0.0,
+                 "negative partition share %.3f for stream %u (%s)", share,
+                 id, streams_.at(id).name.c_str());
+        total += share;
+    }
+    fatal_if(total > 1.0 + 1e-9,
+             "partition shares sum to %.3f (must be <= 1.0)", total);
+    fatal_if(partition.priorityStream != kInvalidStream &&
+                 !streams_.count(partition.priorityStream),
+             "priority stream %u does not exist", partition.priorityStream);
     partition_ = partition;
     applyPartition();
 }
@@ -94,6 +129,26 @@ Gpu::addController(GpuController *controller)
 {
     panic_if(controller == nullptr, "null controller");
     controllers_.push_back(controller);
+}
+
+void
+Gpu::setFaultInjector(integrity::FaultInjector *injector)
+{
+    faultInjector_ = injector;
+    l2_->setFaultHook(injector);
+    if (injector == nullptr) {
+        for (auto &sm : sms_) {
+            sm->setIssueFrozen(false);
+        }
+    }
+}
+
+Sm &
+Gpu::sm(uint32_t index)
+{
+    fatal_if(index >= sms_.size(), "SM index %u out of range (GPU has %u "
+             "SMs)", index, numSms());
+    return *sms_[index];
 }
 
 SmQuota
@@ -322,6 +377,13 @@ void
 Gpu::tick()
 {
     ++cycle_;
+    if (faultInjector_) {
+        const uint32_t target = faultInjector_->config().freezeSm;
+        if (target < sms_.size()) {
+            sms_[target]->setIssueFrozen(
+                faultInjector_->issueFrozen(target, cycle_));
+        }
+    }
     issueCtas();
     for (auto &sm : sms_) {
         sm->step(cycle_);
@@ -348,16 +410,212 @@ Gpu::done() const
     return l2_->idle();
 }
 
+uint64_t
+Gpu::progressSignature() const
+{
+    // Any of these moving means the machine is getting somewhere: warps
+    // issuing, CTAs launching, kernels finishing, or memory responses
+    // arriving. Stall counters and queue churn deliberately don't count.
+    uint64_t sig = l2_->responsesDelivered();
+    for (const auto &[id, st] : stats_.allStreams()) {
+        sig += st.instructions + st.ctasLaunched + st.kernelsCompleted;
+    }
+    return sig;
+}
+
+bool
+Gpu::progressImminent() const
+{
+    // A machine-wide idle spell is legal while a fixed-function stage
+    // delay holds back the only runnable kernel (enqueueKernelAfter with
+    // a delay): the front kernel's dependency has completed and promotion
+    // is scheduled, so this is not a hang no matter how long the delay.
+    for (const auto &[id, ss] : streams_) {
+        if (!ss.active.empty() || ss.queue.empty()) {
+            continue;
+        }
+        const QueuedKernel &front = ss.queue.front();
+        if (front.dependsOn == kNoDependency) {
+            return true;   // promotes on the next tick
+        }
+        auto done_at = ss.completedAt.find(front.dependsOn);
+        if (done_at != ss.completedAt.end() &&
+            cycle_ < done_at->second + front.delay) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<const Sm *>
+Gpu::constSms() const
+{
+    std::vector<const Sm *> sms;
+    sms.reserve(sms_.size());
+    for (const auto &sm : sms_) {
+        sms.push_back(sm.get());
+    }
+    return sms;
+}
+
+void
+Gpu::checkStreamLiveness(
+    std::vector<integrity::InvariantViolation> &out) const
+{
+    // A front kernel whose dependency is neither completed nor active on
+    // its stream waits on an id that can never complete (streams promote
+    // in order, so a valid dependency is always ahead of its dependent).
+    for (const auto &[id, ss] : streams_) {
+        if (ss.queue.empty()) {
+            continue;
+        }
+        const QueuedKernel &front = ss.queue.front();
+        if (front.dependsOn == kNoDependency ||
+            ss.completed.count(front.dependsOn)) {
+            continue;
+        }
+        const bool pending =
+            std::any_of(ss.active.begin(), ss.active.end(),
+                        [&](const ActiveKernel &ak) {
+                            return ak.id == front.dependsOn;
+                        });
+        if (pending) {
+            continue;
+        }
+        out.push_back(
+            {"stream-liveness",
+             logging_detail::formatMessage(
+                 "stream %u (%s): kernel %u (%s) waits on dependency %u, "
+                 "which is neither completed nor running on this stream "
+                 "and so can never be satisfied", id, ss.name.c_str(),
+                 front.id, front.info.name.c_str(), front.dependsOn),
+             cycle_});
+    }
+}
+
+std::vector<integrity::HangReport::StreamRow>
+Gpu::streamRows() const
+{
+    std::vector<integrity::HangReport::StreamRow> rows;
+    for (const auto &[id, ss] : streams_) {
+        integrity::HangReport::StreamRow row;
+        row.id = id;
+        row.name = ss.name;
+        row.queuedKernels = ss.queue.size();
+        row.activeKernels = ss.active.size();
+        if (!ss.queue.empty()) {
+            const QueuedKernel &front = ss.queue.front();
+            row.frontKernel = front.info.name;
+            if (front.dependsOn != kNoDependency &&
+                !ss.completed.count(front.dependsOn)) {
+                row.blockingDep = front.dependsOn;
+                row.blockReason = logging_detail::formatMessage(
+                    "waiting on kernel %u", front.dependsOn);
+            } else if (front.dependsOn != kNoDependency && front.delay > 0 &&
+                       cycle_ < ss.completedAt.at(front.dependsOn) +
+                                    front.delay) {
+                row.blockReason = "fixed-function delay";
+            } else if (ss.active.size() >= kMaxActiveKernels) {
+                row.blockReason = "active-kernel limit";
+            } else {
+                row.blockReason = "SM resources";
+            }
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+integrity::HangReport
+Gpu::buildHangReport(
+    Cycle last_progress, std::string reason,
+    std::vector<integrity::InvariantViolation> violations,
+    std::vector<integrity::HangReport::MshrLeakRow> leaks) const
+{
+    integrity::HangReport report;
+    report.detectedAt = cycle_;
+    report.lastProgressAt = last_progress;
+    report.reason = std::move(reason);
+    report.violations = std::move(violations);
+    report.mshrLeaks = std::move(leaks);
+    for (const auto &sm : sms_) {
+        report.sms.push_back(integrity::smRow(*sm, cycle_));
+    }
+    report.streams = streamRows();
+    report.mem = integrity::memRow(*l2_, cycle_);
+    return report;
+}
+
 Gpu::RunResult
-Gpu::run(Cycle max_cycles)
+Gpu::run(Cycle max_cycles, const integrity::RunOptions &opts)
 {
     RunResult result;
+    const Cycle interval = opts.checkInterval;
+
+    // Auto thresholds scale with the configured memory round trip, so a
+    // clean-but-slow machine (deep queues, DRAM contention) never trips
+    // the watchdog while a genuine hang is caught within a few round
+    // trips.
+    const Cycle roundtrip =
+        cfg_.l2.l2Latency + 2 * cfg_.l2.icntLatency + cfg_.l2.dramLatency;
+    const Cycle hang_threshold =
+        opts.hangThreshold ? opts.hangThreshold : 8 * roundtrip + 10000;
+    const Cycle leak_age =
+        opts.mshrLeakAge ? opts.mshrLeakAge : hang_threshold;
+
+    uint64_t last_sig = progressSignature();
+    Cycle last_progress = cycle_;
+    Cycle next_check = cycle_ + interval;
+    const std::vector<const Sm *> sms = constSms();
+
     while (cycle_ < max_cycles) {
         if (done()) {
             result.completed = true;
             break;
         }
         tick();
+        if (interval == 0 || cycle_ < next_check) {
+            continue;
+        }
+        next_check = cycle_ + interval;
+
+        const uint64_t sig = progressSignature();
+        if (sig != last_sig) {
+            last_sig = sig;
+            last_progress = cycle_;
+        }
+
+        std::vector<integrity::InvariantViolation> violations;
+        std::vector<integrity::HangReport::MshrLeakRow> leaks;
+        if (opts.checkInvariants) {
+            integrity::checkConservation(sms, *l2_, cycle_, violations);
+            integrity::checkSmAccounting(sms, cycle_, violations);
+            leaks = integrity::findMshrLeaks(sms, *l2_, cycle_, leak_age,
+                                             &violations);
+            checkStreamLiveness(violations);
+        }
+        const bool hung = cycle_ - last_progress >= hang_threshold &&
+                          !progressImminent();
+        if (violations.empty() && !hung) {
+            continue;
+        }
+
+        std::string reason;
+        if (hung) {
+            reason = logging_detail::formatMessage(
+                "no forward progress for %" PRIu64 " cycles",
+                cycle_ - last_progress);
+        } else {
+            reason = "invariant violation: " + violations.front().check;
+        }
+        integrity::HangReport report = buildHangReport(
+            last_progress, std::move(reason), std::move(violations),
+            std::move(leaks));
+        if (opts.onHang == integrity::RunOptions::OnHang::Panic) {
+            panic("%s", report.render().c_str());
+        }
+        result.hang = std::move(report);
+        break;
     }
     result.cycles = cycle_;
     return result;

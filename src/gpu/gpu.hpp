@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -12,10 +13,16 @@
 #include "common/stats.hpp"
 #include "core/sm.hpp"
 #include "gpu/gpu_config.hpp"
+#include "integrity/report.hpp"
 #include "mem/l2_subsystem.hpp"
 
 namespace crisp
 {
+
+namespace integrity
+{
+class FaultInjector;
+}
 
 class Gpu;
 
@@ -128,11 +135,22 @@ class Gpu : public MemFabricPort
     KernelId enqueueKernelAfter(StreamId stream, KernelInfo info,
                                 KernelId depends_on, Cycle delay);
 
-    /** Select the partitioning method; applies SM/bank masks and quotas. */
+    /**
+     * Select the partitioning method; applies SM/bank masks and quotas.
+     * Shares must be non-negative and sum to at most 1.0, and every named
+     * stream (including priorityStream) must exist.
+     */
     void setPartition(const PartitionConfig &partition);
 
     /** Attach a dynamic controller (not owned). */
     void addController(GpuController *controller);
+
+    /**
+     * Attach a fault injector (not owned; nullptr detaches). Wires the
+     * memory-system fault hook into the L2 and lets the injector freeze
+     * SM issue stages and corrupt enqueued dependency ids.
+     */
+    void setFaultInjector(integrity::FaultInjector *injector);
 
     /** Advance one core cycle. */
     void tick();
@@ -142,8 +160,17 @@ class Gpu : public MemFabricPort
     {
         Cycle cycles = 0;
         bool completed = false;
+        /** Set when the integrity layer stopped the run (OnHang::Report). */
+        std::optional<integrity::HangReport> hang;
     };
-    RunResult run(Cycle max_cycles = ~0ull);
+    /**
+     * With a non-zero opts.checkInterval, a forward-progress watchdog and
+     * the cross-layer invariant checkers audit the machine while it runs;
+     * a detected hang or violation stops the run with a HangReport (or
+     * panics, per opts.onHang).
+     */
+    RunResult run(Cycle max_cycles = ~0ull,
+                  const integrity::RunOptions &opts = {});
 
     bool done() const;
     Cycle now() const { return cycle_; }
@@ -154,7 +181,8 @@ class Gpu : public MemFabricPort
     const StatsRegistry &stats() const { return stats_; }
     L2Subsystem &l2() { return *l2_; }
     const L2Subsystem &l2() const { return *l2_; }
-    Sm &sm(uint32_t index) { return *sms_[index]; }
+    /** Access one SM; fatal on an out-of-range index. */
+    Sm &sm(uint32_t index);
     uint32_t numSms() const { return static_cast<uint32_t>(sms_.size()); }
     const GpuConfig &config() const { return cfg_; }
 
@@ -220,6 +248,7 @@ class Gpu : public MemFabricPort
         std::vector<ActiveKernel> active;
         std::set<KernelId> completed;
         std::map<KernelId, Cycle> completedAt;
+        std::set<KernelId> everEnqueued;
         KernelId lastEnqueued = kNoDependency;
         Cycle finishCycle = 0;
         bool everUsed = false;
@@ -234,6 +263,19 @@ class Gpu : public MemFabricPort
     void promoteReadyKernels(StreamState &ss);
     const std::vector<uint32_t> &allowedSms(StreamId stream);
 
+    // Integrity-layer internals (watchdog state lives in run()).
+    uint64_t progressSignature() const;
+    bool progressImminent() const;
+    std::vector<const Sm *> constSms() const;
+    void checkStreamLiveness(
+        std::vector<integrity::InvariantViolation> &out) const;
+    std::vector<integrity::HangReport::StreamRow> streamRows() const;
+    integrity::HangReport
+    buildHangReport(Cycle last_progress, std::string reason,
+                    std::vector<integrity::InvariantViolation> violations,
+                    std::vector<integrity::HangReport::MshrLeakRow> leaks)
+        const;
+
     GpuConfig cfg_;
     StatsRegistry stats_;
     std::unique_ptr<L2Subsystem> l2_;
@@ -242,6 +284,7 @@ class Gpu : public MemFabricPort
     std::map<StreamId, std::vector<uint32_t>> smAssignment_;
     std::vector<uint32_t> allSms_;
     std::vector<GpuController *> controllers_;
+    integrity::FaultInjector *faultInjector_ = nullptr;
     PartitionConfig partition_;
     std::vector<KernelRecord> kernelLog_;
     std::map<KernelId, Cycle> launchCycles_;

@@ -1,0 +1,188 @@
+#include "integrity/checks.hpp"
+
+#include <cinttypes>
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+namespace integrity
+{
+
+using logging_detail::formatMessage;
+
+void
+checkConservation(const std::vector<const Sm *> &sms, const L2Subsystem &l2,
+                  Cycle now, std::vector<InvariantViolation> &out)
+{
+    const L2Subsystem::InFlight f = l2.inFlight();
+
+    // 1. Cumulative conservation on the L2 side: every accepted read is
+    // either still outstanding or has been delivered. A dropped response
+    // makes the left side exceed the right side forever.
+    const uint64_t outstanding =
+        f.queuedReads + f.mshrResponseTargets + f.pendingResponses;
+    if (l2.readsAccepted() != l2.responsesDelivered() + outstanding) {
+        out.push_back(
+            {"mem-conservation",
+             formatMessage("L2 reads accepted (%" PRIu64 ") != delivered "
+                           "(%" PRIu64 ") + outstanding (%" PRIu64
+                           ": %" PRIu64 " queued + %" PRIu64
+                           " mshr targets + %" PRIu64 " responses)",
+                           l2.readsAccepted(), l2.responsesDelivered(),
+                           outstanding, f.queuedReads,
+                           f.mshrResponseTargets, f.pendingResponses),
+             now});
+    }
+
+    // 2. Structural cross-layer conservation: each outstanding L1 MSHR
+    // line sent exactly one read into the fabric (or parked it in the
+    // SM's retry queue), so the totals must balance at cycle boundaries.
+    uint64_t l1_entries = 0;
+    uint64_t retained = 0;
+    for (const Sm *sm : sms) {
+        l1_entries += sm->l1Mshr().entriesInUse();
+        retained += sm->fabricRetryDepth();
+    }
+    if (l1_entries != retained + outstanding) {
+        out.push_back(
+            {"mem-conservation",
+             formatMessage("outstanding L1 MSHR lines (%" PRIu64 ") != "
+                           "fabric-retry (%" PRIu64 ") + in-flight in L2 "
+                           "(%" PRIu64 ")",
+                           l1_entries, retained, outstanding),
+             now});
+    }
+}
+
+void
+checkSmAccounting(const std::vector<const Sm *> &sms, Cycle now,
+                  std::vector<InvariantViolation> &out)
+{
+    for (const Sm *sm : sms) {
+        std::string detail;
+        if (!sm->auditAccounting(&detail)) {
+            out.push_back({"sm-accounting", detail, now});
+        }
+    }
+}
+
+std::vector<HangReport::MshrLeakRow>
+findMshrLeaks(const std::vector<const Sm *> &sms, const L2Subsystem &l2,
+              Cycle now, Cycle max_age,
+              std::vector<InvariantViolation> *out)
+{
+    std::vector<HangReport::MshrLeakRow> leaks;
+    auto report = [&](const HangReport::MshrLeakRow &row) {
+        if (out) {
+            std::string sm_list;
+            for (uint32_t sm : row.smIds) {
+                if (!sm_list.empty()) {
+                    sm_list += ',';
+                }
+                sm_list += std::to_string(sm);
+            }
+            out->push_back(
+                {"mshr-leak",
+                 formatMessage("%s MSHR entry for line 0x%" PRIx64
+                               " in %s %u outstanding for %" PRIu64
+                               " cycles (%u targets, waiting SMs: %s)",
+                               row.level.c_str(), row.line,
+                               row.level == "L1" ? "SM" : "bank",
+                               row.unit, row.age, row.targets,
+                               sm_list.empty() ? "-" : sm_list.c_str()),
+                 now});
+        }
+        leaks.push_back(row);
+    };
+
+    for (const Sm *sm : sms) {
+        if (sm->l1Mshr().entriesInUse() == 0 ||
+            now - sm->l1Mshr().oldestAllocation() < max_age) {
+            continue;
+        }
+        for (const auto &entry : sm->l1Mshr().entries()) {
+            const Cycle age = now - entry.allocatedAt;
+            if (age < max_age) {
+                break;   // entries() is sorted oldest first
+            }
+            HangReport::MshrLeakRow row;
+            row.level = "L1";
+            row.unit = sm->smId();
+            row.line = entry.line;
+            row.age = age;
+            row.targets = entry.targets;
+            row.smIds = {sm->smId()};
+            report(row);
+        }
+    }
+
+    // Cheap pre-check so per-cycle scans don't snapshot a healthy L2.
+    const Cycle l2_oldest = l2.oldestMshrAllocation();
+    if (l2_oldest == ~0ull || now - l2_oldest < max_age) {
+        return leaks;
+    }
+    for (const auto &entry : l2.mshrEntries()) {
+        const Cycle age = now - entry.allocatedAt;
+        if (age < max_age) {
+            break;   // sorted oldest first
+        }
+        HangReport::MshrLeakRow row;
+        row.level = "L2";
+        row.unit = entry.bank;
+        row.line = entry.line;
+        row.age = age;
+        row.targets = entry.targets;
+        row.smIds = entry.smIds;
+        report(row);
+    }
+    return leaks;
+}
+
+HangReport::SmRow
+smRow(const Sm &sm, Cycle now)
+{
+    const Sm::IntegrityProbe p = sm.probe(now);
+    HangReport::SmRow row;
+    row.smId = sm.smId();
+    row.activeWarps = p.activeWarps;
+    row.activeCtas = p.activeCtas;
+    row.atBarrier = p.atBarrier;
+    row.waitScoreboard = p.waitScoreboard;
+    row.waitExecUnit = p.waitExecUnit;
+    row.waitSmem = p.waitSmem;
+    row.waitLdst = p.waitLdst;
+    row.ready = p.ready;
+    row.l1MshrEntries = p.l1MshrEntries;
+    row.ldstQueueDepth = p.ldstQueueDepth;
+    row.fabricRetryDepth = p.fabricRetryDepth;
+    row.outstandingLoads = p.outstandingLoads;
+    row.oldestMissLine = p.oldestMissLine;
+    row.oldestMissAge = p.oldestMissAge;
+    row.issueFrozen = p.issueFrozen;
+    row.dominantStall = p.dominantStall();
+    return row;
+}
+
+HangReport::MemRow
+memRow(const L2Subsystem &l2, Cycle now)
+{
+    const L2Subsystem::InFlight f = l2.inFlight();
+    HangReport::MemRow row;
+    row.queuedRequests = f.queuedRequests;
+    row.queuedReads = f.queuedReads;
+    row.mshrEntries = f.mshrEntries;
+    row.mshrResponseTargets = f.mshrResponseTargets;
+    row.pendingFills = f.pendingFills;
+    row.pendingResponses = f.pendingResponses;
+    row.readsAccepted = l2.readsAccepted();
+    row.responsesDelivered = l2.responsesDelivered();
+    row.dramRequests = l2.dramRequests();
+    row.requestLinkBacklog = l2.requestLinkBacklog(now);
+    row.responseLinkBacklog = l2.responseLinkBacklog(now);
+    row.bankQueueDepths = l2.bankQueueDepths();
+    return row;
+}
+
+} // namespace integrity
+} // namespace crisp

@@ -1,0 +1,60 @@
+#ifndef CRISP_INTEGRITY_CHECKS_HPP
+#define CRISP_INTEGRITY_CHECKS_HPP
+
+#include <vector>
+
+#include "core/sm.hpp"
+#include "integrity/report.hpp"
+#include "mem/l2_subsystem.hpp"
+
+namespace crisp
+{
+namespace integrity
+{
+
+/**
+ * Cross-layer invariant checkers over the machine's memory fabric and
+ * cores. The Gpu runs them on every watchdog tick; each appends
+ * violations instead of panicking so the caller decides the on-hang
+ * policy and can bundle everything into one HangReport.
+ */
+
+/**
+ * Conservation of in-flight memory reads, checked two ways:
+ *  1. cumulative, L2-side: reads accepted == responses delivered +
+ *     outstanding (bank queues + MSHR targets + response queue);
+ *  2. structural, cross-layer: every outstanding L1 MSHR line must have
+ *     exactly one representative in the SM's retry queue or somewhere in
+ *     the L2 subsystem.
+ * A dropped response breaks both; a leaked-but-consistent MSHR entry
+ * breaks neither (the age-based leak scan exists for that).
+ */
+void checkConservation(const std::vector<const Sm *> &sms,
+                       const L2Subsystem &l2, Cycle now,
+                       std::vector<InvariantViolation> &out);
+
+/** Per-SM resource accounting audit (tracked vs recomputed vs quota). */
+void checkSmAccounting(const std::vector<const Sm *> &sms, Cycle now,
+                       std::vector<InvariantViolation> &out);
+
+/**
+ * Age-based MSHR leak scan over every SM's L1 MSHR and the L2's banked
+ * MSHRs. Returns structured rows (for the HangReport) and appends one
+ * violation per leaked entry, naming the line address and the owning
+ * SM/bank — the acceptance-test contract for dropped-fill hangs.
+ */
+std::vector<HangReport::MshrLeakRow>
+findMshrLeaks(const std::vector<const Sm *> &sms, const L2Subsystem &l2,
+              Cycle now, Cycle max_age,
+              std::vector<InvariantViolation> *out);
+
+/** Build a HangReport SM row from a live SM. */
+HangReport::SmRow smRow(const Sm &sm, Cycle now);
+
+/** Fill the report's memory-system row from the L2 subsystem. */
+HangReport::MemRow memRow(const L2Subsystem &l2, Cycle now);
+
+} // namespace integrity
+} // namespace crisp
+
+#endif // CRISP_INTEGRITY_CHECKS_HPP

@@ -1,0 +1,86 @@
+#include "integrity/fault_injector.hpp"
+
+namespace crisp
+{
+namespace integrity
+{
+
+FaultInjector::FaultInjector(const FaultConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+}
+
+bool
+FaultInjector::roll(double prob)
+{
+    if (prob <= 0.0) {
+        return false;
+    }
+    return prob >= 1.0 || rng_.nextDouble() < prob;
+}
+
+MemFaultHook::Action
+FaultInjector::onDramFill(const MemRequest &req, Cycle now, Cycle &delay)
+{
+    if (droppedFills_ < cfg_.maxDroppedFills && roll(cfg_.dropFillProb)) {
+        ++droppedFills_;
+        log_.push_back({"drop-fill", now, req.line, req.smId});
+        return Action::Drop;
+    }
+    if (delayedFills_ < cfg_.maxDelayedFills && roll(cfg_.delayFillProb)) {
+        ++delayedFills_;
+        delay = cfg_.fillDelay;
+        log_.push_back({"delay-fill", now, req.line, req.smId});
+        return Action::Delay;
+    }
+    return Action::None;
+}
+
+MemFaultHook::Action
+FaultInjector::onResponse(const MemRequest &req, Cycle now, Cycle &delay)
+{
+    if (droppedResponses_ < cfg_.maxDroppedResponses &&
+        roll(cfg_.dropResponseProb)) {
+        ++droppedResponses_;
+        log_.push_back({"drop-response", now, req.line, req.smId});
+        return Action::Drop;
+    }
+    if (delayedResponses_ < cfg_.maxDelayedResponses &&
+        roll(cfg_.delayResponseProb)) {
+        ++delayedResponses_;
+        delay = cfg_.responseDelay;
+        log_.push_back({"delay-response", now, req.line, req.smId});
+        return Action::Delay;
+    }
+    return Action::None;
+}
+
+bool
+FaultInjector::issueFrozen(uint32_t sm_id, Cycle now) const
+{
+    if (cfg_.freezeSm == FaultConfig::kNoSm || sm_id != cfg_.freezeSm) {
+        return false;
+    }
+    if (now < cfg_.freezeAtCycle) {
+        return false;
+    }
+    return cfg_.freezeDuration == 0 ||
+           now < cfg_.freezeAtCycle + cfg_.freezeDuration;
+}
+
+bool
+FaultInjector::corruptNextDependency()
+{
+    if (cfg_.corruptNthDependency == 0 || dependencyCorrupted_) {
+        return false;
+    }
+    if (++dependenciesSeen_ != cfg_.corruptNthDependency) {
+        return false;
+    }
+    dependencyCorrupted_ = true;
+    log_.push_back({"corrupt-dependency", 0, 0, 0});
+    return true;
+}
+
+} // namespace integrity
+} // namespace crisp

@@ -1,0 +1,125 @@
+#ifndef CRISP_INTEGRITY_FAULT_INJECTOR_HPP
+#define CRISP_INTEGRITY_FAULT_INJECTOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "mem/fault_hook.hpp"
+
+namespace crisp
+{
+namespace integrity
+{
+
+/**
+ * Configuration of the deterministic fault injector.
+ *
+ * Each fault class mirrors a real simulator-bug family:
+ *  - dropped DRAM fills  -> leaked L2 MSHR entries (lost fill bug);
+ *  - dropped responses   -> orphaned L1 MSHR entries / load trackers
+ *                           (lost wakeup bug);
+ *  - delayed fills/responses -> latency spikes that must NOT trip any
+ *                           detector (false-positive regression guard);
+ *  - frozen SM issue     -> a core that silently stops committing;
+ *  - corrupted dependency-> a stream whose front kernel waits on an id
+ *                           that can never complete.
+ *
+ * Probabilistic faults draw from a seeded xoshiro Rng, so every run is
+ * reproducible bit-for-bit; max counts allow "exactly one fault" tests.
+ */
+struct FaultConfig
+{
+    uint64_t seed = 0x5eedull;
+
+    /** Probability a returning DRAM fill is dropped (L2 MSHR leak). */
+    double dropFillProb = 0.0;
+    uint32_t maxDroppedFills = 1;
+
+    /** Probability a returning DRAM fill is delayed by fillDelay. */
+    double delayFillProb = 0.0;
+    Cycle fillDelay = 1000;
+    uint32_t maxDelayedFills = ~0u;
+
+    /** Probability a due SM response is dropped (conservation breach). */
+    double dropResponseProb = 0.0;
+    uint32_t maxDroppedResponses = 1;
+
+    /** Probability a due SM response is delayed by responseDelay. */
+    double delayResponseProb = 0.0;
+    Cycle responseDelay = 1000;
+    uint32_t maxDelayedResponses = ~0u;
+
+    /** Freeze this SM's issue stage from freezeAtCycle on. */
+    static constexpr uint32_t kNoSm = ~0u;
+    uint32_t freezeSm = kNoSm;
+    Cycle freezeAtCycle = 0;
+    Cycle freezeDuration = 0;    ///< 0 = frozen forever.
+
+    /**
+     * Corrupt the Nth dependency id seen at enqueue time (1-based; 0 =
+     * never). The corrupted id is one that was never enqueued, so the
+     * stream-liveness checker must report the kernel as permanently stuck.
+     */
+    uint32_t corruptNthDependency = 0;
+};
+
+/**
+ * Deterministic fault injector: implements the memory-system fault hook
+ * and exposes the issue-freeze and dependency-corruption faults for the
+ * Gpu to consult. Keeps a log of every injected fault so tests can
+ * correlate detections with injections.
+ */
+class FaultInjector : public MemFaultHook
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg);
+
+    // MemFaultHook
+    Action onDramFill(const MemRequest &req, Cycle now,
+                      Cycle &delay) override;
+    Action onResponse(const MemRequest &req, Cycle now,
+                      Cycle &delay) override;
+
+    /** True when @p sm_id's issue stage is frozen at @p now. */
+    bool issueFrozen(uint32_t sm_id, Cycle now) const;
+
+    /**
+     * Called by the Gpu for every enqueued dependency; true when this one
+     * must be corrupted (counts calls, fires on the Nth).
+     */
+    bool corruptNextDependency();
+
+    /** A sentinel kernel id guaranteed never to be enqueued. */
+    static constexpr KernelId kCorruptDependencyId = 0x7fffffffu;
+
+    struct Injection
+    {
+        std::string kind;    ///< "drop-fill", "delay-response", ...
+        Cycle cycle = 0;
+        Addr line = 0;
+        uint32_t smId = 0;
+    };
+    const std::vector<Injection> &injections() const { return log_; }
+
+    const FaultConfig &config() const { return cfg_; }
+
+  private:
+    bool roll(double prob);
+
+    FaultConfig cfg_;
+    Rng rng_;
+    uint32_t droppedFills_ = 0;
+    uint32_t delayedFills_ = 0;
+    uint32_t droppedResponses_ = 0;
+    uint32_t delayedResponses_ = 0;
+    uint32_t dependenciesSeen_ = 0;
+    bool dependencyCorrupted_ = false;
+    std::vector<Injection> log_;
+};
+
+} // namespace integrity
+} // namespace crisp
+
+#endif // CRISP_INTEGRITY_FAULT_INJECTOR_HPP

@@ -1,0 +1,115 @@
+#include "integrity/report.hpp"
+
+#include <cinttypes>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+namespace crisp
+{
+namespace integrity
+{
+
+namespace
+{
+
+std::string
+hexLine(Addr line)
+{
+    return logging_detail::formatMessage("0x%" PRIx64, line);
+}
+
+std::string
+u64(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace
+
+std::string
+HangReport::render() const
+{
+    std::ostringstream out;
+    out << "=== CRISP integrity report ===\n";
+    out << "detected at cycle " << detectedAt << ", last forward progress at "
+        << lastProgressAt << " (" << (detectedAt - lastProgressAt)
+        << " cycles ago)\n";
+    out << "reason: " << reason << "\n";
+
+    if (!violations.empty()) {
+        Table t({"check", "cycle", "detail"});
+        for (const auto &v : violations) {
+            t.addRow({v.check, u64(v.cycle), v.detail});
+        }
+        out << "\n-- invariant violations --\n" << t.toText();
+    }
+
+    if (!mshrLeaks.empty()) {
+        Table t({"level", "unit", "line", "age", "targets", "waiting SMs"});
+        for (const auto &leak : mshrLeaks) {
+            std::string sms;
+            for (uint32_t sm : leak.smIds) {
+                if (!sms.empty()) {
+                    sms += ',';
+                }
+                sms += std::to_string(sm);
+            }
+            t.addRow({leak.level, u64(leak.unit), hexLine(leak.line),
+                      u64(leak.age), u64(leak.targets),
+                      sms.empty() ? "-" : sms});
+        }
+        out << "\n-- leaked MSHR entries --\n" << t.toText();
+    }
+
+    {
+        Table t({"stream", "name", "queued", "active", "front kernel",
+                 "blocked on"});
+        for (const auto &s : streams) {
+            t.addRow({u64(s.id), s.name, u64(s.queuedKernels),
+                      u64(s.activeKernels),
+                      s.frontKernel.empty() ? "-" : s.frontKernel,
+                      s.blockReason.empty() ? "-" : s.blockReason});
+        }
+        out << "\n-- streams --\n" << t.toText();
+    }
+
+    {
+        Table t({"sm", "warps", "ctas", "stall", "barrier", "scoreboard",
+                 "exec", "smem", "ldst", "ready", "l1 mshr", "retry",
+                 "oldest miss"});
+        for (const auto &s : sms) {
+            t.addRow({u64(s.smId), u64(s.activeWarps), u64(s.activeCtas),
+                      s.dominantStall, u64(s.atBarrier),
+                      u64(s.waitScoreboard), u64(s.waitExecUnit),
+                      u64(s.waitSmem), u64(s.waitLdst), u64(s.ready),
+                      u64(s.l1MshrEntries), u64(s.fabricRetryDepth),
+                      s.l1MshrEntries
+                          ? hexLine(s.oldestMissLine) + " (" +
+                                u64(s.oldestMissAge) + " cycles)"
+                          : "-"});
+        }
+        out << "\n-- SMs --\n" << t.toText();
+    }
+
+    out << "\n-- memory system --\n";
+    out << "bank queues:";
+    for (size_t d : mem.bankQueueDepths) {
+        out << " " << d;
+    }
+    out << "\nqueued reads: " << mem.queuedReads << " / "
+        << mem.queuedRequests << " requests, L2 MSHR entries: "
+        << mem.mshrEntries << " (" << mem.mshrResponseTargets
+        << " response targets), pending fills: " << mem.pendingFills
+        << ", pending responses: " << mem.pendingResponses << "\n";
+    out << "reads accepted: " << mem.readsAccepted
+        << ", responses delivered: " << mem.responsesDelivered
+        << ", DRAM requests: " << mem.dramRequests << "\n";
+    out << "icnt backlog (cycles): request " << mem.requestLinkBacklog
+        << ", response " << mem.responseLinkBacklog << "\n";
+    return out.str();
+}
+
+} // namespace integrity
+} // namespace crisp

@@ -1,0 +1,148 @@
+#ifndef CRISP_INTEGRITY_REPORT_HPP
+#define CRISP_INTEGRITY_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace crisp
+{
+namespace integrity
+{
+
+/**
+ * Watchdog and invariant-checking knobs for Gpu::run().
+ *
+ * A cycle simulator's worst failure mode is the silent hang: a lost
+ * memory response or a mis-wired dependency makes run() spin to
+ * max_cycles and return completed=false with zero diagnostics. With a
+ * non-zero checkInterval the GPU audits itself while running and stops
+ * with a HangReport the moment an invariant breaks or forward progress
+ * ceases.
+ */
+struct RunOptions
+{
+    /** Cycles between integrity checks; 0 disables the integrity layer. */
+    Cycle checkInterval = 0;
+
+    /** What to do when a hang or invariant violation is detected. */
+    enum class OnHang
+    {
+        Panic,   ///< Abort with the rendered report (CI-friendly).
+        Report   ///< Stop the run and return the report in RunResult.
+    };
+    OnHang onHang = OnHang::Report;
+
+    /**
+     * Cycles without any forward progress (issued instruction, launched
+     * CTA, completed kernel, delivered memory response) before the run is
+     * declared hung. 0 derives a default from the configured memory
+     * round-trip latency.
+     */
+    Cycle hangThreshold = 0;
+
+    /**
+     * Age in cycles past which an outstanding MSHR entry is reported as
+     * leaked. 0 derives a default matching hangThreshold.
+     */
+    Cycle mshrLeakAge = 0;
+
+    /** Run the cross-layer invariant checkers on every watchdog tick. */
+    bool checkInvariants = true;
+};
+
+/** One failed integrity check. */
+struct InvariantViolation
+{
+    std::string check;    ///< "mem-conservation", "mshr-leak", ...
+    std::string detail;   ///< Human-readable specifics.
+    Cycle cycle = 0;      ///< Cycle the violation was detected.
+};
+
+/**
+ * Everything the watchdog knows about *why* nothing is committing,
+ * captured at detection time. Structured fields for tests and tooling;
+ * render() produces the human-readable tables.
+ */
+struct HangReport
+{
+    Cycle detectedAt = 0;
+    Cycle lastProgressAt = 0;
+    std::string reason;
+    std::vector<InvariantViolation> violations;
+
+    /** Per-SM occupancy and dominant stall reason. */
+    struct SmRow
+    {
+        uint32_t smId = 0;
+        uint32_t activeWarps = 0;
+        uint32_t activeCtas = 0;
+        uint32_t atBarrier = 0;
+        uint32_t waitScoreboard = 0;
+        uint32_t waitExecUnit = 0;
+        uint32_t waitSmem = 0;
+        uint32_t waitLdst = 0;
+        uint32_t ready = 0;
+        uint32_t l1MshrEntries = 0;
+        uint64_t ldstQueueDepth = 0;
+        uint64_t fabricRetryDepth = 0;
+        uint64_t outstandingLoads = 0;
+        Addr oldestMissLine = 0;
+        Cycle oldestMissAge = 0;
+        bool issueFrozen = false;
+        std::string dominantStall;
+    };
+    std::vector<SmRow> sms;
+
+    /** Per-stream queue state and what blocks the front kernel. */
+    struct StreamRow
+    {
+        StreamId id = 0;
+        std::string name;
+        uint64_t queuedKernels = 0;
+        uint64_t activeKernels = 0;
+        KernelId blockingDep = 0;    ///< 0 = front kernel is unblocked.
+        std::string frontKernel;
+        std::string blockReason;
+    };
+    std::vector<StreamRow> streams;
+
+    /** An outstanding MSHR entry old enough to be a leak. */
+    struct MshrLeakRow
+    {
+        std::string level;           ///< "L1" or "L2".
+        uint32_t unit = 0;           ///< SM id (L1) or bank id (L2).
+        Addr line = 0;
+        Cycle age = 0;
+        uint32_t targets = 0;
+        std::vector<uint32_t> smIds; ///< SMs awaiting the line's data.
+    };
+    std::vector<MshrLeakRow> mshrLeaks;
+
+    /** Memory-system queue depths and conservation counters. */
+    struct MemRow
+    {
+        uint64_t queuedRequests = 0;
+        uint64_t queuedReads = 0;
+        uint64_t mshrEntries = 0;
+        uint64_t mshrResponseTargets = 0;
+        uint64_t pendingFills = 0;
+        uint64_t pendingResponses = 0;
+        uint64_t readsAccepted = 0;
+        uint64_t responsesDelivered = 0;
+        uint64_t dramRequests = 0;
+        Cycle requestLinkBacklog = 0;
+        Cycle responseLinkBacklog = 0;
+        std::vector<size_t> bankQueueDepths;
+    };
+    MemRow mem;
+
+    /** Render the report as column-aligned tables for a terminal. */
+    std::string render() const;
+};
+
+} // namespace integrity
+} // namespace crisp
+
+#endif // CRISP_INTEGRITY_REPORT_HPP

@@ -1,0 +1,46 @@
+#ifndef CRISP_MEM_FAULT_HOOK_HPP
+#define CRISP_MEM_FAULT_HOOK_HPP
+
+#include "common/types.hpp"
+#include "mem/mem_request.hpp"
+
+namespace crisp
+{
+
+/**
+ * Interception point for the integrity layer's fault injector.
+ *
+ * The L2 subsystem consults the hook (when one is attached) at the two
+ * places where data leaves the memory system: when a DRAM fill returns to
+ * a bank, and when a response is about to be delivered to an SM. The hook
+ * decides whether the event proceeds normally, is delayed, or is dropped
+ * on the floor — the latter models the lost-response bugs that otherwise
+ * surface only as a simulation spinning to max_cycles.
+ *
+ * Defined in mem/ (not integrity/) so crisp_mem stays free of upward
+ * dependencies; crisp::integrity::FaultInjector implements it.
+ */
+class MemFaultHook
+{
+  public:
+    enum class Action
+    {
+        None,   ///< Proceed normally.
+        Drop,   ///< Discard the event (fill never happens / response lost).
+        Delay   ///< Re-schedule the event @c delay cycles later.
+    };
+
+    virtual ~MemFaultHook() = default;
+
+    /** A DRAM fill's data has returned for @p req. */
+    virtual Action onDramFill(const MemRequest &req, Cycle now,
+                              Cycle &delay) = 0;
+
+    /** A response to @p req is due for delivery to its SM. */
+    virtual Action onResponse(const MemRequest &req, Cycle now,
+                              Cycle &delay) = 0;
+};
+
+} // namespace crisp
+
+#endif // CRISP_MEM_FAULT_HOOK_HPP

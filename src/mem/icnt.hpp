@@ -30,6 +30,17 @@ class IcntLink
     double busyCycles() const { return busyCycles_; }
     uint64_t packets() const { return packets_; }
 
+    /**
+     * Cycles of already-committed traffic still ahead of @p now — how far
+     * the channel is booked into the future. Used by hang reports as the
+     * interconnect's queue-depth analogue.
+     */
+    Cycle backlog(Cycle now) const
+    {
+        const double b = freeAt_ - static_cast<double>(now);
+        return b > 0.0 ? static_cast<Cycle>(b) : 0;
+    }
+
   private:
     double bytesPerCycle_;
     Cycle latency_;

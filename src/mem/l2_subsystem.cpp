@@ -1,5 +1,7 @@
 #include "mem/l2_subsystem.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace crisp
@@ -96,6 +98,10 @@ L2Subsystem::submit(MemRequest req, Cycle now)
     // Request packet: header only for reads, header + line data for writes.
     const uint32_t bytes = req.write ? kLineBytes + 8 : 8;
     req.readyAt = requestLink_.transfer(now, bytes);
+    if (req.expectsResponse()) {
+        ++readsAccepted_;
+        ++queuedReads_;
+    }
     bankQueues_[bank].push_back(std::move(req));
     return true;
 }
@@ -119,6 +125,21 @@ L2Subsystem::step(Cycle now)
         auto node = pendingFills_.extract(pendingFills_.begin());
         const Cycle ready = node.key();
         PendingFill &pf = node.mapped();
+        if (faultHook_) {
+            Cycle delay = 0;
+            const auto action = faultHook_->onDramFill(pf.req, now, delay);
+            if (action == MemFaultHook::Action::Drop) {
+                // The fill is lost: the MSHR entry stays allocated and
+                // every merged waiter starves — the leak the integrity
+                // layer's MSHR-age checker exists to catch.
+                continue;
+            }
+            if (action == MemFaultHook::Action::Delay) {
+                pendingFills_.emplace(now + std::max<Cycle>(delay, 1),
+                                      std::move(pf));
+                continue;
+            }
+        }
         auto &bank = banks_[pf.bank];
         auto res = bank.access(pf.req.line, pf.req.write, pf.req.stream,
                                pf.req.dataClass);
@@ -152,7 +173,7 @@ L2Subsystem::step(Cycle now)
         if (mshrs_[b].pending(req.line)) {
             // Merge with the in-flight fill.
             const auto outcome =
-                mshrs_[b].allocate(req.line, encodeTarget(req));
+                mshrs_[b].allocate(req.line, encodeTarget(req), now);
             if (outcome == Mshr::Outcome::Stall) {
                 continue;   // retry next cycle
             }
@@ -161,6 +182,9 @@ L2Subsystem::step(Cycle now)
                 onAccess_(req.stream, req.line, false, 0);
             }
             bankFreeAt_[b] = now + bank_occupancy;
+            if (req.expectsResponse()) {
+                --queuedReads_;
+            }
             queue.pop_front();
             continue;
         }
@@ -181,6 +205,9 @@ L2Subsystem::step(Cycle now)
             st.l2Hits++;
             respond(req, now, now + cfg_.l2Latency);
             bankFreeAt_[b] = now + bank_occupancy;
+            if (req.expectsResponse()) {
+                --queuedReads_;
+            }
             queue.pop_front();
             continue;
         }
@@ -191,13 +218,17 @@ L2Subsystem::step(Cycle now)
             dram_.service(now, kLineBytes);
             st.dramWrites++;
         }
-        const auto outcome = mshrs_[b].allocate(req.line, encodeTarget(req));
+        const auto outcome =
+            mshrs_[b].allocate(req.line, encodeTarget(req), now);
         panic_if(outcome != Mshr::Outcome::NewEntry,
                  "MSHR allocate failed after capacity check");
         st.dramReads++;
         const Cycle data_ready = dram_.service(now, kLineBytes);
         pendingFills_.emplace(data_ready, PendingFill{req, b});
         bankFreeAt_[b] = now + bank_occupancy;
+        if (req.expectsResponse()) {
+            --queuedReads_;
+        }
         queue.pop_front();
     }
 
@@ -206,8 +237,94 @@ L2Subsystem::step(Cycle now)
            pendingResponses_.begin()->first <= now) {
         auto node = pendingResponses_.extract(pendingResponses_.begin());
         panic_if(!onResponse_, "L2 response with no handler installed");
+        if (faultHook_) {
+            Cycle delay = 0;
+            const auto action =
+                faultHook_->onResponse(node.mapped(), now, delay);
+            if (action == MemFaultHook::Action::Drop) {
+                // Lost response: the requesting SM's L1 MSHR entry and
+                // load tracker are now orphaned; the conservation checker
+                // sees one more issued read than completed + outstanding.
+                continue;
+            }
+            if (action == MemFaultHook::Action::Delay) {
+                pendingResponses_.emplace(now + std::max<Cycle>(delay, 1),
+                                          std::move(node.mapped()));
+                continue;
+            }
+        }
+        ++responsesDelivered_;
         onResponse_(node.mapped());
     }
+}
+
+L2Subsystem::InFlight
+L2Subsystem::inFlight() const
+{
+    InFlight f;
+    for (const auto &q : bankQueues_) {
+        f.queuedRequests += q.size();
+    }
+    f.queuedReads = queuedReads_;
+    for (const auto &mshr : mshrs_) {
+        f.mshrEntries += mshr.entriesInUse();
+        f.mshrResponseTargets += mshr.responseTargets();
+    }
+    f.pendingFills = pendingFills_.size();
+    f.pendingResponses = pendingResponses_.size();
+    return f;
+}
+
+std::vector<L2Subsystem::MshrEntryInfo>
+L2Subsystem::mshrEntries() const
+{
+    std::vector<MshrEntryInfo> out;
+    for (uint32_t b = 0; b < cfg_.numBanks; ++b) {
+        for (const auto &entry : mshrs_[b].entries()) {
+            MshrEntryInfo info;
+            info.bank = b;
+            info.line = entry.line;
+            info.allocatedAt = entry.allocatedAt;
+            info.targets = entry.targets;
+            for (uint64_t key : entry.keys) {
+                if (key == MemRequest::kNoCompletion) {
+                    continue;
+                }
+                MemRequest decoded;
+                decodeTarget(key, decoded);
+                info.smIds.push_back(decoded.smId);
+            }
+            out.push_back(std::move(info));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MshrEntryInfo &a, const MshrEntryInfo &b) {
+                  return a.allocatedAt < b.allocatedAt;
+              });
+    return out;
+}
+
+Cycle
+L2Subsystem::oldestMshrAllocation() const
+{
+    Cycle oldest = ~0ull;
+    for (const auto &mshr : mshrs_) {
+        if (mshr.entriesInUse() > 0) {
+            oldest = std::min(oldest, mshr.oldestAllocation());
+        }
+    }
+    return oldest;
+}
+
+std::vector<size_t>
+L2Subsystem::bankQueueDepths() const
+{
+    std::vector<size_t> depths;
+    depths.reserve(bankQueues_.size());
+    for (const auto &q : bankQueues_) {
+        depths.push_back(q.size());
+    }
+    return depths;
 }
 
 bool

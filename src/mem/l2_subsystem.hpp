@@ -10,6 +10,7 @@
 #include "common/stats.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
+#include "mem/fault_hook.hpp"
 #include "mem/icnt.hpp"
 #include "mem/mem_request.hpp"
 #include "mem/mshr.hpp"
@@ -93,6 +94,62 @@ class L2Subsystem
     void setStreamSetWindow(StreamId stream, uint32_t first, uint32_t count);
     void clearSetWindows();
 
+    /**
+     * Attach a fault-injection hook (not owned; nullptr detaches). The hook
+     * is consulted when DRAM fills return and when responses are delivered.
+     */
+    void setFaultHook(MemFaultHook *hook) { faultHook_ = hook; }
+
+    // --- Integrity introspection -----------------------------------------
+
+    /** Counts of everything currently in flight inside the subsystem. */
+    struct InFlight
+    {
+        uint64_t queuedRequests = 0;     ///< Requests sitting in bank queues.
+        uint64_t queuedReads = 0;        ///< Of which expect a response.
+        uint64_t mshrEntries = 0;        ///< Outstanding missed lines.
+        uint64_t mshrResponseTargets = 0;///< Merged waiters expecting data.
+        uint64_t pendingFills = 0;       ///< DRAM fills not yet returned.
+        uint64_t pendingResponses = 0;   ///< Responses in the return icnt.
+    };
+    InFlight inFlight() const;
+
+    /** One outstanding MSHR entry with its waiters' SM ids decoded. */
+    struct MshrEntryInfo
+    {
+        uint32_t bank = 0;
+        Addr line = 0;
+        Cycle allocatedAt = 0;
+        uint32_t targets = 0;
+        std::vector<uint32_t> smIds;    ///< SMs awaiting this line's data.
+    };
+    /** Snapshot of every outstanding MSHR entry, oldest first. */
+    std::vector<MshrEntryInfo> mshrEntries() const;
+
+    /**
+     * Allocation cycle of the oldest outstanding MSHR entry across all
+     * banks, or ~0ull when none — the cheap pre-check for leak scans.
+     */
+    Cycle oldestMshrAllocation() const;
+
+    /** Current depth of each bank's request queue. */
+    std::vector<size_t> bankQueueDepths() const;
+
+    /** Booked-ahead cycles on the request/response interconnect links. */
+    Cycle requestLinkBacklog(Cycle now) const
+    {
+        return requestLink_.backlog(now);
+    }
+    Cycle responseLinkBacklog(Cycle now) const
+    {
+        return responseLink_.backlog(now);
+    }
+
+    /** Read requests accepted from SMs (cumulative). */
+    uint64_t readsAccepted() const { return readsAccepted_; }
+    /** Responses actually delivered back to SMs (cumulative). */
+    uint64_t responsesDelivered() const { return responsesDelivered_; }
+
     /** Aggregate composition across banks (Figs 11 and 15). */
     CacheComposition composition() const;
 
@@ -118,6 +175,12 @@ class L2Subsystem
     StatsRegistry *stats_;
     ResponseHandler onResponse_;
     AccessListener onAccess_;
+    MemFaultHook *faultHook_ = nullptr;
+    uint64_t readsAccepted_ = 0;
+    uint64_t responsesDelivered_ = 0;
+    /** Reads currently in bank queues (kept incrementally: inFlight() is
+     *  called every watchdog tick and must not walk the queues). */
+    uint64_t queuedReads_ = 0;
 
     std::vector<SetAssocCache> banks_;
     std::vector<std::deque<MemRequest>> bankQueues_;

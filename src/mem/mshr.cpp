@@ -1,5 +1,7 @@
 #include "mem/mshr.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace crisp
@@ -13,20 +15,30 @@ Mshr::Mshr(uint32_t num_entries, uint32_t max_targets)
 }
 
 Mshr::Outcome
-Mshr::allocate(Addr line, uint64_t key)
+Mshr::allocate(Addr line, uint64_t key, Cycle now)
 {
     auto it = table_.find(line);
     if (it != table_.end()) {
-        if (it->second.size() >= maxTargets_) {
+        if (it->second.keys.size() >= maxTargets_) {
             return Outcome::Stall;
         }
-        it->second.push_back(key);
+        it->second.keys.push_back(key);
+        if (key != kVoidKey) {
+            ++responseTargets_;
+        }
         return Outcome::Merged;
     }
     if (table_.size() >= numEntries_) {
         return Outcome::Stall;
     }
-    table_.emplace(line, std::vector<uint64_t>{key});
+    Entry entry;
+    entry.keys.push_back(key);
+    entry.allocatedAt = now;
+    table_.emplace(line, std::move(entry));
+    allocationOrder_.emplace_back(line, now);
+    if (key != kVoidKey) {
+        ++responseTargets_;
+    }
     return Outcome::NewEntry;
 }
 
@@ -43,9 +55,63 @@ Mshr::fill(Addr line)
     if (it == table_.end()) {
         return {};
     }
-    std::vector<uint64_t> keys = std::move(it->second);
+    std::vector<uint64_t> keys = std::move(it->second.keys);
+    for (uint64_t key : keys) {
+        if (key != kVoidKey) {
+            panic_if(responseTargets_ == 0, "MSHR target count underflow");
+            --responseTargets_;
+        }
+    }
     table_.erase(it);
+    // Prune resolved allocations from the age-order queue so it stays
+    // bounded even when oldestAllocation() is never called.
+    while (!allocationOrder_.empty()) {
+        const auto &[front_line, at] = allocationOrder_.front();
+        auto front_it = table_.find(front_line);
+        if (front_it != table_.end() &&
+            front_it->second.allocatedAt == at) {
+            break;
+        }
+        allocationOrder_.pop_front();
+    }
     return keys;
+}
+
+std::vector<Mshr::EntryInfo>
+Mshr::entries() const
+{
+    std::vector<EntryInfo> out;
+    out.reserve(table_.size());
+    for (const auto &[line, entry] : table_) {
+        EntryInfo info;
+        info.line = line;
+        info.allocatedAt = entry.allocatedAt;
+        info.targets = static_cast<uint32_t>(entry.keys.size());
+        info.keys = entry.keys;
+        out.push_back(std::move(info));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const EntryInfo &a, const EntryInfo &b) {
+                  return a.allocatedAt < b.allocatedAt;
+              });
+    return out;
+}
+
+Cycle
+Mshr::oldestAllocation() const
+{
+    // Drop stale front records (entry filled, or the line re-allocated
+    // later with a different timestamp). Each record is popped at most
+    // once, so the per-call cost is amortized constant.
+    while (!allocationOrder_.empty()) {
+        const auto &[line, at] = allocationOrder_.front();
+        auto it = table_.find(line);
+        if (it != table_.end() && it->second.allocatedAt == at) {
+            return at;
+        }
+        allocationOrder_.pop_front();
+    }
+    return 0;
 }
 
 } // namespace crisp

@@ -2,6 +2,7 @@
 #define CRISP_MEM_MSHR_HPP
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +18,11 @@ namespace crisp
  * line into the existing entry, so one fill satisfies all waiters. Full
  * MSHRs (or a full target list) stall the requester, which is one of the
  * throughput limits that make workloads bandwidth-bound in the TAP study.
+ *
+ * Each entry remembers the cycle of its primary allocation so the
+ * integrity layer can detect leaked entries: a line whose fill never
+ * arrives ages forever and is the classic silent-hang bug in cycle
+ * simulators.
  */
 class Mshr
 {
@@ -27,6 +33,13 @@ class Mshr
      */
     Mshr(uint32_t num_entries, uint32_t max_targets);
 
+    /**
+     * Target key recorded for requests that expect no response (e.g. L2
+     * write misses). Void keys occupy a target slot but are not counted
+     * by responseTargets().
+     */
+    static constexpr uint64_t kVoidKey = ~0ull;
+
     /** Result of trying to record a miss. */
     enum class Outcome
     {
@@ -35,8 +48,8 @@ class Mshr
         Stall       ///< No entry/target space; caller must retry later.
     };
 
-    /** Record a miss for @p line with completion @p key. */
-    Outcome allocate(Addr line, uint64_t key);
+    /** Record a miss for @p line with completion @p key at cycle @p now. */
+    Outcome allocate(Addr line, uint64_t key, Cycle now = 0);
 
     /** True if a fill for @p line is already outstanding. */
     bool pending(Addr line) const;
@@ -53,10 +66,44 @@ class Mshr
     }
     bool full() const { return entriesInUse() >= numEntries_; }
 
+    /** Outstanding targets that expect a response (key != kVoidKey). */
+    uint64_t responseTargets() const { return responseTargets_; }
+
+    /** Introspection snapshot of one outstanding entry. */
+    struct EntryInfo
+    {
+        Addr line = 0;
+        Cycle allocatedAt = 0;
+        uint32_t targets = 0;
+        std::vector<uint64_t> keys;
+    };
+
+    /** Snapshot of all outstanding entries (integrity/leak scans). */
+    std::vector<EntryInfo> entries() const;
+
+    /**
+     * Allocation cycle of the oldest outstanding entry (0 when empty).
+     * Amortized O(1): the integrity layer calls this every watchdog tick,
+     * so it must not scan the table.
+     */
+    Cycle oldestAllocation() const;
+
   private:
+    struct Entry
+    {
+        std::vector<uint64_t> keys;
+        Cycle allocatedAt = 0;
+    };
+
     uint32_t numEntries_;
     uint32_t maxTargets_;
-    std::unordered_map<Addr, std::vector<uint64_t>> table_;
+    uint64_t responseTargets_ = 0;
+    std::unordered_map<Addr, Entry> table_;
+    /**
+     * Primary allocations in time order; filled entries are pruned lazily
+     * by oldestAllocation(), keeping it amortized O(1).
+     */
+    mutable std::deque<std::pair<Addr, Cycle>> allocationOrder_;
 };
 
 } // namespace crisp

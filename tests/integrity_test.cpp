@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.hpp"
+#include "graphics/pipeline.hpp"
+#include "integrity/fault_injector.hpp"
+#include "workloads/compute.hpp"
+#include "workloads/scenes.hpp"
+#include "workloads/submit.hpp"
+
+namespace crisp
+{
+namespace
+{
+
+GpuConfig
+smallGpu()
+{
+    GpuConfig cfg;
+    cfg.name = "small";
+    cfg.numSms = 4;
+    cfg.coreClockMhz = 1000.0;
+    cfg.memoryBandwidthGBs = 128.0;
+    cfg.l2.numBanks = 4;
+    cfg.l2.bankGeometry = {128 * 1024, 8, kLineBytes};
+    cfg.finalize();
+    return cfg;
+}
+
+RenderSubmission
+smallFrame(AddressSpace &heap)
+{
+    static std::vector<std::unique_ptr<Scene>> keep_alive;
+    keep_alive.push_back(
+        std::make_unique<Scene>(buildSceneByName("PT", heap)));
+    PipelineConfig pc;
+    pc.width = 160;
+    pc.height = 90;
+    RenderPipeline pipe(pc, heap);
+    return pipe.submit(*keep_alive.back());
+}
+
+/** Enqueue a small memory-heavy compute workload on @p stream. */
+void
+enqueueVio(Gpu &gpu, StreamId stream, AddressSpace &heap)
+{
+    for (const KernelInfo &k : buildVio(heap, 1, 160, 120)) {
+        gpu.enqueueKernel(stream, k);
+    }
+}
+
+bool
+hasCheck(const integrity::HangReport &report, const std::string &check)
+{
+    for (const auto &v : report.violations) {
+        if (v.check == check) {
+            return true;
+        }
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Fault/detector matrix: every injected fault class trips exactly the
+// detector built for it, and latency faults trip nothing.
+// ---------------------------------------------------------------------
+
+// A dropped DRAM fill leaves its L2 MSHR entry allocated forever: the
+// age-based leak scan must name the leaked line, the owning bank, and
+// the SMs waiting on it, within one watchdog interval of the entry
+// passing the leak age.
+TEST(FaultMatrixTest, DroppedFillIsCaughtByMshrLeakScan)
+{
+    AddressSpace heap(0x8000'0000ull);
+    Gpu gpu(smallGpu());
+    const StreamId s = gpu.createStream("compute");
+    enqueueVio(gpu, s, heap);
+
+    integrity::FaultConfig fc;
+    fc.dropFillProb = 1.0;
+    fc.maxDroppedFills = 1;
+    integrity::FaultInjector inj(fc);
+    gpu.setFaultInjector(&inj);
+
+    integrity::RunOptions opts;
+    opts.checkInterval = 500;
+    opts.mshrLeakAge = 2000;
+    const auto r = gpu.run(10'000'000ull, opts);
+
+    ASSERT_FALSE(r.completed);
+    ASSERT_TRUE(r.hang.has_value());
+    EXPECT_EQ(r.hang->reason, "invariant violation: mshr-leak");
+    for (const auto &v : r.hang->violations) {
+        EXPECT_EQ(v.check, "mshr-leak") << v.detail;
+    }
+
+    ASSERT_EQ(inj.injections().size(), 1u);
+    EXPECT_EQ(inj.injections()[0].kind, "drop-fill");
+    const Addr dropped_line = inj.injections()[0].line;
+
+    // The report names the dropped request's line in an L2 leak row.
+    bool named = false;
+    for (const auto &leak : r.hang->mshrLeaks) {
+        if (leak.level == "L2" && leak.line == dropped_line) {
+            named = true;
+            EXPECT_FALSE(leak.smIds.empty());
+        }
+    }
+    EXPECT_TRUE(named);
+
+    // Detected within one watchdog interval of the entry aging out.
+    EXPECT_LE(r.hang->detectedAt, inj.injections()[0].cycle +
+                                      opts.mshrLeakAge +
+                                      opts.checkInterval);
+
+    const std::string text = r.hang->render();
+    EXPECT_NE(text.find("CRISP integrity report"), std::string::npos);
+    EXPECT_NE(text.find("mshr-leak"), std::string::npos);
+}
+
+// A dropped SM response breaks read conservation (accepted != delivered
+// + outstanding) the moment it happens: detected at the next check tick,
+// long before any age-based scan would fire.
+TEST(FaultMatrixTest, DroppedResponseIsCaughtByConservation)
+{
+    AddressSpace heap(0x8000'0000ull);
+    Gpu gpu(smallGpu());
+    const StreamId s = gpu.createStream("compute");
+    enqueueVio(gpu, s, heap);
+
+    integrity::FaultConfig fc;
+    fc.dropResponseProb = 1.0;
+    fc.maxDroppedResponses = 1;
+    integrity::FaultInjector inj(fc);
+    gpu.setFaultInjector(&inj);
+
+    integrity::RunOptions opts;
+    opts.checkInterval = 500;
+    const auto r = gpu.run(10'000'000ull, opts);
+
+    ASSERT_FALSE(r.completed);
+    ASSERT_TRUE(r.hang.has_value());
+    EXPECT_EQ(r.hang->reason, "invariant violation: mem-conservation");
+    for (const auto &v : r.hang->violations) {
+        EXPECT_EQ(v.check, "mem-conservation") << v.detail;
+    }
+    EXPECT_TRUE(r.hang->mshrLeaks.empty());
+
+    ASSERT_EQ(inj.injections().size(), 1u);
+    EXPECT_EQ(inj.injections()[0].kind, "drop-response");
+    EXPECT_LE(r.hang->detectedAt,
+              inj.injections()[0].cycle + opts.checkInterval);
+}
+
+// Latency faults are legal behavior (a slow machine is not a broken
+// machine): delayed fills and responses must trip no detector and the
+// run must still complete.
+TEST(FaultMatrixTest, DelaysNeverTripAnyDetector)
+{
+    AddressSpace heap(0x8000'0000ull);
+    Gpu gpu(smallGpu());
+    const StreamId s = gpu.createStream("compute");
+    enqueueVio(gpu, s, heap);
+
+    integrity::FaultConfig fc;
+    fc.delayFillProb = 1.0;
+    fc.fillDelay = 400;
+    fc.maxDelayedFills = 25;
+    fc.delayResponseProb = 1.0;
+    fc.responseDelay = 400;
+    fc.maxDelayedResponses = 25;
+    integrity::FaultInjector inj(fc);
+    gpu.setFaultInjector(&inj);
+
+    integrity::RunOptions opts;
+    opts.checkInterval = 64;
+    const auto r = gpu.run(500'000'000ull, opts);
+
+    EXPECT_TRUE(r.completed);
+    EXPECT_FALSE(r.hang.has_value());
+    EXPECT_GE(inj.injections().size(), 1u);
+}
+
+// A frozen issue stage stops one SM's CTAs from ever committing while
+// everything else drains: the forward-progress watchdog must fire, and
+// the report must single out the frozen SM.
+TEST(FaultMatrixTest, FrozenSmIsCaughtByWatchdog)
+{
+    AddressSpace heap(0x8000'0000ull);
+    Gpu gpu(smallGpu());
+    const StreamId s = gpu.createStream("compute");
+    enqueueVio(gpu, s, heap);
+
+    integrity::FaultConfig fc;
+    fc.freezeSm = 1;
+    fc.freezeAtCycle = 500;
+    integrity::FaultInjector inj(fc);
+    gpu.setFaultInjector(&inj);
+
+    integrity::RunOptions opts;
+    opts.checkInterval = 256;
+    opts.hangThreshold = 4000;
+    const auto r = gpu.run(10'000'000ull, opts);
+
+    ASSERT_FALSE(r.completed);
+    ASSERT_TRUE(r.hang.has_value());
+    EXPECT_NE(r.hang->reason.find("no forward progress"),
+              std::string::npos);
+    EXPECT_TRUE(r.hang->violations.empty());
+
+    ASSERT_EQ(r.hang->sms.size(), 4u);
+    const auto &frozen = r.hang->sms[1];
+    EXPECT_TRUE(frozen.issueFrozen);
+    EXPECT_GT(frozen.activeWarps, 0u);
+    EXPECT_EQ(frozen.dominantStall, "frozen");
+    for (uint32_t i : {0u, 2u, 3u}) {
+        EXPECT_FALSE(r.hang->sms[i].issueFrozen);
+    }
+}
+
+// A corrupted dependency id makes a stream's front kernel wait on a
+// kernel that can never complete: the stream-liveness checker must name
+// the stream, the stuck kernel, and the bogus id.
+TEST(FaultMatrixTest, CorruptedDependencyIsCaughtByStreamLiveness)
+{
+    AddressSpace heap(0x8000'0000ull);
+    Gpu gpu(smallGpu());
+    const StreamId s = gpu.createStream("compute");
+
+    integrity::FaultConfig fc;
+    fc.corruptNthDependency = 1;
+    integrity::FaultInjector inj(fc);
+    gpu.setFaultInjector(&inj);
+    enqueueVio(gpu, s, heap);
+
+    integrity::RunOptions opts;
+    opts.checkInterval = 500;
+    const auto r = gpu.run(10'000'000ull, opts);
+
+    ASSERT_FALSE(r.completed);
+    ASSERT_TRUE(r.hang.has_value());
+    EXPECT_EQ(r.hang->reason, "invariant violation: stream-liveness");
+    ASSERT_TRUE(hasCheck(*r.hang, "stream-liveness"));
+    for (const auto &v : r.hang->violations) {
+        EXPECT_EQ(v.check, "stream-liveness") << v.detail;
+    }
+
+    ASSERT_EQ(r.hang->streams.size(), 1u);
+    EXPECT_EQ(r.hang->streams[0].blockingDep,
+              integrity::FaultInjector::kCorruptDependencyId);
+    EXPECT_GT(r.hang->streams[0].queuedKernels, 0u);
+}
+
+// ---------------------------------------------------------------------
+// False-positive guard: a clean concurrent render+compute run, audited
+// on every single cycle, never trips a detector under any policy.
+// ---------------------------------------------------------------------
+
+TEST(CleanRunTest, ConcurrentFrameNeverTripsAtIntervalOne)
+{
+    AddressSpace heap;
+    Gpu gpu(smallGpu());
+    const StreamId gfx = gpu.createStream("graphics");
+    const StreamId cmp = gpu.createStream("compute");
+    const RenderSubmission frame = smallFrame(heap);
+    submitFrame(gpu, gfx, frame);
+    AddressSpace cheap(0x8000'0000ull);
+    enqueueVio(gpu, cmp, cheap);
+
+    PartitionConfig part;
+    part.policy = PartitionPolicy::FineGrained;
+    part.priorityStream = gfx;
+    gpu.setPartition(part);
+
+    integrity::RunOptions opts;
+    opts.checkInterval = 1;
+    const auto r = gpu.run(500'000'000ull, opts);
+
+    ASSERT_TRUE(r.completed);
+    EXPECT_FALSE(r.hang.has_value());
+}
+
+// Watchdog determinism: the integrity layer at interval 1 must not
+// perturb the simulation itself.
+TEST(CleanRunTest, WatchdogDoesNotChangeSimulatedCycles)
+{
+    AddressSpace heap_a(0x8000'0000ull);
+    Gpu plain(smallGpu());
+    const StreamId sa = plain.createStream("compute");
+    enqueueVio(plain, sa, heap_a);
+    const auto ra = plain.run(500'000'000ull);
+
+    AddressSpace heap_b(0x8000'0000ull);
+    Gpu watched(smallGpu());
+    const StreamId sb = watched.createStream("compute");
+    enqueueVio(watched, sb, heap_b);
+    integrity::RunOptions opts;
+    opts.checkInterval = 1;
+    const auto rb = watched.run(500'000'000ull, opts);
+
+    ASSERT_TRUE(ra.completed);
+    ASSERT_TRUE(rb.completed);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+}
+
+// ---------------------------------------------------------------------
+// Enqueue/partition validation (the integrity layer's front door): bad
+// arguments die loudly at the call site instead of hanging the run.
+// ---------------------------------------------------------------------
+
+TEST(ValidationDeathTest, EnqueueAfterRejectsUnknownDependency)
+{
+    AddressSpace heap(0x8000'0000ull);
+    Gpu gpu(smallGpu());
+    const StreamId s = gpu.createStream("compute");
+    const std::vector<KernelInfo> kernels = buildVio(heap, 1, 160, 120);
+    EXPECT_EXIT(gpu.enqueueKernelAfter(s, kernels[0], 1234u),
+                ::testing::ExitedWithCode(1), "never enqueued");
+}
+
+TEST(ValidationDeathTest, DependencyFromAnotherStreamIsRejected)
+{
+    AddressSpace heap(0x8000'0000ull);
+    Gpu gpu(smallGpu());
+    const StreamId a = gpu.createStream("a");
+    const StreamId b = gpu.createStream("b");
+    const std::vector<KernelInfo> kernels = buildVio(heap, 1, 160, 120);
+    const KernelId on_a = gpu.enqueueKernel(a, kernels[0]);
+    EXPECT_EXIT(gpu.enqueueKernelAfter(b, kernels[1], on_a),
+                ::testing::ExitedWithCode(1), "never enqueued");
+}
+
+TEST(ValidationDeathTest, SmIndexOutOfRangeIsFatal)
+{
+    Gpu gpu(smallGpu());
+    EXPECT_EXIT(gpu.sm(99), ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(ValidationDeathTest, PartitionSharesAboveOneAreFatal)
+{
+    Gpu gpu(smallGpu());
+    const StreamId a = gpu.createStream("a");
+    const StreamId b = gpu.createStream("b");
+    PartitionConfig part;
+    part.policy = PartitionPolicy::Mps;
+    part.share[a] = 0.7;
+    part.share[b] = 0.6;
+    EXPECT_EXIT(gpu.setPartition(part), ::testing::ExitedWithCode(1),
+                "sum to");
+}
+
+TEST(ValidationDeathTest, PartitionNamingUnknownStreamIsFatal)
+{
+    Gpu gpu(smallGpu());
+    gpu.createStream("a");
+    PartitionConfig part;
+    part.policy = PartitionPolicy::Mps;
+    part.share[42] = 0.5;
+    EXPECT_EXIT(gpu.setPartition(part), ::testing::ExitedWithCode(1),
+                "does not exist");
+}
+
+TEST(ValidationDeathTest, OnHangPanicAbortsWithReport)
+{
+    AddressSpace heap(0x8000'0000ull);
+    Gpu gpu(smallGpu());
+    const StreamId s = gpu.createStream("compute");
+
+    integrity::FaultConfig fc;
+    fc.corruptNthDependency = 1;
+    integrity::FaultInjector inj(fc);
+    gpu.setFaultInjector(&inj);
+    enqueueVio(gpu, s, heap);
+
+    integrity::RunOptions opts;
+    opts.checkInterval = 500;
+    opts.onHang = integrity::RunOptions::OnHang::Panic;
+    EXPECT_DEATH(gpu.run(10'000'000ull, opts), "stream-liveness");
+}
+
+} // namespace
+} // namespace crisp
