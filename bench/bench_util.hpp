@@ -16,6 +16,7 @@
 #include "graphics/pipeline.hpp"
 #include "partition/tap.hpp"
 #include "partition/warped_slicer.hpp"
+#include "telemetry/sink.hpp"
 #include "workloads/compute.hpp"
 #include "workloads/oracle.hpp"
 #include "workloads/scenes.hpp"
@@ -90,67 +91,43 @@ runFrame(const Scene &scene, uint32_t width, uint32_t height,
     return out;
 }
 
-/** Samples the L2 composition every @p interval cycles (Figs 11/15). */
-class CompositionSampler : public GpuController
+/**
+ * Build a telemetry sink configured for bench-style counter sampling.
+ * Attach with gpu.setTelemetry(&sink); read sink.series() afterwards.
+ */
+inline telemetry::TelemetrySink
+makeSamplingSink(Cycle sample_interval)
 {
-  public:
-    struct Sample
-    {
-        Cycle cycle;
-        double texture;
-        double pipeline;
-        double compute;
-        double occupancyOfL2;
-        double hitRate;
-    };
+    telemetry::TelemetryConfig tc;
+    tc.sampleInterval = sample_interval;
+    return telemetry::TelemetrySink(tc);
+}
 
-    explicit CompositionSampler(Cycle interval) : interval_(interval) {}
-
-    void
-    onCycle(Gpu &gpu, Cycle now) override
-    {
-        if (now < next_) {
-            return;
-        }
-        next_ = now + interval_;
-        const CacheComposition comp = gpu.l2().composition();
-        samples_.push_back({now, comp.fraction(DataClass::Texture),
-                            comp.fraction(DataClass::Pipeline),
-                            comp.fraction(DataClass::Compute),
-                            comp.validFraction(), gpu.l2().hitRate()});
+/** Mean of one counter-series column. */
+inline double
+seriesMean(const telemetry::CounterSeries &series, const std::string &col)
+{
+    const std::vector<double> &v = series.values(col);
+    if (v.empty()) {
+        return 0.0;
     }
-
-    const std::vector<Sample> &samples() const { return samples_; }
-
-    /** Mean of a member over all samples. */
-    double
-    meanOf(double Sample::*member) const
-    {
-        if (samples_.empty()) {
-            return 0.0;
-        }
-        double total = 0.0;
-        for (const auto &s : samples_) {
-            total += s.*member;
-        }
-        return total / static_cast<double>(samples_.size());
+    double total = 0.0;
+    for (double x : v) {
+        total += x;
     }
+    return total / static_cast<double>(v.size());
+}
 
-    double
-    maxOf(double Sample::*member) const
-    {
-        double best = 0.0;
-        for (const auto &s : samples_) {
-            best = std::max(best, s.*member);
-        }
-        return best;
+/** Max of one counter-series column. */
+inline double
+seriesMax(const telemetry::CounterSeries &series, const std::string &col)
+{
+    double best = 0.0;
+    for (double x : series.values(col)) {
+        best = std::max(best, x);
     }
-
-  private:
-    Cycle interval_;
-    Cycle next_ = 0;
-    std::vector<Sample> samples_;
-};
+    return best;
+}
 
 /** Named builder for the three compute workloads of §V-B. */
 inline std::vector<KernelInfo>
@@ -167,50 +144,6 @@ buildComputeByName(const std::string &name, AddressSpace &heap)
     }
     fatal("unknown compute workload %s", name.c_str());
 }
-
-/** Samples per-stream warp occupancy across the machine (Fig 13). */
-class OccupancySampler : public GpuController
-{
-  public:
-    struct Sample
-    {
-        Cycle cycle;
-        double gfx;      ///< Fraction of all warp slots running graphics.
-        double compute;
-    };
-
-    OccupancySampler(StreamId gfx, StreamId compute, Cycle interval)
-        : gfx_(gfx), compute_(compute), interval_(interval)
-    {
-    }
-
-    void
-    onCycle(Gpu &gpu, Cycle now) override
-    {
-        if (now < next_) {
-            return;
-        }
-        next_ = now + interval_;
-        uint32_t g = 0;
-        uint32_t c = 0;
-        for (uint32_t s = 0; s < gpu.numSms(); ++s) {
-            g += gpu.sm(s).activeWarpsOf(gfx_);
-            c += gpu.sm(s).activeWarpsOf(compute_);
-        }
-        const double slots = static_cast<double>(gpu.numSms()) *
-                             gpu.config().sm.maxWarps;
-        samples_.push_back({now, g / slots, c / slots});
-    }
-
-    const std::vector<Sample> &samples() const { return samples_; }
-
-  private:
-    StreamId gfx_;
-    StreamId compute_;
-    Cycle interval_;
-    Cycle next_ = 0;
-    std::vector<Sample> samples_;
-};
 
 /** Partitioning scheme for a rendering+compute pair run. */
 enum class PairScheme

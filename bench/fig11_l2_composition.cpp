@@ -19,7 +19,7 @@ namespace
 
 struct SceneRun
 {
-    CompositionSampler sampler{2000};
+    std::unique_ptr<telemetry::TelemetrySink> sink;
     double l2Hit = 0.0;
     Cycle cycles = 0;
 };
@@ -37,10 +37,12 @@ runWithSampling(const std::string &name)
     const RenderSubmission sub = pipe.submit(scene);
 
     SceneRun run;
+    run.sink = std::make_unique<telemetry::TelemetrySink>(
+        makeSamplingSink(2000));
     Gpu gpu(GpuConfig::rtx3070());
     const StreamId gfx = gpu.createStream("graphics");
     submitFrame(gpu, gfx, sub);
-    gpu.addController(&run.sampler);
+    gpu.setTelemetry(run.sink.get());
     const auto r = gpu.run(2'000'000'000ull);
     fatal_if(!r.completed, "run did not complete");
     run.cycles = r.cycles;
@@ -61,36 +63,33 @@ main()
 
     std::printf("(a) Pistol (PBR drawcalls) composition over time:\n");
     Table ta({"cycle", "texture%", "pipeline%", "L2 hit%"});
-    const auto &ps = pt.sampler.samples();
-    const size_t step_pt = std::max<size_t>(1, ps.size() / 12);
-    for (size_t i = 0; i < ps.size(); i += step_pt) {
-        ta.addRow({std::to_string(ps[i].cycle),
-                   Table::num(100 * ps[i].texture, 1),
-                   Table::num(100 * ps[i].pipeline, 1),
-                   Table::num(100 * ps[i].hitRate, 1)});
+    const auto &pts = pt.sink->series();
+    const size_t step_pt = std::max<size_t>(1, pts.rows() / 12);
+    for (size_t i = 0; i < pts.rows(); i += step_pt) {
+        ta.addRow({std::to_string(pts.cycles()[i]),
+                   Table::num(100 * pts.values("l2.comp.texture")[i], 1),
+                   Table::num(100 * pts.values("l2.comp.pipeline")[i], 1),
+                   Table::num(100 * pts.values("l2.hitRate")[i], 1)});
     }
     std::printf("%s\n", ta.toText().c_str());
     ta.writeCsv("fig11a_pistol.csv");
 
     std::printf("(b) Sponza (basic shading) composition over time:\n");
     Table tb({"cycle", "texture%", "pipeline%", "L2 hit%"});
-    const auto &ss = spl.sampler.samples();
-    const size_t step_spl = std::max<size_t>(1, ss.size() / 12);
-    for (size_t i = 0; i < ss.size(); i += step_spl) {
-        tb.addRow({std::to_string(ss[i].cycle),
-                   Table::num(100 * ss[i].texture, 1),
-                   Table::num(100 * ss[i].pipeline, 1),
-                   Table::num(100 * ss[i].hitRate, 1)});
+    const auto &sps = spl.sink->series();
+    const size_t step_spl = std::max<size_t>(1, sps.rows() / 12);
+    for (size_t i = 0; i < sps.rows(); i += step_spl) {
+        tb.addRow({std::to_string(sps.cycles()[i]),
+                   Table::num(100 * sps.values("l2.comp.texture")[i], 1),
+                   Table::num(100 * sps.values("l2.comp.pipeline")[i], 1),
+                   Table::num(100 * sps.values("l2.hitRate")[i], 1)});
     }
     std::printf("%s\n", tb.toText().c_str());
     tb.writeCsv("fig11b_sponza.csv");
 
-    const double pt_avg = pt.sampler.meanOf(
-        &CompositionSampler::Sample::texture);
-    const double pt_max = pt.sampler.maxOf(
-        &CompositionSampler::Sample::texture);
-    const double spl_avg = spl.sampler.meanOf(
-        &CompositionSampler::Sample::texture);
+    const double pt_avg = seriesMean(pts, "l2.comp.texture");
+    const double pt_max = seriesMax(pts, "l2.comp.texture");
+    const double spl_avg = seriesMean(sps, "l2.comp.texture");
     std::printf("Pistol texture share: avg %.0f%%, peak %.0f%% "
                 "(paper: avg 44%%, up to 60%%)\n",
                 100 * pt_avg, 100 * pt_max);

@@ -51,13 +51,29 @@ main()
     std::map<std::string, double> serial_by_compute;
     std::map<std::string, int> count_by_compute;
 
+    uint64_t repartitions = 0;
+
     for (const auto &scene : scenes) {
         for (const auto &cmp : computes) {
             std::map<PairScheme, double> stp;
             double even_makespan = 0.0;
             for (PairScheme scheme : schemes) {
-                const PairResult r =
-                    runPair(scene, cmp, gpu_cfg, scheme, w, h);
+                // Trace the Dynamic runs: the slicer emits a Repartition
+                // event per quota change, giving a cheap sanity count of
+                // how often the sampled optimum actually moved.
+                telemetry::TelemetrySink sink;
+                const bool traced = scheme == PairScheme::FgWarpedSlicer;
+                const PairResult r = runPair(
+                    scene, cmp, gpu_cfg, scheme, w, h,
+                    [&](Gpu &gpu, StreamId, StreamId) {
+                        if (traced) {
+                            gpu.setTelemetry(&sink);
+                        }
+                    });
+                if (traced) {
+                    repartitions +=
+                        sink.count(telemetry::EventKind::Repartition);
+                }
                 stp[scheme] =
                     gfx_alone[scene] / static_cast<double>(r.gfxFinish) +
                     cmp_alone[cmp] / static_cast<double>(r.cmpFinish);
@@ -104,5 +120,7 @@ main()
                                   "speedup running concurrently)"
                                 : "");
     }
+    std::printf("repartition decisions traced across Dynamic runs: %llu\n",
+                static_cast<unsigned long long>(repartitions));
     return even_gm >= dyn_gm * 0.98 ? 0 : 1;
 }

@@ -18,34 +18,33 @@ main()
     setVerbose(false);
     header("Fig 15", "L2 composition under TAP: SPH + HOLO (RTX 3070)");
 
-    std::unique_ptr<CompositionSampler> sampler;
+    telemetry::TelemetrySink sink = makeSamplingSink(2000);
     const PairResult result = runPair(
         "SPH", "HOLO", GpuConfig::rtx3070(), PairScheme::MpsTap, 480, 270,
         [&](Gpu &gpu, StreamId, StreamId) {
-            sampler = std::make_unique<CompositionSampler>(2000);
-            gpu.addController(sampler.get());
+            gpu.setTelemetry(&sink);
         });
 
     Table t({"cycle", "texture%", "pipeline%", "compute%"});
-    const auto &samples = sampler->samples();
-    const size_t step = std::max<size_t>(1, samples.size() / 20);
-    for (size_t i = 0; i < samples.size(); i += step) {
-        const auto &s = samples[i];
-        t.addRow({std::to_string(s.cycle), Table::num(100 * s.texture, 1),
-                  Table::num(100 * s.pipeline, 1),
-                  Table::num(100 * s.compute, 1)});
+    const auto &series = sink.series();
+    const size_t step = std::max<size_t>(1, series.rows() / 20);
+    for (size_t i = 0; i < series.rows(); i += step) {
+        t.addRow({std::to_string(series.cycles()[i]),
+                  Table::num(100 * series.values("l2.comp.texture")[i], 1),
+                  Table::num(100 * series.values("l2.comp.pipeline")[i], 1),
+                  Table::num(100 * series.values("l2.comp.compute")[i], 1)});
     }
     std::printf("%s\n", t.toText().c_str());
     t.writeCsv("fig15_tap_l2.csv");
 
-    const double tex =
-        sampler->meanOf(&CompositionSampler::Sample::texture);
-    const double pipe =
-        sampler->meanOf(&CompositionSampler::Sample::pipeline);
-    const double cmp =
-        sampler->meanOf(&CompositionSampler::Sample::compute);
+    const double tex = seriesMean(series, "l2.comp.texture");
+    const double pipe = seriesMean(series, "l2.comp.pipeline");
+    const double cmp = seriesMean(series, "l2.comp.compute");
     std::printf("mean shares: texture %.0f%%, pipeline %.0f%%, compute "
                 "%.0f%%\n", 100 * tex, 100 * pipe, 100 * cmp);
+    std::printf("TAP window decisions traced: %llu\n",
+                static_cast<unsigned long long>(
+                    sink.count(telemetry::EventKind::TapWindow)));
     std::printf("paper: TAP allocates most cache lines to rendering "
                 "because HOLO is compute-bound; pipeline and texture data "
                 "are not partitioned from each other.\n");

@@ -4,14 +4,23 @@
  * probes, LRU eviction, set-window remapping, and MSHR merging. These are
  * the most-executed simulator code paths; regressions here dominate
  * simulation wall time.
+ *
+ * main() additionally asserts the telemetry contract on the hottest path:
+ * an L2 submit/step loop with an event sink attached must stay within 10%
+ * of the untraced loop.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 #include "common/stats.hpp"
 #include "mem/cache.hpp"
 #include "mem/l2_subsystem.hpp"
 #include "mem/mshr.hpp"
+#include "telemetry/sink.hpp"
 
 namespace crisp
 {
@@ -106,7 +115,78 @@ BM_CompositionSnapshot(benchmark::State &state)
 }
 BENCHMARK(BM_CompositionSnapshot);
 
+/**
+ * Seconds for @p iters L2 submit/step iterations (the BM_L2SubmitStep
+ * loop), optionally with a telemetry sink attached.
+ */
+double
+l2LoopSeconds(size_t iters, telemetry::TelemetrySink *sink)
+{
+    L2Config cfg;
+    cfg.numBanks = 16;
+    cfg.bankGeometry = {256 * 1024, 16, kLineBytes};
+    StatsRegistry stats;
+    L2Subsystem l2(cfg, &stats);
+    l2.setResponseHandler([](const MemRequest &) {});
+    if (sink != nullptr) {
+        l2.setTelemetry(sink);
+    }
+    Cycle now = 0;
+    Addr a = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < iters; ++i) {
+        MemRequest req;
+        req.line = a;
+        req.completionKey = a;
+        a += kLineBytes;
+        l2.submit(req, now);
+        ++now;
+        l2.step(now);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/**
+ * Assert that tracing the L2 hot loop costs at most 10% wall clock.
+ * Best-of-N timings on interleaved runs to shrug off scheduler noise.
+ */
+bool
+telemetryOverheadOk()
+{
+    constexpr size_t kIters = 200'000;
+    constexpr int kRepeats = 5;
+    telemetry::TelemetrySink sink;
+    (void)l2LoopSeconds(kIters / 4, nullptr);  // warm up caches/allocator
+    double untraced = 1e300;
+    double traced = 1e300;
+    for (int r = 0; r < kRepeats; ++r) {
+        untraced = std::min(untraced, l2LoopSeconds(kIters, nullptr));
+        traced = std::min(traced, l2LoopSeconds(kIters, &sink));
+    }
+    const double ratio = traced / untraced;
+    std::printf("telemetry overhead on L2 submit/step: untraced %.3f ms, "
+                "traced %.3f ms, ratio %.3fx (budget 1.10x)\n",
+                1e3 * untraced, 1e3 * traced, ratio);
+    return ratio <= 1.10;
+}
+
 } // namespace
 } // namespace crisp
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const bool overhead_ok = crisp::telemetryOverheadOk();
+    if (!overhead_ok) {
+        std::fprintf(stderr,
+                     "FAIL: telemetry overhead exceeds the 10%% budget\n");
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return overhead_ok ? 0 : 1;
+}

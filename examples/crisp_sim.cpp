@@ -20,6 +20,10 @@
  *     --image FILE      dump the rendered frame as PPM
  *     --csv FILE        dump per-stream stats as CSV
  *     --kernels         print the per-kernel execution log
+ *     --trace FILE      write a Chrome trace_event JSON (Perfetto-loadable)
+ *     --sample N        sample counters every N cycles (see --timeline)
+ *     --timeline FILE   dump the sampled counter time-series as CSV
+ *     --profile         print the simulator's wall-clock self-profile
  *     --quiet           suppress the banner
  */
 
@@ -33,6 +37,8 @@
 #include "common/logging.hpp"
 #include "common/table.hpp"
 #include "gpu/gpu.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/sink.hpp"
 #include "graphics/pipeline.hpp"
 #include "partition/tap.hpp"
 #include "partition/warped_slicer.hpp"
@@ -59,6 +65,10 @@ struct Options
     std::string image;
     std::string csv;
     bool kernels = false;
+    std::string trace;
+    Cycle sample = 0;
+    std::string timeline;
+    bool profile = false;
     bool quiet = false;
 };
 
@@ -96,6 +106,14 @@ parseArgs(int argc, char **argv)
             opt.csv = need(i);
         } else if (a == "--kernels") {
             opt.kernels = true;
+        } else if (a == "--trace") {
+            opt.trace = need(i);
+        } else if (a == "--sample") {
+            opt.sample = static_cast<Cycle>(std::atoll(need(i)));
+        } else if (a == "--timeline") {
+            opt.timeline = need(i);
+        } else if (a == "--profile") {
+            opt.profile = true;
         } else if (a == "--quiet") {
             opt.quiet = true;
         } else if (a == "--help" || a == "-h") {
@@ -142,6 +160,27 @@ main(int argc, char **argv)
     }
     if (opt.compute != "none") {
         cmp = gpu.createStream("compute");
+    }
+
+    // Telemetry: one sink serves --trace, --sample/--timeline, --profile.
+    // Attached before any frame is submitted so the self-profiler also
+    // sees the functional rasterization work.
+    std::unique_ptr<telemetry::TelemetrySink> sink;
+    const bool wants_telemetry = !opt.trace.empty() || opt.sample != 0 ||
+        !opt.timeline.empty() || opt.profile;
+    if (wants_telemetry) {
+        telemetry::TelemetryConfig tc;
+        tc.eventCapacity = 1 << 20;
+        tc.sampleInterval = opt.sample;
+        if (!opt.timeline.empty() && tc.sampleInterval == 0) {
+            tc.sampleInterval = 1000;
+        }
+        tc.selfProfile = opt.profile;
+        sink = std::make_unique<telemetry::TelemetrySink>(tc);
+        gpu.setTelemetry(sink.get());
+        if (opt.profile && pipeline) {
+            pipeline->setProfiler(&sink->profiler());
+        }
     }
 
     // Queue the work.
@@ -219,6 +258,19 @@ main(int argc, char **argv)
     const auto r = gpu.run(8'000'000'000ull);
     fatal_if(!r.completed, "simulation did not drain");
 
+    if (sink && !opt.trace.empty()) {
+        telemetry::writeChromeTrace(*sink, opt.trace);
+        std::printf("wrote %s (%llu events, %llu dropped)\n",
+                    opt.trace.c_str(),
+                    static_cast<unsigned long long>(sink->emitted()),
+                    static_cast<unsigned long long>(sink->dropped()));
+    }
+    if (sink && !opt.timeline.empty()) {
+        sink->series().toTable().writeCsv(opt.timeline);
+        std::printf("wrote %s (%zu samples)\n", opt.timeline.c_str(),
+                    sink->series().rows());
+    }
+
     if (!opt.image.empty() && pipeline) {
         pipeline->framebuffer().writePpm(opt.image);
     }
@@ -267,6 +319,10 @@ main(int argc, char **argv)
                                       rec.launchCycle)});
         }
         std::printf("%s", kt.toText().c_str());
+    }
+    if (sink && opt.profile) {
+        std::printf("\nsimulator self-profile (wall clock):\n%s",
+                    sink->profiler().render(r.cycles).c_str());
     }
     return 0;
 }

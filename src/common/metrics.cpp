@@ -41,19 +41,28 @@ pearson(const std::vector<double> &xs, const std::vector<double> &ys)
 }
 
 double
-mape(const std::vector<double> &reference, const std::vector<double> &predicted)
+mape(const std::vector<double> &reference, const std::vector<double> &predicted,
+     size_t *skipped)
 {
     panic_if(reference.size() != predicted.size(),
              "mape: length mismatch %zu vs %zu", reference.size(),
              predicted.size());
     double total = 0.0;
     size_t used = 0;
+    size_t zeros = 0;
     for (size_t i = 0; i < reference.size(); ++i) {
         if (reference[i] == 0.0) {
+            ++zeros;
             continue;
         }
         total += std::fabs((predicted[i] - reference[i]) / reference[i]);
         ++used;
+    }
+    if (skipped != nullptr) {
+        *skipped = zeros;
+    } else if (zeros != 0) {
+        warn("mape: skipped %zu of %zu points with zero reference", zeros,
+             reference.size());
     }
     return used == 0 ? 0.0 : 100.0 * total / static_cast<double>(used);
 }

@@ -1,6 +1,7 @@
 #ifndef CRISP_COMMON_METRICS_HPP
 #define CRISP_COMMON_METRICS_HPP
 
+#include <cstddef>
 #include <vector>
 
 namespace crisp
@@ -21,10 +22,14 @@ double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
 
 /**
  * Mean Absolute Percentage Error of @p predicted against @p reference,
- * in percent. Reference points equal to zero are skipped.
+ * in percent. Reference points equal to zero are skipped (the percentage
+ * error is undefined there); the number of skipped points is written to
+ * @p skipped when non-null, and logged as a warning otherwise so a
+ * correlation study cannot quietly drop data.
  */
 double mape(const std::vector<double> &reference,
-            const std::vector<double> &predicted);
+            const std::vector<double> &predicted,
+            size_t *skipped = nullptr);
 
 /** Arithmetic mean (0 for an empty series). */
 double mean(const std::vector<double> &xs);

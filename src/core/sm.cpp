@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "telemetry/self_profiler.hpp"
 
 namespace crisp
 {
@@ -770,7 +771,11 @@ Sm::step(Cycle now)
         }
     }
 
-    stepLdst(now);
+    {
+        telemetry::SelfProfiler::Scope prof_scope(
+            profiler_, telemetry::Component::L1Ldst);
+        stepLdst(now);
+    }
 
     // Count active cycles per stream (streams with live warps this cycle).
     {

@@ -20,6 +20,11 @@
 namespace crisp
 {
 
+namespace telemetry
+{
+class SelfProfiler;
+}
+
 /** Port through which an SM injects line requests into the L2 subsystem. */
 class MemFabricPort
 {
@@ -82,6 +87,15 @@ class Sm
 
     /** Advance the SM by one cycle. */
     void step(Cycle now);
+
+    /**
+     * Attach the telemetry self-profiler (not owned; nullptr detaches).
+     * When set, the LDST drain is attributed separately from issue.
+     */
+    void setProfiler(telemetry::SelfProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
 
     /** Response from the L2 fabric for a previously submitted line. */
     void memResponse(const MemRequest &resp, Cycle now);
@@ -228,6 +242,7 @@ class Sm
     MemFabricPort *fabric_;
     StatsRegistry *stats_;
     CtaDoneHandler onCtaDone_;
+    telemetry::SelfProfiler *profiler_ = nullptr;
 
     std::vector<WarpState> warps_;          // one per warp slot
     std::vector<uint32_t> freeSlots_;

@@ -7,9 +7,27 @@
 #include "common/logging.hpp"
 #include "integrity/checks.hpp"
 #include "integrity/fault_injector.hpp"
+#include "telemetry/sink.hpp"
 
 namespace crisp
 {
+
+namespace
+{
+
+/** Telemetry events attached to a hang report, newest last. */
+constexpr size_t kHangReportEvents = 16;
+
+/** Drawcall display name: the kernel name minus its stage suffix. */
+std::string
+drawcallName(const std::string &kernel_name)
+{
+    const size_t dot = kernel_name.rfind('.');
+    return dot == std::string::npos ? kernel_name
+                                    : kernel_name.substr(0, dot);
+}
+
+} // namespace
 
 Gpu::Gpu(const GpuConfig &cfg) : cfg_(cfg)
 {
@@ -36,6 +54,9 @@ Gpu::createStream(const std::string &name)
 {
     const StreamId id = nextStream_++;
     streams_[id].name = name;
+    if (telemetry_) {
+        telemetry_->registerStream(id, name);
+    }
     return id;
 }
 
@@ -83,6 +104,12 @@ Gpu::enqueueKernelAfter(StreamId stream, KernelInfo info,
              "capacity", info.name.c_str(), fp.threads, fp.registers,
              fp.smemBytes);
     info.stream = stream;
+    // Count the drawcall's kernels at enqueue time so the drawcall-end
+    // event fires only when the *last* of them completes — not in the gap
+    // between a vertex kernel finishing and its fragment kernel launching.
+    if (info.drawcall != 0) {
+        drawcalls_[{stream, info.drawcall}].kernelsLeft++;
+    }
     const KernelId id = nextKernel_++;
     QueuedKernel q;
     q.id = id;
@@ -129,6 +156,32 @@ Gpu::addController(GpuController *controller)
 {
     panic_if(controller == nullptr, "null controller");
     controllers_.push_back(controller);
+}
+
+void
+Gpu::setTelemetry(telemetry::TelemetrySink *sink)
+{
+    telemetry_ = sink;
+    profiler_ = sink && sink->config().selfProfile ? &sink->profiler()
+                                                   : nullptr;
+    l2_->setTelemetry(sink);
+    for (auto &sm : sms_) {
+        sm->setProfiler(profiler_);
+    }
+    sampleInterval_ = sink ? sink->config().sampleInterval : 0;
+    compositionInterval_ = 0;
+    if (sink) {
+        compositionInterval_ = sink->config().compositionInterval
+                                   ? sink->config().compositionInterval
+                                   : sampleInterval_;
+        for (const auto &[id, ss] : streams_) {
+            sink->registerStream(id, ss.name);
+        }
+    }
+    // Arm the sampler cadences: the first sample lands on the next tick.
+    nextSample_ = 0;
+    nextComposition_ = 0;
+    lastComposition_ = CacheComposition{};
 }
 
 void
@@ -291,6 +344,25 @@ Gpu::promoteReadyKernels(StreamState &ss)
         ss.queue.pop_front();
         ss.active.push_back(std::move(ak));
         launchCycles_[ss.active.back().id] = cycle_;
+        if (telemetry_) {
+            const ActiveKernel &launched = ss.active.back();
+            telemetry_->emit(
+                {cycle_, telemetry::EventKind::KernelLaunch, 0,
+                 launched.info.stream, launched.id,
+                 telemetry_->internName(launched.info.name)});
+            if (launched.info.drawcall != 0) {
+                auto &dc = drawcalls_[{launched.info.stream,
+                                       launched.info.drawcall}];
+                if (!dc.begun) {
+                    dc.begun = true;
+                    telemetry_->emit(
+                        {cycle_, telemetry::EventKind::DrawcallBegin, 0,
+                         launched.info.stream, launched.info.drawcall,
+                         telemetry_->internName(
+                             drawcallName(launched.info.name))});
+                }
+            }
+        }
         for (auto *c : controllers_) {
             c->onKernelLaunch(*this, ss.active.back().info,
                               ss.active.back().id);
@@ -324,6 +396,11 @@ Gpu::issueCtas()
                     sms_[sm_id]->launchCta(ak.info, ak.id, ak.nextCta++,
                                            cycle_);
                     launched[sm_id] = true;
+                    if (telemetry_) {
+                        telemetry_->emit(
+                            {cycle_, telemetry::EventKind::CtaDispatch,
+                             sm_id, id, ak.id, ak.nextCta - 1});
+                    }
                 }
             }
             if (ak.nextCta < total) {
@@ -341,7 +418,6 @@ Gpu::issueCtas()
 void
 Gpu::onCtaDone(uint32_t sm_id, StreamId stream, KernelId kernel)
 {
-    (void)sm_id;
     auto it = streams_.find(stream);
     panic_if(it == streams_.end(), "CTA done for unknown stream %u", stream);
     StreamState &ss = it->second;
@@ -351,6 +427,11 @@ Gpu::onCtaDone(uint32_t sm_id, StreamId stream, KernelId kernel)
                            });
     panic_if(ak == ss.active.end(),
              "CTA done for inactive kernel %u on stream %u", kernel, stream);
+    if (telemetry_) {
+        // b is the retirement ordinal: commit order, not launch index.
+        telemetry_->emit({cycle_, telemetry::EventKind::CtaRetire, sm_id,
+                          stream, kernel, ak->ctasDone});
+    }
     if (++ak->ctasDone == ak->info.numCtas()) {
         ss.completed.insert(kernel);
         ss.completedAt[kernel] = cycle_;
@@ -362,6 +443,24 @@ Gpu::onCtaDone(uint32_t sm_id, StreamId stream, KernelId kernel)
         rec.launchCycle = launchCycles_[kernel];
         rec.completeCycle = cycle_;
         kernelLog_.push_back(std::move(rec));
+        if (telemetry_) {
+            telemetry_->emit(
+                {cycle_, telemetry::EventKind::KernelComplete, 0, stream,
+                 kernel, telemetry_->internName(ak->info.name)});
+        }
+        if (ak->info.drawcall != 0) {
+            auto dc = drawcalls_.find({stream, ak->info.drawcall});
+            if (dc != drawcalls_.end() && --dc->second.kernelsLeft == 0) {
+                if (telemetry_ && dc->second.begun) {
+                    telemetry_->emit(
+                        {cycle_, telemetry::EventKind::DrawcallEnd, 0,
+                         stream, ak->info.drawcall,
+                         telemetry_->internName(
+                             drawcallName(ak->info.name))});
+                }
+                drawcalls_.erase(dc);
+            }
+        }
         ss.active.erase(ak);
         stats_.stream(stream).kernelsCompleted++;
         for (auto *c : controllers_) {
@@ -384,14 +483,102 @@ Gpu::tick()
                 faultInjector_->issueFrozen(target, cycle_));
         }
     }
-    issueCtas();
-    for (auto &sm : sms_) {
-        sm->step(cycle_);
+    {
+        telemetry::SelfProfiler::Scope prof_scope(
+            profiler_, telemetry::Component::CtaScheduler);
+        issueCtas();
+    }
+    {
+        telemetry::SelfProfiler::Scope prof_scope(
+            profiler_, telemetry::Component::SmIssue);
+        for (auto &sm : sms_) {
+            sm->step(cycle_);
+        }
     }
     l2_->step(cycle_);
-    for (auto *c : controllers_) {
-        c->onCycle(*this, cycle_);
+    {
+        telemetry::SelfProfiler::Scope prof_scope(
+            profiler_, telemetry::Component::Controllers);
+        for (auto *c : controllers_) {
+            c->onCycle(*this, cycle_);
+        }
     }
+    if (telemetry_ && sampleInterval_ != 0 && cycle_ >= nextSample_) {
+        nextSample_ = cycle_ + sampleInterval_;
+        sampleCounters();
+    }
+}
+
+void
+Gpu::sampleCounters()
+{
+    telemetry::CounterSeries &series = telemetry_->series();
+    series.beginRow(cycle_);
+
+    // Per-stream warp occupancy as a fraction of all warp slots — the same
+    // arithmetic the Fig 13 occupancy sampler used, so ported benches emit
+    // identical values.
+    const double slots =
+        static_cast<double>(numSms()) * cfg_.sm.maxWarps;
+    for (const auto &[id, ss] : streams_) {
+        uint32_t warps = 0;
+        for (const auto &sm : sms_) {
+            warps += sm->activeWarpsOf(id);
+        }
+        series.set(series.column("occ." + ss.name), warps / slots);
+    }
+
+    // Machine-wide warp-state breakdown from the SM integrity probes.
+    uint64_t active = 0, ready = 0, barrier = 0, scoreboard = 0, exec = 0,
+             smem = 0, ldst = 0, l1_mshr = 0;
+    for (const auto &sm : sms_) {
+        const Sm::IntegrityProbe p = sm->probe(cycle_);
+        active += p.activeWarps;
+        ready += p.ready;
+        barrier += p.atBarrier;
+        scoreboard += p.waitScoreboard;
+        exec += p.waitExecUnit;
+        smem += p.waitSmem;
+        ldst += p.waitLdst;
+        l1_mshr += p.l1MshrEntries;
+    }
+    series.set(series.column("sm.activeWarps"),
+               static_cast<double>(active));
+    series.set(series.column("sm.ready"), static_cast<double>(ready));
+    series.set(series.column("sm.atBarrier"),
+               static_cast<double>(barrier));
+    series.set(series.column("sm.waitScoreboard"),
+               static_cast<double>(scoreboard));
+    series.set(series.column("sm.waitExecUnit"),
+               static_cast<double>(exec));
+    series.set(series.column("sm.waitSmem"), static_cast<double>(smem));
+    series.set(series.column("sm.waitLdst"), static_cast<double>(ldst));
+    series.set(series.column("l1.mshr"), static_cast<double>(l1_mshr));
+
+    // L2 hit/miss and MSHR depth.
+    series.set(series.column("l2.accesses"),
+               static_cast<double>(l2_->accesses()));
+    series.set(series.column("l2.hits"),
+               static_cast<double>(l2_->hits()));
+    series.set(series.column("l2.hitRate"), l2_->hitRate());
+    const L2Subsystem::InFlight inflight = l2_->inFlight();
+    series.set(series.column("l2.mshr"),
+               static_cast<double>(inflight.mshrEntries));
+
+    // The composition walk is O(cache lines), so it runs on its own
+    // (usually slower) cadence; rows in between carry the last snapshot.
+    if (cycle_ >= nextComposition_) {
+        nextComposition_ = cycle_ + compositionInterval_;
+        lastComposition_ = l2_->composition();
+    }
+    series.set(series.column("l2.comp.texture"),
+               lastComposition_.fraction(DataClass::Texture));
+    series.set(series.column("l2.comp.pipeline"),
+               lastComposition_.fraction(DataClass::Pipeline));
+    series.set(series.column("l2.comp.compute"),
+               lastComposition_.fraction(DataClass::Compute));
+    series.set(series.column("l2.valid"),
+               lastComposition_.validFraction());
 }
 
 bool
@@ -543,6 +730,12 @@ Gpu::buildHangReport(
     }
     report.streams = streamRows();
     report.mem = integrity::memRow(*l2_, cycle_);
+    if (telemetry_) {
+        for (const telemetry::Event &e :
+             telemetry_->lastEvents(kHangReportEvents)) {
+            report.recentEvents.push_back(telemetry_->describe(e));
+        }
+    }
     return report;
 }
 
@@ -551,6 +744,12 @@ Gpu::run(Cycle max_cycles, const integrity::RunOptions &opts)
 {
     RunResult result;
     const Cycle interval = opts.checkInterval;
+
+    // Attach the caller's sink for the duration of the run.
+    telemetry::TelemetrySink *const previous_sink = telemetry_;
+    if (opts.telemetry) {
+        setTelemetry(opts.telemetry);
+    }
 
     // Auto thresholds scale with the configured memory round trip, so a
     // clean-but-slow machine (deep queues, DRAM contention) never trips
@@ -618,6 +817,9 @@ Gpu::run(Cycle max_cycles, const integrity::RunOptions &opts)
         break;
     }
     result.cycles = cycle_;
+    if (opts.telemetry) {
+        setTelemetry(previous_sink);
+    }
     return result;
 }
 

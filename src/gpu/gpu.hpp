@@ -8,6 +8,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -22,6 +23,12 @@ namespace crisp
 namespace integrity
 {
 class FaultInjector;
+}
+
+namespace telemetry
+{
+class TelemetrySink;
+class SelfProfiler;
 }
 
 class Gpu;
@@ -152,6 +159,17 @@ class Gpu : public MemFabricPort
      */
     void setFaultInjector(integrity::FaultInjector *injector);
 
+    /**
+     * Attach a telemetry sink (not owned; nullptr detaches). Wires the
+     * sink into the L2 and every SM, registers the existing streams, and
+     * arms the counter sampler per the sink's config. Emission sites are
+     * gated on the pointer, so a detached sink costs one branch each.
+     */
+    void setTelemetry(telemetry::TelemetrySink *sink);
+
+    /** The attached telemetry sink, or nullptr (controllers emit via this). */
+    telemetry::TelemetrySink *telemetry() const { return telemetry_; }
+
     /** Advance one core cycle. */
     void tick();
 
@@ -262,6 +280,7 @@ class Gpu : public MemFabricPort
     void onCtaDone(uint32_t sm_id, StreamId stream, KernelId kernel);
     void promoteReadyKernels(StreamState &ss);
     const std::vector<uint32_t> &allowedSms(StreamId stream);
+    void sampleCounters();
 
     // Integrity-layer internals (watchdog state lives in run()).
     uint64_t progressSignature() const;
@@ -291,6 +310,24 @@ class Gpu : public MemFabricPort
     Cycle cycle_ = 0;
     StreamId nextStream_ = 0;
     KernelId nextKernel_ = 1;
+
+    // --- Telemetry ---------------------------------------------------------
+
+    /** Kernel accounting for one drawcall's begin/end span. */
+    struct DrawcallTrack
+    {
+        uint32_t kernelsLeft = 0;   ///< Enqueued kernels not yet complete.
+        bool begun = false;         ///< Begin event already emitted.
+    };
+
+    telemetry::TelemetrySink *telemetry_ = nullptr;
+    telemetry::SelfProfiler *profiler_ = nullptr;
+    std::map<std::pair<StreamId, uint32_t>, DrawcallTrack> drawcalls_;
+    Cycle sampleInterval_ = 0;
+    Cycle compositionInterval_ = 0;
+    Cycle nextSample_ = 0;
+    Cycle nextComposition_ = 0;
+    CacheComposition lastComposition_;
 };
 
 } // namespace crisp

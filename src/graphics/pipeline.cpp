@@ -6,6 +6,7 @@
 #include "common/logging.hpp"
 #include "graphics/sampler.hpp"
 #include "isa/trace_builder.hpp"
+#include "telemetry/self_profiler.hpp"
 
 namespace crisp
 {
@@ -375,6 +376,8 @@ RenderPipeline::RenderPipeline(const PipelineConfig &cfg, AddressSpace &heap)
 RenderSubmission
 RenderPipeline::submit(const Scene &scene)
 {
+    telemetry::SelfProfiler::Scope prof_scope(profiler_,
+                                              telemetry::Component::Raster);
     RenderSubmission out;
     fb_.clear();
 
@@ -526,8 +529,10 @@ RenderPipeline::submit(const Scene &scene)
         report.fsCtas = fs_data->ctas.size();
 
         // --- Kernel construction -----------------------------------------
+        const uint32_t drawcall_id = ++nextDrawcall_;
         KernelInfo vs_kernel;
         vs_kernel.name = draw.name + ".vs";
+        vs_kernel.drawcall = drawcall_id;
         vs_kernel.grid = {static_cast<uint32_t>(vs_data->batches.size()) *
                               instances,
                           1, 1};
@@ -542,6 +547,7 @@ RenderPipeline::submit(const Scene &scene)
         if (!fs_data->ctas.empty()) {
             KernelInfo fs_kernel;
             fs_kernel.name = draw.name + ".fs";
+            fs_kernel.drawcall = drawcall_id;
             fs_kernel.grid = {static_cast<uint32_t>(fs_data->ctas.size()), 1,
                               1};
             fs_kernel.cta = {cfg_.maxWarpsPerCta * kWarpSize, 1, 1};

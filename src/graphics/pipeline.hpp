@@ -16,6 +16,11 @@
 namespace crisp
 {
 
+namespace telemetry
+{
+class SelfProfiler;
+}
+
 /** Rendering pipeline configuration. */
 struct PipelineConfig
 {
@@ -108,10 +113,22 @@ class RenderPipeline
     const Framebuffer &framebuffer() const { return fb_; }
     const PipelineConfig &config() const { return cfg_; }
 
+    /**
+     * Attach the telemetry self-profiler (not owned; nullptr detaches).
+     * Attributes the functional rasterization work done at submit time.
+     */
+    void setProfiler(telemetry::SelfProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
+
   private:
     PipelineConfig cfg_;
     AddressSpace &heap_;
     Framebuffer fb_;
+    telemetry::SelfProfiler *profiler_ = nullptr;
+    /** Drawcall ids are unique across all frames of this pipeline. */
+    uint32_t nextDrawcall_ = 0;
 };
 
 /**

@@ -108,6 +108,13 @@ HangReport::render() const
         << ", DRAM requests: " << mem.dramRequests << "\n";
     out << "icnt backlog (cycles): request " << mem.requestLinkBacklog
         << ", response " << mem.responseLinkBacklog << "\n";
+
+    if (!recentEvents.empty()) {
+        out << "\n-- last telemetry events before the stall --\n";
+        for (const std::string &line : recentEvents) {
+            out << line << "\n";
+        }
+    }
     return out.str();
 }
 

@@ -8,6 +8,12 @@
 
 namespace crisp
 {
+
+namespace telemetry
+{
+class TelemetrySink;
+}
+
 namespace integrity
 {
 
@@ -50,6 +56,14 @@ struct RunOptions
 
     /** Run the cross-layer invariant checkers on every watchdog tick. */
     bool checkInvariants = true;
+
+    /**
+     * Telemetry sink to attach for the duration of the run (optional).
+     * The GPU installs it on entry and restores the previous sink on
+     * exit; a hang report then includes the last traced events before
+     * the stall.
+     */
+    telemetry::TelemetrySink *telemetry = nullptr;
 };
 
 /** One failed integrity check. */
@@ -137,6 +151,12 @@ struct HangReport
         std::vector<size_t> bankQueueDepths;
     };
     MemRow mem;
+
+    /**
+     * Human renderings of the last telemetry events before the stall
+     * (oldest first); empty when no sink was attached to the run.
+     */
+    std::vector<std::string> recentEvents;
 
     /** Render the report as column-aligned tables for a terminal. */
     std::string render() const;

@@ -123,6 +123,12 @@ struct KernelInfo
     Dim3 cta;
     uint32_t regsPerThread = 32;
     uint32_t smemPerCta = 0;
+    /**
+     * Drawcall this kernel belongs to (0 = not part of a drawcall). The
+     * render pipeline assigns ids so telemetry can group a drawcall's
+     * vertex- and fragment-stage kernels into one timeline span.
+     */
+    uint32_t drawcall = 0;
     std::shared_ptr<const CtaGenerator> source;
 
     uint32_t threadsPerCta() const

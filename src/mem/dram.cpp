@@ -14,13 +14,21 @@ DramChannel::DramChannel(double bytes_per_cycle, Cycle access_latency)
 }
 
 Cycle
-DramChannel::service(Cycle now, uint32_t bytes)
+DramChannel::service(Cycle now, uint32_t bytes, Addr addr)
 {
     const double start = std::max(static_cast<double>(now), freeAt_);
     const double occupancy = static_cast<double>(bytes) / bytesPerCycle_;
     freeAt_ = start + occupancy;
     busyCycles_ += occupancy;
     ++requests_;
+    // 2 KiB row buffer: consecutive accesses landing in different rows
+    // would pay a precharge/activate on real hardware. The simple model
+    // only counts them (telemetry), it does not change the latency.
+    const Addr row = addr >> 11;
+    if (lastRow_ != ~static_cast<Addr>(0) && row != lastRow_) {
+        ++rowConflicts_;
+    }
+    lastRow_ = row;
     return static_cast<Cycle>(freeAt_) + accessLatency_;
 }
 

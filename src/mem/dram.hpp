@@ -28,13 +28,21 @@ class DramChannel
 
     /**
      * Schedule a @p bytes transfer arriving at @p now.
+     *
+     * @param addr the address touched; used only to track row-buffer
+     *        locality (consecutive requests to different rows count as a
+     *        row conflict). Latency is unaffected — the simple mode folds
+     *        row overheads into the fixed access latency.
      * @return the cycle at which the data is available.
      */
-    Cycle service(Cycle now, uint32_t bytes);
+    Cycle service(Cycle now, uint32_t bytes, Addr addr = 0);
 
     /** Cycles the channel has spent transferring data. */
     double busyCycles() const { return busyCycles_; }
     uint64_t requests() const { return requests_; }
+
+    /** Back-to-back requests that switched DRAM rows. */
+    uint64_t rowConflicts() const { return rowConflicts_; }
 
     /** Utilization over the first @p elapsed cycles. */
     double utilization(Cycle elapsed) const
@@ -49,6 +57,8 @@ class DramChannel
     double freeAt_ = 0.0;      // fractional cycle the channel frees up
     double busyCycles_ = 0.0;
     uint64_t requests_ = 0;
+    Addr lastRow_ = ~static_cast<Addr>(0);
+    uint64_t rowConflicts_ = 0;
 };
 
 } // namespace crisp

@@ -3,9 +3,21 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "telemetry/sink.hpp"
 
 namespace crisp
 {
+
+namespace
+{
+
+/** Consecutive misses in one bank that count as a burst. */
+constexpr uint32_t kMissBurstStreak = 16;
+
+/** New DRAM row conflicts accumulated before a burst event is emitted. */
+constexpr uint64_t kRowConflictBurst = 64;
+
+} // namespace
 
 L2Subsystem::L2Subsystem(const L2Config &cfg, StatsRegistry *stats)
     : cfg_(cfg),
@@ -23,6 +35,26 @@ L2Subsystem::L2Subsystem(const L2Config &cfg, StatsRegistry *stats)
         banks_.emplace_back(cfg_.bankGeometry);
         mshrs_.emplace_back(cfg_.mshrEntriesPerBank,
                             cfg_.mshrTargetsPerEntry);
+    }
+    missStreaks_.assign(cfg_.numBanks, 0);
+}
+
+void
+L2Subsystem::setTelemetry(telemetry::TelemetrySink *sink)
+{
+    telemetry_ = sink;
+    profiler_ = sink && sink->config().selfProfile ? &sink->profiler()
+                                                   : nullptr;
+    rowConflictsSeen_ = dram_.rowConflicts();
+}
+
+void
+L2Subsystem::noteBankMiss(uint32_t bank, StreamId stream, Cycle now)
+{
+    const uint32_t streak = ++missStreaks_[bank];
+    if (telemetry_ && streak % kMissBurstStreak == 0) {
+        telemetry_->emit({now, telemetry::EventKind::MissBurst, bank,
+                          stream, streak, 0});
     }
 }
 
@@ -121,6 +153,9 @@ void
 L2Subsystem::step(Cycle now)
 {
     // 1. Complete DRAM fills whose data has returned.
+    {
+    telemetry::SelfProfiler::Scope prof_scope(profiler_,
+                                              telemetry::Component::Dram);
     while (!pendingFills_.empty() && pendingFills_.begin()->first <= now) {
         auto node = pendingFills_.extract(pendingFills_.begin());
         const Cycle ready = node.key();
@@ -145,7 +180,7 @@ L2Subsystem::step(Cycle now)
                                pf.req.dataClass);
         if (res.evicted && res.evictedDirty) {
             // Dirty writeback consumes DRAM write bandwidth.
-            dram_.service(ready, kLineBytes);
+            dram_.service(ready, kLineBytes, res.evictedLine);
             stats_->stream(pf.req.stream).dramWrites++;
         }
         for (uint64_t key : mshrs_[pf.bank].fill(pf.req.line)) {
@@ -157,8 +192,12 @@ L2Subsystem::step(Cycle now)
             respond(std::move(resp), now, ready);
         }
     }
+    }
 
     // 2. Each bank services queued requests at its slice bandwidth.
+    {
+    telemetry::SelfProfiler::Scope prof_scope(profiler_,
+                                              telemetry::Component::L2);
     const Cycle bank_occupancy = static_cast<Cycle>(
         std::max(1.0, kLineBytes / cfg_.bankBytesPerCycle));
     for (uint32_t b = 0; b < cfg_.numBanks; ++b) {
@@ -181,6 +220,7 @@ L2Subsystem::step(Cycle now)
             if (onAccess_) {
                 onAccess_(req.stream, req.line, false, 0);
             }
+            noteBankMiss(b, req.stream, now);
             bankFreeAt_[b] = now + bank_occupancy;
             if (req.expectsResponse()) {
                 --queuedReads_;
@@ -203,6 +243,7 @@ L2Subsystem::step(Cycle now)
         }
         if (res.hit) {
             st.l2Hits++;
+            missStreaks_[b] = 0;
             respond(req, now, now + cfg_.l2Latency);
             bankFreeAt_[b] = now + bank_occupancy;
             if (req.expectsResponse()) {
@@ -214,8 +255,9 @@ L2Subsystem::step(Cycle now)
 
         // Miss: the access() above already installed the tag; roll the
         // timing through DRAM. Dirty victim costs a writeback.
+        noteBankMiss(b, req.stream, now);
         if (res.evicted && res.evictedDirty) {
-            dram_.service(now, kLineBytes);
+            dram_.service(now, kLineBytes, res.evictedLine);
             st.dramWrites++;
         }
         const auto outcome =
@@ -223,7 +265,7 @@ L2Subsystem::step(Cycle now)
         panic_if(outcome != Mshr::Outcome::NewEntry,
                  "MSHR allocate failed after capacity check");
         st.dramReads++;
-        const Cycle data_ready = dram_.service(now, kLineBytes);
+        const Cycle data_ready = dram_.service(now, kLineBytes, req.line);
         pendingFills_.emplace(data_ready, PendingFill{req, b});
         bankFreeAt_[b] = now + bank_occupancy;
         if (req.expectsResponse()) {
@@ -231,8 +273,21 @@ L2Subsystem::step(Cycle now)
         }
         queue.pop_front();
     }
+    }
+
+    if (telemetry_) {
+        const uint64_t conflicts = dram_.rowConflicts();
+        if (conflicts - rowConflictsSeen_ >= kRowConflictBurst) {
+            telemetry_->emit({now, telemetry::EventKind::RowConflictBurst,
+                              0, 0, conflicts, 0});
+            rowConflictsSeen_ = conflicts;
+        }
+    }
 
     // 3. Deliver due responses to the SMs.
+    {
+    telemetry::SelfProfiler::Scope prof_scope(profiler_,
+                                              telemetry::Component::Icnt);
     while (!pendingResponses_.empty() &&
            pendingResponses_.begin()->first <= now) {
         auto node = pendingResponses_.extract(pendingResponses_.begin());
@@ -255,6 +310,7 @@ L2Subsystem::step(Cycle now)
         }
         ++responsesDelivered_;
         onResponse_(node.mapped());
+    }
     }
 }
 

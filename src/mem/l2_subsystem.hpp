@@ -18,6 +18,12 @@
 namespace crisp
 {
 
+namespace telemetry
+{
+class TelemetrySink;
+class SelfProfiler;
+}
+
 /** Configuration of the shared L2 + DRAM side of the machine. */
 struct L2Config
 {
@@ -100,6 +106,14 @@ class L2Subsystem
      */
     void setFaultHook(MemFaultHook *hook) { faultHook_ = hook; }
 
+    /**
+     * Attach a telemetry sink (not owned; nullptr detaches). The L2 emits
+     * per-bank consecutive-miss bursts and DRAM row-conflict bursts, and
+     * attributes its step phases to the sink's self-profiler when that is
+     * enabled.
+     */
+    void setTelemetry(telemetry::TelemetrySink *sink);
+
     // --- Integrity introspection -----------------------------------------
 
     /** Counts of everything currently in flight inside the subsystem. */
@@ -170,12 +184,19 @@ class L2Subsystem
 
     uint32_t bankFor(Addr line, StreamId stream) const;
     void respond(MemRequest req, Cycle now, Cycle ready);
+    void noteBankMiss(uint32_t bank, StreamId stream, Cycle now);
 
     L2Config cfg_;
     StatsRegistry *stats_;
     ResponseHandler onResponse_;
     AccessListener onAccess_;
     MemFaultHook *faultHook_ = nullptr;
+    telemetry::TelemetrySink *telemetry_ = nullptr;
+    telemetry::SelfProfiler *profiler_ = nullptr;
+    /** Consecutive misses per bank since the last hit (burst detector). */
+    std::vector<uint32_t> missStreaks_;
+    /** DRAM row conflicts already covered by an emitted burst event. */
+    uint64_t rowConflictsSeen_ = 0;
     uint64_t readsAccepted_ = 0;
     uint64_t responsesDelivered_ = 0;
     /** Reads currently in bank queues (kept incrementally: inFlight() is

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "telemetry/sink.hpp"
 
 namespace crisp
 {
@@ -78,6 +79,10 @@ TapController::repartition(Gpu &gpu, Cycle now)
                                     computeSets_);
     }
     decisions_.emplace_back(now, gfxSets_);
+    if (auto *sink = gpu.telemetry()) {
+        sink->emit({now, telemetry::EventKind::TapWindow, 0,
+                    cfg_.gfxStream, gfxSets_, computeSets_});
+    }
 
     // Exponential decay so the monitors adapt to phase changes.
     auto decay = [](Umon &m) {

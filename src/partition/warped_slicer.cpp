@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "telemetry/sink.hpp"
 
 namespace crisp
 {
@@ -72,6 +73,11 @@ WarpedSlicer::finishSampling(Gpu &gpu, Cycle now)
 
     shareA_ = shareForConfig(best);
     decisions_.emplace_back(now, shareA_);
+    if (auto *sink = gpu.telemetry()) {
+        sink->emit({now, telemetry::EventKind::Repartition, 0,
+                    cfg_.streamA,
+                    static_cast<uint64_t>(shareA_ * 1000.0 + 0.5), 0});
+    }
     for (uint32_t s = 0; s < gpu.numSms(); ++s) {
         gpu.setSmQuota(s, cfg_.streamA, gpu.quotaFromShare(shareA_));
         gpu.setSmQuota(s, cfg_.streamB, gpu.quotaFromShare(1.0 - shareA_));

@@ -1,0 +1,36 @@
+#ifndef CRISP_TELEMETRY_CHROME_TRACE_HPP
+#define CRISP_TELEMETRY_CHROME_TRACE_HPP
+
+#include <string>
+
+#include "telemetry/sink.hpp"
+
+namespace crisp
+{
+namespace telemetry
+{
+
+/**
+ * Render a sink's retained events as Chrome trace_event JSON (the JSON
+ * Array Format), loadable in Perfetto / chrome://tracing.
+ *
+ * Track mapping:
+ *  - pid 0 is the machine ("gpu"): repartition / TAP-window decisions, L2
+ *    miss bursts and DRAM row-conflict bursts, one tid per event kind;
+ *  - each stream is a process (pid = stream id + 1) named after it:
+ *    tid 0 carries kernels and tid 1 drawcalls as duration ("X") events,
+ *    tid 2+k is SM k, carrying CTA dispatch/retire instants.
+ *
+ * Timestamps are simulated cycles, not microseconds: 1 ts unit = 1 core
+ * cycle. Kernels whose launch or completion fell out of the ring are
+ * skipped (only complete pairs become durations).
+ */
+std::string chromeTraceJson(const TelemetrySink &sink);
+
+/** Write chromeTraceJson to @p path; false (with a warning) on failure. */
+bool writeChromeTrace(const TelemetrySink &sink, const std::string &path);
+
+} // namespace telemetry
+} // namespace crisp
+
+#endif // CRISP_TELEMETRY_CHROME_TRACE_HPP

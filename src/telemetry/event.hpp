@@ -1,0 +1,62 @@
+#ifndef CRISP_TELEMETRY_EVENT_HPP
+#define CRISP_TELEMETRY_EVENT_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace crisp
+{
+namespace telemetry
+{
+
+/**
+ * Typed event classes recorded by the tracer.
+ *
+ * The set mirrors what the paper's concurrency case studies reason about:
+ * when kernels and drawcalls run (Fig 13's timeline), when the dynamic
+ * partitioning mechanisms act (Warped-Slicer repartitions, TAP window
+ * decisions), and where the memory system degenerates (L2 miss streaks,
+ * DRAM row thrashing).
+ */
+enum class EventKind : uint8_t
+{
+    KernelLaunch = 0,  ///< a=kernel id, b=name key.
+    KernelComplete,    ///< a=kernel id, b=name key.
+    DrawcallBegin,     ///< a=drawcall id, b=name key.
+    DrawcallEnd,       ///< a=drawcall id, b=name key.
+    CtaDispatch,       ///< unit=SM, a=kernel id, b=CTA index.
+    CtaRetire,         ///< unit=SM, a=kernel id, b=CTA index.
+    Repartition,       ///< Warped-Slicer pick; a=stream-A share in permille.
+    TapWindow,         ///< TAP epoch decision; a=gfx sets, b=compute sets.
+    MissBurst,         ///< unit=L2 bank, a=consecutive-miss streak length.
+    RowConflictBurst,  ///< a=cumulative DRAM row conflicts at emission.
+    NumKinds
+};
+
+/** Short stable name for an event kind ("kernel-launch", ...). */
+const char *eventKindName(EventKind kind);
+
+/**
+ * One fixed-size trace record.
+ *
+ * Events carry raw ids; names referenced by @c b for the kernel/drawcall
+ * kinds live in the sink's intern table so the hot emit path never touches
+ * a string.
+ */
+struct Event
+{
+    Cycle cycle = 0;
+    EventKind kind = EventKind::KernelLaunch;
+    uint32_t unit = 0;      ///< SM id / L2 bank id, when meaningful.
+    StreamId stream = 0;
+    uint64_t a = 0;         ///< Kind-specific payload (see EventKind).
+    uint64_t b = 0;         ///< Kind-specific payload (see EventKind).
+
+    bool operator==(const Event &) const = default;
+};
+
+} // namespace telemetry
+} // namespace crisp
+
+#endif // CRISP_TELEMETRY_EVENT_HPP

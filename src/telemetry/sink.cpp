@@ -1,0 +1,216 @@
+#include "telemetry/sink.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+namespace crisp
+{
+namespace telemetry
+{
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::KernelLaunch: return "kernel-launch";
+      case EventKind::KernelComplete: return "kernel-complete";
+      case EventKind::DrawcallBegin: return "drawcall-begin";
+      case EventKind::DrawcallEnd: return "drawcall-end";
+      case EventKind::CtaDispatch: return "cta-dispatch";
+      case EventKind::CtaRetire: return "cta-retire";
+      case EventKind::Repartition: return "repartition";
+      case EventKind::TapWindow: return "tap-window";
+      case EventKind::MissBurst: return "l2-miss-burst";
+      case EventKind::RowConflictBurst: return "dram-row-conflicts";
+      default: return "?";
+    }
+}
+
+// --- CounterSeries ------------------------------------------------------
+
+uint32_t
+CounterSeries::column(const std::string &name)
+{
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+        return it->second;
+    }
+    const uint32_t idx = static_cast<uint32_t>(columns_.size());
+    index_.emplace(name, idx);
+    names_.push_back(name);
+    // Backfill so all columns stay row-aligned.
+    columns_.emplace_back(cycles_.size(), 0.0);
+    return idx;
+}
+
+bool
+CounterSeries::hasColumn(const std::string &name) const
+{
+    return index_.count(name) != 0;
+}
+
+void
+CounterSeries::beginRow(Cycle cycle)
+{
+    cycles_.push_back(cycle);
+    for (auto &col : columns_) {
+        col.push_back(0.0);
+    }
+}
+
+void
+CounterSeries::set(uint32_t column_index, double value)
+{
+    panic_if(column_index >= columns_.size(),
+             "series column %u out of range", column_index);
+    panic_if(cycles_.empty(), "series set() before beginRow()");
+    columns_[column_index].back() = value;
+}
+
+const std::vector<double> &
+CounterSeries::values(uint32_t column_index) const
+{
+    panic_if(column_index >= columns_.size(),
+             "series column %u out of range", column_index);
+    return columns_[column_index];
+}
+
+const std::vector<double> &
+CounterSeries::values(const std::string &name) const
+{
+    auto it = index_.find(name);
+    fatal_if(it == index_.end(), "series has no column named %s",
+             name.c_str());
+    return columns_[it->second];
+}
+
+Table
+CounterSeries::toTable(size_t row_step, int precision) const
+{
+    std::vector<std::string> headers = {"cycle"};
+    headers.insert(headers.end(), names_.begin(), names_.end());
+    Table t(std::move(headers));
+    const size_t step = std::max<size_t>(1, row_step);
+    for (size_t r = 0; r < cycles_.size(); r += step) {
+        std::vector<std::string> row = {std::to_string(cycles_[r])};
+        for (const auto &col : columns_) {
+            row.push_back(Table::num(col[r], precision));
+        }
+        t.addRow(std::move(row));
+    }
+    return t;
+}
+
+// --- TelemetrySink ------------------------------------------------------
+
+TelemetrySink::TelemetrySink(const TelemetryConfig &cfg) : cfg_(cfg)
+{
+    fatal_if(cfg_.eventCapacity == 0, "telemetry ring needs capacity >= 1");
+    ring_.resize(cfg_.eventCapacity);
+    names_.push_back("?");   // key 0 = unknown
+}
+
+std::vector<Event>
+TelemetrySink::events() const
+{
+    return lastEvents(ring_.size());
+}
+
+std::vector<Event>
+TelemetrySink::lastEvents(size_t count) const
+{
+    const size_t retained =
+        static_cast<size_t>(std::min<uint64_t>(emitted_, ring_.size()));
+    const size_t n = std::min(count, retained);
+    std::vector<Event> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t seq = emitted_ - n + i;
+        out.push_back(ring_[static_cast<size_t>(seq % ring_.size())]);
+    }
+    return out;
+}
+
+uint32_t
+TelemetrySink::internName(const std::string &name)
+{
+    auto it = nameIndex_.find(name);
+    if (it != nameIndex_.end()) {
+        return it->second;
+    }
+    const uint32_t key = static_cast<uint32_t>(names_.size());
+    nameIndex_.emplace(name, key);
+    names_.push_back(name);
+    return key;
+}
+
+const std::string &
+TelemetrySink::name(uint32_t key) const
+{
+    return key < names_.size() ? names_[key] : names_[0];
+}
+
+void
+TelemetrySink::registerStream(StreamId id, const std::string &name)
+{
+    streams_[id] = name;
+}
+
+std::string
+TelemetrySink::describe(const Event &e) const
+{
+    const char *kind = eventKindName(e.kind);
+    switch (e.kind) {
+      case EventKind::KernelLaunch:
+      case EventKind::KernelComplete:
+        return logging_detail::formatMessage(
+            "cycle %llu: %s stream=%u kernel=%llu (%s)",
+            static_cast<unsigned long long>(e.cycle), kind, e.stream,
+            static_cast<unsigned long long>(e.a),
+            name(static_cast<uint32_t>(e.b)).c_str());
+      case EventKind::DrawcallBegin:
+      case EventKind::DrawcallEnd:
+        return logging_detail::formatMessage(
+            "cycle %llu: %s stream=%u drawcall=%llu (%s)",
+            static_cast<unsigned long long>(e.cycle), kind, e.stream,
+            static_cast<unsigned long long>(e.a),
+            name(static_cast<uint32_t>(e.b)).c_str());
+      case EventKind::CtaDispatch:
+      case EventKind::CtaRetire:
+        return logging_detail::formatMessage(
+            "cycle %llu: %s sm=%u stream=%u kernel=%llu cta=%llu",
+            static_cast<unsigned long long>(e.cycle), kind, e.unit,
+            e.stream, static_cast<unsigned long long>(e.a),
+            static_cast<unsigned long long>(e.b));
+      case EventKind::Repartition:
+        return logging_detail::formatMessage(
+            "cycle %llu: %s stream=%u shareA=%.1f%%",
+            static_cast<unsigned long long>(e.cycle), kind, e.stream,
+            static_cast<double>(e.a) / 10.0);
+      case EventKind::TapWindow:
+        return logging_detail::formatMessage(
+            "cycle %llu: %s gfxSets=%llu computeSets=%llu",
+            static_cast<unsigned long long>(e.cycle), kind,
+            static_cast<unsigned long long>(e.a),
+            static_cast<unsigned long long>(e.b));
+      case EventKind::MissBurst:
+        return logging_detail::formatMessage(
+            "cycle %llu: %s bank=%u stream=%u streak=%llu",
+            static_cast<unsigned long long>(e.cycle), kind, e.unit,
+            e.stream, static_cast<unsigned long long>(e.a));
+      case EventKind::RowConflictBurst:
+        return logging_detail::formatMessage(
+            "cycle %llu: %s conflicts=%llu",
+            static_cast<unsigned long long>(e.cycle), kind,
+            static_cast<unsigned long long>(e.a));
+      default:
+        return logging_detail::formatMessage(
+            "cycle %llu: %s", static_cast<unsigned long long>(e.cycle),
+            kind);
+    }
+}
+
+} // namespace telemetry
+} // namespace crisp

@@ -157,14 +157,23 @@ TEST(Metrics, MapeBasics)
 {
     std::vector<double> ref = {100, 200};
     std::vector<double> pred = {110, 180};
-    EXPECT_NEAR(mape(ref, pred), (10.0 + 10.0) / 2.0, 1e-9);
+    size_t skipped = 99;
+    EXPECT_NEAR(mape(ref, pred, &skipped), (10.0 + 10.0) / 2.0, 1e-9);
+    EXPECT_EQ(skipped, 0u);
 }
 
 TEST(Metrics, MapeSkipsZeroReference)
 {
     std::vector<double> ref = {0, 100};
     std::vector<double> pred = {50, 150};
+    size_t skipped = 0;
+    EXPECT_NEAR(mape(ref, pred, &skipped), 50.0, 1e-9);
+    EXPECT_EQ(skipped, 1u);
+    // Without the out-param the value is unchanged (the skip is logged).
     EXPECT_NEAR(mape(ref, pred), 50.0, 1e-9);
+    // All-zero reference: everything skipped, MAPE defined as 0.
+    EXPECT_DOUBLE_EQ(mape({0, 0}, {1, 2}, &skipped), 0.0);
+    EXPECT_EQ(skipped, 2u);
 }
 
 TEST(Metrics, MeanAndGeomean)
