@@ -1,0 +1,166 @@
+// Parallel cycle-engine throughput: simulated cycles per wall-clock second
+// at 1/2/4/8 worker threads on a compute-heavy many-SM machine, plus a
+// determinism cross-check (all thread counts must produce identical stats).
+//
+// Emits BENCH_engine_throughput.json next to the binary.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/engine_config.hpp"
+
+namespace crisp::bench
+{
+namespace
+{
+
+GpuConfig
+bigGpu()
+{
+    GpuConfig cfg;
+    cfg.name = "engine-bench";
+    cfg.numSms = 16;
+    cfg.coreClockMhz = 1000.0;
+    cfg.memoryBandwidthGBs = 256.0;
+    cfg.l2.numBanks = 8;
+    cfg.l2.bankGeometry = {256 * 1024, 8, kLineBytes};
+    cfg.finalize();
+    return cfg;
+}
+
+/** Compute-heavy workload: enough CTAs to keep all 16 SMs busy. */
+std::vector<KernelInfo>
+buildWorkload(AddressSpace &heap)
+{
+    std::vector<KernelInfo> kernels;
+    for (int i = 0; i < 4; ++i) {
+        ComputeKernelDesc d;
+        d.name = "dense" + std::to_string(i);
+        d.ctas = 256;
+        d.threadsPerCta = 256;
+        d.regsPerThread = 48;
+        d.iterations = 8;
+        d.fp32Ops = 24;
+        d.intOps = 8;
+        d.loads = {{MemPatternKind::Broadcast, heap.alloc(1 << 16),
+                    1 << 16, 4, 2, 128}};
+        kernels.push_back(buildComputeKernel(d));
+    }
+    return kernels;
+}
+
+std::string
+statsFingerprint(const StatsRegistry &stats)
+{
+    std::ostringstream os;
+    for (const auto &[id, st] : stats.allStreams()) {
+        os << id << ':' << st.cycles << ',' << st.instructions << ','
+           << st.l1Accesses << ',' << st.l2Accesses << ','
+           << st.dramReads << ',' << st.dramWrites << ';';
+    }
+    return os.str();
+}
+
+struct Measurement
+{
+    uint32_t threads = 1;
+    Cycle cycles = 0;
+    double wallSec = 0.0;
+    double cyclesPerSec = 0.0;
+    std::string fingerprint;
+};
+
+Measurement
+measure(uint32_t threads)
+{
+    AddressSpace heap(0x8000'0000ull);
+    Gpu gpu(bigGpu());
+    engine::EngineConfig ec;
+    ec.threads = threads;
+    gpu.setEngine(ec);
+    const StreamId s = gpu.createStream("compute");
+    for (const KernelInfo &k : buildWorkload(heap)) {
+        gpu.enqueueKernel(s, k);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = gpu.run(2'000'000'000ull);
+    const auto t1 = std::chrono::steady_clock::now();
+    fatal_if(!r.completed, "engine bench workload did not drain");
+
+    Measurement m;
+    m.threads = threads;
+    m.cycles = r.cycles;
+    m.wallSec = std::chrono::duration<double>(t1 - t0).count();
+    m.cyclesPerSec = static_cast<double>(r.cycles) / m.wallSec;
+    m.fingerprint = statsFingerprint(gpu.stats());
+    return m;
+}
+
+} // namespace
+} // namespace crisp::bench
+
+int
+main()
+{
+    using namespace crisp;
+    using namespace crisp::bench;
+
+    header("engine_throughput",
+           "parallel cycle-engine scaling, 16-SM compute workload");
+    const uint32_t cores = std::thread::hardware_concurrency();
+    std::printf("host cores: %u%s\n\n", cores,
+                cores < 4 ? "  (speedup needs >= 4; expect barrier "
+                            "overhead only on this host)"
+                          : "");
+
+    std::vector<Measurement> runs;
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+        runs.push_back(measure(threads));
+        const Measurement &m = runs.back();
+        std::printf("threads=%u  cycles=%llu  wall=%.3fs  "
+                    "%.3fM cycles/s  speedup=%.2fx\n",
+                    m.threads, static_cast<unsigned long long>(m.cycles),
+                    m.wallSec, m.cyclesPerSec / 1e6,
+                    m.cyclesPerSec / runs.front().cyclesPerSec);
+    }
+
+    bool deterministic = true;
+    for (const Measurement &m : runs) {
+        if (m.cycles != runs.front().cycles ||
+            m.fingerprint != runs.front().fingerprint) {
+            deterministic = false;
+        }
+    }
+    std::printf("\ndeterministic across thread counts: %s\n",
+                deterministic ? "yes" : "NO");
+
+    FILE *f = std::fopen("BENCH_engine_throughput.json", "w");
+    fatal_if(f == nullptr, "cannot write BENCH_engine_throughput.json");
+    std::fprintf(f, "{\n  \"bench\": \"engine_throughput\",\n");
+    std::fprintf(f, "  \"num_sms\": 16,\n");
+    std::fprintf(f, "  \"host_cores\": %u,\n", cores);
+    std::fprintf(f, "  \"deterministic\": %s,\n",
+                 deterministic ? "true" : "false");
+    std::fprintf(f, "  \"runs\": [\n");
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const Measurement &m = runs[i];
+        std::fprintf(f,
+                     "    {\"threads\": %u, \"cycles\": %llu, "
+                     "\"wall_sec\": %.6f, \"cycles_per_sec\": %.1f, "
+                     "\"speedup\": %.3f}%s\n",
+                     m.threads, static_cast<unsigned long long>(m.cycles),
+                     m.wallSec, m.cyclesPerSec,
+                     m.cyclesPerSec / runs.front().cyclesPerSec,
+                     i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_engine_throughput.json\n");
+    return 0;
+}

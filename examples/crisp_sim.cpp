@@ -24,6 +24,8 @@
  *     --sample N        sample counters every N cycles (see --timeline)
  *     --timeline FILE   dump the sampled counter time-series as CSV
  *     --profile         print the simulator's wall-clock self-profile
+ *     --threads N       worker threads stepping SM shards    (default 1)
+ *     --fast-forward    jump over machine-wide idle cycles
  *     --quiet           suppress the banner
  */
 
@@ -69,6 +71,8 @@ struct Options
     Cycle sample = 0;
     std::string timeline;
     bool profile = false;
+    uint32_t threads = 1;
+    bool fastForward = false;
     bool quiet = false;
 };
 
@@ -114,6 +118,10 @@ parseArgs(int argc, char **argv)
             opt.timeline = need(i);
         } else if (a == "--profile") {
             opt.profile = true;
+        } else if (a == "--threads") {
+            opt.threads = static_cast<uint32_t>(std::atoi(need(i)));
+        } else if (a == "--fast-forward") {
+            opt.fastForward = true;
         } else if (a == "--quiet") {
             opt.quiet = true;
         } else if (a == "--help" || a == "-h") {
@@ -142,6 +150,12 @@ main(int argc, char **argv)
         : (fatal("unknown gpu %s", opt.gpu.c_str()), GpuConfig{});
 
     Gpu gpu(gpu_cfg);
+    {
+        engine::EngineConfig ec;
+        ec.threads = opt.threads;
+        ec.fastForward = opt.fastForward;
+        gpu.setEngine(ec);
+    }
     AddressSpace heap;
     std::unique_ptr<Scene> scene;
     std::unique_ptr<RenderPipeline> pipeline;
@@ -300,6 +314,12 @@ main(int argc, char **argv)
                 gpu_cfg.cyclesToMs(r.cycles), gpu_cfg.name.c_str(),
                 100.0 * gpu.l2().hitRate(),
                 100.0 * gpu.l2().dramBusyCycles() / r.cycles);
+    if (opt.fastForward) {
+        std::printf("fast-forward: %llu jumps skipped %llu idle cycles\n",
+                    static_cast<unsigned long long>(gpu.fastForwardJumps()),
+                    static_cast<unsigned long long>(
+                        gpu.fastForwardCycles()));
+    }
     std::printf("%s", t.toText().c_str());
     if (!opt.csv.empty()) {
         t.writeCsv(opt.csv);

@@ -95,6 +95,31 @@ Histogram::merge(const Histogram &other)
     weightedSum_ += other.weightedSum_;
 }
 
+void
+StreamStats::absorb(const StreamStats &delta)
+{
+    cycles += delta.cycles;
+    instructions += delta.instructions;
+    warpsLaunched += delta.warpsLaunched;
+    ctasLaunched += delta.ctasLaunched;
+    kernelsCompleted += delta.kernelsCompleted;
+    l1Accesses += delta.l1Accesses;
+    l1Hits += delta.l1Hits;
+    l1TexAccesses += delta.l1TexAccesses;
+    l2Accesses += delta.l2Accesses;
+    l2Hits += delta.l2Hits;
+    dramReads += delta.dramReads;
+    dramWrites += delta.dramWrites;
+    smemAccesses += delta.smemAccesses;
+    smemBankConflicts += delta.smemBankConflicts;
+    if (firstCycle == 0) {
+        firstCycle = delta.firstCycle;
+    }
+    if (delta.lastCycle > lastCycle) {
+        lastCycle = delta.lastCycle;
+    }
+}
+
 double
 StreamStats::l1HitRate() const
 {
@@ -157,6 +182,21 @@ StatsRegistry::clear()
 {
     counters_.clear();
     streams_.clear();
+}
+
+void
+StatsRegistry::absorbShadow(StatsRegistry &shadow)
+{
+    for (auto &[id, st] : shadow.streams_) {
+        streams_[id].absorb(st);
+        st = StreamStats{};
+    }
+    for (auto &[name, value] : shadow.counters_) {
+        if (value != 0) {
+            counters_[name] += value;
+            value = 0;
+        }
+    }
 }
 
 } // namespace crisp

@@ -74,6 +74,14 @@ struct StreamStats
     Cycle firstCycle = 0;           ///< Cycle the first CTA issued.
     Cycle lastCycle = 0;            ///< Cycle the last CTA committed.
 
+    /**
+     * Fold a delta block into this one: counters add, firstCycle keeps
+     * the earliest non-zero mark, lastCycle keeps the latest. Used by
+     * the parallel cycle engine to merge per-SM shadow stats at the
+     * barrier.
+     */
+    void absorb(const StreamStats &delta);
+
     double l1HitRate() const;
     double l2HitRate() const;
     double ipc() const;
@@ -110,6 +118,14 @@ class StatsRegistry
     }
 
     void clear();
+
+    /**
+     * Fold every per-stream block of @p shadow into this registry and
+     * zero the source blocks in place (map nodes are kept, so a registry
+     * absorbed every cycle does not reallocate). Scalar counters are
+     * folded the same way.
+     */
+    void absorbShadow(StatsRegistry &shadow);
 
   private:
     std::map<std::string, uint64_t> counters_;

@@ -31,6 +31,14 @@ inline constexpr uint32_t kSectorBytes = 32;
 inline constexpr StreamId kInvalidStream = 0xffffffffu;
 
 /**
+ * "No event scheduled" sentinel for next-wake computations: components
+ * report the earliest future cycle at which they can make progress, or
+ * kNeverCycle when nothing is pending (the fast-forward logic then
+ * ignores them).
+ */
+inline constexpr Cycle kNeverCycle = ~0ull;
+
+/**
  * Classification of the data held by a cache line, used for the paper's
  * L2-composition case studies (Figs 11 and 15).
  */

@@ -122,6 +122,7 @@ Sm::launchCta(const KernelInfo &kernel, KernelId kernel_id,
     if (st.firstCycle == 0) {
         st.firstCycle = now;
     }
+    ++workCount_;
 
     // Pad with empty warps if the generator produced fewer than the launch
     // geometry implies (partial CTAs at grid edges produce fewer warps).
@@ -269,12 +270,18 @@ Sm::finishWarp(WarpState &warp, Cycle now)
         for (uint32_t slot : cta.warpSlots) {
             freeSlots_.push_back(slot);
         }
-        auto &st = stats_->stream(cta.stream);
+        auto &st = streamStats(cta.stream);
         st.lastCycle = std::max(st.lastCycle, now);
         const StreamId stream = cta.stream;
         const KernelId kernel = cta.kernel;
         liveCtas_.erase(it);
-        if (onCtaDone_) {
+        if (stepping_) {
+            // Staged step: the CTA-done callback mutates GPU-global
+            // state (stream bookkeeping, telemetry, controllers), so it
+            // is deferred to the post-barrier merge. Completions at
+            // launch time (empty traces) still fire synchronously.
+            stagedCtaDones_.emplace_back(stream, kernel);
+        } else if (onCtaDone_) {
             onCtaDone_(smId_, stream, kernel);
         }
     } else if (cta.warpsAtBarrier == cta.liveWarps &&
@@ -415,7 +422,7 @@ Sm::tryIssue(WarpState &warp, Cycle now)
         }
         const uint32_t serial = smemConflictCycles(instr);
         smemPortFreeAt_ = now + serial;
-        auto &st = stats_->stream(warp.stream);
+        auto &st = streamStats(warp.stream);
         st.smemAccesses++;
         st.smemBankConflicts += serial - 1;
         if (instr.hasDst()) {
@@ -452,14 +459,34 @@ Sm::tryIssue(WarpState &warp, Cycle now)
     }
 
     warp.pc++;
-    auto &st = stats_->stream(warp.stream);
+    auto &st = streamStats(warp.stream);
     st.instructions++;
     issuedByStream_[warp.stream]++;
+    ++workCount_;
 
     if (instr.opcode == Opcode::EXIT || warp.pc >= warp.trace.instrs.size()) {
         finishWarp(warp, now);
     }
     return true;
+}
+
+void
+Sm::drainFabricRetries(Cycle now)
+{
+    // Re-send miss requests the fabric refused earlier. The per-cycle cap
+    // keeps a deeply backlogged SM from flushing an arbitrarily long
+    // retry queue in one cycle ahead of fresh requests (fairness: fresh
+    // misses later this cycle still submit directly and may land on
+    // banks the stuck head is not waiting for).
+    uint32_t retries = 0;
+    while (!fabricRetry_.empty() &&
+           (cfg_.maxFabricRetriesPerCycle == 0 ||
+            retries < cfg_.maxFabricRetriesPerCycle) &&
+           fabric_->submitToL2(fabricRetry_.front(), now)) {
+        fabricRetry_.pop_front();
+        ++retries;
+        ++workCount_;
+    }
 }
 
 void
@@ -471,7 +498,7 @@ Sm::stepLdst(Cycle now)
         bool stalled = false;
         while (ports > 0 && !entry.lines.empty()) {
             const Addr line = entry.lines.back();
-            auto &st = stats_->stream(entry.stream);
+            auto &st = streamStats(entry.stream);
 
             if (entry.write) {
                 // Write-through, no-allocate L1.
@@ -489,6 +516,7 @@ Sm::stepLdst(Cycle now)
                 st.l1Accesses++;
                 entry.lines.pop_back();
                 --ports;
+                ++workCount_;
                 continue;
             }
 
@@ -506,6 +534,7 @@ Sm::stepLdst(Cycle now)
                 }
                 entry.lines.pop_back();
                 --ports;
+                ++workCount_;
                 continue;
             }
 
@@ -550,6 +579,7 @@ Sm::stepLdst(Cycle now)
             }
             entry.lines.pop_back();
             --ports;
+            ++workCount_;
         }
         if (entry.lines.empty()) {
             ldstQueue_.pop_front();
@@ -756,10 +786,15 @@ Sm::auditAccounting(std::string *detail) const
 void
 Sm::step(Cycle now)
 {
-    // Drain fabric submissions that were refused by backpressure.
-    while (!fabricRetry_.empty() &&
-           fabric_->submitToL2(fabricRetry_.front(), now)) {
-        fabricRetry_.pop_front();
+    stepping_ = staged_;
+
+    // Drain fabric submissions that were refused by backpressure. In
+    // staged mode the owner already ran this (and the LDST unit below)
+    // this cycle via stepMemory(), serially in SM-id order before the
+    // parallel phase — the same position they hold here relative to
+    // this SM's issue and to lower-id SMs' fabric traffic.
+    if (!staged_) {
+        drainFabricRetries(now);
     }
 
     // Commit due register writebacks (clears scoreboard entries).
@@ -769,9 +804,10 @@ Sm::step(Cycle now)
         if (reg != kNoReg) {
             warps_[slot].pendingWrites.reset(reg);
         }
+        ++workCount_;
     }
 
-    {
+    if (!staged_) {
         telemetry::SelfProfiler::Scope prof_scope(
             profiler_, telemetry::Component::L1Ldst);
         stepLdst(now);
@@ -783,7 +819,7 @@ Sm::step(Cycle now)
         for (const auto &[key, cta] : liveCtas_) {
             if (cta.liveWarps > 0 && !seen[cta.stream]) {
                 seen[cta.stream] = true;
-                stats_->stream(cta.stream).cycles++;
+                streamStats(cta.stream).cycles++;
             }
         }
     }
@@ -792,6 +828,7 @@ Sm::step(Cycle now)
     // and in-flight memory continue, so the SM quietly stops committing —
     // the hang class the forward-progress watchdog exists to diagnose.
     if (issueFrozen_) {
+        stepping_ = false;
         return;
     }
 
@@ -850,6 +887,144 @@ Sm::step(Cycle now)
                 }
                 break;
             }
+        }
+    }
+    stepping_ = false;
+}
+
+void
+Sm::setStagedFabric(bool staged)
+{
+    panic_if(!stagedCtaDones_.empty(),
+             "SM %u: staged-fabric toggled with staged work in flight",
+             smId_);
+    // The staged cycle runs the LDST unit before the writeback commit of
+    // the same cycle (legacy runs it after); with a zero-cycle L1 hit
+    // latency that reorder would become observable.
+    panic_if(staged && cfg_.l1HitLatency == 0,
+             "SM %u: staged stepping requires l1HitLatency >= 1", smId_);
+    staged_ = staged;
+}
+
+void
+Sm::stepMemory(Cycle now)
+{
+    drainFabricRetries(now);
+    telemetry::SelfProfiler::Scope prof_scope(
+        profiler_, telemetry::Component::L1Ldst);
+    stepLdst(now);
+}
+
+void
+Sm::flushStagedCtaDones()
+{
+    if (stagedCtaDones_.empty()) {
+        return;
+    }
+    // The handler can trigger kernel completions that launch CTAs onto
+    // this SM, which may retire empty warps synchronously and append to
+    // stagedCtaDones_ again — swap first so iteration stays valid.
+    std::vector<std::pair<StreamId, KernelId>> dones;
+    dones.swap(stagedCtaDones_);
+    if (!onCtaDone_) {
+        return;
+    }
+    for (const auto &[stream, kernel] : dones) {
+        onCtaDone_(smId_, stream, kernel);
+    }
+}
+
+void
+Sm::flushShadowStats()
+{
+    stats_->absorbShadow(shadowStats_);
+}
+
+void
+Sm::flushShadowProfiler()
+{
+    if (profiler_ != nullptr) {
+        profiler_->absorb(shadowProfiler_);
+    }
+}
+
+Cycle
+Sm::nextWorkCycle(Cycle now) const
+{
+    // Anything queued SM-side makes next cycle productive: the LDST unit
+    // retries every cycle and the retry queue re-probes the fabric. (A
+    // blocked LDST head could in principle be analyzed more sharply, but
+    // conservative-early answers only shrink the jump.)
+    if (!ldstQueue_.empty() || !fabricRetry_.empty()) {
+        return now + 1;
+    }
+
+    Cycle wake = kNeverCycle;
+    auto consider = [&](Cycle at) {
+        wake = std::min(wake, std::max(at, now + 1));
+    };
+
+    if (!writebacks_.empty()) {
+        consider(writebacks_.begin()->first);
+    }
+
+    if (activeWarps_ == 0 || issueFrozen_) {
+        return wake;
+    }
+
+    // A warp whose next instruction waits only on an execution resource
+    // wakes up when that resource frees; one blocked on the scoreboard
+    // wakes with the writeback already considered above; one blocked on
+    // memory wakes with the L2 response (owned by the L2 side).
+    for (const auto &warp : warps_) {
+        if (!warp.live || warp.atBarrier) {
+            continue;
+        }
+        if (warp.pc >= warp.trace.instrs.size()) {
+            return now + 1;   // Retires at its next issue opportunity.
+        }
+        const TraceInstr &instr = warp.trace.instrs[warp.pc];
+        bool hazard = instr.hasDst() && warp.pendingWrites.test(instr.dst);
+        for (uint8_t src : instr.srcs) {
+            hazard = hazard ||
+                     (src != kNoReg && warp.pendingWrites.test(src));
+        }
+        if (hazard) {
+            continue;   // Wakes via a writeback (or a memory response).
+        }
+        const OpClass cls = opcodeClass(instr.opcode);
+        switch (cls) {
+          case OpClass::FP32:
+          case OpClass::INT:
+          case OpClass::SFU:
+          case OpClass::Tensor: {
+            const auto &pool = unitFreeAt_[static_cast<size_t>(cls)];
+            consider(*std::min_element(pool.begin(), pool.end()));
+            break;
+          }
+          case OpClass::MemShared:
+            consider(smemPortFreeAt_);
+            break;
+          default:
+            // Issuable right now (memory ops with queue room, barriers,
+            // control, const loads): the very next cycle does work.
+            return now + 1;
+        }
+    }
+    return wake;
+}
+
+void
+Sm::creditIdleCycles(uint64_t count)
+{
+    // Mirrors the per-cycle counting in step(): every stream with a live
+    // warp is "active" for each skipped cycle. Main thread only, so the
+    // global registry is written directly.
+    std::map<StreamId, bool> seen;
+    for (const auto &[key, cta] : liveCtas_) {
+        if (cta.liveWarps > 0 && !seen[cta.stream]) {
+            seen[cta.stream] = true;
+            stats_->stream(cta.stream).cycles += count;
         }
     }
 }

@@ -16,14 +16,10 @@
 #include "mem/cache.hpp"
 #include "mem/mem_request.hpp"
 #include "mem/mshr.hpp"
+#include "telemetry/self_profiler.hpp"
 
 namespace crisp
 {
-
-namespace telemetry
-{
-class SelfProfiler;
-}
 
 /** Port through which an SM injects line requests into the L2 subsystem. */
 class MemFabricPort
@@ -184,6 +180,73 @@ class Sm
     const Mshr &l1Mshr() const { return l1Mshr_; }
     size_t fabricRetryDepth() const { return fabricRetry_.size(); }
 
+    /**
+     * Read misses parked SM-side waiting for the fabric to accept them.
+     * The cross-layer conservation invariant balances L1 MSHR entries
+     * against these plus the L2's in-flight reads.
+     */
+    uint64_t pendingFabricReads() const { return fabricRetry_.size(); }
+
+    // --- Parallel cycle engine support ------------------------------------
+
+    /**
+     * Staged-fabric mode: step() runs only the SM-private stages
+     * (writebacks, issue, execute) and never touches the fabric, the
+     * stats registry, the profiler or the CTA-done handler — stats and
+     * profiler writes go to thread-local shadows, CTA completions to a
+     * per-SM list. The fabric-facing memory phase (retry drain + LDST
+     * unit) moves to stepMemory(), which the owner runs serially in
+     * SM-id order BEFORE the parallel phase each cycle — the same
+     * position it holds inside a legacy step() relative to this SM's
+     * issue and to lower-id SMs' traffic, so the request stream seen by
+     * the L2 is bit-identical to the serial engine. Toggle only while
+     * the SM has no staged work in flight.
+     */
+    void setStagedFabric(bool staged);
+    bool stagedFabric() const { return staged_; }
+
+    /**
+     * The fabric-facing memory phase of a staged cycle: the capped
+     * fabric-retry drain followed by the LDST unit, submitting to the
+     * live fabric exactly as a legacy step() would. Main thread only,
+     * SM-id order, before the parallel step() phase of the same cycle.
+     */
+    void stepMemory(Cycle now);
+
+    /** Deliver CTA completions deferred by the staged step, in order. */
+    void flushStagedCtaDones();
+
+    /** Fold the staged step's shadow stats into the global registry. */
+    void flushShadowStats();
+
+    /** Fold the staged step's shadow profiler into the attached one. */
+    void flushShadowProfiler();
+
+    /**
+     * Monotone count of units of work done by this SM (issues, line
+     * requests, writebacks, fabric sends). The cycle engine compares it
+     * across a tick to detect machine-wide idle cycles.
+     */
+    uint64_t workCount() const { return workCount_; }
+
+    /**
+     * Earliest future cycle (> @p now) at which this SM can do work on
+     * its own: a due writeback, an execution unit or the shared-memory
+     * port freeing up for a waiting warp, or an issuable warp next
+     * cycle. Returns kNeverCycle when every path is blocked on memory
+     * responses (the L2 side owns those wake-ups). Conservative answers
+     * (too early) are always safe; the fast-forward logic takes the
+     * minimum across all components.
+     */
+    Cycle nextWorkCycle(Cycle now) const;
+
+    /**
+     * Fast-forward bookkeeping: credit @p count skipped idle cycles to
+     * the per-stream active-cycle counters, exactly as ticking through
+     * them would have (streams with live warps count every cycle).
+     */
+    void creditIdleCycles(uint64_t count);
+
   private:
     struct WarpState
     {
@@ -231,9 +294,18 @@ class Sm
     bool tryIssue(WarpState &warp, Cycle now);
     bool issueMemory(WarpState &warp, const TraceInstr &instr, Cycle now);
     size_t ldstLimitFor(StreamId stream) const;
+    /** Stats routing: the shadow registry inside a staged step, the
+     *  shared one everywhere else (launchCta, responses run on the main
+     *  thread and write the global registry directly, as before). */
+    StreamStats &streamStats(StreamId stream)
+    {
+        return stepping_ ? shadowStats_.stream(stream)
+                         : stats_->stream(stream);
+    }
     void scheduleWriteback(uint32_t slot, uint8_t reg, Cycle when);
     void finishWarp(WarpState &warp, Cycle now);
     void releaseBarrier(CtaState &cta);
+    void drainFabricRetries(Cycle now);
     void stepLdst(Cycle now);
     uint32_t smemConflictCycles(const TraceInstr &instr) const;
 
@@ -279,6 +351,15 @@ class Sm
     std::deque<MemRequest> fabricRetry_;
     std::unordered_map<uint64_t, LoadTracker> trackers_;
     uint64_t nextTracker_ = 1;
+
+    // Parallel cycle engine: thread-local shadows and deferred CTA
+    // completions, merged by the owner in SM-id order after the barrier.
+    bool staged_ = false;
+    bool stepping_ = false;       ///< Inside a staged step() right now.
+    std::vector<std::pair<StreamId, KernelId>> stagedCtaDones_;
+    StatsRegistry shadowStats_;
+    telemetry::SelfProfiler shadowProfiler_;
+    uint64_t workCount_ = 0;
 
     // Unified L1 data cache.
     SetAssocCache l1_;

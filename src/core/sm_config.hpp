@@ -44,6 +44,15 @@ struct SmConfig
     uint32_t l1PortsPerCycle = 4;
     /** In-flight memory instructions the LDST unit can queue. */
     uint32_t ldstQueueDepth = 32;
+    /**
+     * Upper bound on refused-request retries re-sent to the fabric per
+     * cycle (0 = unbounded, the historical behavior). Bounding the drain
+     * keeps a deeply backpressured SM from spending its whole cycle
+     * flushing the retry queue while fresh requests livelock behind it;
+     * the bound measurably shifts contended timing (fig12-14), so it is
+     * opt-in rather than a new default.
+     */
+    uint32_t maxFabricRetriesPerCycle = 0;
 
     /** Execution unit counts (one pool per OpClass). */
     uint32_t fp32Units = 4;

@@ -1,0 +1,56 @@
+#ifndef CRISP_ENGINE_ENGINE_CONFIG_HPP
+#define CRISP_ENGINE_ENGINE_CONFIG_HPP
+
+#include <cstdint>
+
+namespace crisp
+{
+namespace engine
+{
+
+/**
+ * Cycle-engine configuration: how the per-cycle work of the GPU model is
+ * scheduled onto host threads.
+ *
+ * The default (one thread, no staging, no fast-forward) is the bit-exact
+ * legacy path: SMs step serially and talk to the L2 fabric directly.
+ * Raising `threads` shards SM stepping across a persistent worker pool
+ * with deterministic merge points, so simulation outputs are identical
+ * for any thread count (see docs/ARCHITECTURE.md, "Parallel cycle
+ * engine").
+ */
+struct EngineConfig
+{
+    /**
+     * Worker lanes stepping SM shards (including the calling thread).
+     * 0 and 1 both mean serial execution. Values above the SM count are
+     * clamped: an SM is the unit of sharding.
+     */
+    uint32_t threads = 1;
+
+    /**
+     * Force staged fabric semantics even when stepping serially. With
+     * more than one thread staging is always on; this knob exists so
+     * determinism tests can run the staged path at one thread and prove
+     * the outputs do not depend on the thread count.
+     */
+    bool stagedFabric = false;
+
+    /**
+     * Idle-cycle fast-forward: when a tick performs no work anywhere in
+     * the machine, compute the earliest cycle at which anything can
+     * happen (writeback, L2/DRAM event, kernel promotion, counter
+     * sample, controller epoch) and jump there in one step, crediting
+     * the skipped cycles to the per-stream active-cycle counters.
+     * Defaults to off: the legacy path ticks through idle spells.
+     */
+    bool fastForward = false;
+
+    /** True when SM stepping must stage instead of submitting directly. */
+    bool staged() const { return threads > 1 || stagedFabric; }
+};
+
+} // namespace engine
+} // namespace crisp
+
+#endif // CRISP_ENGINE_ENGINE_CONFIG_HPP

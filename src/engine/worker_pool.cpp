@@ -1,0 +1,133 @@
+#include "engine/worker_pool.hpp"
+
+namespace crisp
+{
+namespace engine
+{
+namespace
+{
+
+/**
+ * Spin budget before parking on the condition variable. At the engine's
+ * per-cycle cadence (a few microseconds between barriers) the budget
+ * covers the gap comfortably; an idle machine parks after ~10-50 us.
+ * When the host has fewer cores than the pool has lanes, spinning only
+ * steals cycles from the lane holding the work, so the budget drops to
+ * zero and every wait parks immediately.
+ */
+constexpr uint32_t kSpinLimit = 20000;
+
+uint32_t
+spinBudgetFor(uint32_t lanes)
+{
+    const uint32_t cores = std::thread::hardware_concurrency();
+    return (cores != 0 && cores >= lanes) ? kSpinLimit : 0;
+}
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+} // namespace
+
+WorkerPool::WorkerPool(uint32_t lanes) : spinBudget_(spinBudgetFor(lanes))
+{
+    const uint32_t extra = lanes > 1 ? lanes - 1 : 0;
+    workers_.reserve(extra);
+    for (uint32_t i = 0; i < extra; ++i) {
+        workers_.emplace_back([this, lane = i + 1] { workerMain(lane); });
+    }
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_.store(true, std::memory_order_release);
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_) {
+        t.join();
+    }
+}
+
+void
+WorkerPool::workerMain(uint32_t lane)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        // Fast path: spin until the next generation is published.
+        uint32_t spins = 0;
+        while (generation_.load(std::memory_order_acquire) == seen &&
+               !shutdown_.load(std::memory_order_acquire)) {
+            if (++spins > spinBudget_) {
+                std::unique_lock<std::mutex> lock(mutex_);
+                sleepers_.fetch_add(1, std::memory_order_relaxed);
+                wake_.wait(lock, [&] {
+                    return shutdown_.load(std::memory_order_acquire) ||
+                           generation_.load(std::memory_order_acquire) !=
+                               seen;
+                });
+                sleepers_.fetch_sub(1, std::memory_order_relaxed);
+                break;
+            }
+            cpuRelax();
+        }
+        if (shutdown_.load(std::memory_order_acquire)) {
+            return;
+        }
+        seen = generation_.load(std::memory_order_acquire);
+        (*job_)(lane);
+        if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+            callerWaiting_.load(std::memory_order_acquire)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            done_.notify_one();
+        }
+    }
+}
+
+void
+WorkerPool::run(const std::function<void(uint32_t)> &fn)
+{
+    if (workers_.empty()) {
+        fn(0);
+        return;
+    }
+    job_ = &fn;
+    remaining_.store(static_cast<uint32_t>(workers_.size()),
+                     std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+    if (sleepers_.load(std::memory_order_acquire) > 0) {
+        // A worker past the generation re-check under the lock cannot
+        // sleep through this bump; one before it sees the new value in
+        // its wait predicate. Either way the notify cannot be lost.
+        std::lock_guard<std::mutex> lock(mutex_);
+        wake_.notify_all();
+    }
+    fn(0);
+    uint32_t spins = 0;
+    while (remaining_.load(std::memory_order_acquire) != 0) {
+        if (++spins > spinBudget_) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            callerWaiting_.store(true, std::memory_order_release);
+            done_.wait(lock, [&] {
+                return remaining_.load(std::memory_order_acquire) == 0;
+            });
+            callerWaiting_.store(false, std::memory_order_release);
+            break;
+        }
+        cpuRelax();
+    }
+    job_ = nullptr;
+}
+
+} // namespace engine
+} // namespace crisp

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "engine/worker_pool.hpp"
 #include "integrity/checks.hpp"
 #include "integrity/fault_injector.hpp"
 #include "telemetry/sink.hpp"
@@ -46,6 +47,29 @@ Gpu::Gpu(const GpuConfig &cfg) : cfg_(cfg)
                 onCtaDone(sm_id, stream, kernel);
             });
         allSms_.push_back(i);
+    }
+    setEngine(cfg_.engine);
+}
+
+Gpu::~Gpu() = default;
+
+void
+Gpu::setEngine(const engine::EngineConfig &engine)
+{
+    fatal_if(cycle_ != 0,
+             "cycle engine must be configured before the first tick");
+    engine_ = engine;
+    // The SM is the unit of sharding: more lanes than SMs only adds
+    // barrier cost. 0 and 1 both mean serial.
+    engine_.threads = std::max<uint32_t>(
+        1, std::min<uint32_t>(engine.threads, numSms()));
+    const bool staged = engine_.staged();
+    for (auto &sm : sms_) {
+        sm->setStagedFabric(staged);
+    }
+    pool_.reset();
+    if (engine_.threads > 1) {
+        pool_ = std::make_unique<engine::WorkerPool>(engine_.threads);
     }
 }
 
@@ -182,6 +206,8 @@ Gpu::setTelemetry(telemetry::TelemetrySink *sink)
     nextSample_ = 0;
     nextComposition_ = 0;
     lastComposition_ = CacheComposition{};
+    // Column ids belong to the sink's series: re-resolve for a new sink.
+    sampleColumns_ = SampleColumns{};
 }
 
 void
@@ -491,8 +517,12 @@ Gpu::tick()
     {
         telemetry::SelfProfiler::Scope prof_scope(
             profiler_, telemetry::Component::SmIssue);
-        for (auto &sm : sms_) {
-            sm->step(cycle_);
+        if (engine_.staged()) {
+            stepSmsStaged();
+        } else {
+            for (auto &sm : sms_) {
+                sm->step(cycle_);
+            }
         }
     }
     l2_->step(cycle_);
@@ -510,14 +540,67 @@ Gpu::tick()
 }
 
 void
+Gpu::stepSmsStaged()
+{
+    // Memory phase first: each SM's fabric-retry drain and LDST unit run
+    // serially in SM-id order against the live L2 — the exact position
+    // and order the serial engine gives them (a legacy step() runs them
+    // before its own issue, and issue never touches the fabric), so the
+    // request stream the L2 sees is bit-identical for any thread count.
+    for (auto &sm : sms_) {
+        sm->stepMemory(cycle_);
+    }
+
+    // Sharded SM stepping over the SM-private stages (writebacks, issue,
+    // execute). Workers touch only their own SM's state: stats and
+    // profiler deltas land in per-SM shadows, CTA-done callbacks in
+    // per-SM lists. The shard→lane assignment is strided but the merge
+    // below runs in SM-id order, so outputs are independent of the lane
+    // count and of thread scheduling.
+    if (pool_) {
+        // Capture only `this`: the closure stays inside std::function's
+        // small-buffer storage, so the per-cycle dispatch never allocates.
+        pool_->run([this](uint32_t lane) {
+            const uint32_t lanes = pool_->lanes();
+            const size_t count = sms_.size();
+            for (size_t i = lane; i < count; i += lanes) {
+                sms_[i]->step(cycle_);
+            }
+        });
+    } else {
+        // Staged semantics at one thread: the determinism baseline.
+        for (auto &sm : sms_) {
+            sm->step(cycle_);
+        }
+    }
+
+    // Post-barrier merge, main thread, SM-id order — the same order the
+    // serial loop delivered CTA completions and accumulated stats in.
+    for (auto &sm : sms_) {
+        sm->flushStagedCtaDones();
+        sm->flushShadowStats();
+        sm->flushShadowProfiler();
+    }
+}
+
+void
 Gpu::sampleCounters()
 {
     telemetry::CounterSeries &series = telemetry_->series();
     series.beginRow(cycle_);
 
+    // Resolve the fixed column ids once per sink: interning by name costs
+    // a string construction and a map lookup per column per sample, which
+    // dominated this function's profile at tight sample intervals. The
+    // intern order matches what re-interning every sample produced, so
+    // the exported CSV is unchanged (occupancy columns resolve first,
+    // just below).
+    SampleColumns &cols = sampleColumns_;
+
     // Per-stream warp occupancy as a fraction of all warp slots — the same
     // arithmetic the Fig 13 occupancy sampler used, so ported benches emit
-    // identical values.
+    // identical values. Streams created after the first sample intern
+    // their column on their first sample, as before.
     const double slots =
         static_cast<double>(numSms()) * cfg_.sm.maxWarps;
     for (const auto &[id, ss] : streams_) {
@@ -525,7 +608,32 @@ Gpu::sampleCounters()
         for (const auto &sm : sms_) {
             warps += sm->activeWarpsOf(id);
         }
-        series.set(series.column("occ." + ss.name), warps / slots);
+        auto it = cols.occ.find(id);
+        if (it == cols.occ.end()) {
+            it = cols.occ.emplace(id, series.column("occ." + ss.name))
+                     .first;
+        }
+        series.set(it->second, warps / slots);
+    }
+
+    if (!cols.resolved) {
+        cols.resolved = true;
+        cols.smActiveWarps = series.column("sm.activeWarps");
+        cols.smReady = series.column("sm.ready");
+        cols.smAtBarrier = series.column("sm.atBarrier");
+        cols.smWaitScoreboard = series.column("sm.waitScoreboard");
+        cols.smWaitExecUnit = series.column("sm.waitExecUnit");
+        cols.smWaitSmem = series.column("sm.waitSmem");
+        cols.smWaitLdst = series.column("sm.waitLdst");
+        cols.l1Mshr = series.column("l1.mshr");
+        cols.l2Accesses = series.column("l2.accesses");
+        cols.l2Hits = series.column("l2.hits");
+        cols.l2HitRate = series.column("l2.hitRate");
+        cols.l2Mshr = series.column("l2.mshr");
+        cols.l2CompTexture = series.column("l2.comp.texture");
+        cols.l2CompPipeline = series.column("l2.comp.pipeline");
+        cols.l2CompCompute = series.column("l2.comp.compute");
+        cols.l2Valid = series.column("l2.valid");
     }
 
     // Machine-wide warp-state breakdown from the SM integrity probes.
@@ -542,28 +650,21 @@ Gpu::sampleCounters()
         ldst += p.waitLdst;
         l1_mshr += p.l1MshrEntries;
     }
-    series.set(series.column("sm.activeWarps"),
-               static_cast<double>(active));
-    series.set(series.column("sm.ready"), static_cast<double>(ready));
-    series.set(series.column("sm.atBarrier"),
-               static_cast<double>(barrier));
-    series.set(series.column("sm.waitScoreboard"),
-               static_cast<double>(scoreboard));
-    series.set(series.column("sm.waitExecUnit"),
-               static_cast<double>(exec));
-    series.set(series.column("sm.waitSmem"), static_cast<double>(smem));
-    series.set(series.column("sm.waitLdst"), static_cast<double>(ldst));
-    series.set(series.column("l1.mshr"), static_cast<double>(l1_mshr));
+    series.set(cols.smActiveWarps, static_cast<double>(active));
+    series.set(cols.smReady, static_cast<double>(ready));
+    series.set(cols.smAtBarrier, static_cast<double>(barrier));
+    series.set(cols.smWaitScoreboard, static_cast<double>(scoreboard));
+    series.set(cols.smWaitExecUnit, static_cast<double>(exec));
+    series.set(cols.smWaitSmem, static_cast<double>(smem));
+    series.set(cols.smWaitLdst, static_cast<double>(ldst));
+    series.set(cols.l1Mshr, static_cast<double>(l1_mshr));
 
     // L2 hit/miss and MSHR depth.
-    series.set(series.column("l2.accesses"),
-               static_cast<double>(l2_->accesses()));
-    series.set(series.column("l2.hits"),
-               static_cast<double>(l2_->hits()));
-    series.set(series.column("l2.hitRate"), l2_->hitRate());
+    series.set(cols.l2Accesses, static_cast<double>(l2_->accesses()));
+    series.set(cols.l2Hits, static_cast<double>(l2_->hits()));
+    series.set(cols.l2HitRate, l2_->hitRate());
     const L2Subsystem::InFlight inflight = l2_->inFlight();
-    series.set(series.column("l2.mshr"),
-               static_cast<double>(inflight.mshrEntries));
+    series.set(cols.l2Mshr, static_cast<double>(inflight.mshrEntries));
 
     // The composition walk is O(cache lines), so it runs on its own
     // (usually slower) cadence; rows in between carry the last snapshot.
@@ -571,14 +672,87 @@ Gpu::sampleCounters()
         nextComposition_ = cycle_ + compositionInterval_;
         lastComposition_ = l2_->composition();
     }
-    series.set(series.column("l2.comp.texture"),
+    series.set(cols.l2CompTexture,
                lastComposition_.fraction(DataClass::Texture));
-    series.set(series.column("l2.comp.pipeline"),
+    series.set(cols.l2CompPipeline,
                lastComposition_.fraction(DataClass::Pipeline));
-    series.set(series.column("l2.comp.compute"),
+    series.set(cols.l2CompCompute,
                lastComposition_.fraction(DataClass::Compute));
-    series.set(series.column("l2.valid"),
-               lastComposition_.validFraction());
+    series.set(cols.l2Valid, lastComposition_.validFraction());
+}
+
+uint64_t
+Gpu::totalWorkCount() const
+{
+    uint64_t work = l2_->workCount();
+    for (const auto &sm : sms_) {
+        work += sm->workCount();
+    }
+    return work;
+}
+
+Cycle
+Gpu::nextWakeCycle() const
+{
+    Cycle wake = kNeverCycle;
+    auto consider = [&](Cycle at) {
+        if (at != kNeverCycle) {
+            wake = std::min(wake, std::max(at, cycle_ + 1));
+        }
+    };
+
+    // Controllers default to now + 1 (no jumping past their onCycle);
+    // epoch-based ones can override nextWakeCycle to permit it.
+    for (const auto *c : controllers_) {
+        consider(c->nextWakeCycle(*this, cycle_));
+    }
+
+    // The counter sampler's next row.
+    if (telemetry_ && sampleInterval_ != 0) {
+        consider(nextSample_);
+    }
+
+    // Kernel promotion timers: a front kernel held back only by a
+    // fixed-function delay becomes eligible at a known cycle. Fronts
+    // blocked on an incomplete dependency or the active-kernel limit
+    // wake via a kernel completion, which is always preceded by SM/L2
+    // work (covered below).
+    for (const auto &[id, ss] : streams_) {
+        if (ss.queue.empty() || ss.active.size() >= kMaxActiveKernels) {
+            continue;
+        }
+        const QueuedKernel &front = ss.queue.front();
+        if (front.dependsOn == kNoDependency) {
+            consider(cycle_ + 1);   // promotes on the next tick
+            continue;
+        }
+        auto done_at = ss.completedAt.find(front.dependsOn);
+        if (done_at != ss.completedAt.end()) {
+            consider(done_at->second + front.delay);
+        }
+    }
+
+    for (const auto &sm : sms_) {
+        consider(sm->nextWorkCycle(cycle_));
+    }
+    consider(l2_->nextEventCycle(cycle_));
+    return wake;
+}
+
+void
+Gpu::fastForwardTo(Cycle target)
+{
+    // Every skipped cycle is a proven zero-work tick: the only per-cycle
+    // state it would have advanced is the per-stream active-cycle
+    // counters, credited here so counters and timestamps match the
+    // ticked-through run exactly.
+    const uint64_t skipped = target - cycle_;
+    for (auto &sm : sms_) {
+        sm->creditIdleCycles(skipped);
+    }
+    cycle_ = target;
+    ++ffJumps_;
+    ffCyclesSkipped_ += skipped;
 }
 
 bool
@@ -767,12 +941,40 @@ Gpu::run(Cycle max_cycles, const integrity::RunOptions &opts)
     Cycle next_check = cycle_ + interval;
     const std::vector<const Sm *> sms = constSms();
 
+    // Idle fast-forward: armed per run, and never under fault injection
+    // (a frozen SM's "idle" is exactly what the watchdog must observe
+    // tick by tick). Zero-work ticks are detected by the machine-wide
+    // work counter standing still across a tick.
+    const bool fast_forward =
+        engine_.fastForward && faultInjector_ == nullptr;
+    uint64_t last_work = fast_forward ? totalWorkCount() : 0;
+
     while (cycle_ < max_cycles) {
         if (done()) {
             result.completed = true;
             break;
         }
         tick();
+        if (fast_forward) {
+            const uint64_t work = totalWorkCount();
+            if (work == last_work) {
+                // Nothing happened this tick: jump to just before the
+                // earliest cycle anything can happen, clamped so the
+                // watchdog still runs at its exact cadence and the run
+                // still ends at max_cycles. kNeverCycle (a dead machine)
+                // is left to the watchdog at normal speed.
+                const Cycle wake = nextWakeCycle();
+                Cycle limit = max_cycles;
+                if (interval != 0) {
+                    limit = std::min(limit, next_check);
+                }
+                if (wake != kNeverCycle && std::min(wake, limit) >
+                                               cycle_ + 1) {
+                    fastForwardTo(std::min(wake, limit) - 1);
+                }
+            }
+            last_work = work;
+        }
         if (interval == 0 || cycle_ < next_check) {
             continue;
         }

@@ -13,12 +13,18 @@
 
 #include "common/stats.hpp"
 #include "core/sm.hpp"
+#include "engine/engine_config.hpp"
 #include "gpu/gpu_config.hpp"
 #include "integrity/report.hpp"
 #include "mem/l2_subsystem.hpp"
 
 namespace crisp
 {
+
+namespace engine
+{
+class WorkerPool;
+}
 
 namespace integrity
 {
@@ -96,6 +102,19 @@ class GpuController
         (void)gpu;
         (void)now;
     }
+
+    /**
+     * Earliest future cycle at which this controller needs onCycle to run
+     * during a machine-wide idle spell. The default (now + 1) disables
+     * idle fast-forward while the controller is attached — controllers
+     * that only act on epoch boundaries can override this to let the
+     * engine jump to their next epoch.
+     */
+    virtual Cycle nextWakeCycle(const Gpu &gpu, Cycle now) const
+    {
+        (void)gpu;
+        return now + 1;
+    }
 };
 
 /**
@@ -107,6 +126,7 @@ class Gpu : public MemFabricPort
 {
   public:
     explicit Gpu(const GpuConfig &cfg);
+    ~Gpu();
 
     /** Create an in-order command stream. */
     StreamId createStream(const std::string &name);
@@ -169,6 +189,19 @@ class Gpu : public MemFabricPort
 
     /** The attached telemetry sink, or nullptr (controllers emit via this). */
     telemetry::TelemetrySink *telemetry() const { return telemetry_; }
+
+    /**
+     * Configure the cycle engine (thread count, staged fabric, idle
+     * fast-forward). Must be called before the first tick; threads are
+     * clamped to the SM count. The default EngineConfig is the bit-exact
+     * serial legacy path.
+     */
+    void setEngine(const engine::EngineConfig &engine);
+    const engine::EngineConfig &engineConfig() const { return engine_; }
+
+    /** Idle fast-forward bookkeeping: jumps taken and cycles skipped. */
+    uint64_t fastForwardJumps() const { return ffJumps_; }
+    uint64_t fastForwardCycles() const { return ffCyclesSkipped_; }
 
     /** Advance one core cycle. */
     void tick();
@@ -281,6 +314,12 @@ class Gpu : public MemFabricPort
     void promoteReadyKernels(StreamState &ss);
     const std::vector<uint32_t> &allowedSms(StreamId stream);
     void sampleCounters();
+    void stepSmsStaged();
+
+    // Idle fast-forward internals (used by run()).
+    uint64_t totalWorkCount() const;
+    Cycle nextWakeCycle() const;
+    void fastForwardTo(Cycle target);
 
     // Integrity-layer internals (watchdog state lives in run()).
     uint64_t progressSignature() const;
@@ -311,6 +350,13 @@ class Gpu : public MemFabricPort
     StreamId nextStream_ = 0;
     KernelId nextKernel_ = 1;
 
+    // --- Cycle engine ------------------------------------------------------
+
+    engine::EngineConfig engine_;
+    std::unique_ptr<engine::WorkerPool> pool_;
+    uint64_t ffJumps_ = 0;
+    uint64_t ffCyclesSkipped_ = 0;
+
     // --- Telemetry ---------------------------------------------------------
 
     /** Kernel accounting for one drawcall's begin/end span. */
@@ -320,8 +366,29 @@ class Gpu : public MemFabricPort
         bool begun = false;         ///< Begin event already emitted.
     };
 
+    /**
+     * Column indices of the counter sampler, resolved once per sink
+     * instead of re-interning every name (and re-building "occ." + name
+     * strings) on every sample. Interning happens lazily on the first
+     * sample so the column order of the emitted CSV is unchanged:
+     * occupancy columns first (stream-id order), then the fixed machine
+     * columns, then occupancy columns of streams created later.
+     */
+    struct SampleColumns
+    {
+        bool resolved = false;
+        std::map<StreamId, uint32_t> occ;
+        uint32_t smActiveWarps = 0, smReady = 0, smAtBarrier = 0;
+        uint32_t smWaitScoreboard = 0, smWaitExecUnit = 0;
+        uint32_t smWaitSmem = 0, smWaitLdst = 0, l1Mshr = 0;
+        uint32_t l2Accesses = 0, l2Hits = 0, l2HitRate = 0, l2Mshr = 0;
+        uint32_t l2CompTexture = 0, l2CompPipeline = 0;
+        uint32_t l2CompCompute = 0, l2Valid = 0;
+    };
+
     telemetry::TelemetrySink *telemetry_ = nullptr;
     telemetry::SelfProfiler *profiler_ = nullptr;
+    SampleColumns sampleColumns_;
     std::map<std::pair<StreamId, uint32_t>, DrawcallTrack> drawcalls_;
     Cycle sampleInterval_ = 0;
     Cycle compositionInterval_ = 0;

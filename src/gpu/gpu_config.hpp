@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/sm_config.hpp"
+#include "engine/engine_config.hpp"
 #include "mem/l2_subsystem.hpp"
 
 namespace crisp
@@ -28,6 +29,8 @@ struct GpuConfig
 
     SmConfig sm;
     L2Config l2;
+    /** Cycle-engine scheduling (threads, staged fabric, fast-forward). */
+    engine::EngineConfig engine;
 
     /** DRAM bandwidth expressed in bytes per core clock cycle. */
     double dramBytesPerCycle() const

@@ -42,7 +42,7 @@ checkConservation(const std::vector<const Sm *> &sms, const L2Subsystem &l2,
     uint64_t retained = 0;
     for (const Sm *sm : sms) {
         l1_entries += sm->l1Mshr().entriesInUse();
-        retained += sm->fabricRetryDepth();
+        retained += sm->pendingFabricReads();
     }
     if (l1_entries != retained + outstanding) {
         out.push_back(

@@ -134,6 +134,7 @@ L2Subsystem::submit(MemRequest req, Cycle now)
         ++readsAccepted_;
         ++queuedReads_;
     }
+    ++workCount_;
     bankQueues_[bank].push_back(std::move(req));
     return true;
 }
@@ -160,6 +161,7 @@ L2Subsystem::step(Cycle now)
         auto node = pendingFills_.extract(pendingFills_.begin());
         const Cycle ready = node.key();
         PendingFill &pf = node.mapped();
+        ++workCount_;
         if (faultHook_) {
             Cycle delay = 0;
             const auto action = faultHook_->onDramFill(pf.req, now, delay);
@@ -207,6 +209,7 @@ L2Subsystem::step(Cycle now)
             continue;
         }
         MemRequest &req = queue.front();
+        ++workCount_;
         auto &st = stats_->stream(req.stream);
 
         if (mshrs_[b].pending(req.line)) {
@@ -291,6 +294,7 @@ L2Subsystem::step(Cycle now)
     while (!pendingResponses_.empty() &&
            pendingResponses_.begin()->first <= now) {
         auto node = pendingResponses_.extract(pendingResponses_.begin());
+        ++workCount_;
         panic_if(!onResponse_, "L2 response with no handler installed");
         if (faultHook_) {
             Cycle delay = 0;
@@ -381,6 +385,30 @@ L2Subsystem::bankQueueDepths() const
         depths.push_back(q.size());
     }
     return depths;
+}
+
+Cycle
+L2Subsystem::nextEventCycle(Cycle now) const
+{
+    Cycle wake = kNeverCycle;
+    auto consider = [&](Cycle at) {
+        wake = std::min(wake, std::max(at, now + 1));
+    };
+    if (!pendingFills_.empty()) {
+        consider(pendingFills_.begin()->first);
+    }
+    if (!pendingResponses_.empty()) {
+        consider(pendingResponses_.begin()->first);
+    }
+    for (uint32_t b = 0; b < cfg_.numBanks; ++b) {
+        const auto &queue = bankQueues_[b];
+        if (!queue.empty()) {
+            // MSHR-stalled heads report the conservative now+1; the fill
+            // that unblocks them is already covered above.
+            consider(std::max(queue.front().readyAt, bankFreeAt_[b]));
+        }
+    }
+    return wake;
 }
 
 bool

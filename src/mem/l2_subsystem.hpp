@@ -87,6 +87,23 @@ class L2Subsystem
     bool idle() const;
 
     /**
+     * Earliest future cycle (> @p now) at which stepping this subsystem
+     * can do anything: the nearest DRAM fill return, response delivery,
+     * or bank-queue head becoming serviceable. kNeverCycle when nothing
+     * is in flight. A head stalled on a full MSHR reports now+1 (it
+     * unblocks on a fill, which is already covered, but the bank retries
+     * every cycle, so the conservative answer keeps it exact).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Monotone count of units of work done (requests accepted, fills
+     * completed, bank services, responses delivered). The cycle engine
+     * compares it across a tick to detect a machine-wide idle cycle.
+     */
+    uint64_t workCount() const { return workCount_; }
+
+    /**
      * MiG-style bank partitioning: restrict @p stream to the banks with set
      * bits in @p mask. Requests hash across only those banks.
      */
@@ -199,6 +216,7 @@ class L2Subsystem
     uint64_t rowConflictsSeen_ = 0;
     uint64_t readsAccepted_ = 0;
     uint64_t responsesDelivered_ = 0;
+    uint64_t workCount_ = 0;
     /** Reads currently in bank queues (kept incrementally: inFlight() is
      *  called every watchdog tick and must not walk the queues). */
     uint64_t queuedReads_ = 0;

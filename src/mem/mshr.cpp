@@ -48,6 +48,16 @@ Mshr::pending(Addr line) const
     return table_.count(line) != 0;
 }
 
+bool
+Mshr::wouldStall(Addr line) const
+{
+    auto it = table_.find(line);
+    if (it != table_.end()) {
+        return it->second.keys.size() >= maxTargets_;
+    }
+    return table_.size() >= numEntries_;
+}
+
 std::vector<uint64_t>
 Mshr::fill(Addr line)
 {

@@ -55,6 +55,14 @@ class Mshr
     bool pending(Addr line) const;
 
     /**
+     * True if allocate(line, ...) would return Stall right now: the line
+     * is pending with a full target list, or it is not pending and no
+     * entry is free. Side-effect-free; the fast-forward wake computation
+     * uses it to classify a blocked LDST head without mutating the MSHR.
+     */
+    bool wouldStall(Addr line) const;
+
+    /**
      * The fill arrived: pops and returns all completion keys waiting on the
      * line (empty if the line was not pending).
      */

@@ -77,6 +77,18 @@ class SelfProfiler
 
     void reset();
 
+    /**
+     * Fold another profiler's attributed time into this one and zero the
+     * source. The parallel cycle engine gives each worker-stepped SM a
+     * shadow profiler and absorbs them in SM-id order at the barrier, so
+     * scope bookkeeping never crosses threads. Absorbed time is added to
+     * the per-component totals directly; it is not subtracted from any
+     * scope currently open on this profiler, so in parallel runs the
+     * sm-issue bucket measures barrier wall time while l1-ldst sums
+     * per-worker busy time (the two can overlap).
+     */
+    void absorb(SelfProfiler &other);
+
   private:
     friend class Scope;
 
