@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <memory>
@@ -49,6 +50,34 @@ header(const char *figure, const char *what)
                 "see EXPERIMENTS.md)\n\n");
 }
 
+/**
+ * Counter-audit cadence for bench runs: every figure/table run carries
+ * the crisp::audit conservation identities so a future accounting bug
+ * fails the bench (and the golden CI job) instead of silently skewing a
+ * CSV. CRISP_AUDIT_INTERVAL overrides the default cadence; 0 disables.
+ */
+inline Cycle
+auditInterval()
+{
+    if (const char *env = std::getenv("CRISP_AUDIT_INTERVAL")) {
+        return static_cast<Cycle>(std::strtoull(env, nullptr, 10));
+    }
+    return 4096;
+}
+
+/** Run to completion with the counter audit attached (benches only). */
+inline Gpu::RunResult
+runAudited(Gpu &gpu, Cycle max_cycles)
+{
+    integrity::RunOptions opts;
+    opts.auditInterval = auditInterval();
+    Gpu::RunResult r = gpu.run(max_cycles, opts);
+    if (r.hang) {
+        fatal("counter audit failed:\n%s", r.hang->render().c_str());
+    }
+    return r;
+}
+
 /** Result of a graphics-only frame on the timing model. */
 struct FrameResult
 {
@@ -83,7 +112,7 @@ runFrame(const Scene &scene, uint32_t width, uint32_t height,
     Gpu gpu(gpu_cfg);
     const StreamId gfx = gpu.createStream("graphics");
     submitFrame(gpu, gfx, out.submission);
-    const auto run = gpu.run(2'000'000'000ull);
+    const auto run = runAudited(gpu, 2'000'000'000ull);
     fatal_if(!run.completed, "frame simulation did not drain");
     out.cycles = run.cycles;
     out.stats = gpu.stats().stream(gfx);
@@ -188,7 +217,7 @@ runComputeAlone(const std::string &compute_name, const GpuConfig &gpu_cfg)
     for (const KernelInfo &k : buildComputeByName(compute_name, cheap)) {
         gpu.enqueueKernel(s, k);
     }
-    const auto r = gpu.run(4'000'000'000ull);
+    const auto r = runAudited(gpu, 4'000'000'000ull);
     fatal_if(!r.completed, "compute-alone run did not drain");
     return r.cycles;
 }
@@ -272,7 +301,7 @@ runPair(const std::string &scene_name, const std::string &compute_name,
         attach(gpu, gfx, cmp);
     }
 
-    const auto r = gpu.run(4'000'000'000ull);
+    const auto r = runAudited(gpu, 4'000'000'000ull);
     fatal_if(!r.completed, "pair %s+%s under %s did not drain",
              scene_name.c_str(), compute_name.c_str(),
              pairSchemeName(scheme));

@@ -1,0 +1,172 @@
+#include "audit/audit.hpp"
+
+#include <cinttypes>
+#include <map>
+
+#include "common/logging.hpp"
+
+namespace crisp
+{
+namespace audit
+{
+
+using integrity::InvariantViolation;
+using logging_detail::formatMessage;
+
+void
+auditStreamCounters(const StatsRegistry &stats, Cycle now,
+                    std::vector<InvariantViolation> &out)
+{
+    for (const auto &[id, st] : stats.allStreams()) {
+        const uint64_t classified =
+            st.l2Hits + st.l2MshrMerges + st.dramReads;
+        if (st.l2Accesses != classified) {
+            out.push_back(
+                {"counter-stream-identity",
+                 formatMessage("stream %u: l2Accesses (%" PRIu64
+                               ") != l2Hits (%" PRIu64 ") + l2MshrMerges "
+                               "(%" PRIu64 ") + dramReads (%" PRIu64 ")",
+                               id, st.l2Accesses, st.l2Hits,
+                               st.l2MshrMerges, st.dramReads),
+                 now});
+        }
+        if (st.l1Hits + st.l1MshrMerges > st.l1Accesses) {
+            out.push_back(
+                {"counter-stream-identity",
+                 formatMessage("stream %u: l1Hits (%" PRIu64
+                               ") + l1MshrMerges (%" PRIu64
+                               ") exceed l1Accesses (%" PRIu64 ")",
+                               id, st.l1Hits, st.l1MshrMerges,
+                               st.l1Accesses),
+                 now});
+        }
+        if (st.firstCycle != 0 && st.lastCycle != 0 &&
+            st.firstCycle > st.lastCycle) {
+            out.push_back(
+                {"counter-stream-identity",
+                 formatMessage("stream %u: firstCycle (%" PRIu64
+                               ") after lastCycle (%" PRIu64 ")",
+                               id, st.firstCycle, st.lastCycle),
+                 now});
+        }
+    }
+}
+
+void
+auditBankStreamParity(const StatsRegistry &stats, const L2Subsystem &l2,
+                      Cycle now, std::vector<InvariantViolation> &out)
+{
+    const uint64_t stream_accesses =
+        stats.sumOver(&StreamStats::l2Accesses);
+    const uint64_t stream_hits = stats.sumOver(&StreamStats::l2Hits);
+    if (l2.accesses() != stream_accesses) {
+        out.push_back(
+            {"counter-bank-parity",
+             formatMessage("L2 bank accesses (%" PRIu64 " tag + %" PRIu64
+                           " merged) != stream l2Accesses sum (%" PRIu64
+                           ")",
+                           l2.tagAccesses(), l2.mergedAccesses(),
+                           stream_accesses),
+             now});
+    }
+    if (l2.hits() != stream_hits) {
+        out.push_back(
+            {"counter-bank-parity",
+             formatMessage("L2 bank hits (%" PRIu64
+                           ") != stream l2Hits sum (%" PRIu64
+                           "); a fill-time re-access would inflate the "
+                           "bank side",
+                           l2.hits(), stream_hits),
+             now});
+    }
+}
+
+void
+auditL1L2Conservation(const StatsRegistry &stats,
+                      const std::vector<const Sm *> &sms,
+                      const L2Subsystem &l2, Cycle now,
+                      std::vector<InvariantViolation> &out)
+{
+    std::map<StreamId, uint64_t> in_flight;
+    l2.countQueuedByStream(in_flight);
+    for (const Sm *sm : sms) {
+        sm->countFabricRetriesByStream(in_flight);
+    }
+    for (const auto &[id, st] : stats.allStreams()) {
+        const uint64_t l1_misses =
+            st.l1Accesses - st.l1Hits - st.l1MshrMerges;
+        const auto it = in_flight.find(id);
+        const uint64_t pending = it == in_flight.end() ? 0 : it->second;
+        if (l1_misses != st.l2Accesses + pending) {
+            out.push_back(
+                {"counter-l1l2-conservation",
+                 formatMessage("stream %u: L1 misses (%" PRIu64
+                               ") != l2Accesses (%" PRIu64
+                               ") + in flight toward L2 (%" PRIu64 ")",
+                               id, l1_misses, st.l2Accesses, pending),
+                 now});
+        }
+    }
+}
+
+void
+auditFillPairing(const StatsRegistry &stats, const L2Subsystem &l2,
+                 Cycle now, std::vector<InvariantViolation> &out)
+{
+    const uint64_t dram_reads = stats.sumOver(&StreamStats::dramReads);
+    const uint64_t pending = l2.inFlight().pendingFills;
+    if (dram_reads != l2.fillsCompleted() + pending) {
+        out.push_back(
+            {"counter-fill-pairing",
+             formatMessage("stream dramReads sum (%" PRIu64
+                           ") != dram fills installed (%" PRIu64
+                           ") + fills pending (%" PRIu64
+                           "); a dropped fill leaves this short forever",
+                           dram_reads, l2.fillsCompleted(), pending),
+             now});
+    }
+    const uint64_t allocs = l2.mshrPrimaryAllocations();
+    const uint64_t served = l2.mshrFillsServed();
+    const uint64_t in_use = l2.inFlight().mshrEntries;
+    if (allocs != served + in_use) {
+        out.push_back(
+            {"counter-fill-pairing",
+             formatMessage("L2 MSHR primary allocations (%" PRIu64
+                           ") != fills served (%" PRIu64
+                           ") + entries in use (%" PRIu64 ")",
+                           allocs, served, in_use),
+             now});
+    }
+}
+
+void
+auditHistogram(const Histogram &h, const char *name, Cycle now,
+               std::vector<InvariantViolation> &out)
+{
+    if (!h.selfConsistent()) {
+        uint64_t bucket_sum = 0;
+        for (uint64_t b = 0; b <= h.maxTracked(); ++b) {
+            bucket_sum += h.count(b);
+        }
+        out.push_back(
+            {"counter-histogram",
+             formatMessage("histogram %s: totalSamples (%" PRIu64
+                           ") != bucket sum (%" PRIu64 ")",
+                           name, h.totalSamples(), bucket_sum),
+             now});
+    }
+}
+
+void
+auditAll(const StatsRegistry &stats, const std::vector<const Sm *> &sms,
+         const L2Subsystem &l2, Cycle now,
+         std::vector<InvariantViolation> &out)
+{
+    auditStreamCounters(stats, now, out);
+    auditBankStreamParity(stats, l2, now, out);
+    auditL1L2Conservation(stats, sms, l2, now, out);
+    auditFillPairing(stats, l2, now, out);
+}
+
+} // namespace audit
+} // namespace crisp

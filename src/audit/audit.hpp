@@ -1,0 +1,93 @@
+#ifndef CRISP_AUDIT_AUDIT_HPP
+#define CRISP_AUDIT_AUDIT_HPP
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/sm.hpp"
+#include "integrity/report.hpp"
+#include "mem/l2_subsystem.hpp"
+
+namespace crisp
+{
+
+/**
+ * Counter-conservation audit.
+ *
+ * The integrity layer (src/integrity) detects a machine that stops
+ * making progress; this layer detects a machine that keeps running but
+ * *counts wrong*. Every identity below holds exactly at a cycle
+ * boundary, so any violation is a real accounting bug (or an injected
+ * fault), never a race with in-flight work: requests that have been
+ * counted on one side but not yet on the other are balanced explicitly
+ * (bank queues, fabric-retry queues, pending DRAM fills).
+ *
+ * Checkers append integrity::InvariantViolation rows with "counter-*"
+ * check names so Gpu::run folds them into the same HangReport pipeline
+ * as the watchdog. Enable via integrity::RunOptions::auditInterval.
+ */
+namespace audit
+{
+
+/**
+ * Per-stream internal identities:
+ *  - l2Accesses == l2Hits + l2MshrMerges + dramReads (every L2 access
+ *    is exactly one of: tag hit, merged into a pending fill, or a
+ *    primary miss that reads DRAM);
+ *  - l1Hits + l1MshrMerges <= l1Accesses;
+ *  - firstCycle <= lastCycle when both are set.
+ */
+void auditStreamCounters(const StatsRegistry &stats, Cycle now,
+                         std::vector<integrity::InvariantViolation> &out);
+
+/**
+ * Bank-counter sums agree with stream-counter sums:
+ *  - L2Subsystem::accesses() (tag probes + MSHR merges) == sum of
+ *    per-stream l2Accesses;
+ *  - L2Subsystem::hits() == sum of per-stream l2Hits.
+ * This is the identity the fill-time double-count broke: phantom
+ * fill accesses inflated the bank side only, so hitRate() and the
+ * telemetry l2.hitRate column disagreed with StreamStats::l2HitRate().
+ */
+void auditBankStreamParity(const StatsRegistry &stats,
+                           const L2Subsystem &l2, Cycle now,
+                           std::vector<integrity::InvariantViolation> &out);
+
+/**
+ * Per-stream cross-layer conservation: every L1 miss (demand accesses
+ * minus hits minus MSHR merges) is either an L2 access already, queued
+ * in a bank, or parked in an SM's fabric-retry queue.
+ */
+void auditL1L2Conservation(const StatsRegistry &stats,
+                           const std::vector<const Sm *> &sms,
+                           const L2Subsystem &l2, Cycle now,
+                           std::vector<integrity::InvariantViolation> &out);
+
+/**
+ * DRAM read / fill pairing:
+ *  - sum of per-stream dramReads == fills installed + fills still
+ *    pending (a dropped fill breaks this forever);
+ *  - L2 MSHR primary allocations == MSHR fills served + entries in use
+ *    (catches double-fills and entries erased without a fill).
+ */
+void auditFillPairing(const StatsRegistry &stats, const L2Subsystem &l2,
+                      Cycle now,
+                      std::vector<integrity::InvariantViolation> &out);
+
+/**
+ * Histogram conservation: totalSamples() == sum over buckets. @p name
+ * labels the histogram in the violation detail (histograms live in
+ * analyses, not in the Gpu, so callers pass theirs explicitly).
+ */
+void auditHistogram(const Histogram &h, const char *name, Cycle now,
+                    std::vector<integrity::InvariantViolation> &out);
+
+/** Run every machine-wide audit (all of the above except histograms). */
+void auditAll(const StatsRegistry &stats,
+              const std::vector<const Sm *> &sms, const L2Subsystem &l2,
+              Cycle now, std::vector<integrity::InvariantViolation> &out);
+
+} // namespace audit
+} // namespace crisp
+
+#endif // CRISP_AUDIT_AUDIT_HPP

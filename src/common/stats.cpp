@@ -95,6 +95,16 @@ Histogram::merge(const Histogram &other)
     weightedSum_ += other.weightedSum_;
 }
 
+bool
+Histogram::selfConsistent() const
+{
+    uint64_t total = 0;
+    for (uint64_t b = 0; b <= maxValue_; ++b) {
+        total += buckets_[b];
+    }
+    return total == samples_;
+}
+
 void
 StreamStats::absorb(const StreamStats &delta)
 {
@@ -105,14 +115,21 @@ StreamStats::absorb(const StreamStats &delta)
     kernelsCompleted += delta.kernelsCompleted;
     l1Accesses += delta.l1Accesses;
     l1Hits += delta.l1Hits;
+    l1MshrMerges += delta.l1MshrMerges;
     l1TexAccesses += delta.l1TexAccesses;
     l2Accesses += delta.l2Accesses;
     l2Hits += delta.l2Hits;
+    l2MshrMerges += delta.l2MshrMerges;
     dramReads += delta.dramReads;
     dramWrites += delta.dramWrites;
     smemAccesses += delta.smemAccesses;
     smemBankConflicts += delta.smemBankConflicts;
-    if (firstCycle == 0) {
+    // 0 means "unset" on both sides, so the merged mark is the minimum
+    // over *set* values: shadows merge in SM order, not time order, and a
+    // later shadow can carry the earlier first cycle. (Taking the first
+    // non-zero delta here used to truncate the ipc() window.)
+    if (delta.firstCycle != 0 &&
+        (firstCycle == 0 || delta.firstCycle < firstCycle)) {
         firstCycle = delta.firstCycle;
     }
     if (delta.lastCycle > lastCycle) {

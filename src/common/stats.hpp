@@ -38,6 +38,12 @@ class Histogram
     /** Merge another histogram into this one (same max_value required). */
     void merge(const Histogram &other);
 
+    /**
+     * Conservation check: the sample count must equal the sum over
+     * buckets (every add/merge lands each sample in exactly one bucket).
+     */
+    bool selfConsistent() const;
+
   private:
     uint64_t maxValue_;
     uint64_t samples_ = 0;
@@ -63,22 +69,29 @@ struct StreamStats
 
     uint64_t l1Accesses = 0;
     uint64_t l1Hits = 0;
+    /** L1 accesses merged into an in-flight L1 MSHR fill (neither hit nor
+     *  new miss; audit: l1Accesses − l1Hits − l1MshrMerges = L1 misses
+     *  sent toward the L2). */
+    uint64_t l1MshrMerges = 0;
     uint64_t l1TexAccesses = 0;     ///< Texture loads through the unified L1.
     uint64_t l2Accesses = 0;
     uint64_t l2Hits = 0;
+    /** L2 accesses merged into an in-flight L2 MSHR fill (audit:
+     *  l2Accesses = l2Hits + l2MshrMerges + dramReads). */
+    uint64_t l2MshrMerges = 0;
     uint64_t dramReads = 0;
     uint64_t dramWrites = 0;
     uint64_t smemAccesses = 0;
     uint64_t smemBankConflicts = 0;
 
-    Cycle firstCycle = 0;           ///< Cycle the first CTA issued.
+    Cycle firstCycle = 0;           ///< Cycle the first CTA issued (0 = unset).
     Cycle lastCycle = 0;            ///< Cycle the last CTA committed.
 
     /**
      * Fold a delta block into this one: counters add, firstCycle keeps
-     * the earliest non-zero mark, lastCycle keeps the latest. Used by
-     * the parallel cycle engine to merge per-SM shadow stats at the
-     * barrier.
+     * the earliest non-zero mark (min over set values — shadows can
+     * arrive out of order), lastCycle keeps the latest. Used by the
+     * parallel cycle engine to merge per-SM shadow stats at the barrier.
      */
     void absorb(const StreamStats &delta);
 

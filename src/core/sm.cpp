@@ -502,7 +502,6 @@ Sm::stepLdst(Cycle now)
 
             if (entry.write) {
                 // Write-through, no-allocate L1.
-                l1_.access(line, true, entry.stream, entry.cls, false);
                 MemRequest req;
                 req.line = line;
                 req.write = true;
@@ -513,6 +512,10 @@ Sm::stepLdst(Cycle now)
                     stalled = true;
                     break;
                 }
+                // Touch the tag array only once the store is accepted, so
+                // a refused submit retried next cycle does not inflate the
+                // L1's access counter (it never inflated st.l1Accesses).
+                l1_.access(line, true, entry.stream, entry.cls, false);
                 st.l1Accesses++;
                 entry.lines.pop_back();
                 --ports;
@@ -529,6 +532,7 @@ Sm::stepLdst(Cycle now)
                     break;
                 }
                 st.l1Accesses++;
+                st.l1MshrMerges++;
                 if (entry.texture) {
                     st.l1TexAccesses++;
                 }
@@ -595,7 +599,10 @@ void
 Sm::memResponse(const MemRequest &resp, Cycle now)
 {
     // Fill the unified L1 (reads only; write-through stores never respond).
-    l1_.access(resp.line, false, resp.stream, resp.dataClass, true);
+    // fill(), not access(): the returning data is not a demand access, so
+    // it must not count toward the L1's access/miss totals or steal LRU
+    // recency from resident lines.
+    l1_.fill(resp.line, false, resp.stream, resp.dataClass);
     for (uint64_t key : l1Mshr_.fill(resp.line)) {
         auto tit = trackers_.find(key);
         if (tit == trackers_.end()) {

@@ -187,6 +187,19 @@ class Sm
      */
     uint64_t pendingFabricReads() const { return fabricRetry_.size(); }
 
+    /**
+     * Add each read parked in the fabric-retry queue to @p out[stream].
+     * The audit balances per-stream L1 misses against L2 accesses plus
+     * requests still on their way there.
+     */
+    void
+    countFabricRetriesByStream(std::map<StreamId, uint64_t> &out) const
+    {
+        for (const auto &req : fabricRetry_) {
+            ++out[req.stream];
+        }
+    }
+
     // --- Parallel cycle engine support ------------------------------------
 
     /**

@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <utility>
 
+#include "audit/audit.hpp"
 #include "common/logging.hpp"
 #include "engine/worker_pool.hpp"
 #include "integrity/checks.hpp"
@@ -939,6 +940,8 @@ Gpu::run(Cycle max_cycles, const integrity::RunOptions &opts)
     uint64_t last_sig = progressSignature();
     Cycle last_progress = cycle_;
     Cycle next_check = cycle_ + interval;
+    const Cycle audit_interval = opts.auditInterval;
+    Cycle next_audit = cycle_ + audit_interval;
     const std::vector<const Sm *> sms = constSms();
 
     // Idle fast-forward: armed per run, and never under fault injection
@@ -963,6 +966,11 @@ Gpu::run(Cycle max_cycles, const integrity::RunOptions &opts)
                 // watchdog still runs at its exact cadence and the run
                 // still ends at max_cycles. kNeverCycle (a dead machine)
                 // is left to the watchdog at normal speed.
+                // The watchdog clamps the jump (it must observe time
+                // pass at its exact cadence); the counter audit does
+                // not — its identities depend only on counter state,
+                // which is frozen across idle ticks, and an overdue
+                // audit fires on the first tick after the jump anyway.
                 const Cycle wake = nextWakeCycle();
                 Cycle limit = max_cycles;
                 if (interval != 0) {
@@ -975,28 +983,38 @@ Gpu::run(Cycle max_cycles, const integrity::RunOptions &opts)
             }
             last_work = work;
         }
-        if (interval == 0 || cycle_ < next_check) {
+        const bool check_due = interval != 0 && cycle_ >= next_check;
+        const bool audit_due =
+            audit_interval != 0 && cycle_ >= next_audit;
+        if (!check_due && !audit_due) {
             continue;
-        }
-        next_check = cycle_ + interval;
-
-        const uint64_t sig = progressSignature();
-        if (sig != last_sig) {
-            last_sig = sig;
-            last_progress = cycle_;
         }
 
         std::vector<integrity::InvariantViolation> violations;
         std::vector<integrity::HangReport::MshrLeakRow> leaks;
-        if (opts.checkInvariants) {
-            integrity::checkConservation(sms, *l2_, cycle_, violations);
-            integrity::checkSmAccounting(sms, cycle_, violations);
-            leaks = integrity::findMshrLeaks(sms, *l2_, cycle_, leak_age,
-                                             &violations);
-            checkStreamLiveness(violations);
+        bool hung = false;
+        if (check_due) {
+            next_check = cycle_ + interval;
+            const uint64_t sig = progressSignature();
+            if (sig != last_sig) {
+                last_sig = sig;
+                last_progress = cycle_;
+            }
+            if (opts.checkInvariants) {
+                integrity::checkConservation(sms, *l2_, cycle_,
+                                             violations);
+                integrity::checkSmAccounting(sms, cycle_, violations);
+                leaks = integrity::findMshrLeaks(sms, *l2_, cycle_,
+                                                 leak_age, &violations);
+                checkStreamLiveness(violations);
+            }
+            hung = cycle_ - last_progress >= hang_threshold &&
+                   !progressImminent();
         }
-        const bool hung = cycle_ - last_progress >= hang_threshold &&
-                          !progressImminent();
+        if (audit_due) {
+            next_audit = cycle_ + audit_interval;
+            audit::auditAll(stats_, sms, *l2_, cycle_, violations);
+        }
         if (violations.empty() && !hung) {
             continue;
         }

@@ -235,6 +235,8 @@ class Gpu : public MemFabricPort
     /** Access one SM; fatal on an out-of-range index. */
     Sm &sm(uint32_t index);
     uint32_t numSms() const { return static_cast<uint32_t>(sms_.size()); }
+    /** Read-only view over all SMs, in index order (audit/integrity). */
+    std::vector<const Sm *> constSms() const;
     const GpuConfig &config() const { return cfg_; }
 
     /** Uniform intra-SM quota for @p stream as a fraction of SM resources. */
@@ -324,7 +326,6 @@ class Gpu : public MemFabricPort
     // Integrity-layer internals (watchdog state lives in run()).
     uint64_t progressSignature() const;
     bool progressImminent() const;
-    std::vector<const Sm *> constSms() const;
     void checkStreamLiveness(
         std::vector<integrity::InvariantViolation> &out) const;
     std::vector<integrity::HangReport::StreamRow> streamRows() const;

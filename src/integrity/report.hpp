@@ -58,6 +58,16 @@ struct RunOptions
     bool checkInvariants = true;
 
     /**
+     * Cycles between counter-conservation audits (crisp::audit); 0
+     * disables auditing. Independent of checkInterval so the audit can
+     * run without the watchdog (and vice versa): fault-matrix tests pin
+     * which detector fires first, and benches want the audit alone. A
+     * violated identity stops the run with a HangReport whose violations
+     * carry "counter-*" check names.
+     */
+    Cycle auditInterval = 0;
+
+    /**
      * Telemetry sink to attach for the duration of the run (optional).
      * The GPU installs it on entry and restores the previous sink on
      * exit; a hang report then includes the last traced events before

@@ -24,12 +24,21 @@ SetAssocCache::mapSet(Addr line, StreamId stream) const
     // Simple xor-fold hash decorrelates strided accesses across sets.
     const Addr blk = line / geom_.lineBytes;
     uint32_t set = static_cast<uint32_t>((blk ^ (blk >> 13)) % num_sets);
-    for (const auto &w : windows_) {
-        if (w.stream == stream && w.count > 0) {
-            return w.first + set % w.count;
-        }
+    if (const SetWindow *w = windowFor(stream)) {
+        return w->first + set % w->count;
     }
     return set;
+}
+
+const SetAssocCache::SetWindow *
+SetAssocCache::windowFor(StreamId stream) const
+{
+    for (const auto &w : windows_) {
+        if (w.stream == stream && w.count > 0) {
+            return &w;
+        }
+    }
+    return nullptr;
 }
 
 SetAssocCache::Line *
@@ -134,6 +143,72 @@ SetAssocCache::access(Addr line, bool write, StreamId stream, DataClass cls,
         res.evicted = true;
         res.evictedLine = victim->tag * geom_.lineBytes;
         res.evictedDirty = victim->dirty;
+        res.evictedValidSectors = victim->validSectors;
+    }
+
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lastUse = ++useCounter_;
+    victim->stream = stream;
+    victim->cls = cls;
+    victim->validSectors = sector_bit;
+    return res;
+}
+
+CacheFillResult
+SetAssocCache::fill(Addr line, bool write, StreamId stream, DataClass cls)
+{
+    const bool sectored = geom_.sectorBytes != 0;
+    uint8_t sector_bit = 0xff;  // unsectored: every sector at once
+    if (sectored) {
+        panic_if(line % geom_.sectorBytes != 0,
+                 "unaligned sector address %llx",
+                 static_cast<unsigned long long>(line));
+        const uint32_t sector = static_cast<uint32_t>(
+            line % geom_.lineBytes / geom_.sectorBytes);
+        sector_bit = static_cast<uint8_t>(1u << sector);
+        line -= line % geom_.lineBytes;
+    } else {
+        panic_if(line % geom_.lineBytes != 0, "unaligned line address %llx",
+                 static_cast<unsigned long long>(line));
+    }
+    ++fills_;
+    const Addr tag = line / geom_.lineBytes;
+    const uint32_t set = mapSet(line, stream);
+
+    CacheFillResult res;
+    if (Line *resident = findLine(set, tag)) {
+        // Tag installed at miss time (or by a racing access) is still
+        // resident: validate the sector in place. Recency belongs to the
+        // demand access, so LRU is deliberately left alone.
+        res.wasPresent = true;
+        resident->validSectors |= sector_bit;
+        resident->dirty = resident->dirty || write;
+        return res;
+    }
+
+    // Interim eviction: the tag was displaced between miss and fill.
+    // Re-install it, displacing at most one victim, reported once.
+    Line *base = &lines_[static_cast<size_t>(set) * geom_.ways];
+    Line *victim = nullptr;
+    for (uint32_t w = 0; w < geom_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+    }
+    if (victim == nullptr) {
+        victim = base;
+        for (uint32_t w = 1; w < geom_.ways; ++w) {
+            if (base[w].lastUse < victim->lastUse) {
+                victim = &base[w];
+            }
+        }
+        res.evicted = true;
+        res.evictedLine = victim->tag * geom_.lineBytes;
+        res.evictedDirty = victim->dirty;
+        res.evictedValidSectors = victim->validSectors;
     }
 
     victim->valid = true;
@@ -199,13 +274,48 @@ SetAssocCache::composition() const
 {
     CacheComposition comp;
     comp.totalLines = lines_.size();
-    for (const auto &l : lines_) {
-        if (l.valid) {
-            ++comp.validLines;
-            ++comp.byClass[static_cast<size_t>(l.cls)];
+    for (size_t i = 0; i < lines_.size(); ++i) {
+        const Line &l = lines_[i];
+        if (!l.valid) {
+            continue;
+        }
+        ++comp.validLines;
+        ++comp.byClass[static_cast<size_t>(l.cls)];
+        if (const SetWindow *w = windowFor(l.stream)) {
+            const uint32_t set = static_cast<uint32_t>(i / geom_.ways);
+            if (set < w->first || set >= w->first + w->count) {
+                ++comp.strandedLines;
+            }
         }
     }
     return comp;
+}
+
+uint64_t
+SetAssocCache::evictStreamOutsideWindow(StreamId stream,
+                                        std::vector<Addr> *dirty_lines)
+{
+    const SetWindow *w = windowFor(stream);
+    if (w == nullptr) {
+        return 0;
+    }
+    uint64_t evicted = 0;
+    for (size_t i = 0; i < lines_.size(); ++i) {
+        Line &l = lines_[i];
+        if (!l.valid || l.stream != stream) {
+            continue;
+        }
+        const uint32_t set = static_cast<uint32_t>(i / geom_.ways);
+        if (set >= w->first && set < w->first + w->count) {
+            continue;
+        }
+        if (l.dirty && dirty_lines != nullptr) {
+            dirty_lines->push_back(l.tag * geom_.lineBytes);
+        }
+        l = Line{};
+        ++evicted;
+    }
+    return evicted;
 }
 
 } // namespace crisp

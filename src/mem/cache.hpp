@@ -56,6 +56,34 @@ struct CacheAccessResult
     bool evicted = false;
     Addr evictedLine = 0;
     bool evictedDirty = false;
+    /**
+     * Sector-validity bitmap of the evicted line at eviction time. A
+     * partially filled sectored line writes back only its valid sectors,
+     * so writeback accounting needs the bitmap, not just the dirty bit.
+     */
+    uint8_t evictedValidSectors = 0;
+};
+
+/**
+ * Outcome of a fill-time install (SetAssocCache::fill). Fills are data
+ * returns for a tag that was (usually) installed at miss time, so they are
+ * not demand accesses and never count toward accesses()/hits().
+ */
+struct CacheFillResult
+{
+    /**
+     * The tag was still resident (the common case: installed at miss time
+     * and not displaced since). The fill validates the sector in place.
+     */
+    bool wasPresent = false;
+    /**
+     * The tag had been evicted between miss and fill ("interim eviction")
+     * and the re-install displaced a valid victim.
+     */
+    bool evicted = false;
+    Addr evictedLine = 0;
+    bool evictedDirty = false;
+    uint8_t evictedValidSectors = 0;
 };
 
 /** Per-class line occupancy snapshot (L2 composition, Figs 11/15). */
@@ -65,6 +93,15 @@ struct CacheComposition
     std::array<uint64_t, static_cast<size_t>(DataClass::NumClasses)> byClass{};
     uint64_t validLines = 0;
     uint64_t totalLines = 0;
+    /**
+     * Valid lines whose owning stream has a set window that no longer
+     * covers the line's set (a TAP repartition shrank the window after the
+     * line was installed). mapSet only returns in-window sets, so the
+     * stream can never hit these lines again; they are dead capacity held
+     * against the stream. Stranded lines are still counted in byClass /
+     * validLines — this field reports the overlap separately.
+     */
+    uint64_t strandedLines = 0;
 
     /** Share of *valid* lines holding class @p c (composition plots). */
     double fraction(DataClass c) const
@@ -114,6 +151,22 @@ class SetAssocCache
     CacheAccessResult access(Addr line, bool write, StreamId stream,
                              DataClass cls, bool allocate_on_miss = true);
 
+    /**
+     * Complete an outstanding miss: validate the line/sector without
+     * counting a demand access. Unlike access(), fill() never touches
+     * accesses_/hits_ (fills are data returns, not probes) and does not
+     * refresh LRU when the tag is already resident — recency was claimed
+     * by the demand access at miss time. If the tag was evicted between
+     * miss and fill, the line is re-installed (victim: first invalid way,
+     * else true LRU) and the eviction is reported exactly once in the
+     * result so the caller can account the writeback deterministically.
+     */
+    CacheFillResult fill(Addr line, bool write, StreamId stream,
+                         DataClass cls);
+
+    /** Fill-time installs/refreshes completed (see fill()). */
+    uint64_t fills() const { return fills_; }
+
     /** Sector misses observed (sectored geometries only). */
     uint64_t sectorMisses() const { return sectorMisses_; }
 
@@ -135,6 +188,17 @@ class SetAssocCache
 
     /** Remove all set windows (fully shared cache). */
     void clearSetWindows();
+
+    /**
+     * Evict @p stream's valid lines living in sets outside the stream's
+     * current set window (stranded by a window shrink; see
+     * CacheComposition::strandedLines). Dirty victims are appended to
+     * @p dirty_lines (when non-null) so the caller can account their
+     * writebacks. Returns the number of lines evicted. No-op when the
+     * stream has no window.
+     */
+    uint64_t evictStreamOutsideWindow(StreamId stream,
+                                      std::vector<Addr> *dirty_lines);
 
     /** Occupancy snapshot for composition plots. */
     CacheComposition composition() const;
@@ -171,6 +235,7 @@ class SetAssocCache
     };
 
     uint32_t mapSet(Addr line, StreamId stream) const;
+    const SetWindow *windowFor(StreamId stream) const;
     Line *findLine(uint32_t set, Addr tag);
     const Line *findLine(uint32_t set, Addr tag) const;
     uint32_t lruPosition(uint32_t set, const Line *line) const;
@@ -182,6 +247,7 @@ class SetAssocCache
     uint64_t accesses_ = 0;
     uint64_t hits_ = 0;
     uint64_t sectorMisses_ = 0;
+    uint64_t fills_ = 0;
 };
 
 } // namespace crisp

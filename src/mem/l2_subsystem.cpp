@@ -177,11 +177,19 @@ L2Subsystem::step(Cycle now)
                 continue;
             }
         }
+        // The tag was installed by access() at miss time; completing the
+        // fill is not a demand access, so it must not perturb the bank's
+        // hit/access counters (that double-count made a pure-miss stream
+        // read ~50% bank hit rate). fill() validates the line in place,
+        // or — if the tag was evicted between miss and fill — re-installs
+        // it, reporting the single interim-eviction victim.
         auto &bank = banks_[pf.bank];
-        auto res = bank.access(pf.req.line, pf.req.write, pf.req.stream,
-                               pf.req.dataClass);
+        const auto res = bank.fill(pf.req.line, pf.req.write, pf.req.stream,
+                                   pf.req.dataClass);
+        ++fillsCompleted_;
         if (res.evicted && res.evictedDirty) {
-            // Dirty writeback consumes DRAM write bandwidth.
+            // Dirty writeback consumes DRAM write bandwidth, charged to
+            // the filling stream exactly once.
             dram_.service(ready, kLineBytes, res.evictedLine);
             stats_->stream(pf.req.stream).dramWrites++;
         }
@@ -220,6 +228,8 @@ L2Subsystem::step(Cycle now)
                 continue;   // retry next cycle
             }
             st.l2Accesses++;
+            st.l2MshrMerges++;
+            ++mergedAccesses_;
             if (onAccess_) {
                 onAccess_(req.stream, req.line, false, 0);
             }
@@ -466,6 +476,7 @@ L2Subsystem::composition() const
         const CacheComposition c = bank.composition();
         total.validLines += c.validLines;
         total.totalLines += c.totalLines;
+        total.strandedLines += c.strandedLines;
         for (size_t i = 0; i < c.byClass.size(); ++i) {
             total.byClass[i] += c.byClass[i];
         }
@@ -476,11 +487,63 @@ L2Subsystem::composition() const
 uint64_t
 L2Subsystem::accesses() const
 {
+    return tagAccesses() + mergedAccesses_;
+}
+
+uint64_t
+L2Subsystem::tagAccesses() const
+{
     uint64_t total = 0;
     for (const auto &bank : banks_) {
         total += bank.accesses();
     }
     return total;
+}
+
+uint64_t
+L2Subsystem::mshrPrimaryAllocations() const
+{
+    uint64_t total = 0;
+    for (const auto &mshr : mshrs_) {
+        total += mshr.primaryAllocations();
+    }
+    return total;
+}
+
+uint64_t
+L2Subsystem::mshrFillsServed() const
+{
+    uint64_t total = 0;
+    for (const auto &mshr : mshrs_) {
+        total += mshr.fillsServed();
+    }
+    return total;
+}
+
+void
+L2Subsystem::countQueuedByStream(std::map<StreamId, uint64_t> &out) const
+{
+    for (const auto &q : bankQueues_) {
+        for (const auto &req : q) {
+            ++out[req.stream];
+        }
+    }
+}
+
+uint64_t
+L2Subsystem::evictStrandedLines(StreamId stream, Cycle now)
+{
+    uint64_t evicted = 0;
+    std::vector<Addr> dirty;
+    for (auto &bank : banks_) {
+        dirty.clear();
+        evicted += bank.evictStreamOutsideWindow(stream, &dirty);
+        for (Addr line : dirty) {
+            dram_.service(now, kLineBytes, line);
+            stats_->stream(stream).dramWrites++;
+        }
+    }
+    return evicted;
 }
 
 uint64_t

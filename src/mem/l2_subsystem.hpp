@@ -118,6 +118,14 @@ class L2Subsystem
     void clearSetWindows();
 
     /**
+     * Evict @p stream's lines stranded outside its current set window in
+     * every bank (TAP evict-on-shrink). Dirty victims consume DRAM write
+     * bandwidth at cycle @p now and are charged to the stream's
+     * dramWrites. Returns the number of lines evicted.
+     */
+    uint64_t evictStrandedLines(StreamId stream, Cycle now);
+
+    /**
      * Attach a fault-injection hook (not owned; nullptr detaches). The hook
      * is consulted when DRAM fills return and when responses are delivered.
      */
@@ -184,9 +192,36 @@ class L2Subsystem
     /** Aggregate composition across banks (Figs 11 and 15). */
     CacheComposition composition() const;
 
+    /**
+     * Demand accesses the subsystem served. Tag-array probes plus
+     * MSHR-merged accesses (which consume a bank slot but never touch the
+     * tag array), so this matches the per-stream l2Accesses sum and
+     * hitRate() agrees with StreamStats::l2HitRate(). Fill-time installs
+     * are not accesses and are excluded (see SetAssocCache::fill).
+     */
     uint64_t accesses() const;
     uint64_t hits() const;
     double hitRate() const;
+
+    /** Tag-array probes only (accesses() minus MSHR merges). */
+    uint64_t tagAccesses() const;
+    /** Accesses merged into a pending MSHR fill instead of probing tags. */
+    uint64_t mergedAccesses() const { return mergedAccesses_; }
+    /** DRAM fills installed into the banks (cumulative). Conservation:
+     *  sum of per-stream dramReads == fillsCompleted() + pendingFills. */
+    uint64_t fillsCompleted() const { return fillsCompleted_; }
+    /** Cumulative primary MSHR allocations across banks. */
+    uint64_t mshrPrimaryAllocations() const;
+    /** Cumulative MSHR fills across banks. */
+    uint64_t mshrFillsServed() const;
+
+    /**
+     * Add each request currently sitting in a bank queue (submitted but
+     * not yet counted as an l2Access) to @p out[stream]. The audit uses
+     * this to balance per-stream L1 misses against L2 accesses at a cycle
+     * boundary.
+     */
+    void countQueuedByStream(std::map<StreamId, uint64_t> &out) const;
     double dramBusyCycles() const;
     uint64_t dramRequests() const;
 
@@ -220,6 +255,10 @@ class L2Subsystem
     /** Reads currently in bank queues (kept incrementally: inFlight() is
      *  called every watchdog tick and must not walk the queues). */
     uint64_t queuedReads_ = 0;
+    /** Accesses merged into pending MSHR fills (no tag probe). */
+    uint64_t mergedAccesses_ = 0;
+    /** DRAM fills installed into banks. */
+    uint64_t fillsCompleted_ = 0;
 
     std::vector<SetAssocCache> banks_;
     std::vector<std::deque<MemRequest>> bankQueues_;

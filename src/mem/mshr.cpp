@@ -26,6 +26,7 @@ Mshr::allocate(Addr line, uint64_t key, Cycle now)
         if (key != kVoidKey) {
             ++responseTargets_;
         }
+        ++mergedAllocations_;
         return Outcome::Merged;
     }
     if (table_.size() >= numEntries_) {
@@ -39,6 +40,7 @@ Mshr::allocate(Addr line, uint64_t key, Cycle now)
     if (key != kVoidKey) {
         ++responseTargets_;
     }
+    ++primaryAllocations_;
     return Outcome::NewEntry;
 }
 
@@ -73,6 +75,7 @@ Mshr::fill(Addr line)
         }
     }
     table_.erase(it);
+    ++fillsServed_;
     // Prune resolved allocations from the age-order queue so it stays
     // bounded even when oldestAllocation() is never called.
     while (!allocationOrder_.empty()) {

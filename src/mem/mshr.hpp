@@ -77,6 +77,14 @@ class Mshr
     /** Outstanding targets that expect a response (key != kVoidKey). */
     uint64_t responseTargets() const { return responseTargets_; }
 
+    /** Cumulative primary allocations (NewEntry outcomes). */
+    uint64_t primaryAllocations() const { return primaryAllocations_; }
+    /** Cumulative secondary allocations merged into a pending line. */
+    uint64_t mergedAllocations() const { return mergedAllocations_; }
+    /** Cumulative fills that resolved a pending line. Conservation:
+     *  primaryAllocations() == fillsServed() + entriesInUse(). */
+    uint64_t fillsServed() const { return fillsServed_; }
+
     /** Introspection snapshot of one outstanding entry. */
     struct EntryInfo
     {
@@ -106,6 +114,9 @@ class Mshr
     uint32_t numEntries_;
     uint32_t maxTargets_;
     uint64_t responseTargets_ = 0;
+    uint64_t primaryAllocations_ = 0;
+    uint64_t mergedAllocations_ = 0;
+    uint64_t fillsServed_ = 0;
     std::unordered_map<Addr, Entry> table_;
     /**
      * Primary allocations in time order; filled entries are pruned lazily

@@ -132,6 +132,67 @@ TEST(Histogram, EmptyIsSane)
     EXPECT_EQ(h.maxValue(), 0u);
 }
 
+TEST(Histogram, SelfConsistentAfterAddsAndMerge)
+{
+    Histogram h(4);
+    EXPECT_TRUE(h.selfConsistent());
+    h.add(1);
+    h.add(100); // clamps into the overflow bucket but still counts once
+    EXPECT_TRUE(h.selfConsistent());
+
+    Histogram other(4);
+    other.add(2);
+    h.merge(other);
+    EXPECT_TRUE(h.selfConsistent());
+    EXPECT_EQ(h.totalSamples(), 3u);
+}
+
+TEST(StreamStatsAbsorb, FirstCycleKeepsEarliestSetValue)
+{
+    // Shadow deltas from the parallel cycle engine can arrive out of
+    // order: an SM that launched its first CTA later may reach the merge
+    // barrier first. firstCycle must end up as the minimum over *set*
+    // (non-zero) values, regardless of absorb order.
+    StreamStats s;
+    StreamStats late;
+    late.firstCycle = 100;
+    late.lastCycle = 120;
+    s.absorb(late);
+    EXPECT_EQ(s.firstCycle, 100u);
+
+    StreamStats early;
+    early.firstCycle = 50;
+    early.lastCycle = 60;
+    s.absorb(early);
+    EXPECT_EQ(s.firstCycle, 50u); // earlier mark wins even when absorbed second
+    EXPECT_EQ(s.lastCycle, 120u);
+
+    StreamStats unset; // 0 == unset, must not clobber a real mark
+    s.absorb(unset);
+    EXPECT_EQ(s.firstCycle, 50u);
+
+    StreamStats s2;
+    StreamStats only;
+    only.firstCycle = 70;
+    s2.absorb(only);
+    EXPECT_EQ(s2.firstCycle, 70u); // empty accumulator adopts the first mark
+}
+
+TEST(StreamStatsAbsorb, CountersAndMergesAdd)
+{
+    StreamStats s;
+    s.l1MshrMerges = 2;
+    s.l2MshrMerges = 3;
+    StreamStats d;
+    d.l1MshrMerges = 5;
+    d.l2MshrMerges = 7;
+    d.l1Accesses = 11;
+    s.absorb(d);
+    EXPECT_EQ(s.l1MshrMerges, 7u);
+    EXPECT_EQ(s.l2MshrMerges, 10u);
+    EXPECT_EQ(s.l1Accesses, 11u);
+}
+
 TEST(Metrics, PearsonPerfectCorrelation)
 {
     std::vector<double> xs = {1, 2, 3, 4, 5};

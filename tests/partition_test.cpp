@@ -215,5 +215,60 @@ TEST(TapTest, SetWindowsActuallyConfineStreams)
     EXPECT_LE(l2.composition().validLines, 2u);
 }
 
+TEST(TapTest, ShrinkStrandsLinesAndEvictionWritesBackDirty)
+{
+    // Pins the stranded-line semantics: lines installed under a wide set
+    // window stay resident after the window shrinks (new fills simply
+    // can't reach them), composition() reports them as stranded, and
+    // evictStrandedLines() flushes them with exactly one DRAM writeback
+    // per dirty line.
+    L2Config cfg;
+    cfg.numBanks = 1;
+    cfg.bankGeometry = {16 * kLineBytes, 2, kLineBytes}; // 8 sets x 2
+    StatsRegistry stats;
+    L2Subsystem l2(cfg, &stats);
+    l2.setResponseHandler([](const MemRequest &) {});
+    l2.setStreamSetWindow(2, 0, 8);
+
+    Cycle now = 0;
+    auto touch = [&](StreamId s, Addr line, bool write) {
+        MemRequest req;
+        req.line = line;
+        req.stream = s;
+        req.write = write;
+        req.completionKey = line;
+        while (!l2.submit(req, now)) {
+            ++now;
+            l2.step(now);
+        }
+        for (int i = 0; i < 600; ++i) {
+            ++now;
+            l2.step(now);
+        }
+    };
+    // Four lines landing in sets 0..3; the one in set 1 is dirty.
+    for (int i = 0; i < 4; ++i) {
+        touch(2, static_cast<Addr>(i) * kLineBytes, i == 1);
+    }
+    ASSERT_EQ(l2.composition().validLines, 4u);
+    EXPECT_EQ(l2.composition().strandedLines, 0u);
+
+    // Shrink the stream to the last set: all four lines are now outside
+    // the window. They are still valid (stranded counts overlap
+    // validLines, it does not subtract from it).
+    l2.setStreamSetWindow(2, 7, 1);
+    EXPECT_EQ(l2.composition().strandedLines, 4u);
+    EXPECT_EQ(l2.composition().validLines, 4u);
+
+    const uint64_t before_writes = stats.stream(2).dramWrites;
+    EXPECT_EQ(l2.evictStrandedLines(2, now), 4u);
+    EXPECT_EQ(l2.composition().strandedLines, 0u);
+    EXPECT_EQ(l2.composition().validLines, 0u);
+    EXPECT_EQ(stats.stream(2).dramWrites, before_writes + 1);
+
+    // Idempotent: nothing left to evict.
+    EXPECT_EQ(l2.evictStrandedLines(2, now), 0u);
+}
+
 } // namespace
 } // namespace crisp

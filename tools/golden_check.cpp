@@ -1,0 +1,327 @@
+// golden_check: compare bench CSV outputs against checked-in goldens.
+//
+// Usage:
+//   golden_check [--goldens DIR] [--tolerances FILE] [--update] CSV...
+//
+// Each CSV is compared cell-by-cell against DIR/<basename>. Numeric cells
+// compare within a per-column relative tolerance (default 0: the simulator
+// is deterministic, so counters must match exactly); other cells compare
+// as strings. --update copies the current CSVs over the goldens instead,
+// which is how an intentional accounting change lands: the refreshed
+// goldens appear in the same diff as the change that moved them.
+//
+// Exit status: 0 when every file matches, 1 on any drift (with a
+// per-column diff on stdout), 2 on usage/IO errors.
+//
+// Tolerance file format, one rule per line (# comments allowed):
+//   <csv-basename>,<column-name>,<relative-tolerance>
+// '*' wildcards the file or column. The most specific matching rule wins
+// (file+column > file+* > *+column > *,*).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+struct ToleranceRule
+{
+    std::string file;     // basename or "*"
+    std::string column;   // column name or "*"
+    double relTol = 0.0;
+};
+
+std::string
+basenameOf(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/** Parse one CSV record honoring Table::toCsv quoting (RFC 4180 style:
+ *  cells containing , " or newline are quoted, embedded quotes doubled).
+ *  Returns false at end of input. */
+bool
+readRecord(std::istream &in, std::vector<std::string> &cells)
+{
+    cells.clear();
+    std::string cell;
+    bool in_quotes = false;
+    bool saw_any = false;
+    int c;
+    while ((c = in.get()) != EOF) {
+        saw_any = true;
+        if (in_quotes) {
+            if (c == '"') {
+                if (in.peek() == '"') {
+                    cell.push_back('"');
+                    in.get();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cell.push_back(static_cast<char>(c));
+            }
+            continue;
+        }
+        if (c == '"' && cell.empty()) {
+            in_quotes = true;
+        } else if (c == ',') {
+            cells.push_back(cell);
+            cell.clear();
+        } else if (c == '\n') {
+            cells.push_back(cell);
+            return true;
+        } else if (c != '\r') {
+            cell.push_back(static_cast<char>(c));
+        }
+    }
+    if (saw_any) {
+        cells.push_back(cell);
+        return true;
+    }
+    return false;
+}
+
+bool
+loadCsv(const std::string &path, std::vector<std::vector<std::string>> &rows)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return false;
+    }
+    std::vector<std::string> cells;
+    while (readRecord(in, cells)) {
+        rows.push_back(cells);
+    }
+    return true;
+}
+
+bool
+parseNumber(const std::string &s, double &value)
+{
+    if (s.empty()) {
+        return false;
+    }
+    char *end = nullptr;
+    value = std::strtod(s.c_str(), &end);
+    return end == s.c_str() + s.size() && std::isfinite(value);
+}
+
+double
+toleranceFor(const std::vector<ToleranceRule> &rules,
+             const std::string &file, const std::string &column)
+{
+    // Most specific match wins; scan in ascending specificity so later
+    // assignments override earlier ones.
+    double tol = 0.0;
+    int best = -1;
+    for (const auto &r : rules) {
+        const bool fm = r.file == "*" || r.file == file;
+        const bool cm = r.column == "*" || r.column == column;
+        if (!fm || !cm) {
+            continue;
+        }
+        const int spec = (r.file != "*" ? 2 : 0) + (r.column != "*" ? 1 : 0);
+        if (spec > best) {
+            best = spec;
+            tol = r.relTol;
+        }
+    }
+    return tol;
+}
+
+bool
+loadTolerances(const std::string &path, std::vector<ToleranceRule> &rules)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return false;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        const size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#') {
+            continue;
+        }
+        std::stringstream ss(line);
+        ToleranceRule rule;
+        std::string tol;
+        if (!std::getline(ss, rule.file, ',') ||
+            !std::getline(ss, rule.column, ',') || !std::getline(ss, tol)) {
+            std::fprintf(stderr, "golden_check: bad tolerance line: %s\n",
+                         line.c_str());
+            return false;
+        }
+        rule.relTol = std::strtod(tol.c_str(), nullptr);
+        rules.push_back(rule);
+    }
+    return true;
+}
+
+bool
+copyFile(const std::string &from, const std::string &to)
+{
+    std::ifstream in(from, std::ios::binary);
+    std::ofstream out(to, std::ios::binary);
+    if (!in || !out) {
+        return false;
+    }
+    out << in.rdbuf();
+    return static_cast<bool>(out);
+}
+
+/** Compare one CSV against its golden; prints per-column diffs. */
+bool
+compareFile(const std::string &csv, const std::string &golden,
+            const std::vector<ToleranceRule> &rules, uint64_t &diffs)
+{
+    const std::string base = basenameOf(csv);
+    std::vector<std::vector<std::string>> cur, gold;
+    if (!loadCsv(csv, cur)) {
+        std::printf("%s: cannot read current output\n", csv.c_str());
+        ++diffs;
+        return false;
+    }
+    if (!loadCsv(golden, gold)) {
+        std::printf("%s: no golden at %s (run with --update to bless)\n",
+                    base.c_str(), golden.c_str());
+        ++diffs;
+        return false;
+    }
+    bool ok = true;
+    if (cur.size() != gold.size()) {
+        std::printf("%s: row count %zu != golden %zu\n", base.c_str(),
+                    cur.size(), gold.size());
+        ++diffs;
+        ok = false;
+    }
+    const std::vector<std::string> &header =
+        gold.empty() ? std::vector<std::string>{} : gold[0];
+    const size_t rows = std::min(cur.size(), gold.size());
+    for (size_t r = 0; r < rows; ++r) {
+        if (cur[r].size() != gold[r].size()) {
+            std::printf("%s: row %zu has %zu cells, golden has %zu\n",
+                        base.c_str(), r, cur[r].size(), gold[r].size());
+            ++diffs;
+            ok = false;
+            continue;
+        }
+        for (size_t c = 0; c < cur[r].size(); ++c) {
+            const std::string &a = cur[r][c];
+            const std::string &b = gold[r][c];
+            if (a == b) {
+                continue;
+            }
+            const std::string col =
+                c < header.size() ? header[c] : std::to_string(c);
+            double va = 0.0;
+            double vb = 0.0;
+            if (r > 0 && parseNumber(a, va) && parseNumber(b, vb)) {
+                const double tol = toleranceFor(rules, base, col);
+                const double scale =
+                    std::max({std::fabs(va), std::fabs(vb), 1.0});
+                const double rel = std::fabs(va - vb) / scale;
+                if (rel <= tol) {
+                    continue;
+                }
+                std::printf("%s: row %zu column \"%s\": current %s vs "
+                            "golden %s (rel err %.4g > tol %.4g)\n",
+                            base.c_str(), r, col.c_str(), a.c_str(),
+                            b.c_str(), rel, tol);
+            } else {
+                std::printf("%s: row %zu column \"%s\": current \"%s\" vs "
+                            "golden \"%s\"\n",
+                            base.c_str(), r, col.c_str(), a.c_str(),
+                            b.c_str());
+            }
+            ++diffs;
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string goldens_dir = "goldens";
+    std::string tolerances_path;
+    bool update = false;
+    std::vector<std::string> csvs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--goldens" && i + 1 < argc) {
+            goldens_dir = argv[++i];
+        } else if (arg == "--tolerances" && i + 1 < argc) {
+            tolerances_path = argv[++i];
+        } else if (arg == "--update") {
+            update = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: golden_check [--goldens DIR] "
+                        "[--tolerances FILE] [--update] CSV...\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "golden_check: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            csvs.push_back(arg);
+        }
+    }
+    if (csvs.empty()) {
+        std::fprintf(stderr, "golden_check: no CSV files given\n");
+        return 2;
+    }
+
+    std::vector<ToleranceRule> rules;
+    if (!tolerances_path.empty() &&
+        !loadTolerances(tolerances_path, rules)) {
+        std::fprintf(stderr, "golden_check: cannot read tolerances %s\n",
+                     tolerances_path.c_str());
+        return 2;
+    }
+
+    if (update) {
+        for (const auto &csv : csvs) {
+            const std::string golden =
+                goldens_dir + "/" + basenameOf(csv);
+            if (!copyFile(csv, golden)) {
+                std::fprintf(stderr, "golden_check: cannot update %s\n",
+                             golden.c_str());
+                return 2;
+            }
+            std::printf("updated %s\n", golden.c_str());
+        }
+        return 0;
+    }
+
+    uint64_t diffs = 0;
+    uint64_t failed_files = 0;
+    for (const auto &csv : csvs) {
+        const std::string golden = goldens_dir + "/" + basenameOf(csv);
+        if (!compareFile(csv, golden, rules, diffs)) {
+            ++failed_files;
+        }
+    }
+    if (failed_files != 0) {
+        std::printf("golden_check: %llu difference(s) in %llu of %zu "
+                    "file(s)\n",
+                    static_cast<unsigned long long>(diffs),
+                    static_cast<unsigned long long>(failed_files),
+                    csvs.size());
+        return 1;
+    }
+    std::printf("golden_check: %zu file(s) match\n", csvs.size());
+    return 0;
+}

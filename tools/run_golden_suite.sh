@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Run every CSV-producing fig/table bench from the repository root and
+# compare the outputs against the checked-in goldens (goldens/*.csv).
+#
+# Usage:
+#   tools/run_golden_suite.sh BUILD_DIR            # check against goldens
+#   tools/run_golden_suite.sh BUILD_DIR --update   # bless current outputs
+#
+# The check writes the per-column diff to golden_diff.txt (CI uploads it
+# as an artifact on failure). Benches run with the counter audit enabled
+# at its default cadence (see bench_util.hpp), so a conservation
+# violation fails the suite even before the CSV diff does.
+set -uo pipefail
+
+BUILD=${1:?usage: tools/run_golden_suite.sh BUILD_DIR [--update]}
+MODE=${2:-}
+cd "$(dirname "$0")/.."
+
+BENCHES=(
+    table2_configs
+    fig3_vertex_invocations
+    fig6_frametime_correlation
+    fig6b_pcie_anomaly
+    fig9_l1tex_lod
+    fig10_texlines_histogram
+    fig11_l2_composition
+    fig12_warped_slicer
+    fig13_occupancy_timeline
+    fig14_tap
+    fig15_tap_l2_composition
+    ablation_pipeline
+    ablation_memory
+)
+
+CSVS=(
+    table2_configs.csv
+    fig3_vertex_invocations.csv
+    fig3_batch_sweep.csv
+    fig6_frametime.csv
+    fig6b_pcie.csv
+    fig9_l1tex.csv
+    fig10_texlines.csv
+    fig11a_pistol.csv
+    fig11b_sponza.csv
+    fig12_warped_slicer.csv
+    fig13_occupancy.csv
+    fig14_tap.csv
+    fig15_tap_l2.csv
+    ablation_batching.csv
+    ablation_overlap.csv
+    ablation_lod.csv
+    ablation_l1.csv
+    ablation_l2bw.csv
+    ablation_mshr.csv
+    ablation_sectors.csv
+)
+
+status=0
+for b in "${BENCHES[@]}"; do
+    echo "== ${b}"
+    if ! "${BUILD}/bench/${b}" > /dev/null; then
+        echo "bench ${b} exited nonzero" >&2
+        status=1
+    fi
+done
+
+if [ "${MODE}" = "--update" ]; then
+    "${BUILD}/tools/golden_check" --goldens goldens --update "${CSVS[@]}" \
+        || status=1
+else
+    "${BUILD}/tools/golden_check" --goldens goldens \
+        --tolerances goldens/tolerances.csv "${CSVS[@]}" \
+        | tee golden_diff.txt
+    [ "${PIPESTATUS[0]}" -ne 0 ] && status=1
+fi
+
+exit "${status}"
