@@ -66,10 +66,9 @@ main()
                    Table::num(100 * r.l1Hit, 1),
                    Table::num(100 * r.l2Hit, 1)});
     }
-    std::printf("%s", t1.toText().c_str());
+    t1.emit("ablation_l1.csv");
     std::printf("the unified L1 doubles as the texture cache; shrinking "
                 "it pushes texture reuse out to the L2 (§III).\n\n");
-    t1.writeCsv("ablation_l1.csv");
 
     // --- 2. L2 slice bandwidth sweep ------------------------------------
     std::printf("2) L2 bank bandwidth (SPH):\n");
@@ -87,10 +86,9 @@ main()
                                      2)
                         : "-"});
     }
-    std::printf("%s", t2.toText().c_str());
+    t2.emit("ablation_l2bw.csv");
     std::printf("halving per-stream bank count under MiG is equivalent "
                 "to halving this bandwidth — the Fig 14 slowdown.\n\n");
-    t2.writeCsv("ablation_l2bw.csv");
 
     // --- 3. L1 MSHR sweep -------------------------------------------------
     std::printf("3) L1 MSHR entries (SPH):\n");
@@ -101,10 +99,9 @@ main()
         const auto r = timeFrame(scene, cfg);
         t3.addRow({std::to_string(entries), std::to_string(r.cycles)});
     }
-    std::printf("%s", t3.toText().c_str());
+    t3.emit("ablation_mshr.csv");
     std::printf("few MSHRs serialize texture misses and destroy the "
                 "memory-level parallelism the warp scheduler exposes.\n");
-    t3.writeCsv("ablation_mshr.csv");
 
     // --- 4. Sectored vs unsectored L1 (texture traffic study) ------------
     std::printf("4) sectored cache fill traffic (SPL texture stream):\n");
@@ -158,12 +155,11 @@ main()
         t4.addRow({"sectored (32 B fills)", std::to_string(bytes_sect),
                    Table::num(static_cast<double>(bytes_sect) /
                                   std::max<uint64_t>(1, bytes_full), 2)});
-        std::printf("%s", t4.toText().c_str());
+        t4.emit("ablation_sectors.csv");
         std::printf("(%llu coalesced texture line-accesses replayed; "
                     "sectoring trades fill bandwidth for extra sector "
                     "misses, the Accel-Sim Ampere cache organization)\n",
                     static_cast<unsigned long long>(accesses));
-        t4.writeCsv("ablation_sectors.csv");
     }
     return 0;
 }

@@ -81,11 +81,10 @@ main()
                                            base96, 2)
                           : "-"});
     }
-    std::printf("%s", t1.toText().c_str());
+    t1.emit("ablation_batching.csv");
     std::printf("a no-dedup distributor inflates vertex work; a global "
                 "vertex cache (Teapot-style) underestimates it — the "
                 "batch model sits between, matching hardware (Fig 3).\n\n");
-    t1.writeCsv("ablation_batching.csv");
 
     // --- 2. Drawcall overlap --------------------------------------------
     std::printf("2) drawcall overlap (ITR pipelining):\n");
@@ -99,11 +98,10 @@ main()
                    std::to_string(overlap),
                    Table::num(static_cast<double>(serial) / overlap, 2)});
     }
-    std::printf("%s", t2.toText().c_str());
+    t2.emit("ablation_overlap.csv");
     std::printf("serializing at drawcall boundaries drains the machine "
                 "between kernels; ITR-style overlap recovers the bubbles."
                 "\n\n");
-    t2.writeCsv("ablation_overlap.csv");
 
     // --- 3. Mipmapping's timing impact ----------------------------------
     std::printf("3) mipmapped texturing (LoD):\n");
@@ -118,10 +116,9 @@ main()
         t3.addRow({name, std::to_string(on_c), std::to_string(off_c),
                    Table::num(static_cast<double>(off_c) / on_c, 2)});
     }
-    std::printf("%s", t3.toText().c_str());
+    t3.emit("ablation_lod.csv");
     std::printf("without LoD the texture units fetch level-0 footprints: "
                 "more lines per access, more L1 misses, slower frames — "
                 "the timing-side counterpart of Fig 9.\n");
-    t3.writeCsv("ablation_lod.csv");
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "bench_util.hpp"
 #include "engine/engine_config.hpp"
+#include "workloads/cached.hpp"
 
 namespace crisp::bench
 {
@@ -33,25 +34,35 @@ bigGpu()
     return cfg;
 }
 
-/** Compute-heavy workload: enough CTAs to keep all 16 SMs busy. */
+/** Compute-heavy workload: enough CTAs to keep all 16 SMs busy. Routed
+ *  through the trace cache (CRISP_TRACE_CACHE) so the bench can report
+ *  generation vs replay build cost. */
 std::vector<KernelInfo>
-buildWorkload(AddressSpace &heap)
+buildWorkload(AddressSpace &heap, bool *cache_hit)
 {
-    std::vector<KernelInfo> kernels;
-    for (int i = 0; i < 4; ++i) {
-        ComputeKernelDesc d;
-        d.name = "dense" + std::to_string(i);
-        d.ctas = 256;
-        d.threadsPerCta = 256;
-        d.regsPerThread = 48;
-        d.iterations = 8;
-        d.fp32Ops = 24;
-        d.intOps = 8;
-        d.loads = {{MemPatternKind::Broadcast, heap.alloc(1 << 16),
-                    1 << 16, 4, 2, 128}};
-        kernels.push_back(buildComputeKernel(d));
-    }
-    return kernels;
+    const std::string key = computeCacheKey(
+        "engine_dense", "k=4/ctas=256/tpc=256/regs=48/iter=8/fp32=24/int=8",
+        heap.allocatedEnd());
+    return traceCache().loadOrBuild(
+        key, heap,
+        [](AddressSpace &h) {
+            std::vector<KernelInfo> kernels;
+            for (int i = 0; i < 4; ++i) {
+                ComputeKernelDesc d;
+                d.name = "dense" + std::to_string(i);
+                d.ctas = 256;
+                d.threadsPerCta = 256;
+                d.regsPerThread = 48;
+                d.iterations = 8;
+                d.fp32Ops = 24;
+                d.intOps = 8;
+                d.loads = {{MemPatternKind::Broadcast, h.alloc(1 << 16),
+                            1 << 16, 4, 2, 128}};
+                kernels.push_back(buildComputeKernel(d));
+            }
+            return kernels;
+        },
+        cache_hit);
 }
 
 std::string
@@ -72,19 +83,28 @@ struct Measurement
     Cycle cycles = 0;
     double wallSec = 0.0;
     double cyclesPerSec = 0.0;
+    /** Wall-clock cost of obtaining the workload (generate or replay). */
+    double buildSec = 0.0;
+    bool cacheHit = false;
     std::string fingerprint;
 };
 
 Measurement
 measure(uint32_t threads)
 {
+    Measurement m;
     AddressSpace heap(0x8000'0000ull);
     Gpu gpu(bigGpu());
     engine::EngineConfig ec;
     ec.threads = threads;
     gpu.setEngine(ec);
     const StreamId s = gpu.createStream("compute");
-    for (const KernelInfo &k : buildWorkload(heap)) {
+    const auto b0 = std::chrono::steady_clock::now();
+    const std::vector<KernelInfo> kernels = buildWorkload(heap, &m.cacheHit);
+    m.buildSec = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - b0)
+                     .count();
+    for (const KernelInfo &k : kernels) {
         gpu.enqueueKernel(s, k);
     }
 
@@ -93,7 +113,6 @@ measure(uint32_t threads)
     const auto t1 = std::chrono::steady_clock::now();
     fatal_if(!r.completed, "engine bench workload did not drain");
 
-    Measurement m;
     m.threads = threads;
     m.cycles = r.cycles;
     m.wallSec = std::chrono::duration<double>(t1 - t0).count();
@@ -124,10 +143,11 @@ main()
         runs.push_back(measure(threads));
         const Measurement &m = runs.back();
         std::printf("threads=%u  cycles=%llu  wall=%.3fs  "
-                    "%.3fM cycles/s  speedup=%.2fx\n",
+                    "%.3fM cycles/s  speedup=%.2fx  build=%.3fs (%s)\n",
                     m.threads, static_cast<unsigned long long>(m.cycles),
                     m.wallSec, m.cyclesPerSec / 1e6,
-                    m.cyclesPerSec / runs.front().cyclesPerSec);
+                    m.cyclesPerSec / runs.front().cyclesPerSec, m.buildSec,
+                    m.cacheHit ? "trace replay" : "generated");
     }
 
     bool deterministic = true;
@@ -140,6 +160,20 @@ main()
     std::printf("\ndeterministic across thread counts: %s\n",
                 deterministic ? "yes" : "NO");
 
+    // Generation vs replay build cost: the first cold run generates the
+    // workload (and populates the cache when CRISP_TRACE_CACHE is set);
+    // any cache-hit run replays the packed trace instead.
+    double generation_sec = -1.0;
+    double replay_sec = -1.0;
+    for (const Measurement &m : runs) {
+        if (!m.cacheHit && generation_sec < 0) {
+            generation_sec = m.buildSec;
+        }
+        if (m.cacheHit && replay_sec < 0) {
+            replay_sec = m.buildSec;
+        }
+    }
+
     FILE *f = std::fopen("BENCH_engine_throughput.json", "w");
     fatal_if(f == nullptr, "cannot write BENCH_engine_throughput.json");
     std::fprintf(f, "{\n  \"bench\": \"engine_throughput\",\n");
@@ -147,16 +181,27 @@ main()
     std::fprintf(f, "  \"host_cores\": %u,\n", cores);
     std::fprintf(f, "  \"deterministic\": %s,\n",
                  deterministic ? "true" : "false");
+    std::fprintf(f, "  \"trace_cache_enabled\": %s,\n",
+                 traceCache().enabled() ? "true" : "false");
+    if (generation_sec >= 0) {
+        std::fprintf(f, "  \"generation_wall_sec\": %.6f,\n",
+                     generation_sec);
+    }
+    if (replay_sec >= 0) {
+        std::fprintf(f, "  \"replay_wall_sec\": %.6f,\n", replay_sec);
+    }
     std::fprintf(f, "  \"runs\": [\n");
     for (size_t i = 0; i < runs.size(); ++i) {
         const Measurement &m = runs[i];
         std::fprintf(f,
                      "    {\"threads\": %u, \"cycles\": %llu, "
                      "\"wall_sec\": %.6f, \"cycles_per_sec\": %.1f, "
-                     "\"speedup\": %.3f}%s\n",
+                     "\"speedup\": %.3f, \"trace_cache_hit\": %s, "
+                     "\"build_wall_sec\": %.6f}%s\n",
                      m.threads, static_cast<unsigned long long>(m.cycles),
                      m.wallSec, m.cyclesPerSec,
                      m.cyclesPerSec / runs.front().cyclesPerSec,
+                     m.cacheHit ? "true" : "false", m.buildSec,
                      i + 1 < runs.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

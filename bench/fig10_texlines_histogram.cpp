@@ -50,8 +50,7 @@ main()
         t.addRow({std::to_string(b),
                   std::to_string(hist.count(b)) + "  " + bar});
     }
-    std::printf("%s\n", t.toText().c_str());
-    t.writeCsv("fig10_texlines.csv");
+    t.emit("fig10_texlines.csv");
     std::printf("mode: %llu lines, mean: %.2f\n",
                 static_cast<unsigned long long>(hist.modeBucket()),
                 hist.mean());

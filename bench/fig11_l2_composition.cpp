@@ -71,8 +71,7 @@ main()
                    Table::num(100 * pts.values("l2.comp.pipeline")[i], 1),
                    Table::num(100 * pts.values("l2.hitRate")[i], 1)});
     }
-    std::printf("%s\n", ta.toText().c_str());
-    ta.writeCsv("fig11a_pistol.csv");
+    ta.emit("fig11a_pistol.csv");
 
     std::printf("(b) Sponza (basic shading) composition over time:\n");
     Table tb({"cycle", "texture%", "pipeline%", "L2 hit%"});
@@ -84,8 +83,7 @@ main()
                    Table::num(100 * sps.values("l2.comp.pipeline")[i], 1),
                    Table::num(100 * sps.values("l2.hitRate")[i], 1)});
     }
-    std::printf("%s\n", tb.toText().c_str());
-    tb.writeCsv("fig11b_sponza.csv");
+    tb.emit("fig11b_sponza.csv");
 
     const double pt_avg = seriesMean(pts, "l2.comp.texture");
     const double pt_max = seriesMax(pts, "l2.comp.texture");

@@ -103,8 +103,7 @@ main()
                       Table::num(serial_speedup, 2)});
         }
     }
-    std::printf("%s\n", t.toText().c_str());
-    t.writeCsv("fig12_warped_slicer.csv");
+    t.emit("fig12_warped_slicer.csv");
 
     const double even_gm = geomean(even_rel);
     const double dyn_gm = geomean(dyn_rel);

@@ -46,8 +46,7 @@ main()
         gfx_sum += gfx[i];
         cmp_sum += cmp[i];
     }
-    std::printf("%s\n", t.toText().c_str());
-    t.writeCsv("fig13_occupancy.csv");
+    t.emit("fig13_occupancy.csv");
 
     std::printf("makespan: %llu cycles (graphics done at %llu, compute at "
                 "%llu)\n",

@@ -54,8 +54,7 @@ main()
                       Table::num(mig_speed, 2), Table::num(tap_speed, 2)});
         }
     }
-    std::printf("%s\n", t.toText().c_str());
-    t.writeCsv("fig14_tap.csv");
+    t.emit("fig14_tap.csv");
 
     const double mig_gm = geomean(mig_rel);
     const double tap_gm = geomean(tap_rel);

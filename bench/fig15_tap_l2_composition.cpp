@@ -34,8 +34,7 @@ main()
                   Table::num(100 * series.values("l2.comp.pipeline")[i], 1),
                   Table::num(100 * series.values("l2.comp.compute")[i], 1)});
     }
-    std::printf("%s\n", t.toText().c_str());
-    t.writeCsv("fig15_tap_l2.csv");
+    t.emit("fig15_tap_l2.csv");
 
     const double tex = seriesMean(series, "l2.comp.texture");
     const double pipe = seriesMean(series, "l2.comp.pipeline");

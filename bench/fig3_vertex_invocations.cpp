@@ -115,8 +115,7 @@ main()
             best_batch = batch;
         }
     }
-    std::printf("%s\n", sweep.toText().c_str());
-    sweep.writeCsv("fig3_batch_sweep.csv");
+    sweep.emit("fig3_batch_sweep.csv");
     std::printf("best correlation at batch = %u (paper: 96)\n", best_batch);
     return corr96 > 0.95 ? 0 : 1;
 }

@@ -52,8 +52,7 @@ main()
                       Table::num(frame.simMs / hw_ms, 2)});
         }
     }
-    std::printf("%s\n", t.toText().c_str());
-    t.writeCsv("fig6_frametime.csv");
+    t.emit("fig6_frametime.csv");
 
     const double corr = pearson(hw_series, sim_series);
     std::printf("correlation: %.1f%%   (paper: 94.8%%)\n", 100.0 * corr);

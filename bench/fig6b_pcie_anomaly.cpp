@@ -66,8 +66,7 @@ main()
                       Table::num(end_to_end, 3)});
         }
     }
-    std::printf("%s\n", t.toText().c_str());
-    t.writeCsv("fig6b_pcie.csv");
+    t.emit("fig6b_pcie.csv");
 
     const bool spl_anomaly =
         total["SPL"]["Jetson Orin"] < total["SPL"]["RTX 3070"];

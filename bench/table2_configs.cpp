@@ -61,8 +61,7 @@ main()
     t.addRow({"DRAM bytes / core cycle (derived)",
               Table::num(orin.dramBytesPerCycle(), 1),
               Table::num(rtx.dramBytesPerCycle(), 1)});
-    std::printf("%s\n", t.toText().c_str());
-    t.writeCsv("table2_configs.csv");
+    t.emit("table2_configs.csv");
 
     // Cross-checks against the paper's stated values.
     bool ok = true;

@@ -112,4 +112,11 @@ Table::writeCsv(const std::string &path) const
     return true;
 }
 
+void
+Table::emit(const std::string &csv_path) const
+{
+    std::printf("%s\n", toText().c_str());
+    writeCsv(csv_path);
+}
+
 } // namespace crisp

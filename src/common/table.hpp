@@ -32,6 +32,14 @@ class Table
     /** Write CSV to a file; returns false (with a warning) on failure. */
     bool writeCsv(const std::string &path) const;
 
+    /**
+     * Standard bench emission path: print the aligned text to stdout
+     * (followed by a blank separator line) and write the CSV that the
+     * golden suite checks. Keeping both in one call stops the text
+     * report and the golden CSV from drifting apart.
+     */
+    void emit(const std::string &csv_path) const;
+
     size_t rows() const { return rows_.size(); }
 
   private:

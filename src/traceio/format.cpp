@@ -1,0 +1,326 @@
+#include "traceio/format.hpp"
+
+#include <array>
+
+#include "isa/opcode.hpp"
+
+namespace crisp::traceio
+{
+
+namespace
+{
+
+std::array<uint32_t, 256>
+buildCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(const uint8_t *data, size_t len, uint32_t seed)
+{
+    static const std::array<uint32_t, 256> table = buildCrcTable();
+    uint32_t c = seed ^ 0xffffffffu;
+    for (size_t i = 0; i < len; ++i) {
+        c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+    }
+    return c ^ 0xffffffffu;
+}
+
+void
+putVarint(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+void
+putSigned(std::vector<uint8_t> &out, int64_t v)
+{
+    putVarint(out, (static_cast<uint64_t>(v) << 1) ^
+                       static_cast<uint64_t>(v >> 63));
+}
+
+uint8_t
+ByteCursor::u8()
+{
+    if (p_ == end_) {
+        fail_ = true;
+        return 0;
+    }
+    return *p_++;
+}
+
+uint64_t
+ByteCursor::varint()
+{
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+        if (p_ == end_) {
+            fail_ = true;
+            return 0;
+        }
+        const uint8_t b = *p_++;
+        v |= static_cast<uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80)) {
+            return v;
+        }
+    }
+    fail_ = true; // > 10 continuation bytes: not a valid varint
+    return 0;
+}
+
+int64_t
+ByteCursor::signedVarint()
+{
+    const uint64_t z = varint();
+    return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+bool
+ByteCursor::bytes(void *out, size_t n)
+{
+    if (remaining() < n) {
+        fail_ = true;
+        return false;
+    }
+    __builtin_memcpy(out, p_, n);
+    p_ += n;
+    return true;
+}
+
+// --- Meta ------------------------------------------------------------------
+
+void
+encodeMeta(std::vector<uint8_t> &out, const std::string &fingerprint)
+{
+    putVarint(out, fingerprint.size());
+    out.insert(out.end(), fingerprint.begin(), fingerprint.end());
+}
+
+bool
+decodeMeta(ByteCursor &in, std::string &fingerprint, std::string &err)
+{
+    const uint64_t len = in.varint();
+    if (in.fail() || len > in.remaining()) {
+        err = "meta fingerprint length overruns payload";
+        return false;
+    }
+    fingerprint.resize(len);
+    in.bytes(fingerprint.data(), len);
+    return !in.fail();
+}
+
+// --- KernelHeader ----------------------------------------------------------
+
+void
+encodeKernelHeader(std::vector<uint8_t> &out, const KernelHeaderRecord &rec)
+{
+    putVarint(out, rec.name.size());
+    out.insert(out.end(), rec.name.begin(), rec.name.end());
+    putVarint(out, rec.stream);
+    putVarint(out, rec.grid.x);
+    putVarint(out, rec.grid.y);
+    putVarint(out, rec.grid.z);
+    putVarint(out, rec.cta.x);
+    putVarint(out, rec.cta.y);
+    putVarint(out, rec.cta.z);
+    putVarint(out, rec.regsPerThread);
+    putVarint(out, rec.smemPerCta);
+    putVarint(out, rec.drawcall);
+    putSigned(out, rec.dependsOn);
+    putVarint(out, rec.ctaCount);
+}
+
+bool
+decodeKernelHeader(ByteCursor &in, KernelHeaderRecord &rec, std::string &err)
+{
+    const uint64_t name_len = in.varint();
+    if (in.fail() || name_len > in.remaining()) {
+        err = "kernel name length overruns payload";
+        return false;
+    }
+    rec.name.resize(name_len);
+    in.bytes(rec.name.data(), name_len);
+    rec.stream = static_cast<StreamId>(in.varint());
+    rec.grid.x = static_cast<uint32_t>(in.varint());
+    rec.grid.y = static_cast<uint32_t>(in.varint());
+    rec.grid.z = static_cast<uint32_t>(in.varint());
+    rec.cta.x = static_cast<uint32_t>(in.varint());
+    rec.cta.y = static_cast<uint32_t>(in.varint());
+    rec.cta.z = static_cast<uint32_t>(in.varint());
+    rec.regsPerThread = static_cast<uint32_t>(in.varint());
+    rec.smemPerCta = static_cast<uint32_t>(in.varint());
+    rec.drawcall = static_cast<uint32_t>(in.varint());
+    rec.dependsOn = static_cast<int32_t>(in.signedVarint());
+    rec.ctaCount = static_cast<uint32_t>(in.varint());
+    if (in.fail()) {
+        err = "kernel header truncated";
+        return false;
+    }
+    if (!in.atEnd()) {
+        err = "kernel header has trailing bytes";
+        return false;
+    }
+    if (rec.grid.count() == 0 || rec.cta.count() == 0) {
+        err = "kernel '" + rec.name + "' has an empty grid or CTA extent";
+        return false;
+    }
+    if (rec.ctaCount != rec.grid.count()) {
+        err = "kernel '" + rec.name + "' ctaCount " +
+              std::to_string(rec.ctaCount) + " != grid size " +
+              std::to_string(rec.grid.count());
+        return false;
+    }
+    if (rec.dependsOn < -1) {
+        err = "kernel '" + rec.name + "' has malformed dependency index";
+        return false;
+    }
+    return true;
+}
+
+// --- CtaData ---------------------------------------------------------------
+
+void
+encodeCta(std::vector<uint8_t> &out, const CtaTrace &cta)
+{
+    putVarint(out, cta.warps.size());
+    for (const WarpTrace &warp : cta.warps) {
+        putVarint(out, warp.threadCount);
+        putVarint(out, warp.instrs.size());
+        Addr prev = 0; // per-warp running base for address deltas
+        for (const TraceInstr &in : warp.instrs) {
+            out.push_back(static_cast<uint8_t>(in.opcode));
+            out.push_back(in.dst);
+            out.push_back(in.srcs[0]);
+            out.push_back(in.srcs[1]);
+            out.push_back(in.srcs[2]);
+            putVarint(out, in.activeMask);
+            out.push_back(in.accessBytes);
+            out.push_back(static_cast<uint8_t>(in.dataClass));
+            putVarint(out, in.addrs.size());
+            for (Addr a : in.addrs) {
+                putSigned(out, static_cast<int64_t>(a) -
+                                   static_cast<int64_t>(prev));
+                prev = a;
+            }
+        }
+    }
+}
+
+bool
+decodeCta(ByteCursor &in, CtaTrace &cta, uint64_t &instrs_out,
+          std::string &err)
+{
+    const uint64_t warp_count = in.varint();
+    // An SM supports at most 64 warps; any real CTA is far below the cap.
+    if (in.fail() || warp_count > 1024) {
+        err = "CTA warp count invalid";
+        return false;
+    }
+    cta.warps.resize(warp_count);
+    for (uint64_t w = 0; w < warp_count; ++w) {
+        WarpTrace &warp = cta.warps[w];
+        warp.threadCount = static_cast<uint32_t>(in.varint());
+        if (in.fail() || warp.threadCount > kWarpSize) {
+            err = "warp " + std::to_string(w) + " thread count invalid";
+            return false;
+        }
+        const uint64_t instr_count = in.varint();
+        // Each instruction costs >= 9 payload bytes; reject counts the
+        // remaining payload cannot possibly hold (corrupt length field).
+        if (in.fail() || instr_count > in.remaining()) {
+            err = "warp " + std::to_string(w) + " instruction count invalid";
+            return false;
+        }
+        warp.instrs.resize(instr_count);
+        Addr prev = 0;
+        for (uint64_t i = 0; i < instr_count; ++i) {
+            TraceInstr &instr = warp.instrs[i];
+            const uint8_t op = in.u8();
+            if (op >= static_cast<uint8_t>(Opcode::NumOpcodes)) {
+                err = "warp " + std::to_string(w) + " instr " +
+                      std::to_string(i) + " has invalid opcode " +
+                      std::to_string(op);
+                return false;
+            }
+            instr.opcode = static_cast<Opcode>(op);
+            instr.dst = in.u8();
+            instr.srcs[0] = in.u8();
+            instr.srcs[1] = in.u8();
+            instr.srcs[2] = in.u8();
+            instr.activeMask = static_cast<uint32_t>(in.varint());
+            instr.accessBytes = in.u8();
+            const uint8_t cls = in.u8();
+            if (cls >= static_cast<uint8_t>(DataClass::NumClasses)) {
+                err = "warp " + std::to_string(w) + " instr " +
+                      std::to_string(i) + " has invalid data class " +
+                      std::to_string(cls);
+                return false;
+            }
+            instr.dataClass = static_cast<DataClass>(cls);
+            const uint64_t addr_count = in.varint();
+            if (in.fail() || addr_count > kWarpSize) {
+                err = "warp " + std::to_string(w) + " instr " +
+                      std::to_string(i) + " address count invalid";
+                return false;
+            }
+            instr.addrs.resize(addr_count);
+            for (uint64_t a = 0; a < addr_count; ++a) {
+                prev = static_cast<Addr>(static_cast<int64_t>(prev) +
+                                         in.signedVarint());
+                instr.addrs[a] = prev;
+            }
+            if (in.fail()) {
+                err = "warp " + std::to_string(w) + " truncated mid-instr";
+                return false;
+            }
+        }
+        instrs_out += instr_count;
+    }
+    if (!in.atEnd()) {
+        err = "CTA payload has trailing bytes";
+        return false;
+    }
+    return true;
+}
+
+// --- End -------------------------------------------------------------------
+
+void
+encodeEnd(std::vector<uint8_t> &out, const EndRecord &rec)
+{
+    putVarint(out, rec.kernelCount);
+    putVarint(out, rec.ctaCount);
+    putVarint(out, rec.instrCount);
+    putVarint(out, rec.heapBytesUsed);
+}
+
+bool
+decodeEnd(ByteCursor &in, EndRecord &rec, std::string &err)
+{
+    rec.kernelCount = in.varint();
+    rec.ctaCount = in.varint();
+    rec.instrCount = in.varint();
+    rec.heapBytesUsed = in.varint();
+    if (in.fail() || !in.atEnd()) {
+        err = "end chunk malformed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace crisp::traceio

@@ -1,0 +1,156 @@
+#ifndef CRISP_TRACEIO_FORMAT_HPP
+#define CRISP_TRACEIO_FORMAT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/trace.hpp"
+
+namespace crisp::traceio
+{
+
+/**
+ * @file
+ * The CRTR on-disk trace container.
+ *
+ * CRISP is trace-driven the way the Accel-Sim family is: workloads are
+ * instruction traces, and a platform needs those traces to exist as
+ * portable, verifiable artifacts rather than only as in-memory generator
+ * output. CRTR is the container:
+ *
+ *   file  := "CRTR" | u32le formatVersion | chunk*
+ *   chunk := u8 type | u32le payloadLen | u32le crc32(payload) | payload
+ *
+ * Chunks appear in stream order: one Meta chunk, then per kernel one
+ * KernelHeader chunk followed by exactly ctaCount CtaData chunks, and a
+ * final End chunk carrying file-wide totals (its presence is the
+ * truncation detector; its totals cross-check the chunk stream). Every
+ * payload is covered by a CRC32 verified on read, so corruption is
+ * reported instead of simulated.
+ *
+ * Integers inside payloads are LEB128 varints (zigzag for signed
+ * values). Memory addresses are the bulk of a trace, so they are
+ * delta-encoded per warp: each address is written as the zigzag delta
+ * from the previous address in the same warp's instruction stream.
+ * Strided and stencil patterns collapse to one- or two-byte deltas.
+ */
+
+/** Container magic: the first four bytes of every trace file. */
+inline constexpr char kMagic[4] = {'C', 'R', 'T', 'R'};
+
+/**
+ * Format version. Bump on any layout or encoding change; readers reject
+ * files whose version differs (no cross-version decoding is attempted —
+ * traces are cheap to regenerate, silent misdecodes are not).
+ */
+inline constexpr uint32_t kFormatVersion = 1;
+
+/** Chunk type tags. */
+enum class ChunkType : uint8_t
+{
+    Meta = 1,         ///< Fingerprint of the producing configuration.
+    KernelHeader = 2, ///< Launch parameters of the next kernel.
+    CtaData = 3,      ///< One CTA's warps and instructions.
+    End = 4,          ///< File-wide totals; absence means truncation.
+};
+
+/** Size of the fixed chunk prelude (type + length + crc). */
+inline constexpr size_t kChunkPrelude = 1 + 4 + 4;
+
+/** Sanity cap on a single chunk payload (corrupt length fields). */
+inline constexpr uint32_t kMaxChunkPayload = 1u << 30;
+
+// --- CRC32 ----------------------------------------------------------------
+
+/** IEEE 802.3 CRC32 (the zlib polynomial), table-driven. */
+uint32_t crc32(const uint8_t *data, size_t len, uint32_t seed = 0);
+
+// --- Varint encoding ------------------------------------------------------
+
+/** Append a LEB128 unsigned varint. */
+void putVarint(std::vector<uint8_t> &out, uint64_t v);
+
+/** Append a zigzag-encoded signed varint. */
+void putSigned(std::vector<uint8_t> &out, int64_t v);
+
+/**
+ * Bounded byte cursor for decoding; overruns set fail() instead of
+ * reading past the payload.
+ */
+class ByteCursor
+{
+  public:
+    ByteCursor(const uint8_t *data, size_t len) : p_(data), end_(data + len)
+    {
+    }
+
+    bool fail() const { return fail_; }
+    bool atEnd() const { return p_ == end_ && !fail_; }
+    size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+    uint8_t u8();
+    uint64_t varint();
+    int64_t signedVarint();
+    /** Copy @p n raw bytes into @p out; fails if fewer remain. */
+    bool bytes(void *out, size_t n);
+
+  private:
+    const uint8_t *p_;
+    const uint8_t *end_;
+    bool fail_ = false;
+};
+
+// --- Payload codecs -------------------------------------------------------
+
+/** KernelHeader chunk contents: launch parameters minus the generator. */
+struct KernelHeaderRecord
+{
+    std::string name;
+    StreamId stream = 0;
+    Dim3 grid;
+    Dim3 cta;
+    uint32_t regsPerThread = 32;
+    uint32_t smemPerCta = 0;
+    uint32_t drawcall = 0;
+    /** Submission dependency (index into the file's kernels; -1 = none). */
+    int32_t dependsOn = -1;
+    /** Number of CtaData chunks that follow this header. */
+    uint32_t ctaCount = 0;
+};
+
+/** End chunk contents: totals cross-checked against the chunk stream. */
+struct EndRecord
+{
+    uint64_t kernelCount = 0;
+    uint64_t ctaCount = 0;
+    uint64_t instrCount = 0;
+    /**
+     * Bytes the generator consumed from its AddressSpace while building
+     * the trace. A cache hit advances the caller's heap by this much so
+     * later allocations cannot collide with addresses baked into the
+     * trace.
+     */
+    uint64_t heapBytesUsed = 0;
+};
+
+void encodeMeta(std::vector<uint8_t> &out, const std::string &fingerprint);
+bool decodeMeta(ByteCursor &in, std::string &fingerprint, std::string &err);
+
+void encodeKernelHeader(std::vector<uint8_t> &out,
+                        const KernelHeaderRecord &rec);
+bool decodeKernelHeader(ByteCursor &in, KernelHeaderRecord &rec,
+                        std::string &err);
+
+void encodeCta(std::vector<uint8_t> &out, const CtaTrace &cta);
+/** @param instrs_out incremented by the CTA's instruction count */
+bool decodeCta(ByteCursor &in, CtaTrace &cta, uint64_t &instrs_out,
+               std::string &err);
+
+void encodeEnd(std::vector<uint8_t> &out, const EndRecord &rec);
+bool decodeEnd(ByteCursor &in, EndRecord &rec, std::string &err);
+
+} // namespace crisp::traceio
+
+#endif // CRISP_TRACEIO_FORMAT_HPP

@@ -1,0 +1,381 @@
+#include "traceio/reader.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hpp"
+
+namespace crisp::traceio
+{
+
+namespace
+{
+
+/** Read one chunk prelude; returns false at clean EOF. */
+bool
+readPrelude(std::ifstream &f, uint8_t &type, uint32_t &len, uint32_t &crc,
+            bool &clean_eof)
+{
+    uint8_t prelude[kChunkPrelude];
+    f.read(reinterpret_cast<char *>(prelude), sizeof(prelude));
+    if (f.gcount() == 0 && f.eof()) {
+        clean_eof = true;
+        return false;
+    }
+    if (static_cast<size_t>(f.gcount()) != sizeof(prelude)) {
+        clean_eof = false;
+        return false;
+    }
+    type = prelude[0];
+    std::memcpy(&len, prelude + 1, 4);
+    std::memcpy(&crc, prelude + 5, 4);
+    return true;
+}
+
+} // namespace
+
+const char *
+TraceError::kindName(Kind k)
+{
+    switch (k) {
+      case Kind::None: return "none";
+      case Kind::Io: return "io";
+      case Kind::BadMagic: return "bad-magic";
+      case Kind::Version: return "version";
+      case Kind::Truncated: return "truncated";
+      case Kind::Corrupt: return "corrupt";
+      case Kind::Schema: return "schema";
+      default: return "?";
+    }
+}
+
+std::string
+TraceError::render() const
+{
+    return std::string("trace-io ") + kindName(kind) + " @" +
+           std::to_string(offset) + ": " + detail;
+}
+
+integrity::InvariantViolation
+TraceError::violation() const
+{
+    integrity::InvariantViolation v;
+    v.check = std::string("trace-io-") + kindName(kind);
+    v.detail = detail + " (file offset " + std::to_string(offset) + ")";
+    v.cycle = 0;
+    return v;
+}
+
+TraceReader::TraceReader(std::string path) : path_(std::move(path))
+{
+    scan();
+}
+
+void
+TraceReader::scan()
+{
+    std::ifstream f(path_, std::ios::binary);
+    if (!f) {
+        error_ = {TraceError::Kind::Io, "cannot open " + path_, 0};
+        return;
+    }
+
+    char magic[4];
+    uint32_t version = 0;
+    f.read(magic, 4);
+    f.read(reinterpret_cast<char *>(&version), 4);
+    if (!f) {
+        error_ = {TraceError::Kind::Truncated,
+                  "file shorter than the CRTR header", 0};
+        return;
+    }
+    if (std::memcmp(magic, kMagic, 4) != 0) {
+        error_ = {TraceError::Kind::BadMagic,
+                  path_ + " is not a CRTR trace file", 0};
+        return;
+    }
+    if (version != kFormatVersion) {
+        error_ = {TraceError::Kind::Version,
+                  "format version " + std::to_string(version) +
+                      " (this build reads version " +
+                      std::to_string(kFormatVersion) + ")",
+                  4};
+        return;
+    }
+    version_ = version;
+
+    bool saw_meta = false;
+    bool saw_end = false;
+    uint64_t total_ctas = 0;
+    uint64_t total_instrs = 0;
+    std::vector<uint8_t> payload;
+    uint64_t offset = 8;
+
+    while (true) {
+        uint8_t type = 0;
+        uint32_t len = 0;
+        uint32_t crc = 0;
+        bool clean_eof = false;
+        if (!readPrelude(f, type, len, crc, clean_eof)) {
+            if (!clean_eof) {
+                error_ = {TraceError::Kind::Truncated,
+                          "chunk prelude cut short", offset};
+                return;
+            }
+            break;
+        }
+        if (len > kMaxChunkPayload) {
+            error_ = {TraceError::Kind::Schema,
+                      "chunk payload length " + std::to_string(len) +
+                          " exceeds the format cap",
+                      offset};
+            return;
+        }
+        payload.resize(len);
+        f.read(reinterpret_cast<char *>(payload.data()), len);
+        if (static_cast<size_t>(f.gcount()) != len) {
+            error_ = {TraceError::Kind::Truncated,
+                      "chunk payload cut short (" +
+                          std::to_string(f.gcount()) + " of " +
+                          std::to_string(len) + " bytes)",
+                      offset};
+            return;
+        }
+        if (crc32(payload.data(), payload.size()) != crc) {
+            error_ = {TraceError::Kind::Corrupt,
+                      "chunk CRC mismatch (" + std::to_string(len) +
+                          "-byte payload)",
+                      offset};
+            return;
+        }
+        if (saw_end) {
+            error_ = {TraceError::Kind::Schema,
+                      "chunk after the End chunk", offset};
+            return;
+        }
+
+        ByteCursor cur(payload.data(), payload.size());
+        std::string err;
+        switch (static_cast<ChunkType>(type)) {
+          case ChunkType::Meta: {
+            if (saw_meta) {
+                error_ = {TraceError::Kind::Schema, "duplicate Meta chunk",
+                          offset};
+                return;
+            }
+            if (!decodeMeta(cur, fingerprint_, err)) {
+                error_ = {TraceError::Kind::Schema, err, offset};
+                return;
+            }
+            saw_meta = true;
+            break;
+          }
+          case ChunkType::KernelHeader: {
+            if (!saw_meta) {
+                error_ = {TraceError::Kind::Schema,
+                          "kernel header before Meta chunk", offset};
+                return;
+            }
+            if (!kernels_.empty() &&
+                kernels_.back().ctaOffsets.size() !=
+                    kernels_.back().header.ctaCount) {
+                error_ = {TraceError::Kind::Schema,
+                          "kernel '" + kernels_.back().header.name +
+                              "' has " +
+                              std::to_string(
+                                  kernels_.back().ctaOffsets.size()) +
+                              " CTA chunks, header promised " +
+                              std::to_string(kernels_.back().header.ctaCount),
+                          offset};
+                return;
+            }
+            Kernel k;
+            if (!decodeKernelHeader(cur, k.header, err)) {
+                error_ = {TraceError::Kind::Schema, err, offset};
+                return;
+            }
+            if (k.header.dependsOn >=
+                static_cast<int32_t>(kernels_.size())) {
+                error_ = {TraceError::Kind::Schema,
+                          "kernel '" + k.header.name +
+                              "' depends on a later kernel",
+                          offset};
+                return;
+            }
+            kernels_.push_back(std::move(k));
+            break;
+          }
+          case ChunkType::CtaData: {
+            if (kernels_.empty()) {
+                error_ = {TraceError::Kind::Schema,
+                          "CTA chunk before any kernel header", offset};
+                return;
+            }
+            Kernel &k = kernels_.back();
+            if (k.ctaOffsets.size() >= k.header.ctaCount) {
+                error_ = {TraceError::Kind::Schema,
+                          "kernel '" + k.header.name +
+                              "' has more CTA chunks than its header "
+                              "promised",
+                          offset};
+                return;
+            }
+            CtaTrace cta;
+            uint64_t instrs = 0;
+            if (!decodeCta(cur, cta, instrs, err)) {
+                error_ = {TraceError::Kind::Schema, err, offset};
+                return;
+            }
+            k.ctaOffsets.push_back(offset);
+            k.instrCount += instrs;
+            total_instrs += instrs;
+            ++total_ctas;
+            break;
+          }
+          case ChunkType::End: {
+            if (!decodeEnd(cur, totals_, err)) {
+                error_ = {TraceError::Kind::Schema, err, offset};
+                return;
+            }
+            saw_end = true;
+            break;
+          }
+          default:
+            error_ = {TraceError::Kind::Schema,
+                      "unknown chunk type " + std::to_string(type), offset};
+            return;
+        }
+        offset += kChunkPrelude + len;
+    }
+
+    if (!saw_end) {
+        error_ = {TraceError::Kind::Truncated,
+                  "no End chunk (file truncated mid-stream)", offset};
+        return;
+    }
+    if (!kernels_.empty() && kernels_.back().ctaOffsets.size() !=
+                                 kernels_.back().header.ctaCount) {
+        error_ = {TraceError::Kind::Schema,
+                  "last kernel '" + kernels_.back().header.name +
+                      "' is missing CTA chunks",
+                  offset};
+        return;
+    }
+    if (totals_.kernelCount != kernels_.size() ||
+        totals_.ctaCount != total_ctas ||
+        totals_.instrCount != total_instrs) {
+        error_ = {TraceError::Kind::Schema,
+                  "End totals disagree with the chunk stream (kernels " +
+                      std::to_string(totals_.kernelCount) + "/" +
+                      std::to_string(kernels_.size()) + ", ctas " +
+                      std::to_string(totals_.ctaCount) + "/" +
+                      std::to_string(total_ctas) + ", instrs " +
+                      std::to_string(totals_.instrCount) + "/" +
+                      std::to_string(total_instrs) + ")",
+                  offset};
+        return;
+    }
+}
+
+bool
+TraceReader::readCta(size_t kernel_index, uint32_t cta_index, CtaTrace &out,
+                     TraceError &err) const
+{
+    if (!valid()) {
+        err = error_;
+        return false;
+    }
+    if (kernel_index >= kernels_.size() ||
+        cta_index >= kernels_[kernel_index].ctaOffsets.size()) {
+        err = {TraceError::Kind::Schema,
+               "CTA index " + std::to_string(cta_index) + " of kernel " +
+                   std::to_string(kernel_index) + " out of range",
+               0};
+        return false;
+    }
+    const uint64_t offset = kernels_[kernel_index].ctaOffsets[cta_index];
+
+    std::ifstream f(path_, std::ios::binary);
+    if (!f) {
+        err = {TraceError::Kind::Io, "cannot reopen " + path_, offset};
+        return false;
+    }
+    f.seekg(static_cast<std::streamoff>(offset));
+    uint8_t type = 0;
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    bool clean_eof = false;
+    if (!readPrelude(f, type, len, crc, clean_eof) ||
+        type != static_cast<uint8_t>(ChunkType::CtaData) ||
+        len > kMaxChunkPayload) {
+        err = {TraceError::Kind::Truncated,
+               "CTA chunk vanished (file changed since open?)", offset};
+        return false;
+    }
+    std::vector<uint8_t> payload(len);
+    f.read(reinterpret_cast<char *>(payload.data()), len);
+    if (static_cast<size_t>(f.gcount()) != len) {
+        err = {TraceError::Kind::Truncated, "CTA payload cut short", offset};
+        return false;
+    }
+    if (crc32(payload.data(), payload.size()) != crc) {
+        err = {TraceError::Kind::Corrupt, "CTA chunk CRC mismatch", offset};
+        return false;
+    }
+    ByteCursor cur(payload.data(), payload.size());
+    CtaTrace cta;
+    uint64_t instrs = 0;
+    std::string detail;
+    if (!decodeCta(cur, cta, instrs, detail)) {
+        err = {TraceError::Kind::Schema, detail, offset};
+        return false;
+    }
+    out = std::move(cta);
+    return true;
+}
+
+CtaTrace
+FileCtaSource::generate(uint32_t cta_index) const
+{
+    CtaTrace cta;
+    TraceError err;
+    if (!reader_->readCta(kernelIndex_, cta_index, cta, err)) {
+        fatal("trace replay failed for %s kernel %zu CTA %u: %s",
+              reader_->path().c_str(), kernelIndex_, cta_index,
+              err.render().c_str());
+    }
+    return cta;
+}
+
+bool
+loadTrace(const std::string &path, LoadedTrace &out, TraceError &err)
+{
+    auto reader = std::make_shared<TraceReader>(path);
+    if (!reader->valid()) {
+        err = reader->error();
+        return false;
+    }
+    LoadedTrace loaded;
+    loaded.fingerprint = reader->fingerprint();
+    loaded.heapBytesUsed = reader->totals().heapBytesUsed;
+    loaded.kernels.reserve(reader->kernelCount());
+    loaded.dependsOn.reserve(reader->kernelCount());
+    for (size_t i = 0; i < reader->kernelCount(); ++i) {
+        const KernelHeaderRecord &h = reader->kernel(i).header;
+        KernelInfo info;
+        info.name = h.name;
+        info.stream = h.stream;
+        info.grid = h.grid;
+        info.cta = h.cta;
+        info.regsPerThread = h.regsPerThread;
+        info.smemPerCta = h.smemPerCta;
+        info.drawcall = h.drawcall;
+        info.source = std::make_shared<FileCtaSource>(reader, i);
+        loaded.kernels.push_back(std::move(info));
+        loaded.dependsOn.push_back(h.dependsOn);
+    }
+    out = std::move(loaded);
+    return true;
+}
+
+} // namespace crisp::traceio

@@ -1,0 +1,154 @@
+#ifndef CRISP_TRACEIO_READER_HPP
+#define CRISP_TRACEIO_READER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "integrity/report.hpp"
+#include "isa/trace.hpp"
+#include "traceio/format.hpp"
+
+namespace crisp::traceio
+{
+
+/**
+ * Diagnosable trace I/O failure.
+ *
+ * Every malformed input — missing file, wrong magic, version skew,
+ * truncation, CRC mismatch, schema violation — lands here with the file
+ * offset where it was detected, never in UB or a partially decoded
+ * trace. violation() adapts the error to the integrity pipeline's
+ * InvariantViolation shape so trace corruption surfaces through the
+ * same reporting path as simulation invariant breaks.
+ */
+struct TraceError
+{
+    enum class Kind
+    {
+        None,
+        Io,        ///< open/read failure (missing file, short read).
+        BadMagic,  ///< not a CRTR file.
+        Version,   ///< format version != kFormatVersion.
+        Truncated, ///< chunk stream ends without a valid End chunk.
+        Corrupt,   ///< CRC mismatch on a chunk payload.
+        Schema,    ///< payload decodes to out-of-range values.
+    };
+
+    Kind kind = Kind::None;
+    std::string detail;
+    uint64_t offset = 0; ///< File offset of the offending chunk/field.
+
+    bool ok() const { return kind == Kind::None; }
+    static const char *kindName(Kind k);
+
+    /** One-line human rendering: "trace-io <kind> @<offset>: <detail>". */
+    std::string render() const;
+
+    /** Adapt to the integrity layer (check = "trace-io-<kind>"). */
+    integrity::InvariantViolation violation() const;
+};
+
+/**
+ * Streaming reader over a CRTR trace file.
+ *
+ * Construction scans the whole chunk stream once with bounded memory:
+ * every chunk's CRC is verified and every payload is decoded (and
+ * discarded, for CTA chunks), so a corrupt or truncated file is
+ * rejected at open on every read path. What is retained is the small
+ * per-kernel index — launch parameters plus the file offset of each
+ * CTA chunk — which readCta() uses to re-read and decode one CTA at a
+ * time (CRC re-verified, so a file modified after open is still
+ * caught).
+ */
+class TraceReader
+{
+  public:
+    /** One kernel of the file: header plus CTA chunk locations. */
+    struct Kernel
+    {
+        KernelHeaderRecord header;
+        uint64_t instrCount = 0;
+        /** File offset of each CTA's chunk prelude, in CTA order. */
+        std::vector<uint64_t> ctaOffsets;
+    };
+
+    explicit TraceReader(std::string path);
+
+    bool valid() const { return error_.ok(); }
+    const TraceError &error() const { return error_; }
+    const std::string &path() const { return path_; }
+
+    uint32_t version() const { return version_; }
+    const std::string &fingerprint() const { return fingerprint_; }
+    const EndRecord &totals() const { return totals_; }
+
+    size_t kernelCount() const { return kernels_.size(); }
+    const Kernel &kernel(size_t i) const { return kernels_[i]; }
+    const std::vector<Kernel> &kernels() const { return kernels_; }
+
+    /**
+     * Decode one CTA of one kernel. Thread-safe (each call opens its
+     * own stream). Returns false with @p err filled on any failure;
+     * @p out is untouched on failure.
+     */
+    bool readCta(size_t kernel_index, uint32_t cta_index, CtaTrace &out,
+                 TraceError &err) const;
+
+  private:
+    void scan();
+
+    std::string path_;
+    TraceError error_;
+    uint32_t version_ = 0;
+    std::string fingerprint_;
+    EndRecord totals_;
+    std::vector<Kernel> kernels_;
+};
+
+/**
+ * CtaGenerator view over a packed trace kernel: decodes CTAs from disk
+ * on demand (bounded memory — one CTA resident per generate() call).
+ * Corruption detected mid-replay is fatal() with the file offset; the
+ * trace was fully validated at open, so this only fires if the file
+ * changed underneath the simulation.
+ */
+class FileCtaSource : public CtaGenerator
+{
+  public:
+    FileCtaSource(std::shared_ptr<const TraceReader> reader,
+                  size_t kernel_index)
+        : reader_(std::move(reader)), kernelIndex_(kernel_index)
+    {
+    }
+
+    CtaTrace generate(uint32_t cta_index) const override;
+
+  private:
+    std::shared_ptr<const TraceReader> reader_;
+    size_t kernelIndex_;
+};
+
+/**
+ * A fully loaded trace file: kernels ready to enqueue (sources decode
+ * from disk lazily via FileCtaSource) plus the submission dependencies,
+ * mirroring RenderSubmission's kernels/dependsOn pair.
+ */
+struct LoadedTrace
+{
+    std::vector<KernelInfo> kernels;
+    /** dependsOn[i] = index of the kernel that must finish first; -1 none. */
+    std::vector<int> dependsOn;
+    std::string fingerprint;
+    uint64_t heapBytesUsed = 0;
+};
+
+/**
+ * Open @p path and build a replayable LoadedTrace. On failure returns
+ * false and fills @p err; @p out is untouched.
+ */
+bool loadTrace(const std::string &path, LoadedTrace &out, TraceError &err);
+
+} // namespace crisp::traceio
+
+#endif // CRISP_TRACEIO_READER_HPP

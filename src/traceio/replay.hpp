@@ -1,0 +1,43 @@
+#ifndef CRISP_TRACEIO_REPLAY_HPP
+#define CRISP_TRACEIO_REPLAY_HPP
+
+#include <vector>
+
+#include "gpu/gpu.hpp"
+#include "traceio/reader.hpp"
+
+namespace crisp::traceio
+{
+
+/**
+ * Replay frontend: enqueue a loaded trace on a GPU stream with the
+ * dependencies recorded in the file, exactly as submitFrame() enqueues
+ * a live RenderSubmission. A trace packed from a submission and
+ * replayed through this path produces byte-identical StreamStats to
+ * the live run — the kernels decode to the same instruction streams
+ * and the dependency graph is preserved.
+ *
+ * @return the KernelId of each submitted kernel, parallel to
+ *         trace.kernels.
+ */
+inline std::vector<KernelId>
+submitLoaded(Gpu &gpu, StreamId stream, const LoadedTrace &trace,
+             Cycle fixed_function_delay = 0)
+{
+    std::vector<KernelId> ids;
+    ids.reserve(trace.kernels.size());
+    for (size_t i = 0; i < trace.kernels.size(); ++i) {
+        const int dep = trace.dependsOn[i];
+        const KernelId dep_id =
+            dep >= 0 ? ids[static_cast<size_t>(dep)] : Gpu::kNoDependency;
+        ids.push_back(gpu.enqueueKernelAfter(stream, trace.kernels[i],
+                                             dep_id,
+                                             dep >= 0 ? fixed_function_delay
+                                                      : 0));
+    }
+    return ids;
+}
+
+} // namespace crisp::traceio
+
+#endif // CRISP_TRACEIO_REPLAY_HPP

@@ -1,0 +1,194 @@
+#include "traceio/writer.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace crisp::traceio
+{
+
+TraceWriter::TraceWriter(std::string path, std::string fingerprint)
+    : path_(std::move(path))
+{
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (file_ == nullptr) {
+        setError(TraceError::Kind::Io, "cannot create " + path_);
+        return;
+    }
+    uint8_t header[8];
+    std::memcpy(header, kMagic, 4);
+    const uint32_t version = kFormatVersion;
+    std::memcpy(header + 4, &version, 4);
+    if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) {
+        setError(TraceError::Kind::Io, "short write of the CRTR header");
+        return;
+    }
+    offset_ = sizeof(header);
+
+    scratch_.clear();
+    encodeMeta(scratch_, fingerprint);
+    writeChunk(ChunkType::Meta, scratch_);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        if (!finished_) {
+            // No End chunk: every reader will reject this file as
+            // truncated rather than replay a partial trace.
+            warn("trace writer for %s destroyed before finish(); the file "
+                 "is deliberately left truncated",
+                 path_.c_str());
+        }
+    }
+}
+
+void
+TraceWriter::setError(TraceError::Kind kind, const std::string &detail)
+{
+    if (error_.ok()) {
+        error_ = {kind, detail, offset_};
+    }
+}
+
+void
+TraceWriter::writeChunk(ChunkType type, const std::vector<uint8_t> &payload)
+{
+    if (!error_.ok() || file_ == nullptr) {
+        return;
+    }
+    if (payload.size() > kMaxChunkPayload) {
+        setError(TraceError::Kind::Schema,
+                 "chunk payload exceeds the format cap (" +
+                     std::to_string(payload.size()) + " bytes)");
+        return;
+    }
+    uint8_t prelude[kChunkPrelude];
+    prelude[0] = static_cast<uint8_t>(type);
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    const uint32_t crc = crc32(payload.data(), payload.size());
+    std::memcpy(prelude + 1, &len, 4);
+    std::memcpy(prelude + 5, &crc, 4);
+    if (std::fwrite(prelude, 1, sizeof(prelude), file_) != sizeof(prelude) ||
+        std::fwrite(payload.data(), 1, payload.size(), file_) !=
+            payload.size()) {
+        setError(TraceError::Kind::Io,
+                 "short write to " + path_ + " (disk full?)");
+        return;
+    }
+    offset_ += kChunkPrelude + payload.size();
+}
+
+void
+TraceWriter::beginKernel(const KernelInfo &info, int depends_on)
+{
+    panic_if(finished_, "beginKernel after finish");
+    if (ctasWritten_ != ctasExpected_) {
+        setError(TraceError::Kind::Schema,
+                 "previous kernel got " + std::to_string(ctasWritten_) +
+                     " of " + std::to_string(ctasExpected_) + " CTAs");
+        return;
+    }
+    KernelHeaderRecord rec;
+    rec.name = info.name;
+    rec.stream = info.stream;
+    rec.grid = info.grid;
+    rec.cta = info.cta;
+    rec.regsPerThread = info.regsPerThread;
+    rec.smemPerCta = info.smemPerCta;
+    rec.drawcall = info.drawcall;
+    rec.dependsOn = depends_on;
+    rec.ctaCount = info.numCtas();
+    if (depends_on < -1 ||
+        depends_on >= static_cast<int>(totals_.kernelCount)) {
+        setError(TraceError::Kind::Schema,
+                 "kernel '" + info.name + "' dependency index " +
+                     std::to_string(depends_on) +
+                     " does not name an earlier kernel");
+        return;
+    }
+    scratch_.clear();
+    encodeKernelHeader(scratch_, rec);
+    writeChunk(ChunkType::KernelHeader, scratch_);
+    ctasExpected_ = rec.ctaCount;
+    ctasWritten_ = 0;
+    ++totals_.kernelCount;
+}
+
+void
+TraceWriter::addCta(const CtaTrace &cta)
+{
+    panic_if(finished_, "addCta after finish");
+    if (ctasWritten_ >= ctasExpected_) {
+        setError(TraceError::Kind::Schema,
+                 "more CTAs added than the kernel's grid holds");
+        return;
+    }
+    scratch_.clear();
+    encodeCta(scratch_, cta);
+    writeChunk(ChunkType::CtaData, scratch_);
+    ++ctasWritten_;
+    ++totals_.ctaCount;
+    for (const WarpTrace &w : cta.warps) {
+        totals_.instrCount += w.instrs.size();
+    }
+}
+
+void
+TraceWriter::writeKernel(const KernelInfo &info, int depends_on)
+{
+    panic_if(info.source == nullptr,
+             "cannot pack kernel '%s': it has no trace source",
+             info.name.c_str());
+    beginKernel(info, depends_on);
+    const uint32_t ctas = info.numCtas();
+    for (uint32_t i = 0; i < ctas && error_.ok(); ++i) {
+        addCta(info.source->generate(i));
+    }
+}
+
+bool
+TraceWriter::finish(uint64_t heap_bytes_used)
+{
+    panic_if(finished_, "finish called twice");
+    if (ctasWritten_ != ctasExpected_) {
+        setError(TraceError::Kind::Schema,
+                 "last kernel got " + std::to_string(ctasWritten_) + " of " +
+                     std::to_string(ctasExpected_) + " CTAs");
+    }
+    totals_.heapBytesUsed = heap_bytes_used;
+    scratch_.clear();
+    encodeEnd(scratch_, totals_);
+    writeChunk(ChunkType::End, scratch_);
+    finished_ = true;
+    if (file_ != nullptr) {
+        if (std::fclose(file_) != 0) {
+            setError(TraceError::Kind::Io, "close of " + path_ + " failed");
+        }
+        file_ = nullptr;
+    }
+    return error_.ok();
+}
+
+bool
+writeTrace(const std::string &path, const std::string &fingerprint,
+           const std::vector<KernelInfo> &kernels,
+           const std::vector<int> &depends_on, uint64_t heap_bytes_used,
+           TraceError &err)
+{
+    panic_if(!depends_on.empty() && depends_on.size() != kernels.size(),
+             "depends_on must be empty or parallel to kernels");
+    TraceWriter writer(path, fingerprint);
+    for (size_t i = 0; i < kernels.size(); ++i) {
+        writer.writeKernel(kernels[i],
+                           depends_on.empty() ? -1 : depends_on[i]);
+    }
+    if (!writer.finish(heap_bytes_used)) {
+        err = writer.error();
+        return false;
+    }
+    return true;
+}
+
+} // namespace crisp::traceio

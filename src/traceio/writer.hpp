@@ -1,0 +1,94 @@
+#ifndef CRISP_TRACEIO_WRITER_HPP
+#define CRISP_TRACEIO_WRITER_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "isa/trace.hpp"
+#include "traceio/format.hpp"
+#include "traceio/reader.hpp"
+
+namespace crisp::traceio
+{
+
+/**
+ * Streaming CRTR writer.
+ *
+ * Chunks are emitted as they are produced — one CTA resident at a time,
+ * so packing a kernel never materializes more than a single CTA's trace
+ * (full-resolution fragment kernels are far too large to hold whole).
+ * A file is valid only after finish() writes the End chunk; abandoning
+ * a writer leaves a file every reader rejects as truncated.
+ */
+class TraceWriter
+{
+  public:
+    /**
+     * @param fingerprint free-form identity of the producing
+     *        configuration (generator parameters, GPU config, heap
+     *        base). Readers and the trace cache compare it verbatim.
+     */
+    TraceWriter(std::string path, std::string fingerprint);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    bool valid() const { return error_.ok(); }
+    const TraceError &error() const { return error_; }
+
+    /**
+     * Begin a kernel: emits its header chunk. Exactly
+     * info.numCtas() addCta() calls must follow before the next
+     * beginKernel()/finish(). @p depends_on is the index of an earlier
+     * kernel in this file (-1 = none), mirroring
+     * RenderSubmission::dependsOn.
+     */
+    void beginKernel(const KernelInfo &info, int depends_on = -1);
+
+    /** Append one CTA of the kernel begun last. */
+    void addCta(const CtaTrace &cta);
+
+    /**
+     * Pack a whole kernel: header plus every CTA pulled from
+     * info.source in index order (streamed, bounded memory).
+     */
+    void writeKernel(const KernelInfo &info, int depends_on = -1);
+
+    /**
+     * Write the End chunk and close. @p heap_bytes_used records how
+     * much address space the generator consumed (see
+     * EndRecord::heapBytesUsed). Returns false if any step failed;
+     * the error() carries the first failure.
+     */
+    bool finish(uint64_t heap_bytes_used = 0);
+
+  private:
+    void writeChunk(ChunkType type, const std::vector<uint8_t> &payload);
+    void setError(TraceError::Kind kind, const std::string &detail);
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    TraceError error_;
+    uint64_t offset_ = 0;
+    bool finished_ = false;
+    uint32_t ctasExpected_ = 0;
+    uint32_t ctasWritten_ = 0;
+    EndRecord totals_;
+    std::vector<uint8_t> scratch_;
+};
+
+/**
+ * Pack @p kernels (with optional submission dependencies, parallel to
+ * kernels; empty = none) into @p path. Returns false with @p err set on
+ * failure.
+ */
+bool writeTrace(const std::string &path, const std::string &fingerprint,
+                const std::vector<KernelInfo> &kernels,
+                const std::vector<int> &depends_on, uint64_t heap_bytes_used,
+                TraceError &err);
+
+} // namespace crisp::traceio
+
+#endif // CRISP_TRACEIO_WRITER_HPP

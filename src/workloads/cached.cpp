@@ -1,0 +1,55 @@
+#include "workloads/cached.hpp"
+
+#include <cstdio>
+
+namespace crisp
+{
+
+std::string
+computeCacheKey(const std::string &generator, const std::string &params,
+                Addr heap_base)
+{
+    char suffix[128];
+    std::snprintf(suffix, sizeof(suffix),
+                  "/gen=%u/base=0x%llx/warp=%u/line=%u",
+                  kComputeGenRevision,
+                  static_cast<unsigned long long>(heap_base), kWarpSize,
+                  kLineBytes);
+    return generator + "/" + params + suffix;
+}
+
+std::vector<KernelInfo>
+buildVioCached(traceio::TraceCache &cache, AddressSpace &heap,
+               uint32_t frames, uint32_t width, uint32_t height)
+{
+    char params[96];
+    std::snprintf(params, sizeof(params), "frames=%u/w=%u/h=%u", frames,
+                  width, height);
+    return cache.loadOrBuild(
+        computeCacheKey("vio", params, heap.allocatedEnd()), heap,
+        [&](AddressSpace &h) { return buildVio(h, frames, width, height); });
+}
+
+std::vector<KernelInfo>
+buildHoloCached(traceio::TraceCache &cache, AddressSpace &heap,
+                uint32_t points)
+{
+    char params[48];
+    std::snprintf(params, sizeof(params), "points=%u", points);
+    return cache.loadOrBuild(
+        computeCacheKey("holo", params, heap.allocatedEnd()), heap,
+        [&](AddressSpace &h) { return buildHolo(h, points); });
+}
+
+std::vector<KernelInfo>
+buildNnCached(traceio::TraceCache &cache, AddressSpace &heap,
+              uint32_t layers)
+{
+    char params[48];
+    std::snprintf(params, sizeof(params), "layers=%u", layers);
+    return cache.loadOrBuild(
+        computeCacheKey("nn", params, heap.allocatedEnd()), heap,
+        [&](AddressSpace &h) { return buildNn(h, layers); });
+}
+
+} // namespace crisp

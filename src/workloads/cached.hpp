@@ -1,0 +1,57 @@
+#ifndef CRISP_WORKLOADS_CACHED_HPP
+#define CRISP_WORKLOADS_CACHED_HPP
+
+#include <string>
+#include <vector>
+
+#include "traceio/cache.hpp"
+#include "workloads/compute.hpp"
+
+namespace crisp
+{
+
+/**
+ * @file
+ * Trace-cache-aware wrappers over the compute-workload generators.
+ *
+ * Each wrapper derives a content key from the full generator
+ * configuration — generator name and schema revision, every parameter,
+ * the heap base the addresses are laid out from, and the machine
+ * constants baked into the traces — and routes through
+ * traceio::TraceCache::loadOrBuild. With the cache disabled (the
+ * default) they are exactly the live generators; with
+ * CRISP_TRACE_CACHE set, repeated bench/sweep runs replay the packed
+ * trace from disk instead of regenerating it, bit-for-bit.
+ *
+ * Bump kComputeGenRevision whenever any generator's emitted trace
+ * changes for the same parameters, so stale cache entries miss on the
+ * key instead of silently replaying old workloads.
+ */
+
+/** Schema revision of the compute generators' emitted traces. */
+inline constexpr uint32_t kComputeGenRevision = 1;
+
+/** Cache key for a generator invocation ("<params>" is generator-local). */
+std::string computeCacheKey(const std::string &generator,
+                            const std::string &params, Addr heap_base);
+
+/** buildVio through the trace cache. */
+std::vector<KernelInfo> buildVioCached(traceio::TraceCache &cache,
+                                       AddressSpace &heap,
+                                       uint32_t frames = 1,
+                                       uint32_t width = 320,
+                                       uint32_t height = 240);
+
+/** buildHolo through the trace cache. */
+std::vector<KernelInfo> buildHoloCached(traceio::TraceCache &cache,
+                                        AddressSpace &heap,
+                                        uint32_t points = 3);
+
+/** buildNn through the trace cache. */
+std::vector<KernelInfo> buildNnCached(traceio::TraceCache &cache,
+                                      AddressSpace &heap,
+                                      uint32_t layers = 3);
+
+} // namespace crisp
+
+#endif // CRISP_WORKLOADS_CACHED_HPP

@@ -6,16 +6,20 @@
 #   tools/run_golden_suite.sh BUILD_DIR            # check against goldens
 #   tools/run_golden_suite.sh BUILD_DIR --update   # bless current outputs
 #
-# The check writes the per-column diff to golden_diff.txt (CI uploads it
-# as an artifact on failure). Benches run with the counter audit enabled
-# at its default cadence (see bench_util.hpp), so a conservation
-# violation fails the suite even before the CSV diff does.
-set -uo pipefail
+# Each bench is checked against the specific CSVs it produces, so the
+# suite can print a per-bench pass/fail summary and name the first
+# diverging bench in its failure message. The check appends per-column
+# diffs to golden_diff.txt (CI uploads it as an artifact on failure).
+# Benches run with the counter audit enabled at its default cadence
+# (see bench_util.hpp), so a conservation violation fails the suite
+# even before the CSV diff does.
+set -euo pipefail
 
 BUILD=${1:?usage: tools/run_golden_suite.sh BUILD_DIR [--update]}
 MODE=${2:-}
 cd "$(dirname "$0")/.."
 
+# bench executable -> the CSV files it writes.
 BENCHES=(
     table2_configs
     fig3_vertex_invocations
@@ -31,47 +35,67 @@ BENCHES=(
     ablation_pipeline
     ablation_memory
 )
-
-CSVS=(
-    table2_configs.csv
-    fig3_vertex_invocations.csv
-    fig3_batch_sweep.csv
-    fig6_frametime.csv
-    fig6b_pcie.csv
-    fig9_l1tex.csv
-    fig10_texlines.csv
-    fig11a_pistol.csv
-    fig11b_sponza.csv
-    fig12_warped_slicer.csv
-    fig13_occupancy.csv
-    fig14_tap.csv
-    fig15_tap_l2.csv
-    ablation_batching.csv
-    ablation_overlap.csv
-    ablation_lod.csv
-    ablation_l1.csv
-    ablation_l2bw.csv
-    ablation_mshr.csv
-    ablation_sectors.csv
+declare -A BENCH_CSVS=(
+    [table2_configs]="table2_configs.csv"
+    [fig3_vertex_invocations]="fig3_vertex_invocations.csv fig3_batch_sweep.csv"
+    [fig6_frametime_correlation]="fig6_frametime.csv"
+    [fig6b_pcie_anomaly]="fig6b_pcie.csv"
+    [fig9_l1tex_lod]="fig9_l1tex.csv"
+    [fig10_texlines_histogram]="fig10_texlines.csv"
+    [fig11_l2_composition]="fig11a_pistol.csv fig11b_sponza.csv"
+    [fig12_warped_slicer]="fig12_warped_slicer.csv"
+    [fig13_occupancy_timeline]="fig13_occupancy.csv"
+    [fig14_tap]="fig14_tap.csv"
+    [fig15_tap_l2_composition]="fig15_tap_l2.csv"
+    [ablation_pipeline]="ablation_batching.csv ablation_overlap.csv ablation_lod.csv"
+    [ablation_memory]="ablation_l1.csv ablation_l2bw.csv ablation_mshr.csv ablation_sectors.csv"
 )
 
-status=0
+declare -A RESULT=()
+first_failure=""
+
+note_failure() {
+    RESULT[$1]="FAIL ($2)"
+    if [ -z "${first_failure}" ]; then
+        first_failure=$1
+    fi
+}
+
+: > golden_diff.txt
 for b in "${BENCHES[@]}"; do
     echo "== ${b}"
     if ! "${BUILD}/bench/${b}" > /dev/null; then
-        echo "bench ${b} exited nonzero" >&2
-        status=1
+        note_failure "${b}" "bench exited nonzero"
+        continue
     fi
+    # shellcheck disable=SC2206  # deliberate word split: list of CSVs
+    csvs=(${BENCH_CSVS[$b]})
+    if [ "${MODE}" = "--update" ]; then
+        if ! "${BUILD}/tools/golden_check" --goldens goldens --update \
+                "${csvs[@]}"; then
+            note_failure "${b}" "golden update failed"
+            continue
+        fi
+    else
+        if ! "${BUILD}/tools/golden_check" --goldens goldens \
+                --tolerances goldens/tolerances.csv "${csvs[@]}" \
+                | tee -a golden_diff.txt; then
+            note_failure "${b}" "diverges from golden"
+            continue
+        fi
+    fi
+    RESULT[$b]="PASS"
 done
 
-if [ "${MODE}" = "--update" ]; then
-    "${BUILD}/tools/golden_check" --goldens goldens --update "${CSVS[@]}" \
-        || status=1
-else
-    "${BUILD}/tools/golden_check" --goldens goldens \
-        --tolerances goldens/tolerances.csv "${CSVS[@]}" \
-        | tee golden_diff.txt
-    [ "${PIPESTATUS[0]}" -ne 0 ] && status=1
-fi
+echo
+echo "== golden suite summary"
+for b in "${BENCHES[@]}"; do
+    printf '%-28s %s\n' "${b}" "${RESULT[$b]}"
+done
 
-exit "${status}"
+if [ -n "${first_failure}" ]; then
+    echo "golden suite FAILED: first diverging bench: ${first_failure}" \
+        "(${RESULT[$first_failure]})" >&2
+    exit 1
+fi
+echo "golden suite: all ${#BENCHES[@]} benches match"

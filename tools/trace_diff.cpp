@@ -1,0 +1,183 @@
+/**
+ * @file
+ * trace_diff: structural comparison of two CRTR trace files.
+ *
+ *   trace_diff A B
+ *
+ * Compares the kernel streams chunk by chunk — launch parameters,
+ * dependency graph, then every CTA/warp/instruction — and reports the
+ * first divergence with its exact location. Fingerprints are compared
+ * and reported, so a cold- vs warm-cache pair can be asserted
+ * identical end to end.
+ *
+ * Exit 0: identical. Exit 1: traces differ. Exit 2: a file could not
+ * be read (the trace-io diagnosis goes to stderr).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "traceio/reader.hpp"
+
+using namespace crisp;
+
+namespace
+{
+
+bool
+diffKernelHeader(size_t ki, const traceio::KernelHeaderRecord &a,
+                 const traceio::KernelHeaderRecord &b)
+{
+    auto differ = [&](const char *field, const std::string &va,
+                      const std::string &vb) {
+        std::printf("kernel %zu: %s differs: %s vs %s\n", ki, field,
+                    va.c_str(), vb.c_str());
+        return true;
+    };
+    if (a.name != b.name) {
+        return differ("name", a.name, b.name);
+    }
+    if (!(a.grid == b.grid)) {
+        return differ("grid",
+                      std::to_string(a.grid.x) + "x" +
+                          std::to_string(a.grid.y) + "x" +
+                          std::to_string(a.grid.z),
+                      std::to_string(b.grid.x) + "x" +
+                          std::to_string(b.grid.y) + "x" +
+                          std::to_string(b.grid.z));
+    }
+    if (!(a.cta == b.cta)) {
+        return differ("cta",
+                      std::to_string(a.cta.x) + "x" +
+                          std::to_string(a.cta.y) + "x" +
+                          std::to_string(a.cta.z),
+                      std::to_string(b.cta.x) + "x" +
+                          std::to_string(b.cta.y) + "x" +
+                          std::to_string(b.cta.z));
+    }
+    if (a.regsPerThread != b.regsPerThread) {
+        return differ("regsPerThread", std::to_string(a.regsPerThread),
+                      std::to_string(b.regsPerThread));
+    }
+    if (a.smemPerCta != b.smemPerCta) {
+        return differ("smemPerCta", std::to_string(a.smemPerCta),
+                      std::to_string(b.smemPerCta));
+    }
+    if (a.drawcall != b.drawcall) {
+        return differ("drawcall", std::to_string(a.drawcall),
+                      std::to_string(b.drawcall));
+    }
+    if (a.dependsOn != b.dependsOn) {
+        return differ("dependsOn", std::to_string(a.dependsOn),
+                      std::to_string(b.dependsOn));
+    }
+    return false;
+}
+
+/** Locate and print the first divergence inside a CTA pair. */
+void
+explainCtaDiff(size_t ki, uint32_t ci, const CtaTrace &a, const CtaTrace &b)
+{
+    if (a.warps.size() != b.warps.size()) {
+        std::printf("kernel %zu CTA %u: warp count differs: %zu vs %zu\n",
+                    ki, ci, a.warps.size(), b.warps.size());
+        return;
+    }
+    for (size_t w = 0; w < a.warps.size(); ++w) {
+        const WarpTrace &wa = a.warps[w];
+        const WarpTrace &wb = b.warps[w];
+        if (wa == wb) {
+            continue;
+        }
+        if (wa.threadCount != wb.threadCount) {
+            std::printf("kernel %zu CTA %u warp %zu: thread count differs: "
+                        "%u vs %u\n",
+                        ki, ci, w, wa.threadCount, wb.threadCount);
+            return;
+        }
+        if (wa.instrs.size() != wb.instrs.size()) {
+            std::printf("kernel %zu CTA %u warp %zu: instr count differs: "
+                        "%zu vs %zu\n",
+                        ki, ci, w, wa.instrs.size(), wb.instrs.size());
+            return;
+        }
+        for (size_t i = 0; i < wa.instrs.size(); ++i) {
+            if (!(wa.instrs[i] == wb.instrs[i])) {
+                std::printf("kernel %zu CTA %u warp %zu instr %zu differs "
+                            "(%s vs %s)\n",
+                            ki, ci, w, i, opcodeName(wa.instrs[i].opcode),
+                            opcodeName(wb.instrs[i].opcode));
+                return;
+            }
+        }
+    }
+    std::printf("kernel %zu CTA %u differs\n", ki, ci);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::fprintf(stderr, "usage: trace_diff A B\n");
+        return 2;
+    }
+    traceio::TraceReader a(argv[1]);
+    traceio::TraceReader b(argv[2]);
+    for (const traceio::TraceReader *r : {&a, &b}) {
+        if (!r->valid()) {
+            std::fprintf(stderr, "trace_diff: %s: %s\n", r->path().c_str(),
+                         r->error().render().c_str());
+            return 2;
+        }
+    }
+
+    bool differs = false;
+    if (a.fingerprint() != b.fingerprint()) {
+        std::printf("fingerprint differs:\n  %s\n  %s\n",
+                    a.fingerprint().c_str(), b.fingerprint().c_str());
+        differs = true;
+    }
+    if (a.kernelCount() != b.kernelCount()) {
+        std::printf("kernel count differs: %zu vs %zu\n", a.kernelCount(),
+                    b.kernelCount());
+        differs = true;
+    }
+
+    const size_t kernels = std::min(a.kernelCount(), b.kernelCount());
+    for (size_t ki = 0; ki < kernels; ++ki) {
+        if (diffKernelHeader(ki, a.kernel(ki).header, b.kernel(ki).header)) {
+            differs = true;
+            continue; // headers differ: CTA-level diff would be noise
+        }
+        const uint32_t ctas = a.kernel(ki).header.ctaCount;
+        for (uint32_t ci = 0; ci < ctas; ++ci) {
+            CtaTrace ca;
+            CtaTrace cb;
+            traceio::TraceError err;
+            if (!a.readCta(ki, ci, ca, err)) {
+                std::fprintf(stderr, "trace_diff: %s: %s\n",
+                             a.path().c_str(), err.render().c_str());
+                return 2;
+            }
+            if (!b.readCta(ki, ci, cb, err)) {
+                std::fprintf(stderr, "trace_diff: %s: %s\n",
+                             b.path().c_str(), err.render().c_str());
+                return 2;
+            }
+            if (!(ca == cb)) {
+                explainCtaDiff(ki, ci, ca, cb);
+                differs = true;
+                break; // first diverging CTA per kernel is enough signal
+            }
+        }
+    }
+
+    if (!differs) {
+        std::printf("traces are structurally identical (%zu kernels)\n",
+                    a.kernelCount());
+        return 0;
+    }
+    return 1;
+}

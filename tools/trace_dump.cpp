@@ -1,0 +1,160 @@
+/**
+ * @file
+ * trace_dump: human-readable summary of a CRTR trace file.
+ *
+ *   trace_dump FILE...
+ *
+ * Per file: container metadata and totals; per kernel: launch
+ * parameters, instruction mix by executing pipeline, the per-kernel
+ * memory footprint in distinct 128 B lines, and a coalescing histogram
+ * (distinct lines touched per memory instruction — the access stream
+ * the L1 actually sees). Exit 1 if any file is rejected; rejection
+ * prints the trace-io diagnosis, never crashes.
+ */
+
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "isa/opcode.hpp"
+#include "traceio/reader.hpp"
+
+using namespace crisp;
+
+namespace
+{
+
+/** CTAs examined per kernel for the mix/footprint scan (keeps the dump
+ *  bounded on full-frame fragment kernels; the header says when capped). */
+constexpr uint32_t kMaxCtasExamined = 256;
+
+const char *
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::FP32: return "fp32";
+      case OpClass::INT: return "int";
+      case OpClass::SFU: return "sfu";
+      case OpClass::Tensor: return "tensor";
+      case OpClass::MemGlobal: return "ldst";
+      case OpClass::MemShared: return "smem";
+      case OpClass::MemConst: return "const";
+      case OpClass::MemTexture: return "tex";
+      case OpClass::Control: return "ctrl";
+      case OpClass::Barrier: return "bar";
+      default: return "?";
+    }
+}
+
+bool
+dumpFile(const std::string &path)
+{
+    traceio::TraceReader reader(path);
+    if (!reader.valid()) {
+        std::fprintf(stderr, "trace_dump: %s: %s\n", path.c_str(),
+                     reader.error().render().c_str());
+        return false;
+    }
+
+    const traceio::EndRecord &totals = reader.totals();
+    std::printf("=== %s ===\n", path.c_str());
+    std::printf("format v%u, fingerprint: %s\n", reader.version(),
+                reader.fingerprint().c_str());
+    std::printf("%llu kernels, %llu CTAs, %llu instructions, heap "
+                "footprint %llu bytes\n\n",
+                static_cast<unsigned long long>(totals.kernelCount),
+                static_cast<unsigned long long>(totals.ctaCount),
+                static_cast<unsigned long long>(totals.instrCount),
+                static_cast<unsigned long long>(totals.heapBytesUsed));
+
+    for (size_t ki = 0; ki < reader.kernelCount(); ++ki) {
+        const traceio::TraceReader::Kernel &k = reader.kernel(ki);
+        const traceio::KernelHeaderRecord &h = k.header;
+        std::printf("kernel %zu: %s\n", ki, h.name.c_str());
+        std::printf("  grid %ux%ux%u, cta %ux%ux%u, %u regs/thread, "
+                    "%u B smem, drawcall %u, depends on %d\n",
+                    h.grid.x, h.grid.y, h.grid.z, h.cta.x, h.cta.y, h.cta.z,
+                    h.regsPerThread, h.smemPerCta, h.drawcall, h.dependsOn);
+
+        uint64_t mix[static_cast<size_t>(OpClass::NumClasses)] = {};
+        std::unordered_set<Addr> lines;
+        Histogram coalesce(kWarpSize);
+        uint64_t scanned_instrs = 0;
+        const uint32_t ctas = std::min<uint32_t>(h.ctaCount,
+                                                 kMaxCtasExamined);
+        for (uint32_t ci = 0; ci < ctas; ++ci) {
+            CtaTrace cta;
+            traceio::TraceError err;
+            if (!reader.readCta(ki, ci, cta, err)) {
+                std::fprintf(stderr, "trace_dump: %s: %s\n", path.c_str(),
+                             err.render().c_str());
+                return false;
+            }
+            for (const WarpTrace &w : cta.warps) {
+                for (const TraceInstr &in : w.instrs) {
+                    ++mix[static_cast<size_t>(opcodeClass(in.opcode))];
+                    ++scanned_instrs;
+                    if (!in.addrs.empty()) {
+                        const std::vector<Addr> touched =
+                            coalesceToLines(in);
+                        coalesce.add(touched.size());
+                        lines.insert(touched.begin(), touched.end());
+                    }
+                }
+            }
+        }
+
+        std::printf("  %llu instrs in %u/%u CTAs%s\n",
+                    static_cast<unsigned long long>(scanned_instrs), ctas,
+                    h.ctaCount,
+                    ctas < h.ctaCount ? " (scan capped; mix/footprint are "
+                                        "over the scanned prefix)"
+                                      : "");
+        std::printf("  instr mix:");
+        for (size_t c = 0; c < static_cast<size_t>(OpClass::NumClasses);
+             ++c) {
+            if (mix[c] == 0) {
+                continue;
+            }
+            std::printf(" %s %.1f%%", opClassName(static_cast<OpClass>(c)),
+                        100.0 * static_cast<double>(mix[c]) /
+                            static_cast<double>(scanned_instrs));
+        }
+        std::printf("\n");
+        if (coalesce.totalSamples() > 0) {
+            std::printf("  memory: %zu distinct 128 B lines (%.1f KiB), "
+                        "lines/access mean %.2f mode %llu max %llu\n",
+                        lines.size(),
+                        static_cast<double>(lines.size()) * kLineBytes /
+                            1024.0,
+                        coalesce.mean(),
+                        static_cast<unsigned long long>(
+                            coalesce.modeBucket()),
+                        static_cast<unsigned long long>(
+                            coalesce.maxValue()));
+        } else {
+            std::printf("  memory: no memory instructions in the scanned "
+                        "CTAs\n");
+        }
+    }
+    std::printf("\n");
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: trace_dump FILE...\n");
+        return 2;
+    }
+    bool ok = true;
+    for (int i = 1; i < argc; ++i) {
+        ok = dumpFile(argv[i]) && ok;
+    }
+    return ok ? 0 : 1;
+}
