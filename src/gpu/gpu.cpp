@@ -957,6 +957,15 @@ Gpu::run(Cycle max_cycles, const integrity::RunOptions &opts)
             result.completed = true;
             break;
         }
+        // Cooperative cancellation: a relaxed load per tick (the flag
+        // carries no data, only the stop request), checked before the
+        // tick so the machine stops at a clean cycle boundary with every
+        // counter identity intact — the audit checkers pass on a
+        // cancelled run exactly as they do mid-flight.
+        if (opts.cancel && opts.cancel->load(std::memory_order_relaxed)) {
+            result.cancelled = true;
+            break;
+        }
         tick();
         if (fast_forward) {
             const uint64_t work = totalWorkCount();

@@ -211,6 +211,8 @@ class Gpu : public MemFabricPort
     {
         Cycle cycles = 0;
         bool completed = false;
+        /** Set when RunOptions::cancel stopped the run between ticks. */
+        bool cancelled = false;
         /** Set when the integrity layer stopped the run (OnHang::Report). */
         std::optional<integrity::HangReport> hang;
     };

@@ -1,6 +1,7 @@
 #ifndef CRISP_INTEGRITY_REPORT_HPP
 #define CRISP_INTEGRITY_REPORT_HPP
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,16 @@ struct RunOptions
      * the stall.
      */
     telemetry::TelemetrySink *telemetry = nullptr;
+
+    /**
+     * Cooperative cancellation token (optional; not owned). Checked at
+     * tick granularity by Gpu::run: another thread storing true stops
+     * the run before its next tick with RunResult::cancelled set and
+     * all counters coherent at a cycle boundary. This is how a job
+     * server's deadline monitor or a client disconnect stops a
+     * simulation promptly without tearing down the process.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** One failed integrity check. */

@@ -1,0 +1,49 @@
+#include "service/chaos.hpp"
+
+namespace crisp::service
+{
+
+ChaosPlan
+ChaosMonkey::planFor(JobId id) const
+{
+    ChaosPlan plan;
+    if (!enabled()) {
+        return plan;
+    }
+    // splitmix-style mix so consecutive job ids land on uncorrelated
+    // streams; the Rng's own reseed expands it further.
+    Rng rng(cfg_.seed ^ (id * 0x9e3779b97f4a7c15ull));
+
+    if (rng.nextDouble() < cfg_.faultProb) {
+        plan.injectFault = true;
+        plan.fault.enabled = true;
+        plan.fault.seed = rng.next();
+        // Pick one fault family per job; each must leave the job in a
+        // terminal state the server can classify:
+        //   frozen SM      -> watchdog hang (no forward progress),
+        //   corrupt dep    -> stream-liveness violation,
+        //   dropped fill   -> counter-audit / MSHR-leak violation.
+        switch (rng.nextBelow(3)) {
+          case 0:
+            plan.fault.freezeSmAt = 100 + rng.nextBelow(400);
+            break;
+          case 1:
+            plan.fault.corruptNthDependency =
+                1 + static_cast<uint32_t>(rng.nextBelow(3));
+            break;
+          default:
+            plan.fault.dropFillProb = 0.05;
+            break;
+        }
+    }
+    if (rng.nextDouble() < cfg_.corruptCacheProb) {
+        plan.corruptCache = true;
+    }
+    if (rng.nextDouble() < cfg_.disconnectProb) {
+        plan.disconnectAfterSec =
+            rng.nextDouble() * cfg_.maxDisconnectDelaySec;
+    }
+    return plan;
+}
+
+} // namespace crisp::service

@@ -1,0 +1,65 @@
+#ifndef CRISP_SERVICE_CHAOS_HPP
+#define CRISP_SERVICE_CHAOS_HPP
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "service/job.hpp"
+
+namespace crisp::service
+{
+
+/**
+ * Chaos-mode configuration (`crispd --chaos-seed N`): deterministic,
+ * per-job fault plans that route the existing integrity::FaultInjector
+ * plus service-level faults (cache corruption, surprise client
+ * disconnects) through the server. The point is not to test the
+ * simulator — integrity_test does that — but to prove the *server*
+ * contains every failure: a chaos run must end drained, leak-free, and
+ * with every job in a terminal state.
+ */
+struct ChaosConfig
+{
+    /** 0 disables chaos entirely. */
+    uint64_t seed = 0;
+    /** Probability a job runs under an injected simulator fault. */
+    double faultProb = 0.25;
+    /** Probability the job's cache entry is corrupted before it runs. */
+    double corruptCacheProb = 0.15;
+    /** Probability the client "disconnects" (cancel at a random time). */
+    double disconnectProb = 0.15;
+    /** Latest disconnect, seconds after the job starts running. */
+    double maxDisconnectDelaySec = 0.2;
+};
+
+/**
+ * Per-job chaos plan. Derived deterministically from (seed, job id), so
+ * a failing soak run reproduces from its seed alone.
+ */
+struct ChaosPlan
+{
+    bool injectFault = false;
+    JobFaultSpec fault;
+    bool corruptCache = false;
+    /** < 0 = no disconnect; else cancel this many sec after start. */
+    double disconnectAfterSec = -1.0;
+};
+
+/** Plan generator; stateless between jobs (each plan reseeds). */
+class ChaosMonkey
+{
+  public:
+    explicit ChaosMonkey(const ChaosConfig &cfg) : cfg_(cfg) {}
+
+    bool enabled() const { return cfg_.seed != 0; }
+    const ChaosConfig &config() const { return cfg_; }
+
+    ChaosPlan planFor(JobId id) const;
+
+  private:
+    ChaosConfig cfg_;
+};
+
+} // namespace crisp::service
+
+#endif // CRISP_SERVICE_CHAOS_HPP

@@ -1,0 +1,128 @@
+#include "service/protocol.hpp"
+
+namespace crisp::service
+{
+
+namespace
+{
+
+std::string
+errorResponse(const std::string &why)
+{
+    Json r = Json::object();
+    r.set("ok", Json::boolean(false));
+    r.set("error", Json::str(why));
+    return r.dump();
+}
+
+std::string
+reportResponse(const JobReport &rep)
+{
+    Json r = Json::object();
+    r.set("ok", Json::boolean(true));
+    r.set("report", rep.toJson());
+    return r.dump();
+}
+
+} // namespace
+
+Json
+countersToJson(const JobServer::Counters &c)
+{
+    Json j = Json::object();
+    j.set("accepted", Json::number(c.accepted));
+    j.set("rejected_invalid", Json::number(c.rejectedInvalid));
+    j.set("rejected_over_quota", Json::number(c.rejectedOverQuota));
+    j.set("rejected_full", Json::number(c.rejectedFull));
+    j.set("rejected_shutdown", Json::number(c.rejectedShutdown));
+    j.set("completed", Json::number(c.completed));
+    j.set("failed", Json::number(c.failed));
+    j.set("cancelled", Json::number(c.cancelled));
+    j.set("timed_out", Json::number(c.timedOut));
+    j.set("over_quota", Json::number(c.overQuota));
+    j.set("hung", Json::number(c.hung));
+    j.set("retries", Json::number(c.retries));
+    j.set("queue_peak", Json::number(c.queuePeak));
+    return j;
+}
+
+std::string
+handleRequestLine(JobServer &server, const std::string &line,
+                  bool &shutdown_requested)
+{
+    Json req;
+    std::string perr;
+    if (!Json::parse(line, req, perr)) {
+        return errorResponse("malformed: " + perr);
+    }
+    if (!req.isObject()) {
+        return errorResponse("malformed: request must be an object");
+    }
+    const Json *cmd = req.find("cmd");
+    if (cmd == nullptr || !cmd->isString()) {
+        return errorResponse("malformed: missing string field 'cmd'");
+    }
+    const std::string &c = cmd->asString();
+
+    if (c == "ping") {
+        Json r = Json::object();
+        r.set("ok", Json::boolean(true));
+        r.set("pong", Json::boolean(true));
+        return r.dump();
+    }
+
+    if (c == "submit") {
+        const Json *job = req.find("job");
+        if (job == nullptr || !job->isObject()) {
+            return errorResponse("malformed: missing object field 'job'");
+        }
+        const JobServer::Admission a = server.submit(JobSpec::fromJson(*job));
+        if (!a.accepted) {
+            return errorResponse(a.error);
+        }
+        Json r = Json::object();
+        r.set("ok", Json::boolean(true));
+        r.set("id", Json::number(a.id));
+        return r.dump();
+    }
+
+    if (c == "status" || c == "wait" || c == "cancel") {
+        const Json *idField = req.find("id");
+        if (idField == nullptr || !idField->isNumber()) {
+            return errorResponse("malformed: missing numeric field 'id'");
+        }
+        const JobId id = idField->asU64();
+        if (c == "cancel") {
+            const bool cancelled = server.cancel(id);
+            Json r = Json::object();
+            r.set("ok", Json::boolean(true));
+            r.set("cancelled", Json::boolean(cancelled));
+            return r.dump();
+        }
+        const std::optional<JobReport> rep =
+            c == "wait" ? server.wait(id) : server.report(id);
+        if (!rep.has_value()) {
+            return errorResponse("unknown-job");
+        }
+        return reportResponse(*rep);
+    }
+
+    if (c == "counters") {
+        Json r = Json::object();
+        r.set("ok", Json::boolean(true));
+        r.set("counters", countersToJson(server.counters()));
+        return r.dump();
+    }
+
+    if (c == "shutdown") {
+        shutdown_requested = true;
+        server.beginShutdown();
+        Json r = Json::object();
+        r.set("ok", Json::boolean(true));
+        return r.dump();
+    }
+
+    return errorResponse("malformed: unknown cmd '" + c + "'");
+}
+
+} // namespace crisp::service

@@ -1,0 +1,49 @@
+#ifndef CRISP_SERVICE_PROTOCOL_HPP
+#define CRISP_SERVICE_PROTOCOL_HPP
+
+#include <string>
+
+#include "service/json.hpp"
+#include "service/server.hpp"
+
+namespace crisp::service
+{
+
+/**
+ * @file
+ * The crispd wire protocol: line-delimited JSON over a local stream
+ * socket. One request object per line, one response object per line,
+ * in order. Every response carries "ok"; failures add "error" with a
+ * "malformed: ..." / "over-quota: ..." / "unknown-job" reason.
+ *
+ * Requests:
+ *   {"cmd":"ping"}                         -> {"ok":true,"pong":true}
+ *   {"cmd":"submit","job":{...}}           -> {"ok":true,"id":N}
+ *   {"cmd":"status","id":N}                -> {"ok":true,"report":{...}}
+ *   {"cmd":"wait","id":N}                  -> {"ok":true,"report":{...}}
+ *                                             (blocks until terminal)
+ *   {"cmd":"cancel","id":N}                -> {"ok":true,"cancelled":b}
+ *   {"cmd":"counters"}                     -> {"ok":true,"counters":{...}}
+ *   {"cmd":"shutdown"}                     -> {"ok":true} and the daemon
+ *                                             begins a graceful drain.
+ *
+ * Dispatch is a pure function of (server, request line) so the whole
+ * protocol is unit-testable without sockets; the daemon's connection
+ * threads are a thin transport around it.
+ */
+
+/**
+ * Handle one request line; returns the response line (no newline).
+ * Never throws and never fatals on client input — a malformed line is
+ * a malformed-response, not a daemon incident. Sets
+ * @p shutdown_requested when the client asked the daemon to drain.
+ */
+std::string handleRequestLine(JobServer &server, const std::string &line,
+                              bool &shutdown_requested);
+
+/** Server counters as the protocol's "counters" object. */
+Json countersToJson(const JobServer::Counters &c);
+
+} // namespace crisp::service
+
+#endif // CRISP_SERVICE_PROTOCOL_HPP

@@ -1,0 +1,21 @@
+#include "service/retry.hpp"
+
+#include <algorithm>
+
+namespace crisp::service
+{
+
+double
+backoffDelaySec(const RetryPolicy &policy, uint32_t attempt, Rng &rng)
+{
+    // 2^attempt without overflow: the cap dominates long before 2^63.
+    const double exp =
+        attempt >= 63 ? policy.maxDelaySec
+                      : policy.baseDelaySec *
+                            static_cast<double>(uint64_t{1} << attempt);
+    const double ceiling =
+        std::clamp(exp, 0.0, policy.maxDelaySec);
+    return rng.nextDouble() * ceiling;
+}
+
+} // namespace crisp::service

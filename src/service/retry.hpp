@@ -1,0 +1,38 @@
+#ifndef CRISP_SERVICE_RETRY_HPP
+#define CRISP_SERVICE_RETRY_HPP
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace crisp::service
+{
+
+/**
+ * Retry policy for transient job failures (trace-cache read races,
+ * corrupt cache entries, I/O errors): capped exponential backoff with
+ * full jitter. Deterministic given the Rng, so soak tests replay the
+ * exact same schedule.
+ */
+struct RetryPolicy
+{
+    /** Attempts after the first (0 = fail immediately). */
+    uint32_t maxRetries = 2;
+    /** First-retry backoff ceiling, doubled per attempt. */
+    double baseDelaySec = 0.01;
+    /** Hard cap on any single backoff. */
+    double maxDelaySec = 0.5;
+};
+
+/**
+ * Backoff before retry @p attempt (0-based): uniform in
+ * [0, min(base * 2^attempt, cap)) — "full jitter", which decorrelates
+ * retry storms from many jobs failing on the same shared resource at
+ * once (e.g. a corrupted cache entry every worker hits together).
+ */
+double backoffDelaySec(const RetryPolicy &policy, uint32_t attempt,
+                       Rng &rng);
+
+} // namespace crisp::service
+
+#endif // CRISP_SERVICE_RETRY_HPP

@@ -1,0 +1,125 @@
+#include "service/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace crisp::service
+{
+
+namespace
+{
+
+/** Fill a sockaddr_un; false when the path does not fit. */
+bool
+makeAddr(const std::string &path, sockaddr_un &addr, std::string &err)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        err = "socket path too long: " + path;
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, int backlog, std::string &err)
+{
+    sockaddr_un addr;
+    if (!makeAddr(path, addr, err)) {
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        err = "bind " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, backlog) != 0) {
+        err = "listen " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string &err)
+{
+    sockaddr_un addr;
+    if (!makeAddr(path, addr, err)) {
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = "connect " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        // MSG_NOSIGNAL: a client that hung up mid-response costs an
+        // EPIPE return, not a SIGPIPE through the whole daemon.
+        const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+LineReader::readLine(std::string &line)
+{
+    for (;;) {
+        const size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(buf_, 0, nl);
+            buf_.erase(0, nl + 1);
+            return true;
+        }
+        if (buf_.size() > kMaxLine) {
+            return false;
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        if (n <= 0) {
+            return false;
+        }
+        buf_.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+} // namespace crisp::service

@@ -1,0 +1,53 @@
+#ifndef CRISP_SERVICE_SOCKET_HPP
+#define CRISP_SERVICE_SOCKET_HPP
+
+#include <string>
+
+namespace crisp::service
+{
+
+/**
+ * @file
+ * Thin AF_UNIX stream-socket helpers for the crispd transport. No
+ * framing beyond newline-delimited lines (the protocol layer's unit);
+ * no global state; every failure is a return value, never a fatal —
+ * a flaky client must not take the daemon down.
+ */
+
+/**
+ * Create, bind and listen on a unix socket at @p path (an existing
+ * socket file is unlinked first — crispd owns its socket path).
+ * Returns the listening fd, or -1 with @p err filled.
+ */
+int listenUnix(const std::string &path, int backlog, std::string &err);
+
+/** Connect to a unix socket; returns the fd or -1 with @p err filled. */
+int connectUnix(const std::string &path, std::string &err);
+
+/** Write all of @p data, retrying short writes; false on error/EPIPE. */
+bool writeAll(int fd, const std::string &data);
+
+/**
+ * Buffered newline-delimited reader over one fd. readLine strips the
+ * trailing '\n' and returns false on EOF or error with nothing (or a
+ * partial unterminated line) pending. Lines are capped at 1 MiB — a
+ * client streaming an unbounded "line" is a protocol violation, not a
+ * reason to grow without limit.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    bool readLine(std::string &line);
+
+  private:
+    static constexpr size_t kMaxLine = 1 << 20;
+
+    int fd_;
+    std::string buf_;
+};
+
+} // namespace crisp::service
+
+#endif // CRISP_SERVICE_SOCKET_HPP

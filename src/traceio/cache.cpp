@@ -1,9 +1,13 @@
 #include "traceio/cache.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <system_error>
+#include <thread>
 
 #include "common/logging.hpp"
 #include "traceio/reader.hpp"
@@ -97,12 +101,16 @@ TraceCache::loadOrBuild(const std::string &key, AddressSpace &heap,
     std::vector<KernelInfo> kernels = build(heap);
     const uint64_t heap_used = heap.allocatedEnd() - heap_before;
 
-    // Populate via a temp file + rename so concurrent readers never see
-    // a half-written trace.
+    // Populate via a temp file + atomic rename so concurrent readers
+    // never see a half-written trace. The temp name is unique per
+    // writer (pid + thread id): two threads or two *processes* racing
+    // to populate the same key each stage their own bytes — a shared
+    // temp name would interleave writes and install garbage.
     const std::string tmp =
-        path + ".tmp." + std::to_string(
-                             static_cast<unsigned long long>(keyHash(key)) ^
-                             reinterpret_cast<uintptr_t>(&kernels));
+        path + ".tmp." + std::to_string(static_cast<uint64_t>(getpid())) +
+        "." +
+        std::to_string(std::hash<std::thread::id>{}(
+            std::this_thread::get_id()));
     TraceError err;
     if (!writeTrace(tmp, key, kernels, {}, heap_used, err)) {
         warn("trace cache: cannot populate %s: %s", path.c_str(),
@@ -115,10 +123,19 @@ TraceCache::loadOrBuild(const std::string &key, AddressSpace &heap,
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
-        warn("trace cache: cannot move %s into place: %s", tmp.c_str(),
-             ec.message().c_str());
-        std::filesystem::remove(tmp, ec);
-        ++stats_.storeFailures;
+        std::error_code exists_ec;
+        std::filesystem::remove(tmp, exists_ec);
+        if (std::filesystem::exists(path, exists_ec)) {
+            // Lost the rename race: a concurrent writer installed its
+            // entry for this key first. Content addressing makes the
+            // two entries interchangeable, so the cache is populated
+            // either way — count the race, not a failure.
+            ++stats_.populateRaces;
+        } else {
+            warn("trace cache: cannot move %s into place: %s",
+                 tmp.c_str(), ec.message().c_str());
+            ++stats_.storeFailures;
+        }
     }
     return kernels;
 }

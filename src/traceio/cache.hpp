@@ -1,6 +1,7 @@
 #ifndef CRISP_TRACEIO_CACHE_HPP
 #define CRISP_TRACEIO_CACHE_HPP
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -29,6 +30,14 @@ uint64_t keyHash(const std::string &key);
  * truncated cache file is diagnosed (warn with the trace-io error),
  * dropped, and rebuilt — cache damage degrades to generation cost,
  * never to wrong simulation input.
+ *
+ * Safe under concurrent populates from multiple threads *and*
+ * processes (a job server runs many simulations against one cache
+ * directory): each writer stages through a unique pid+tid-suffixed
+ * temp file before the atomic rename, so two writers never interleave
+ * bytes, and a writer that loses the rename race treats the other
+ * writer's (identical-keyed) entry as the cache being populated — a
+ * win, not an error. Counters are atomics for the same reason.
  */
 class TraceCache
 {
@@ -63,12 +72,15 @@ class TraceCache
 
     struct Stats
     {
-        uint64_t hits = 0;
-        uint64_t misses = 0;
+        std::atomic<uint64_t> hits{0};
+        std::atomic<uint64_t> misses{0};
         /** Cache files rejected (corrupt, truncated, key mismatch). */
-        uint64_t rejects = 0;
+        std::atomic<uint64_t> rejects{0};
         /** Failed attempts to populate the cache (I/O errors). */
-        uint64_t storeFailures = 0;
+        std::atomic<uint64_t> storeFailures{0};
+        /** Populates that lost the rename race to a concurrent writer
+         *  (the entry exists either way, so this is not a failure). */
+        std::atomic<uint64_t> populateRaces{0};
     };
     const Stats &stats() const { return stats_; }
 

@@ -56,6 +56,19 @@ TraceError::render() const
            std::to_string(offset) + ": " + detail;
 }
 
+bool
+TraceError::transient() const
+{
+    switch (kind) {
+      case Kind::Io:
+      case Kind::Truncated:
+      case Kind::Corrupt:
+        return true;
+      default:
+        return false;
+    }
+}
+
 integrity::InvariantViolation
 TraceError::violation() const
 {

@@ -42,6 +42,16 @@ struct TraceError
     bool ok() const { return kind == Kind::None; }
     static const char *kindName(Kind k);
 
+    /**
+     * True for kinds worth retrying with backoff: Io (the file may be
+     * mid-rename or on flaky storage), Truncated and Corrupt (a reader
+     * can race a concurrent cache populate or sit on storage that lies
+     * about durability; a re-read after the writer's rename lands sees
+     * the complete file). BadMagic/Version/Schema are structural — the
+     * file is simply not a compatible trace and never will be.
+     */
+    bool transient() const;
+
     /** One-line human rendering: "trace-io <kind> @<offset>: <detail>". */
     std::string render() const;
 

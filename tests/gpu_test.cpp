@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+
+#include "audit/audit.hpp"
 #include "gpu/gpu.hpp"
 #include "workloads/compute.hpp"
 
@@ -284,6 +287,57 @@ TEST(GpuTest, KernelLogRecordsExecutionWindows)
     }
     // In-order stream: k2 launches after k1 completes.
     EXPECT_GE(log[1].launchCycle, log[0].completeCycle);
+}
+
+TEST(GpuTest, MidFlightCancellationLeavesCoherentState)
+{
+    Gpu gpu(tinyGpu());
+    const StreamId s = gpu.createStream("compute");
+    gpu.enqueueKernel(s, buildComputeKernel(simpleDesc("big", 64)));
+
+    // A controller raises the cancellation token mid-kernel; the run
+    // must stop at the next watchdog check, between ticks.
+    struct Trigger : GpuController
+    {
+        std::atomic<bool> cancel{false};
+        void
+        onCycle(Gpu &, Cycle now) override
+        {
+            if (now >= 300) {
+                cancel.store(true);
+            }
+        }
+    } trigger;
+    gpu.addController(&trigger);
+
+    integrity::RunOptions opts;
+    opts.checkInterval = 64;
+    opts.cancel = &trigger.cancel;
+    const auto r = gpu.run(2'000'000, opts);
+
+    EXPECT_TRUE(r.cancelled);
+    EXPECT_FALSE(r.completed);
+    EXPECT_FALSE(r.hang.has_value());
+    EXPECT_GE(r.cycles, 300u);
+    // Stopped at a check boundary shortly after the token was raised,
+    // not at the cycle budget.
+    EXPECT_LT(r.cycles, 300u + 2 * opts.checkInterval);
+
+    // The truncated run is partial but coherent: work was launched and
+    // counted, nothing was fabricated as finished.
+    const auto &st = gpu.stats().stream(s);
+    EXPECT_GT(st.instructions, 0u);
+    EXPECT_GT(st.ctasLaunched, 0u);
+    EXPECT_LE(st.ctasLaunched, 64u);
+    EXPECT_EQ(st.kernelsCompleted, 0u);
+
+    // Every cross-layer counter identity holds at the truncation point.
+    std::vector<integrity::InvariantViolation> violations;
+    audit::auditAll(gpu.stats(), gpu.constSms(), gpu.l2(), r.cycles,
+                    violations);
+    for (const auto &v : violations) {
+        ADD_FAILURE() << v.check << ": " << v.detail;
+    }
 }
 
 } // namespace

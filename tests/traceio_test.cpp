@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -486,6 +488,55 @@ TEST_F(TraceCacheTest, DisabledCacheBuildsLive)
     EXPECT_FALSE(hit);
     EXPECT_FALSE(kernels.empty());
     EXPECT_EQ(cache.stats().misses, 0u); // disabled: not even a miss
+}
+
+TEST_F(TraceCacheTest, ConcurrentPopulateOfOneKeyIsSafe)
+{
+    // Two threads race loadOrBuild on the same key, repeatedly, on a
+    // fresh entry each round. Whoever loses the tmp-file rename race
+    // must treat it as a miss-that-populated (counted in
+    // populateRaces), never as a failure, and the surviving entry must
+    // always be readable.
+    constexpr int kRounds = 6;
+    traceio::TraceCache cache(dir_);
+    ASSERT_TRUE(cache.enabled());
+
+    for (int round = 0; round < kRounds; ++round) {
+        const std::string key = computeCacheKey(
+            "race", "round=" + std::to_string(round), 0x8000'0000ull);
+        std::atomic<int> ready{0};
+        std::atomic<bool> go{false};
+        auto populate = [&] {
+            ready.fetch_add(1);
+            while (!go.load()) {
+            }
+            AddressSpace heap(0x8000'0000ull);
+            const std::vector<KernelInfo> kernels = cache.loadOrBuild(
+                key, heap,
+                [](AddressSpace &h) { return buildHolo(h, 2); });
+            EXPECT_FALSE(kernels.empty());
+        };
+        std::thread a(populate), b(populate);
+        while (ready.load() != 2) {
+        }
+        go.store(true);
+        a.join();
+        b.join();
+
+        // The entry exists and is valid regardless of who won.
+        traceio::TraceReader reader(cache.pathForKey(key));
+        EXPECT_TRUE(reader.valid()) << reader.error().render();
+    }
+
+    const auto &s = cache.stats();
+    // A lost rename race is a populate race, never a store failure,
+    // and every loadOrBuild call is accounted as a hit or a miss.
+    EXPECT_EQ(s.storeFailures.load(), 0u);
+    EXPECT_EQ(s.rejects.load(), 0u);
+    EXPECT_EQ(s.hits.load() + s.misses.load(),
+              uint64_t(2 * kRounds));
+    EXPECT_GE(s.misses.load(), uint64_t(kRounds));
+    EXPECT_LE(s.populateRaces.load(), s.misses.load());
 }
 
 } // namespace

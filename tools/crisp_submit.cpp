@@ -1,0 +1,251 @@
+/**
+ * @file
+ * crisp_submit: command-line client for crispd.
+ *
+ *   crisp_submit --socket PATH submit [--name S]
+ *       (--workload MICRO|VIO|HOLO|NN | --scene NAME | --trace FILE)
+ *       [--gpu rtx3070|orin|generic] [--sms N] [--frames N] [--width N]
+ *       [--height N] [--points N] [--layers N] [--ctas N]
+ *       [--iterations N] [--max-cycles N] [--max-wall SEC]
+ *       [--max-threads N] [--freeze-at CYC] [--corrupt-dep N]
+ *       [--drop-fill P] [--fault-seed N] [--wait]
+ *   crisp_submit --socket PATH submit-json RAW   (RAW sent as the job
+ *       object verbatim — deliberately malformed submissions for tests)
+ *   crisp_submit --socket PATH raw LINE          (LINE sent as the whole
+ *       request line, bypassing all client-side validation)
+ *   crisp_submit --socket PATH status ID
+ *   crisp_submit --socket PATH wait ID
+ *   crisp_submit --socket PATH cancel ID
+ *   crisp_submit --socket PATH counters
+ *   crisp_submit --socket PATH ping
+ *   crisp_submit --socket PATH shutdown
+ *
+ * Prints each response line to stdout. Exit codes: 0 = the server said
+ * ok, 2 = the server rejected the request ("ok":false), 1 = transport
+ * or usage error.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hpp"
+#include "service/job.hpp"
+#include "service/json.hpp"
+#include "service/socket.hpp"
+
+using namespace crisp;
+using namespace crisp::service;
+
+namespace
+{
+
+void
+usage()
+{
+    fatal("usage: crisp_submit --socket PATH "
+          "(submit [flags] | submit-json RAW | raw LINE | status ID | "
+          "wait ID | cancel ID | counters | ping | shutdown); see the "
+          "file header for submit flags");
+}
+
+uint64_t
+parseU64(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    fatal_if(end == value || *end != '\0',
+             "%s needs a non-negative integer, got '%s'", flag, value);
+    return static_cast<uint64_t>(v);
+}
+
+double
+parseDouble(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value, &end);
+    fatal_if(end == value || *end != '\0',
+             "%s needs a number, got '%s'", flag, value);
+    return v;
+}
+
+/** Send one request line, print and return the response. 1 exit on I/O. */
+std::string
+roundTrip(int fd, LineReader &reader, const std::string &request)
+{
+    if (!writeAll(fd, request + "\n")) {
+        fatal("crisp_submit: cannot write to daemon");
+    }
+    std::string response;
+    if (!reader.readLine(response)) {
+        fatal("crisp_submit: daemon closed the connection");
+    }
+    std::printf("%s\n", response.c_str());
+    return response;
+}
+
+/** True when the response object carries "ok": true. */
+bool
+responseOk(const std::string &response)
+{
+    Json j;
+    std::string err;
+    if (!Json::parse(response, j, err)) {
+        return false;
+    }
+    const Json *ok = j.find("ok");
+    return ok != nullptr && ok->asBool();
+}
+
+std::string
+idRequest(const char *cmd, uint64_t id)
+{
+    Json r = Json::object();
+    r.set("cmd", Json::str(cmd));
+    r.set("id", Json::number(id));
+    return r.dump();
+}
+
+std::string
+bareRequest(const char *cmd)
+{
+    Json r = Json::object();
+    r.set("cmd", Json::str(cmd));
+    return r.dump();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string command;
+    JobSpec spec;
+    bool wait_after_submit = false;
+    std::string raw_payload;
+    uint64_t job_id = 0;
+    bool have_job_id = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto next = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "%s needs a value", arg);
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--socket") == 0) {
+            socket_path = next();
+        } else if (command.empty() && arg[0] != '-') {
+            command = arg;
+            if (command == "submit-json" || command == "raw") {
+                raw_payload = next();
+            } else if (command == "status" || command == "wait" ||
+                       command == "cancel") {
+                job_id = parseU64(command.c_str(), next());
+                have_job_id = true;
+            }
+        } else if (std::strcmp(arg, "--name") == 0) {
+            spec.name = next();
+        } else if (std::strcmp(arg, "--workload") == 0) {
+            spec.workload = next();
+        } else if (std::strcmp(arg, "--scene") == 0) {
+            spec.scene = next();
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            spec.tracePath = next();
+        } else if (std::strcmp(arg, "--gpu") == 0) {
+            spec.gpuPreset = next();
+        } else if (std::strcmp(arg, "--sms") == 0) {
+            spec.numSms = static_cast<uint32_t>(parseU64(arg, next()));
+        } else if (std::strcmp(arg, "--frames") == 0) {
+            spec.frames = static_cast<uint32_t>(parseU64(arg, next()));
+        } else if (std::strcmp(arg, "--width") == 0) {
+            spec.width = static_cast<uint32_t>(parseU64(arg, next()));
+        } else if (std::strcmp(arg, "--height") == 0) {
+            spec.height = static_cast<uint32_t>(parseU64(arg, next()));
+        } else if (std::strcmp(arg, "--points") == 0) {
+            spec.points = static_cast<uint32_t>(parseU64(arg, next()));
+        } else if (std::strcmp(arg, "--layers") == 0) {
+            spec.layers = static_cast<uint32_t>(parseU64(arg, next()));
+        } else if (std::strcmp(arg, "--ctas") == 0) {
+            spec.ctas = static_cast<uint32_t>(parseU64(arg, next()));
+        } else if (std::strcmp(arg, "--iterations") == 0) {
+            spec.iterations =
+                static_cast<uint32_t>(parseU64(arg, next()));
+        } else if (std::strcmp(arg, "--max-cycles") == 0) {
+            spec.quota.maxCycles = parseU64(arg, next());
+        } else if (std::strcmp(arg, "--max-wall") == 0) {
+            spec.quota.maxWallSec = parseDouble(arg, next());
+        } else if (std::strcmp(arg, "--max-threads") == 0) {
+            spec.quota.maxEngineThreads =
+                static_cast<uint32_t>(parseU64(arg, next()));
+        } else if (std::strcmp(arg, "--freeze-at") == 0) {
+            spec.fault.enabled = true;
+            spec.fault.freezeSmAt = parseU64(arg, next());
+        } else if (std::strcmp(arg, "--corrupt-dep") == 0) {
+            spec.fault.enabled = true;
+            spec.fault.corruptNthDependency =
+                static_cast<uint32_t>(parseU64(arg, next()));
+        } else if (std::strcmp(arg, "--drop-fill") == 0) {
+            spec.fault.enabled = true;
+            spec.fault.dropFillProb = parseDouble(arg, next());
+        } else if (std::strcmp(arg, "--fault-seed") == 0) {
+            spec.fault.seed = parseU64(arg, next());
+        } else if (std::strcmp(arg, "--wait") == 0) {
+            wait_after_submit = true;
+        } else {
+            usage();
+        }
+    }
+    if (socket_path.empty() || command.empty()) {
+        usage();
+    }
+
+    std::string err;
+    const int fd = connectUnix(socket_path, err);
+    fatal_if(fd < 0, "crisp_submit: %s", err.c_str());
+    LineReader reader(fd);
+
+    std::string request;
+    if (command == "submit") {
+        Json r = Json::object();
+        r.set("cmd", Json::str("submit"));
+        r.set("job", spec.toJson());
+        request = r.dump();
+    } else if (command == "submit-json") {
+        // The payload is spliced in verbatim: invalid JSON here makes
+        // the whole request line invalid, which is exactly what the
+        // malformed-input tests need the daemon to survive.
+        request = "{\"cmd\":\"submit\",\"job\":" + raw_payload + "}";
+    } else if (command == "raw") {
+        request = raw_payload;
+    } else if (have_job_id) {
+        request = idRequest(command.c_str(), job_id);
+    } else if (command == "ping" || command == "counters" ||
+               command == "shutdown") {
+        request = bareRequest(command.c_str());
+    } else {
+        usage();
+    }
+
+    std::string response = roundTrip(fd, reader, request);
+    bool ok = responseOk(response);
+
+    if (ok && command == "submit" && wait_after_submit) {
+        Json j;
+        std::string perr;
+        if (Json::parse(response, j, perr)) {
+            const Json *id = j.find("id");
+            if (id != nullptr && id->isNumber()) {
+                response =
+                    roundTrip(fd, reader, idRequest("wait", id->asU64()));
+                ok = responseOk(response);
+            }
+        }
+    }
+
+    ::close(fd);
+    return ok ? 0 : 2;
+}

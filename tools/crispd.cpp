@@ -1,0 +1,257 @@
+/**
+ * @file
+ * crispd: the CRISP simulation job daemon.
+ *
+ *   crispd --socket PATH [--workers N] [--queue N] [--spool DIR]
+ *          [--cache DIR] [--grace SEC] [--chaos-seed N]
+ *          [--max-cycles N] [--max-wall SEC] [--max-threads N]
+ *          [--watchdog CYC] [--hang-threshold CYC] [--audit CYC]
+ *          [--retries N]
+ *
+ * Serves the line-delimited JSON protocol (src/service/protocol.hpp)
+ * on a unix socket, one thread per connection, jobs on a bounded queue
+ * behind admission control. SIGTERM/SIGINT (or a "shutdown" request)
+ * stops admissions, drains running jobs for --grace seconds, cancels
+ * whatever remains, flushes every report to the spool directory, and
+ * exits 0 on a clean drain.
+ */
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
+
+using namespace crisp;
+using namespace crisp::service;
+
+namespace
+{
+
+/** Self-pipe: signal handlers may only write; poll() sees the byte. */
+int g_wakePipe[2] = {-1, -1};
+
+void
+onSignal(int)
+{
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(g_wakePipe[1], &byte, 1);
+}
+
+void
+usage()
+{
+    fatal("usage: crispd --socket PATH [--workers N] [--queue N] "
+          "[--spool DIR] [--cache DIR] [--grace SEC] [--chaos-seed N] "
+          "[--max-cycles N] [--max-wall SEC] [--max-threads N] "
+          "[--watchdog CYC] [--hang-threshold CYC] [--audit CYC] "
+          "[--retries N]");
+}
+
+uint64_t
+parseU64(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    fatal_if(end == value || *end != '\0',
+             "%s needs a non-negative integer, got '%s'", flag, value);
+    return static_cast<uint64_t>(v);
+}
+
+double
+parseSec(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value, &end);
+    fatal_if(end == value || *end != '\0' || !(v >= 0.0),
+             "%s needs a non-negative number of seconds, got '%s'", flag,
+             value);
+    return v;
+}
+
+/** One client connection: requests in, responses out, until EOF. */
+void
+serveConnection(JobServer &server, int fd,
+                std::atomic<bool> &shutdown_flag)
+{
+    LineReader reader(fd);
+    std::string line;
+    while (reader.readLine(line)) {
+        bool shutdown_requested = false;
+        const std::string resp =
+            handleRequestLine(server, line, shutdown_requested);
+        if (!writeAll(fd, resp + "\n")) {
+            break;
+        }
+        if (shutdown_requested) {
+            shutdown_flag.store(true);
+            const char byte = 1;
+            [[maybe_unused]] const ssize_t n =
+                ::write(g_wakePipe[1], &byte, 1);
+        }
+    }
+    ::close(fd);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    double grace_sec = 10.0;
+    ServerConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto next = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "%s needs a value", arg);
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--socket") == 0) {
+            socket_path = next();
+        } else if (std::strcmp(arg, "--workers") == 0) {
+            cfg.workers =
+                static_cast<uint32_t>(parseU64(arg, next()));
+        } else if (std::strcmp(arg, "--queue") == 0) {
+            cfg.queueCapacity =
+                static_cast<size_t>(parseU64(arg, next()));
+        } else if (std::strcmp(arg, "--spool") == 0) {
+            cfg.spoolDir = next();
+        } else if (std::strcmp(arg, "--cache") == 0) {
+            cfg.cacheDir = next();
+        } else if (std::strcmp(arg, "--grace") == 0) {
+            grace_sec = parseSec(arg, next());
+        } else if (std::strcmp(arg, "--chaos-seed") == 0) {
+            cfg.chaos.seed = parseU64(arg, next());
+        } else if (std::strcmp(arg, "--max-cycles") == 0) {
+            cfg.maxQuota.maxCycles = parseU64(arg, next());
+        } else if (std::strcmp(arg, "--max-wall") == 0) {
+            cfg.maxQuota.maxWallSec = parseSec(arg, next());
+        } else if (std::strcmp(arg, "--max-threads") == 0) {
+            cfg.maxQuota.maxEngineThreads =
+                static_cast<uint32_t>(parseU64(arg, next()));
+        } else if (std::strcmp(arg, "--watchdog") == 0) {
+            cfg.watchdogInterval = parseU64(arg, next());
+        } else if (std::strcmp(arg, "--hang-threshold") == 0) {
+            cfg.hangThreshold = parseU64(arg, next());
+        } else if (std::strcmp(arg, "--audit") == 0) {
+            cfg.auditInterval = parseU64(arg, next());
+        } else if (std::strcmp(arg, "--retries") == 0) {
+            cfg.retry.maxRetries =
+                static_cast<uint32_t>(parseU64(arg, next()));
+        } else {
+            usage();
+        }
+    }
+    if (socket_path.empty()) {
+        usage();
+    }
+
+    fatal_if(::pipe(g_wakePipe) != 0, "crispd: cannot create signal pipe");
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    std::string err;
+    const int listen_fd = listenUnix(socket_path, 16, err);
+    fatal_if(listen_fd < 0, "crispd: %s", err.c_str());
+
+    JobServer server(cfg);
+    inform("crispd: listening on %s (workers=%u queue=%zu chaos=%s)",
+           socket_path.c_str(), cfg.workers, cfg.queueCapacity,
+           cfg.chaos.seed != 0 ? "on" : "off");
+
+    std::atomic<bool> shutdown_flag{false};
+    std::mutex conns_mu;
+    std::vector<std::thread> conns;
+    std::vector<int> conn_fds;
+
+    pollfd fds[2];
+    fds[0] = {listen_fd, POLLIN, 0};
+    fds[1] = {g_wakePipe[0], POLLIN, 0};
+    while (!shutdown_flag.load()) {
+        fds[0].revents = 0;
+        fds[1].revents = 0;
+        const int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            warn("crispd: poll: %s", std::strerror(errno));
+            break;
+        }
+        if (fds[1].revents != 0) {
+            break; // Signal or protocol shutdown.
+        }
+        if ((fds[0].revents & POLLIN) == 0) {
+            continue;
+        }
+        const int client = ::accept(listen_fd, nullptr, nullptr);
+        if (client < 0) {
+            continue;
+        }
+        std::lock_guard<std::mutex> lk(conns_mu);
+        conn_fds.push_back(client);
+        conns.emplace_back([&server, client, &shutdown_flag] {
+            serveConnection(server, client, shutdown_flag);
+        });
+    }
+
+    // Shutdown sequence: stop accepting connections and jobs, drain the
+    // jobs (this is where the grace period and forced cancellation
+    // live), then hang up on idle clients and collect their threads —
+    // in that order, because a client blocked in "wait" only unblocks
+    // once its job reaches a terminal state.
+    ::close(listen_fd);
+    server.beginShutdown();
+    inform("crispd: draining (grace %.1fs)", grace_sec);
+    const bool drained = server.drain(grace_sec);
+    {
+        std::lock_guard<std::mutex> lk(conns_mu);
+        for (int fd : conn_fds) {
+            ::shutdown(fd, SHUT_RDWR);
+        }
+    }
+    for (std::thread &t : conns) {
+        if (t.joinable()) {
+            t.join();
+        }
+    }
+    ::unlink(socket_path.c_str());
+
+    // Exit 0 when shutdown was safe: every admitted job reached a
+    // terminal state (and therefore has a spooled report). "drained"
+    // only distinguishes whether the grace period sufficed or forced
+    // cancellation was needed; both are clean exits.
+    const JobServer::Counters c = server.counters();
+    const uint64_t terminal = c.completed + c.failed + c.cancelled +
+        c.timedOut + c.overQuota + c.hung;
+    inform("crispd: drained=%s accepted=%llu completed=%llu failed=%llu "
+           "cancelled=%llu timed-out=%llu over-quota=%llu hung=%llu "
+           "retries=%llu",
+           drained ? "clean" : "forced",
+           static_cast<unsigned long long>(c.accepted),
+           static_cast<unsigned long long>(c.completed),
+           static_cast<unsigned long long>(c.failed),
+           static_cast<unsigned long long>(c.cancelled),
+           static_cast<unsigned long long>(c.timedOut),
+           static_cast<unsigned long long>(c.overQuota),
+           static_cast<unsigned long long>(c.hung));
+    return terminal == c.accepted ? 0 : 1;
+}

@@ -13,11 +13,29 @@
 # Benches run with the counter audit enabled at its default cadence
 # (see bench_util.hpp), so a conservation violation fails the suite
 # even before the CSV diff does.
+#
+# Every bench runs under timeout(1) (BENCH_TIMEOUT seconds, default
+# 600), so a hung bench fails the suite with its name instead of
+# wedging CI until the runner-level kill — which reports nothing.
 set -euo pipefail
 
 BUILD=${1:?usage: tools/run_golden_suite.sh BUILD_DIR [--update]}
 MODE=${2:-}
+BENCH_TIMEOUT=${BENCH_TIMEOUT:-600}
 cd "$(dirname "$0")/.."
+
+# If anything aborts the suite mid-bench (set -e, a signal, the
+# runner's own kill), name the bench in flight: a suite that dies
+# silently is indistinguishable from a hung one.
+current_bench=""
+on_exit() {
+    local rc=$?
+    if [ "${rc}" -ne 0 ] && [ -n "${current_bench}" ]; then
+        echo "golden suite aborted (exit ${rc}) while running:" \
+            "${current_bench}" >&2
+    fi
+}
+trap on_exit EXIT
 
 # bench executable -> the CSV files it writes.
 BENCHES=(
@@ -64,8 +82,17 @@ note_failure() {
 : > golden_diff.txt
 for b in "${BENCHES[@]}"; do
     echo "== ${b}"
-    if ! "${BUILD}/bench/${b}" > /dev/null; then
-        note_failure "${b}" "bench exited nonzero"
+    current_bench=${b}
+    rc=0
+    timeout --foreground "${BENCH_TIMEOUT}" "${BUILD}/bench/${b}" \
+        > /dev/null || rc=$?
+    # timeout(1): 124 = timed out (SIGTERM), 137 = 128+SIGKILL (the
+    # --kill-after escalation or the OOM killer).
+    if [ "${rc}" -eq 124 ] || [ "${rc}" -eq 137 ]; then
+        note_failure "${b}" "hung: killed after ${BENCH_TIMEOUT}s"
+        continue
+    elif [ "${rc}" -ne 0 ]; then
+        note_failure "${b}" "crashed: exit ${rc}"
         continue
     fi
     # shellcheck disable=SC2206  # deliberate word split: list of CSVs
@@ -86,6 +113,7 @@ for b in "${BENCHES[@]}"; do
     fi
     RESULT[$b]="PASS"
 done
+current_bench=""
 
 echo
 echo "== golden suite summary"
