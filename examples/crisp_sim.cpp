@@ -9,6 +9,10 @@
  *
  * Usage:
  *   crisp_sim [options]
+ *     --scenario FILE   drive the run from a scenario JSON file; the
+ *                       file's graphics/compute/gpu sections replace
+ *                       --scene/--compute/--gpu/--width/--height/--lod/
+ *                       --frames (partitioning flags still apply)
  *     --scene NAME      SPL|SPH|PT|IT|PL|MT|none        (default SPL)
  *     --compute NAME    VIO|HOLO|NN|ATW|none            (default none)
  *     --gpu NAME        rtx3070|orin                    (default rtx3070)
@@ -21,6 +25,8 @@
  *     --csv FILE        dump per-stream stats as CSV
  *     --kernels         print the per-kernel execution log
  *     --trace FILE      write a Chrome trace_event JSON (Perfetto-loadable)
+ *     --max-cycles N    stop the simulation after N cycles; a capped
+ *                       run that did not drain is reported, not fatal
  *     --sample N        sample counters every N cycles (see --timeline)
  *     --timeline FILE   dump the sampled counter time-series as CSV
  *     --profile         print the simulator's wall-clock self-profile
@@ -44,6 +50,8 @@
 #include "graphics/pipeline.hpp"
 #include "partition/tap.hpp"
 #include "partition/warped_slicer.hpp"
+#include "scenario/build.hpp"
+#include "scenario/scenario.hpp"
 #include "workloads/compute.hpp"
 #include "workloads/scenes.hpp"
 #include "workloads/submit.hpp"
@@ -55,6 +63,7 @@ namespace
 
 struct Options
 {
+    std::string scenario;
     std::string scene = "SPL";
     std::string compute = "none";
     std::string gpu = "rtx3070";
@@ -68,6 +77,8 @@ struct Options
     std::string csv;
     bool kernels = false;
     std::string trace;
+    Cycle maxCycles = 8'000'000'000ull;
+    bool maxCyclesSet = false;
     Cycle sample = 0;
     std::string timeline;
     bool profile = false;
@@ -86,7 +97,9 @@ parseArgs(int argc, char **argv)
     };
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
-        if (a == "--scene") {
+        if (a == "--scenario") {
+            opt.scenario = need(i);
+        } else if (a == "--scene") {
             opt.scene = need(i);
         } else if (a == "--compute") {
             opt.compute = need(i);
@@ -112,6 +125,9 @@ parseArgs(int argc, char **argv)
             opt.kernels = true;
         } else if (a == "--trace") {
             opt.trace = need(i);
+        } else if (a == "--max-cycles") {
+            opt.maxCycles = static_cast<Cycle>(std::atoll(need(i)));
+            opt.maxCyclesSet = true;
         } else if (a == "--sample") {
             opt.sample = static_cast<Cycle>(std::atoll(need(i)));
         } else if (a == "--timeline") {
@@ -131,8 +147,15 @@ parseArgs(int argc, char **argv)
             fatal("unknown option %s", a.c_str());
         }
     }
-    fatal_if(opt.scene == "none" && opt.compute == "none",
-             "nothing to simulate: pass --scene and/or --compute");
+    if (!opt.scenario.empty()) {
+        // The scenario file owns the workload description.
+        opt.scene = "none";
+        opt.compute = "none";
+    }
+    fatal_if(opt.scenario.empty() && opt.scene == "none" &&
+                 opt.compute == "none",
+             "nothing to simulate: pass --scenario, --scene and/or "
+             "--compute");
     return opt;
 }
 
@@ -144,7 +167,17 @@ main(int argc, char **argv)
     setVerbose(false);
     const Options opt = parseArgs(argc, argv);
 
-    const GpuConfig gpu_cfg = opt.gpu == "orin" ? GpuConfig::jetsonOrin()
+    scenario::Scenario scn;
+    if (!opt.scenario.empty()) {
+        scenario::ScenarioError serr;
+        if (!scenario::loadScenarioFile(opt.scenario, scn, serr)) {
+            fatal("%s", serr.str().c_str());
+        }
+    }
+
+    const GpuConfig gpu_cfg = !opt.scenario.empty()
+        ? scenario::gpuConfigFor(scn)
+        : opt.gpu == "orin" ? GpuConfig::jetsonOrin()
         : opt.gpu == "rtx3070"
         ? GpuConfig::rtx3070()
         : (fatal("unknown gpu %s", opt.gpu.c_str()), GpuConfig{});
@@ -198,12 +231,22 @@ main(int argc, char **argv)
     }
 
     // Queue the work.
+    scenario::Materialized mat;
+    if (!opt.scenario.empty()) {
+        const scenario::SubmitResult sr =
+            scenario::submitScenario(scn, gpu, heap, mat);
+        gfx = sr.gfx;
+        cmp = sr.cmp;
+        if (sink && opt.profile && mat.pipeline) {
+            mat.pipeline->setProfiler(&sink->profiler());
+        }
+    }
     std::vector<RenderSubmission> frames;
     for (uint32_t f = 0; f < opt.frames && pipeline; ++f) {
         frames.push_back(pipeline->submit(*scene));
         submitFrame(gpu, gfx, frames.back());
     }
-    if (cmp != kInvalidStream) {
+    if (cmp != kInvalidStream && opt.scenario.empty()) {
         std::vector<KernelInfo> kernels;
         if (opt.compute == "VIO") {
             kernels = buildVio(heap, opt.frames);
@@ -262,15 +305,28 @@ main(int argc, char **argv)
     }
 
     if (!opt.quiet) {
-        std::printf("crisp_sim: scene=%s compute=%s gpu=%s policy=%s "
-                    "%ux%u lod=%d frames=%u\n",
-                    opt.scene.c_str(), opt.compute.c_str(),
-                    gpu_cfg.name.c_str(), opt.policy.c_str(), opt.width,
-                    opt.height, opt.lod ? 1 : 0, opt.frames);
+        if (!opt.scenario.empty()) {
+            std::printf("crisp_sim: scenario=%s (\"%s\") gpu=%s "
+                        "policy=%s\n",
+                        opt.scenario.c_str(), scn.name.c_str(),
+                        gpu_cfg.name.c_str(), opt.policy.c_str());
+        } else {
+            std::printf("crisp_sim: scene=%s compute=%s gpu=%s policy=%s "
+                        "%ux%u lod=%d frames=%u\n",
+                        opt.scene.c_str(), opt.compute.c_str(),
+                        gpu_cfg.name.c_str(), opt.policy.c_str(),
+                        opt.width, opt.height, opt.lod ? 1 : 0,
+                        opt.frames);
+        }
     }
 
-    const auto r = gpu.run(8'000'000'000ull);
-    fatal_if(!r.completed, "simulation did not drain");
+    const auto r = gpu.run(opt.maxCycles);
+    if (!r.completed && opt.maxCyclesSet) {
+        std::printf("stopped at --max-cycles %llu before draining\n",
+                    static_cast<unsigned long long>(opt.maxCycles));
+    } else {
+        fatal_if(!r.completed, "simulation did not drain");
+    }
 
     if (sink && !opt.trace.empty()) {
         telemetry::writeChromeTrace(*sink, opt.trace);
@@ -285,8 +341,10 @@ main(int argc, char **argv)
                     sink->series().rows());
     }
 
-    if (!opt.image.empty() && pipeline) {
-        pipeline->framebuffer().writePpm(opt.image);
+    RenderPipeline *fb_pipeline =
+        pipeline ? pipeline.get() : mat.pipeline.get();
+    if (!opt.image.empty() && fb_pipeline) {
+        fb_pipeline->framebuffer().writePpm(opt.image);
     }
 
     Table t({"stream", "cycles(first..last)", "kernels", "instructions",

@@ -1,4 +1,4 @@
-#include "service/json.hpp"
+#include "common/json.hpp"
 
 #include <cctype>
 #include <cmath>
@@ -7,7 +7,7 @@
 
 #include "common/logging.hpp"
 
-namespace crisp::service
+namespace crisp
 {
 
 Json
@@ -123,6 +123,23 @@ Json::push(Json value)
     panic_if(type_ != Type::Array, "Json::push on a non-array");
     arr_.push_back(std::move(value));
     return *this;
+}
+
+void
+Json::offsetToLineCol(const std::string &text, size_t offset,
+                      uint32_t &line, uint32_t &col)
+{
+    line = 1;
+    col = 1;
+    const size_t end = offset < text.size() ? offset : text.size();
+    for (size_t i = 0; i < end; ++i) {
+        if (text[i] == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+    }
 }
 
 namespace
@@ -378,6 +395,17 @@ class Parser
     bool
     parseValue(Json &out, int depth)
     {
+        const size_t value_start = pos_;
+        if (!parseValueInner(out, depth)) {
+            return false;
+        }
+        out.setSrcOffset(value_start);
+        return true;
+    }
+
+    bool
+    parseValueInner(Json &out, int depth)
+    {
         if (depth > kMaxDepth) {
             return fail("nesting too deep");
         }
@@ -524,4 +552,4 @@ Json::parse(const std::string &text, Json &out, std::string &err)
     return true;
 }
 
-} // namespace crisp::service
+} // namespace crisp

@@ -188,6 +188,22 @@ class Sm
     uint64_t pendingFabricReads() const { return fabricRetry_.size(); }
 
     /**
+     * True if a read for @p line is still parked in the fabric-retry
+     * queue — the SM-side leg of the leak scan's is-it-orphaned test: an
+     * L1 MSHR entry whose request has not even reached the L2 yet is
+     * starved, not leaked.
+     */
+    bool fabricRetryHasLine(Addr line) const
+    {
+        for (const auto &req : fabricRetry_) {
+            if (req.line == line && req.expectsResponse()) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
      * Add each read parked in the fabric-retry queue to @p out[stream].
      * The audit balances per-stream L1 misses against L2 accesses plus
      * requests still on their way there.

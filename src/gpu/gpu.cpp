@@ -105,6 +105,20 @@ KernelId
 Gpu::enqueueKernelAfter(StreamId stream, KernelInfo info,
                         KernelId depends_on, Cycle delay)
 {
+    return enqueueInternal(stream, std::move(info), depends_on, delay, 0);
+}
+
+KernelId
+Gpu::enqueueKernelAt(StreamId stream, KernelInfo info, Cycle not_before)
+{
+    return enqueueInternal(stream, std::move(info), kNoDependency, 0,
+                           not_before);
+}
+
+KernelId
+Gpu::enqueueInternal(StreamId stream, KernelInfo info, KernelId depends_on,
+                     Cycle delay, Cycle not_before)
+{
     auto it = streams_.find(stream);
     fatal_if(it == streams_.end(), "enqueue on unknown stream %u", stream);
     // Dependencies must name a kernel previously enqueued on this stream;
@@ -141,6 +155,7 @@ Gpu::enqueueKernelAfter(StreamId stream, KernelInfo info,
     q.info = std::move(info);
     q.dependsOn = depends_on;
     q.delay = delay;
+    q.notBefore = not_before;
     // Fault injection: overwrite the (validated) dependency with an id
     // that can never complete, after validation so only the injector can
     // smuggle one in. The stream-liveness checker must catch it.
@@ -354,6 +369,11 @@ Gpu::promoteReadyKernels(StreamState &ss)
 {
     while (!ss.queue.empty() && ss.active.size() < kMaxActiveKernels) {
         const QueuedKernel &front = ss.queue.front();
+        // Arrival gate: a kernel enqueued with an absolute arrival time
+        // (enqueueKernelAt) is invisible to the scheduler until then.
+        if (cycle_ < front.notBefore) {
+            break;
+        }
         if (front.dependsOn != kNoDependency) {
             if (!ss.completed.count(front.dependsOn)) {
                 break;
@@ -724,12 +744,15 @@ Gpu::nextWakeCycle() const
         }
         const QueuedKernel &front = ss.queue.front();
         if (front.dependsOn == kNoDependency) {
-            consider(cycle_ + 1);   // promotes on the next tick
+            // Promotes on the next tick, or at its arrival time if it
+            // carries one (consider() clamps to cycle_ + 1).
+            consider(front.notBefore);
             continue;
         }
         auto done_at = ss.completedAt.find(front.dependsOn);
         if (done_at != ss.completedAt.end()) {
-            consider(done_at->second + front.delay);
+            consider(std::max(done_at->second + front.delay,
+                              front.notBefore));
         }
     }
 
@@ -798,11 +821,12 @@ Gpu::progressImminent() const
         }
         const QueuedKernel &front = ss.queue.front();
         if (front.dependsOn == kNoDependency) {
-            return true;   // promotes on the next tick
+            return true;   // promotes on the next tick (or at arrival)
         }
         auto done_at = ss.completedAt.find(front.dependsOn);
         if (done_at != ss.completedAt.end() &&
-            cycle_ < done_at->second + front.delay) {
+            cycle_ < std::max(done_at->second + front.delay,
+                              front.notBefore)) {
             return true;
         }
     }

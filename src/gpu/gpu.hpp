@@ -163,6 +163,18 @@ class Gpu : public MemFabricPort
                                 KernelId depends_on, Cycle delay);
 
     /**
+     * Append a kernel that becomes eligible no earlier than the absolute
+     * cycle @p not_before, independent of other kernels' completion.
+     * Models an arrival schedule: work that reaches the GPU at a known
+     * wall-clock point (a burst of inference requests landing mid-frame)
+     * rather than as a dependency of earlier work. Stream order still
+     * holds — a kernel queued behind it cannot overtake it — so arrival
+     * times on one stream should be enqueued in ascending order.
+     */
+    KernelId enqueueKernelAt(StreamId stream, KernelInfo info,
+                             Cycle not_before);
+
+    /**
      * Select the partitioning method; applies SM/bank masks and quotas.
      * Shares must be non-negative and sum to at most 1.0, and every named
      * stream (including priorityStream) must exist.
@@ -286,6 +298,7 @@ class Gpu : public MemFabricPort
         KernelInfo info;
         KernelId dependsOn = kNoDependency;
         Cycle delay = 0;          ///< Fixed-function latency after dep.
+        Cycle notBefore = 0;      ///< Earliest eligibility (arrival time).
     };
 
     struct ActiveKernel
@@ -312,6 +325,9 @@ class Gpu : public MemFabricPort
     /** Kernels of one stream allowed in flight simultaneously. */
     static constexpr size_t kMaxActiveKernels = 6;
 
+    KernelId enqueueInternal(StreamId stream, KernelInfo info,
+                             KernelId depends_on, Cycle delay,
+                             Cycle not_before);
     void applyPartition();
     void issueCtas();
     void onCtaDone(uint32_t sm_id, StreamId stream, KernelId kernel);

@@ -26,6 +26,22 @@ Mesh::Mesh(std::string name, std::vector<Vertex> vertices,
 }
 
 Mesh
+Mesh::deformed(const std::string &name, const Mesh &src, float time,
+               float amplitude, float frequency, AddressSpace &heap)
+{
+    std::vector<Vertex> verts = src.vertices();
+    for (Vertex &v : verts) {
+        const float phase = frequency *
+            (v.position.x + v.position.y + v.position.z) + time;
+        const float d = amplitude * std::sin(phase);
+        v.position.x += v.normal.x * d;
+        v.position.y += v.normal.y * d;
+        v.position.z += v.normal.z * d;
+    }
+    return Mesh(name, std::move(verts), src.indices(), heap);
+}
+
+Mesh
 Mesh::makePlane(const std::string &name, uint32_t n, float size,
                 float uv_tile, AddressSpace &heap)
 {

@@ -81,6 +81,20 @@ class Mesh
                          uint32_t slices, float radius, uint64_t seed,
                          AddressSpace &heap);
 
+    /**
+     * Deformed copy of @p src at animation time @p time: every vertex is
+     * displaced along its normal by a travelling sine wave
+     * (amplitude * sin(frequency * (x + y + z) + time)), the per-frame
+     * pose of a skinned or cloth-simulated mesh. The copy allocates
+     * fresh vertex/index buffers from @p heap, modeling the dynamic
+     * vertex re-upload a deforming mesh costs every frame — each frame's
+     * vertex fetch traffic therefore misses on cold lines instead of
+     * re-hitting the previous frame's.
+     */
+    static Mesh deformed(const std::string &name, const Mesh &src,
+                         float time, float amplitude, float frequency,
+                         AddressSpace &heap);
+
   private:
     std::string name_;
     std::vector<Vertex> vertices_;

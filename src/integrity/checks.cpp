@@ -106,6 +106,13 @@ findMshrLeaks(const std::vector<const Sm *> &sms, const L2Subsystem &l2,
             if (age < max_age) {
                 break;   // entries() is sorted oldest first
             }
+            // Old but still live somewhere between here and DRAM means
+            // starved, not leaked: under saturation a request can queue
+            // for tens of thousands of cycles and still complete.
+            if (sm->fabricRetryHasLine(entry.line) ||
+                l2.lineInFlightFor(sm->smId(), entry.line)) {
+                continue;
+            }
             HangReport::MshrLeakRow row;
             row.level = "L1";
             row.unit = sm->smId();
@@ -126,6 +133,11 @@ findMshrLeaks(const std::vector<const Sm *> &sms, const L2Subsystem &l2,
         const Cycle age = now - entry.allocatedAt;
         if (age < max_age) {
             break;   // sorted oldest first
+        }
+        // A fill still on its way back will clear this entry; only an
+        // entry nothing will ever fill is a leak.
+        if (l2.fillInFlight(entry.bank, entry.line)) {
+            continue;
         }
         HangReport::MshrLeakRow row;
         row.level = "L2";

@@ -38,10 +38,17 @@ void checkSmAccounting(const std::vector<const Sm *> &sms, Cycle now,
                        std::vector<InvariantViolation> &out);
 
 /**
- * Age-based MSHR leak scan over every SM's L1 MSHR and the L2's banked
- * MSHRs. Returns structured rows (for the HangReport) and appends one
- * violation per leaked entry, naming the line address and the owning
- * SM/bank — the acceptance-test contract for dropped-fill hangs.
+ * MSHR leak scan over every SM's L1 MSHR and the L2's banked MSHRs. An
+ * entry is leaked when it is older than @p max_age *and* orphaned —
+ * nothing between the SM and DRAM (fabric-retry queue, bank queues,
+ * merged L2 MSHR target, pending fill or response) will ever complete
+ * it. Age alone is not enough: under DRAM saturation a live request can
+ * legitimately queue for tens of thousands of cycles (the divergent-
+ * gather scenarios do this), while a dropped fill or response leaves no
+ * in-flight trace. Returns structured rows (for the HangReport) and
+ * appends one violation per leaked entry, naming the line address and
+ * the owning SM/bank — the acceptance-test contract for dropped-fill
+ * hangs.
  */
 std::vector<HangReport::MshrLeakRow>
 findMshrLeaks(const std::vector<const Sm *> &sms, const L2Subsystem &l2,

@@ -50,8 +50,11 @@ struct RunOptions
     Cycle hangThreshold = 0;
 
     /**
-     * Age in cycles past which an outstanding MSHR entry is reported as
-     * leaked. 0 derives a default matching hangThreshold.
+     * Age in cycles past which an *orphaned* MSHR entry is reported as
+     * leaked. Entries with live traffic anywhere between the SM and
+     * DRAM are never reported, whatever their age — saturated DRAM can
+     * starve a legitimate request well past any fixed threshold. 0
+     * derives a default matching hangThreshold.
      */
     Cycle mshrLeakAge = 0;
 

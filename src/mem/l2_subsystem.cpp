@@ -386,6 +386,48 @@ L2Subsystem::oldestMshrAllocation() const
     return oldest;
 }
 
+bool
+L2Subsystem::lineInFlightFor(uint32_t smId, Addr line) const
+{
+    for (const auto &queue : bankQueues_) {
+        for (const MemRequest &req : queue) {
+            if (req.line == line && req.smId == smId &&
+                req.expectsResponse()) {
+                return true;
+            }
+        }
+    }
+    for (const auto &mshr : mshrs_) {
+        for (uint64_t key : mshr.keysFor(line)) {
+            if (key == MemRequest::kNoCompletion) {
+                continue;
+            }
+            MemRequest decoded;
+            decodeTarget(key, decoded);
+            if (decoded.smId == smId) {
+                return true;
+            }
+        }
+    }
+    for (const auto &[due, req] : pendingResponses_) {
+        if (req.line == line && req.smId == smId) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+L2Subsystem::fillInFlight(uint32_t bank, Addr line) const
+{
+    for (const auto &[due, fill] : pendingFills_) {
+        if (fill.bank == bank && fill.req.line == line) {
+            return true;
+        }
+    }
+    return false;
+}
+
 std::vector<size_t>
 L2Subsystem::bankQueueDepths() const
 {

@@ -171,6 +171,24 @@ class L2Subsystem
      */
     Cycle oldestMshrAllocation() const;
 
+    /**
+     * True when traffic that will eventually complete SM @p smId's read
+     * of @p line is still alive inside the subsystem: a queued request,
+     * a merged L2 MSHR target, or an undelivered response. The leak scan
+     * uses this to tell a *starved* L1 MSHR entry (slow but live — seen
+     * under DRAM saturation, where a request can queue for tens of
+     * thousands of cycles) from an *orphaned* one whose response was
+     * lost and will never arrive. Walks the in-flight structures, so
+     * callers should gate it behind an age threshold.
+     */
+    bool lineInFlightFor(uint32_t smId, Addr line) const;
+
+    /**
+     * True when a DRAM fill for @p line on bank @p bank is still on its
+     * way back. A leaked L2 MSHR entry (dropped fill) has none.
+     */
+    bool fillInFlight(uint32_t bank, Addr line) const;
+
     /** Current depth of each bank's request queue. */
     std::vector<size_t> bankQueueDepths() const;
 

@@ -50,6 +50,16 @@ Mshr::pending(Addr line) const
     return table_.count(line) != 0;
 }
 
+std::vector<uint64_t>
+Mshr::keysFor(Addr line) const
+{
+    auto it = table_.find(line);
+    if (it == table_.end()) {
+        return {};
+    }
+    return it->second.keys;
+}
+
 bool
 Mshr::wouldStall(Addr line) const
 {

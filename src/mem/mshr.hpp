@@ -55,6 +55,13 @@ class Mshr
     bool pending(Addr line) const;
 
     /**
+     * Target keys currently waiting on @p line (empty when the line is
+     * not pending). The integrity leak scan uses this to test whether a
+     * specific requester still has a merged target alive downstream.
+     */
+    std::vector<uint64_t> keysFor(Addr line) const;
+
+    /**
      * True if allocate(line, ...) would return Stall right now: the line
      * is pending with a full target list, or it is not pending and no
      * entry is free. Side-effect-free; the fast-forward wake computation

@@ -1,0 +1,463 @@
+#include "scenario/build.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "workloads/compute.hpp"
+#include "workloads/scenes.hpp"
+#include "workloads/submit.hpp"
+
+namespace crisp::scenario
+{
+
+GpuConfig
+gpuConfigFor(const Scenario &sc)
+{
+    GpuConfig cfg = sc.gpu.preset == "orin" ? GpuConfig::jetsonOrin()
+                                            : GpuConfig::rtx3070();
+    if (sc.gpu.numSms != 0) {
+        cfg.numSms = sc.gpu.numSms;
+        cfg.finalize();
+    }
+    return cfg;
+}
+
+namespace
+{
+
+/** Explicit-scene state carried across frames (deform retargeting). */
+struct GfxBuild
+{
+    Scene *scene = nullptr;
+    const Mesh *deformSrc = nullptr;
+    std::vector<size_t> deformDraws;  ///< scene->draws indices to retarget.
+};
+
+Mesh
+makeMesh(const MeshNode &m, AddressSpace &heap)
+{
+    if (m.type == "plane") {
+        return Mesh::makePlane(m.name, m.quads, m.size, m.uvTile, heap);
+    }
+    if (m.type == "sphere") {
+        return Mesh::makeSphere(m.name, m.stacks, m.slices, m.radius, heap);
+    }
+    if (m.type == "box") {
+        return Mesh::makeBox(m.name, m.extent, heap, m.uvTile);
+    }
+    if (m.type == "cylinder") {
+        return Mesh::makeCylinder(m.name, m.slices, m.radius, m.height,
+                                  heap, m.uvTile);
+    }
+    fatal_if(m.type != "rock", "unvalidated mesh type %s", m.type.c_str());
+    return Mesh::makeRock(m.name, m.stacks, m.slices, m.radius, m.seed,
+                          heap);
+}
+
+Scene
+buildExplicitScene(const Scenario &sc, AddressSpace &heap, GfxBuild &gb)
+{
+    const GraphicsDesc &g = sc.graphics;
+    Scene scene;
+    scene.name = sc.name;
+    scene.camera.eye = g.camera.eye;
+    scene.camera.view =
+        Mat4::lookAt(g.camera.eye, g.camera.lookAt, {0.0f, 1.0f, 0.0f});
+    scene.camera.proj = Mat4::perspective(
+        g.camera.fovDeg * static_cast<float>(M_PI) / 180.0f,
+        static_cast<float>(g.width) / static_cast<float>(g.height), 0.1f,
+        200.0f);
+
+    std::map<std::string, Mesh *> meshes;
+    for (const MeshNode &m : g.meshes) {
+        meshes[m.name] = scene.addMesh(makeMesh(m, heap));
+    }
+    std::map<std::string, std::pair<Material *, uint32_t>> materials;
+    for (const MaterialNode &mn : g.materials) {
+        Material *p;
+        if (mn.shader == "pbr") {
+            p = addPbrMaterial(scene, heap, mn.name, mn.texDim, mn.seed);
+        } else if (mn.layers > 1) {
+            // Layered array texture (the Planets asteroid idiom): one
+            // texture with mn.layers layers, instances select a layer.
+            Material mat;
+            mat.name = mn.name;
+            mat.kind = ShaderKind::Basic;
+            mat.extraFragmentAlu = mn.extraAlu;
+            mat.textures.push_back(
+                scene.addTexture(std::make_unique<Texture2D>(
+                    mn.name + ".array", mn.texDim, mn.texDim,
+                    TexFormat::RGBA8, heap, mn.layers, true, mn.seed)));
+            p = scene.addMaterial(std::move(mat));
+        } else {
+            p = addBasicMaterial(scene, heap, mn.name, mn.texDim, mn.seed,
+                                 mn.extraAlu);
+        }
+        materials[mn.name] = {p, mn.layers};
+    }
+
+    for (const DrawNode &dn : g.draws) {
+        DrawCall d;
+        d.name = dn.name;
+        d.mesh = meshes.at(dn.mesh);
+        const auto &[mat, layers] = materials.at(dn.material);
+        d.material = mat;
+        d.model = Mat4::translation(dn.translate) *
+                  Mat4::rotationY(dn.rotateYDeg *
+                                  static_cast<float>(M_PI) / 180.0f) *
+                  Mat4::scaling({dn.scale, dn.scale, dn.scale});
+        if (dn.instances > 1) {
+            d.instanceCount = dn.instances;
+            d.instanceBufAddr = heap.alloc(64ull * dn.instances);
+            Rng rng(dn.instanceSeed);
+            for (uint32_t i = 0; i < dn.instances; ++i) {
+                const float angle = 2.0f * static_cast<float>(M_PI) *
+                                    static_cast<float>(i) / dn.instances;
+                const float radius =
+                    dn.ringRadius *
+                    (1.0f + 0.4f * static_cast<float>(rng.nextDouble()));
+                const float y =
+                    1.5f * static_cast<float>(rng.nextDouble() - 0.5);
+                const float s =
+                    0.5f + 1.2f * static_cast<float>(rng.nextDouble());
+                d.instanceModels.push_back(
+                    d.model *
+                    Mat4::translation({radius * std::cos(angle), y,
+                                       radius * std::sin(angle)}) *
+                    Mat4::rotationY(angle * 3.0f) *
+                    Mat4::scaling({s, s, s}));
+                d.instanceLayers.push_back(i % layers);
+            }
+        }
+        if (g.deform.enabled && dn.mesh == g.deform.mesh) {
+            gb.deformDraws.push_back(scene.draws.size());
+        }
+        scene.draws.push_back(std::move(d));
+    }
+    if (g.deform.enabled) {
+        gb.deformSrc = meshes.at(g.deform.mesh);
+    }
+    return scene;
+}
+
+/** Scene + pipeline, in crisp_sim's order (scene first, then pipeline). */
+GfxBuild
+prepareGraphics(const Scenario &sc, AddressSpace &heap, Materialized &out)
+{
+    const GraphicsDesc &g = sc.graphics;
+    GfxBuild gb;
+    if (g.preset.empty()) {
+        auto scene = std::make_unique<Scene>();
+        *scene = buildExplicitScene(sc, heap, gb);
+        out.scenes.push_back(std::move(scene));
+    } else {
+        out.scenes.push_back(std::make_unique<Scene>(
+            buildSceneByName(g.preset, heap)));
+    }
+    gb.scene = out.scenes.back().get();
+
+    PipelineConfig pc;
+    pc.width = g.width;
+    pc.height = g.height;
+    pc.lodEnabled = g.lod;
+    if (g.batchSize != 0) {
+        pc.batchSize = g.batchSize;
+    }
+    out.pipeline = std::make_unique<RenderPipeline>(pc, heap);
+    return gb;
+}
+
+/**
+ * Functionally render frame @p f. With deform animation the deforming
+ * mesh is re-tessellated at time f*step into fresh heap allocations and
+ * its draws retargeted — every frame re-uploads the deformed geometry.
+ */
+RenderSubmission
+renderFrame(const Scenario &sc, GfxBuild &gb, uint32_t f,
+            AddressSpace &heap, RenderPipeline &pipeline)
+{
+    const DeformNode &d = sc.graphics.deform;
+    if (d.enabled) {
+        Mesh *frame_mesh = gb.scene->addMesh(Mesh::deformed(
+            d.mesh + "@f" + std::to_string(f), *gb.deformSrc,
+            d.step * static_cast<float>(f), d.amplitude, d.frequency,
+            heap));
+        for (size_t i : gb.deformDraws) {
+            gb.scene->draws[i].mesh = frame_mesh;
+        }
+    }
+    return pipeline.submit(*gb.scene);
+}
+
+MemPatternKind
+patternKind(const std::string &name)
+{
+    if (name == "stencil") {
+        return MemPatternKind::Stencil;
+    }
+    if (name == "gather") {
+        return MemPatternKind::Gather;
+    }
+    if (name == "broadcast") {
+        return MemPatternKind::Broadcast;
+    }
+    return MemPatternKind::Streaming;
+}
+
+std::vector<KernelInfo>
+buildPresetCompute(const ComputeDesc &cd, AddressSpace &heap,
+                   RenderPipeline *pipeline)
+{
+    if (cd.preset == "VIO") {
+        return buildVio(heap, cd.frames, cd.width, cd.height);
+    }
+    if (cd.preset == "HOLO") {
+        return buildHolo(heap, cd.points);
+    }
+    if (cd.preset == "NN") {
+        return buildNn(heap, cd.layers);
+    }
+    fatal_if(cd.preset != "ATW", "unvalidated compute preset %s",
+             cd.preset.c_str());
+    const Addr color = pipeline
+        ? pipeline->framebuffer().colorAddr(0, 0)
+        : heap.alloc(4ull * cd.width * cd.height);
+    return buildTimewarp(heap, color, cd.width, cd.height);
+}
+
+/** One KernelInfo per explicit kernel node, buffers resolved to heap. */
+std::vector<KernelInfo>
+buildExplicitKernels(const ComputeDesc &cd, AddressSpace &heap,
+                     RenderPipeline *pipeline)
+{
+    struct Region
+    {
+        Addr base = 0;
+        uint64_t bytes = 0;
+    };
+    std::map<std::string, Region> regions;
+    for (const BufferNode &b : cd.buffers) {
+        regions[b.name] = {heap.alloc(b.bytes), b.bytes};
+    }
+    auto resolve = [&](const LoadNode &ln) {
+        MemPattern p;
+        p.kind = patternKind(ln.pattern);
+        if (ln.buffer == "frame_color" && !regions.count("frame_color")) {
+            fatal_if(!pipeline, "frame_color needs a graphics side");
+            p.base = pipeline->framebuffer().colorAddr(0, 0);
+            p.regionBytes = 4ull * pipeline->config().width *
+                            pipeline->config().height;
+        } else {
+            const Region &r = regions.at(ln.buffer);
+            p.base = r.base;
+            p.regionBytes = r.bytes;
+        }
+        p.accessBytes = static_cast<uint8_t>(ln.accessBytes);
+        p.count = ln.count;
+        p.rowPitch = ln.rowPitch;
+        return p;
+    };
+
+    std::vector<KernelInfo> infos;
+    infos.reserve(cd.kernels.size());
+    for (const KernelNode &kn : cd.kernels) {
+        ComputeKernelDesc d;
+        d.name = kn.name;
+        d.ctas = kn.ctas;
+        d.threadsPerCta = kn.threadsPerCta;
+        d.regsPerThread = kn.regsPerThread;
+        d.smemPerCta = kn.smemPerCta;
+        d.iterations = kn.iterations;
+        d.fp32Ops = kn.fp32Ops;
+        d.intOps = kn.intOps;
+        d.sfuOps = kn.sfuOps;
+        d.tensorOps = kn.tensorOps;
+        d.smemLoads = kn.smemLoads;
+        d.smemStores = kn.smemStores;
+        d.barrierPerIteration = kn.barrierPerIteration;
+        d.divergenceMaxExtraIters = kn.divergenceExtraIters;
+        d.divergenceSeed = kn.divergenceSeed;
+        for (const LoadNode &ln : kn.loads) {
+            d.loads.push_back(resolve(ln));
+        }
+        if (kn.hasStore) {
+            d.store = resolve(kn.store);
+            d.hasStore = true;
+        }
+        infos.push_back(buildComputeKernel(d));
+    }
+    return infos;
+}
+
+} // namespace
+
+SubmitResult
+submitScenario(const Scenario &sc, Gpu &gpu, AddressSpace &heap,
+               Materialized &out)
+{
+    SubmitResult r;
+    GfxBuild gb;
+    if (sc.graphics.present) {
+        gb = prepareGraphics(sc, heap, out);
+        r.gfx = gpu.createStream("graphics");
+    }
+    if (sc.compute.present) {
+        r.cmp = gpu.createStream("compute");
+    }
+    for (uint32_t f = 0; sc.graphics.present && f < sc.graphics.frames;
+         ++f) {
+        out.frames.push_back(
+            renderFrame(sc, gb, f, heap, *out.pipeline));
+        submitFrame(gpu, r.gfx, out.frames.back(),
+                    sc.graphics.fixedFunctionDelay);
+    }
+    if (r.cmp != kInvalidStream) {
+        const ComputeDesc &cd = sc.compute;
+        if (!cd.preset.empty()) {
+            // Preset workloads serialize in stream order, exactly as
+            // crisp_sim's hand path enqueues them.
+            for (const KernelInfo &k :
+                 buildPresetCompute(cd, heap, out.pipeline.get())) {
+                gpu.enqueueKernel(r.cmp, k);
+            }
+        } else {
+            const std::vector<KernelInfo> infos =
+                buildExplicitKernels(cd, heap, out.pipeline.get());
+            for (uint32_t b = 0; b < cd.schedule.bursts; ++b) {
+                const Cycle burst_base =
+                    static_cast<Cycle>(b) * cd.schedule.period;
+                std::map<std::string, KernelId> ids;
+                for (size_t i = 0; i < cd.kernels.size(); ++i) {
+                    const KernelNode &kn = cd.kernels[i];
+                    KernelId id;
+                    if (kn.hasAfter) {
+                        id = gpu.enqueueKernelAfter(r.cmp, infos[i],
+                                                    ids.at(kn.after),
+                                                    kn.delay);
+                    } else {
+                        id = gpu.enqueueKernelAt(r.cmp, infos[i],
+                                                 burst_base + kn.at);
+                    }
+                    ids[kn.name] = id;
+                }
+            }
+        }
+    }
+    return r;
+}
+
+bool
+flattenable(const Scenario &sc, std::string &why)
+{
+    why.clear();
+    if (sc.graphics.present && sc.graphics.fixedFunctionDelay != 0) {
+        why = "fixed_function_delay has no packed-trace representation";
+        return false;
+    }
+    const ComputeDesc &cd = sc.compute;
+    if (cd.present && cd.preset.empty()) {
+        if (cd.schedule.bursts > 1) {
+            why = "burst schedules have no packed-trace representation";
+            return false;
+        }
+        for (const KernelNode &kn : cd.kernels) {
+            if (kn.hasAt && kn.at != 0) {
+                why = "arrival times (\"at\") have no packed-trace "
+                      "representation";
+                return false;
+            }
+            if (kn.delay != 0) {
+                why = "dependency delays have no packed-trace "
+                      "representation";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+computeReadsFrame(const Scenario &sc)
+{
+    if (!sc.graphics.present || !sc.compute.present) {
+        return false;
+    }
+    if (sc.compute.preset == "ATW") {
+        return true;
+    }
+    for (const KernelNode &kn : sc.compute.kernels) {
+        for (const LoadNode &ln : kn.loads) {
+            if (ln.buffer == "frame_color") {
+                return true;
+            }
+        }
+        if (kn.hasStore && kn.store.buffer == "frame_color") {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+flattenGraphicsSide(const Scenario &sc, AddressSpace &heap,
+                    Materialized &out, std::vector<KernelInfo> &kernels,
+                    std::vector<int> &deps)
+{
+    GfxBuild gb = prepareGraphics(sc, heap, out);
+    for (uint32_t f = 0; f < sc.graphics.frames; ++f) {
+        RenderSubmission rs = renderFrame(sc, gb, f, heap, *out.pipeline);
+        const int offset = static_cast<int>(kernels.size());
+        for (size_t i = 0; i < rs.kernels.size(); ++i) {
+            kernels.push_back(rs.kernels[i]);
+            const int dep = i < rs.dependsOn.size() ? rs.dependsOn[i] : -1;
+            deps.push_back(dep < 0 ? -1 : dep + offset);
+        }
+        out.frames.push_back(std::move(rs));
+    }
+}
+
+void
+flattenComputeSide(const Scenario &sc, AddressSpace &heap,
+                   RenderPipeline *pipeline,
+                   std::vector<KernelInfo> &kernels,
+                   std::vector<int> &deps)
+{
+    const ComputeDesc &cd = sc.compute;
+    if (!cd.preset.empty()) {
+        kernels = buildPresetCompute(cd, heap, pipeline);
+        for (size_t i = 0; i < kernels.size(); ++i) {
+            // The live path chains presets in stream order.
+            deps.push_back(i == 0 ? -1 : static_cast<int>(i) - 1);
+        }
+    } else {
+        kernels = buildExplicitKernels(cd, heap, pipeline);
+        std::map<std::string, int> index;
+        for (size_t i = 0; i < cd.kernels.size(); ++i) {
+            const KernelNode &kn = cd.kernels[i];
+            deps.push_back(kn.hasAfter ? index.at(kn.after) : -1);
+            index[kn.name] = static_cast<int>(i);
+        }
+    }
+}
+
+bool
+flattenScenario(const Scenario &sc, AddressSpace &heap, Materialized &out,
+                Flattened &flat, std::string &why)
+{
+    if (!flattenable(sc, why)) {
+        return false;
+    }
+    if (sc.graphics.present) {
+        flattenGraphicsSide(sc, heap, out, flat.gfxKernels,
+                            flat.gfxDependsOn);
+    }
+    if (sc.compute.present) {
+        flattenComputeSide(sc, heap, out.pipeline.get(), flat.cmpKernels,
+                           flat.cmpDependsOn);
+    }
+    return true;
+}
+
+} // namespace crisp::scenario

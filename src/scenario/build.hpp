@@ -1,0 +1,113 @@
+#ifndef CRISP_SCENARIO_BUILD_HPP
+#define CRISP_SCENARIO_BUILD_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.hpp"
+#include "graphics/pipeline.hpp"
+#include "scenario/scenario.hpp"
+
+namespace crisp::scenario
+{
+
+/** The GpuConfig a scenario asks for (preset plus num_sms override). */
+GpuConfig gpuConfigFor(const Scenario &sc);
+
+/**
+ * Everything the enqueued kernels reference — the scene (trace generators
+ * sample its textures at replay time), the pipeline and the functional
+ * frame reports. Must outlive the Gpu::run that replays the kernels.
+ */
+struct Materialized
+{
+    std::vector<std::unique_ptr<Scene>> scenes;
+    std::unique_ptr<RenderPipeline> pipeline;
+    std::vector<RenderSubmission> frames;
+};
+
+/** Stream ids the scenario's work landed on (kInvalidStream = no side). */
+struct SubmitResult
+{
+    StreamId gfx = kInvalidStream;
+    StreamId cmp = kInvalidStream;
+};
+
+/**
+ * Materialize the scenario and enqueue all of its work on @p gpu.
+ *
+ * The call sequence mirrors crisp_sim's hand-built path exactly — scene,
+ * pipeline, graphics stream, compute stream, per-frame submission,
+ * compute enqueue — in the same order with the same heap-allocation
+ * pattern, so a preset-backed scenario file replays bit-identically to
+ * the equivalent crisp_sim command line.
+ *
+ * Partitioning is not part of the scenario (callers pick the policy);
+ * call Gpu::setPartition after this returns.
+ */
+SubmitResult submitScenario(const Scenario &sc, Gpu &gpu,
+                            AddressSpace &heap, Materialized &out);
+
+/**
+ * A scenario flattened to the packed-trace shape: per-stream kernel lists
+ * with dependency indices (-1 = none). Only dependency-expressible
+ * scenarios flatten; arrival schedules (bursts, "at", "delay",
+ * fixed_function_delay) have no CRTR representation.
+ */
+struct Flattened
+{
+    std::vector<KernelInfo> gfxKernels;
+    std::vector<int> gfxDependsOn;
+    std::vector<KernelInfo> cmpKernels;
+    std::vector<int> cmpDependsOn;
+};
+
+/**
+ * Whether the scenario can be expressed in the packed-trace shape at
+ * all. False (with @p why set) for arrival schedules — bursts, "at",
+ * "delay", fixed_function_delay — which only run live.
+ */
+bool flattenable(const Scenario &sc, std::string &why);
+
+/**
+ * Whether the compute side samples the rendered frame (the ATW preset
+ * or a "frame_color" load with a graphics side present). Such sides
+ * cannot be built without the graphics pipeline, so a cache cannot
+ * treat the two sides as independent entries.
+ */
+bool computeReadsFrame(const Scenario &sc);
+
+/**
+ * Flatten only the graphics side: functionally render every frame and
+ * collect the kernels with cross-frame-adjusted dependency indices.
+ * Requires sc.graphics.present and flattenable().
+ */
+void flattenGraphicsSide(const Scenario &sc, AddressSpace &heap,
+                         Materialized &out,
+                         std::vector<KernelInfo> &kernels,
+                         std::vector<int> &deps);
+
+/**
+ * Flatten only the compute side. @p pipeline resolves frame_color/ATW
+ * references (may be nullptr when computeReadsFrame() is false).
+ * Requires sc.compute.present and flattenable(). Preset workloads get
+ * the serial chain deps the live path's stream order implies.
+ */
+void flattenComputeSide(const Scenario &sc, AddressSpace &heap,
+                        RenderPipeline *pipeline,
+                        std::vector<KernelInfo> &kernels,
+                        std::vector<int> &deps);
+
+/**
+ * Flatten the whole scenario without a Gpu (trace packing, cache
+ * population): graphics side first, then compute, matching the live
+ * path's heap-allocation order. Returns false with @p why set when not
+ * flattenable(); such scenarios still run live through submitScenario.
+ */
+bool flattenScenario(const Scenario &sc, AddressSpace &heap,
+                     Materialized &out, Flattened &flat, std::string &why);
+
+} // namespace crisp::scenario
+
+#endif // CRISP_SCENARIO_BUILD_HPP

@@ -74,6 +74,7 @@ JobSpec::fromJson(const Json &j)
     spec.iterations = u32Field(j, "iterations", spec.iterations);
     spec.scene = j.at("scene").asString();
     spec.tracePath = j.at("trace").asString();
+    spec.scenarioText = j.at("scenario").asString();
     if (const Json *q = j.find("quota")) {
         spec.quota.maxCycles = q->at("max_cycles").asU64(
             spec.quota.maxCycles);
@@ -119,6 +120,9 @@ JobSpec::toJson() const
     }
     if (!tracePath.empty()) {
         j.set("trace", Json::str(tracePath));
+    }
+    if (!scenarioText.empty()) {
+        j.set("scenario", Json::str(scenarioText));
     }
     Json q = Json::object();
     q.set("max_cycles", Json::number(quota.maxCycles));

@@ -53,9 +53,9 @@ struct JobFaultSpec
 /**
  * One simulation job: which GPU to model, what to run on it, and the
  * quotas it runs under. Exactly one payload — a named compute workload,
- * a named rendering scene, or a packed CRTR trace path — must be set;
- * admission rejects everything else before it can reach a fatal() in
- * the builders.
+ * a named rendering scene, a packed CRTR trace path, or an inline
+ * scenario document — must be set; admission rejects everything else
+ * before it can reach a fatal() in the builders.
  */
 struct JobSpec
 {
@@ -78,6 +78,13 @@ struct JobSpec
     std::string scene;
     /** Packed CRTR trace to replay. */
     std::string tracePath;
+    /**
+     * Inline scenario document (the full JSON text of a *.json scenario
+     * file, sent verbatim — no shared filesystem needed). Validated by
+     * the scenario loader at admission; its "gpu" section is
+     * authoritative for the job's machine, overriding gpuPreset/numSms.
+     */
+    std::string scenarioText;
 
     JobQuota quota;
     JobFaultSpec fault;

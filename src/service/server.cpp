@@ -13,6 +13,7 @@
 #include "gpu/gpu.hpp"
 #include "graphics/pipeline.hpp"
 #include "integrity/fault_injector.hpp"
+#include "scenario/build.hpp"
 #include "traceio/reader.hpp"
 #include "workloads/cached.hpp"
 #include "workloads/compute.hpp"
@@ -82,6 +83,66 @@ validRange(uint32_t v, uint32_t lo, uint32_t hi)
     return v >= lo && v <= hi;
 }
 
+/**
+ * Daemon-side envelope caps on an (already schema-valid) scenario. The
+ * loader bounds each field against structural insanity; these are the
+ * tighter shared-server limits, mirroring the caps admission puts on
+ * the spec's own workload parameters.
+ */
+std::string
+scenarioAdmissionError(const scenario::Scenario &sc)
+{
+    if (sc.graphics.present) {
+        if (!validRange(sc.graphics.frames, 1, 8)) {
+            return "malformed: scenario graphics.frames out of range "
+                   "(1..8)";
+        }
+        if (!validRange(sc.graphics.width, 16, 640) ||
+            !validRange(sc.graphics.height, 16, 480)) {
+            return "malformed: scenario graphics resolution out of range "
+                   "(16x16..640x480)";
+        }
+    }
+    if (sc.compute.present) {
+        const scenario::ComputeDesc &cd = sc.compute;
+        if (!validRange(cd.frames, 1, 8)) {
+            return "malformed: scenario compute.frames out of range "
+                   "(1..8)";
+        }
+        if (!validRange(cd.width, 16, 640) ||
+            !validRange(cd.height, 16, 480)) {
+            return "malformed: scenario compute resolution out of range "
+                   "(16x16..640x480)";
+        }
+        if (!validRange(cd.points, 1, 8)) {
+            return "malformed: scenario compute.points out of range "
+                   "(1..8)";
+        }
+        if (!validRange(cd.layers, 1, 8)) {
+            return "malformed: scenario compute.layers out of range "
+                   "(1..8)";
+        }
+        for (const scenario::KernelNode &kn : cd.kernels) {
+            if (!validRange(kn.ctas, 1, 4096)) {
+                return "malformed: scenario kernel '" + kn.name +
+                       "' ctas out of range (1..4096)";
+            }
+            if (!validRange(kn.iterations, 1, 1024)) {
+                return "malformed: scenario kernel '" + kn.name +
+                       "' iterations out of range (1..1024)";
+            }
+        }
+        const uint64_t launches =
+            uint64_t{cd.schedule.bursts} * cd.kernels.size();
+        if (launches > 256) {
+            return "over-quota: scenario launches " +
+                   std::to_string(launches) +
+                   " kernels (bursts x kernels, cap 256)";
+        }
+    }
+    return "";
+}
+
 } // namespace
 
 /** Objects the enqueued trace generators reference during the run. */
@@ -90,6 +151,7 @@ struct JobServer::BuildContext
     AddressSpace heap{0x8000'0000ull};
     std::unique_ptr<Scene> scene;
     std::unique_ptr<RenderPipeline> pipeline;
+    scenario::Materialized scen;
 };
 
 JobServer::JobServer(ServerConfig cfg)
@@ -125,9 +187,11 @@ std::string
 JobServer::admissionError(const JobSpec &spec) const
 {
     const int payloads = (spec.workload.empty() ? 0 : 1) +
-        (spec.scene.empty() ? 0 : 1) + (spec.tracePath.empty() ? 0 : 1);
+        (spec.scene.empty() ? 0 : 1) + (spec.tracePath.empty() ? 0 : 1) +
+        (spec.scenarioText.empty() ? 0 : 1);
     if (payloads != 1) {
-        return "malformed: exactly one of workload, scene, trace required";
+        return "malformed: exactly one of workload, scene, trace, "
+               "scenario required";
     }
     if (!spec.workload.empty() && spec.workload != "MICRO" &&
         spec.workload != "VIO" && spec.workload != "HOLO" &&
@@ -140,6 +204,18 @@ JobServer::admissionError(const JobSpec &spec) const
         if (std::find(names.begin(), names.end(), spec.scene) ==
             names.end()) {
             return "malformed: unknown scene '" + spec.scene + "'";
+        }
+    }
+    if (!spec.scenarioText.empty()) {
+        scenario::Scenario sc;
+        scenario::ScenarioError serr;
+        if (!scenario::loadScenarioText(spec.scenarioText, "<scenario>",
+                                        sc, serr)) {
+            return "malformed: scenario " + serr.str();
+        }
+        const std::string scerr = scenarioAdmissionError(sc);
+        if (!scerr.empty()) {
+            return scerr;
         }
     }
     if (spec.gpuPreset != "rtx3070" && spec.gpuPreset != "orin" &&
@@ -221,6 +297,17 @@ JobServer::submit(const JobSpec &spec)
 
     auto rec = std::make_shared<Record>();
     rec->spec = spec;
+    if (!spec.scenarioText.empty()) {
+        // A scenario's "gpu" section is authoritative for its job; fold
+        // it into the spec so runJob builds the scenario's machine.
+        scenario::Scenario sc;
+        scenario::ScenarioError serr;
+        if (scenario::loadScenarioText(spec.scenarioText, "<scenario>",
+                                       sc, serr)) {
+            rec->spec.gpuPreset = sc.gpu.preset;
+            rec->spec.numSms = sc.gpu.numSms;
+        }
+    }
     {
         std::lock_guard<std::mutex> lk(mu_);
         if (!accepting_) {
@@ -552,7 +639,12 @@ JobServer::runJob(Record &rec)
             gpu.setFaultInjector(injector.get());
         }
 
-        const StreamId stream = gpu.createStream("job");
+        // Scenario jobs create their own graphics/compute streams (in
+        // the same order as crisp_sim's hand path, for replay parity);
+        // every other payload runs on a single "job" stream.
+        const StreamId stream = spec.scenarioText.empty()
+            ? gpu.createStream("job")
+            : kInvalidStream;
         BuildContext ctx;
         std::string err;
         bool transient = false;
@@ -621,6 +713,9 @@ JobServer::buildJob(const JobSpec &spec, BuildContext &ctx, Gpu &gpu,
 {
     transient = false;
 
+    if (!spec.scenarioText.empty()) {
+        return buildScenarioJob(spec, ctx, gpu, error);
+    }
     if (spec.workload == "MICRO") {
         ComputeKernelDesc d;
         d.name = "micro";
@@ -738,6 +833,89 @@ JobServer::buildJob(const JobSpec &spec, BuildContext &ctx, Gpu &gpu,
             : Gpu::kNoDependency;
         ids.push_back(gpu.enqueueKernelAfter(stream, std::move(kernels[i]),
                                              dep_id));
+    }
+    return true;
+}
+
+bool
+JobServer::buildScenarioJob(const JobSpec &spec, BuildContext &ctx,
+                            Gpu &gpu, std::string &error)
+{
+    scenario::Scenario sc;
+    scenario::ScenarioError serr;
+    if (!scenario::loadScenarioText(spec.scenarioText, "<scenario>", sc,
+                                    serr)) {
+        // Admission validated the text, so this is unreachable short of
+        // record corruption — fail the job, never the daemon.
+        error = "scenario " + serr.str();
+        return false;
+    }
+
+    std::string why;
+    if (!cache_.enabled() || !scenario::flattenable(sc, why) ||
+        scenario::computeReadsFrame(sc)) {
+        // Live build: arrival schedules have no packed representation,
+        // frame-sampling compute needs the pipeline the graphics entry
+        // would have skipped, and without a cache there is nothing to
+        // hit. submitScenario mirrors crisp_sim's order bit-for-bit.
+        scenario::submitScenario(sc, gpu, ctx.heap, ctx.scen);
+        return true;
+    }
+
+    // Cacheable: the two sides are independent entries keyed by the
+    // canonicalized scenario text (machine section included) plus the
+    // heap base. Graphics allocates first on both the build and the
+    // replay path, so each side's addresses reproduce no matter which
+    // combination of entries hits.
+    const std::string base = "crisp-scenario/r1/heap=" +
+        std::to_string(ctx.heap.allocatedEnd()) + "/" + sc.canonicalText;
+
+    StreamId gfx = kInvalidStream;
+    StreamId cmp = kInvalidStream;
+    if (sc.graphics.present) {
+        gfx = gpu.createStream("graphics");
+    }
+    if (sc.compute.present) {
+        cmp = gpu.createStream("compute");
+    }
+
+    const auto enqueue = [&](StreamId s,
+                             traceio::TraceCache::CachedSubmission &&sub) {
+        materializeFileBacked(sub.kernels);
+        std::vector<KernelId> ids;
+        ids.reserve(sub.kernels.size());
+        for (size_t i = 0; i < sub.kernels.size(); ++i) {
+            const int dep = sub.dependsOn[i];
+            const KernelId dep_id =
+                (dep >= 0 && dep < static_cast<int>(ids.size()))
+                ? ids[static_cast<size_t>(dep)]
+                : Gpu::kNoDependency;
+            ids.push_back(gpu.enqueueKernelAfter(
+                s, std::move(sub.kernels[i]), dep_id));
+        }
+    };
+
+    if (gfx != kInvalidStream) {
+        enqueue(gfx,
+                cache_.loadOrBuildSubmission(
+                    base + "#gfx", ctx.heap, [&](AddressSpace &h) {
+                        traceio::TraceCache::CachedSubmission s;
+                        scenario::flattenGraphicsSide(sc, h, ctx.scen,
+                                                      s.kernels,
+                                                      s.dependsOn);
+                        return s;
+                    }));
+    }
+    if (cmp != kInvalidStream) {
+        enqueue(cmp,
+                cache_.loadOrBuildSubmission(
+                    base + "#cmp", ctx.heap, [&](AddressSpace &h) {
+                        traceio::TraceCache::CachedSubmission s;
+                        scenario::flattenComputeSide(sc, h, nullptr,
+                                                     s.kernels,
+                                                     s.dependsOn);
+                        return s;
+                    }));
     }
     return true;
 }

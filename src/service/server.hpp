@@ -194,6 +194,8 @@ class JobServer
     JobReport runJob(Record &rec);
     bool buildJob(const JobSpec &spec, BuildContext &ctx, Gpu &gpu,
                   StreamId stream, std::string &error, bool &transient);
+    bool buildScenarioJob(const JobSpec &spec, BuildContext &ctx,
+                          Gpu &gpu, std::string &error);
     void cancelLocked(Record &rec, CancelCause cause,
                       const std::string &why);
     void finishCancelled(Record &rec, JobReport &rep);

@@ -70,6 +70,28 @@ class TraceCache
                                         const Builder &build,
                                         bool *hit_out = nullptr);
 
+    /**
+     * A kernel list with launch dependencies (indices into the list,
+     * -1 = none) — the full submission shape the CRTR format records.
+     * loadOrBuild() keeps only the kernels; scenario- and scene-backed
+     * submissions carry intra-frame dependencies that must survive the
+     * cache round-trip, or a replayed frame serializes its drawcalls.
+     */
+    struct CachedSubmission
+    {
+        std::vector<KernelInfo> kernels;
+        std::vector<int> dependsOn;
+    };
+    using SubmissionBuilder =
+        std::function<CachedSubmission(AddressSpace &)>;
+
+    /** loadOrBuild, dependency-preserving: deps are packed on a miss and
+     *  replayed on a hit (sized to the kernels, -1-padded on old files). */
+    CachedSubmission loadOrBuildSubmission(const std::string &key,
+                                           AddressSpace &heap,
+                                           const SubmissionBuilder &build,
+                                           bool *hit_out = nullptr);
+
     struct Stats
     {
         std::atomic<uint64_t> hits{0};

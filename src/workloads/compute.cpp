@@ -132,6 +132,60 @@ class ComputeCtaGenerator : public CtaGenerator
                 }
             }
 
+            if (d.divergenceMaxExtraIters > 0) {
+                // Divergent traversal tail: per-lane extra-iteration
+                // budgets from a hash, then keep iterating with only the
+                // lanes whose budget remains — the warp's active mask
+                // shrinks as "rays" terminate. No barriers or shared
+                // memory here: diverged lanes cannot rendezvous.
+                std::vector<uint32_t> budget(lanes);
+                for (uint32_t l = 0; l < lanes; ++l) {
+                    budget[l] = static_cast<uint32_t>(
+                        mix64(d.divergenceSeed ^
+                              ((thread_base + l) *
+                               0x9e3779b97f4a7c15ull)) %
+                        (d.divergenceMaxExtraIters + 1));
+                }
+                for (uint32_t e = 0; e < d.divergenceMaxExtraIters; ++e) {
+                    uint32_t active_mask = 0;
+                    for (uint32_t l = 0; l < lanes; ++l) {
+                        if (budget[l] > e) {
+                            active_mask |= 1u << l;
+                        }
+                    }
+                    if (active_mask == 0) {
+                        break;
+                    }
+                    tb.mask(active_mask);
+                    for (const MemPattern &p : d.loads) {
+                        for (uint32_t a = 0; a < p.count; ++a) {
+                            std::vector<Addr> addrs;
+                            for (uint32_t l = 0; l < lanes; ++l) {
+                                if (active_mask & (1u << l)) {
+                                    addrs.push_back(patternAddr(
+                                        p, thread_base + l, a,
+                                        d.iterations + e));
+                                }
+                            }
+                            tb.mem(Opcode::LDG, 4, std::move(addrs),
+                                   p.accessBytes, DataClass::Compute);
+                        }
+                    }
+                    for (uint32_t i = 0; i < d.intOps; ++i) {
+                        tb.alu(Opcode::IMAD, 9, 2, 3);
+                    }
+                    for (uint32_t i = 0; i < d.fp32Ops; ++i) {
+                        tb.alu(Opcode::FFMA,
+                               static_cast<uint8_t>(10 + (i & 3)), 2,
+                               static_cast<uint8_t>(10 + ((i + 1) & 3)));
+                    }
+                    for (uint32_t i = 0; i < d.sfuOps; ++i) {
+                        tb.alu(Opcode::MUFU_SIN, 14, 10);
+                    }
+                }
+                tb.mask(0xffffffffu);
+            }
+
             if (d.hasStore) {
                 for (uint32_t a = 0; a < d.store.count; ++a) {
                     std::vector<Addr> addrs;

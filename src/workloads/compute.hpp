@@ -69,6 +69,21 @@ struct ComputeKernelDesc
     std::vector<MemPattern> loads;   ///< Per iteration.
     MemPattern store;                ///< Applied once at kernel end.
     bool hasStore = false;
+
+    /**
+     * Branch divergence (ray-traversal style): after the uniform
+     * iterations, each lane draws a private extra-iteration budget in
+     * [0, divergenceMaxExtraIters] from a per-lane hash, and the warp
+     * keeps iterating with a shrinking active mask until every lane's
+     * budget is spent — the classic while-loop divergence of BVH
+     * traversal, where rays exit at different depths. Each extra
+     * iteration re-emits the load patterns and ALU mix under the
+     * partial mask, so both the execution units and the coalescer see
+     * progressively sparser warps. 0 keeps the kernel uniform (and the
+     * emitted trace bit-identical to descriptions predating the field).
+     */
+    uint32_t divergenceMaxExtraIters = 0;
+    uint64_t divergenceSeed = 0;
 };
 
 /** Materialize a synthetic kernel as a launchable trace kernel. */

@@ -8,14 +8,10 @@
 namespace crisp
 {
 
-namespace
-{
-
-/** Create a basic (single diffuse map) material. */
 Material *
 addBasicMaterial(Scene &scene, AddressSpace &heap, const std::string &name,
                  uint32_t tex_dim, uint64_t seed,
-                 uint32_t extra_alu = 0)
+                 uint32_t extra_alu)
 {
     Material mat;
     mat.name = name;
@@ -27,11 +23,6 @@ addBasicMaterial(Scene &scene, AddressSpace &heap, const std::string &name,
     return scene.addMaterial(std::move(mat));
 }
 
-/**
- * Create a PBR material with the paper's eight maps: irradiance, BRDF LUT,
- * albedo, normal, prefilter, ambient occlusion, metallic, roughness — in
- * their typical formats.
- */
 Material *
 addPbrMaterial(Scene &scene, AddressSpace &heap, const std::string &name,
                uint32_t tex_dim, uint64_t seed)
@@ -62,6 +53,9 @@ addPbrMaterial(Scene &scene, AddressSpace &heap, const std::string &name,
     }
     return scene.addMaterial(std::move(mat));
 }
+
+namespace
+{
 
 void
 addDraw(Scene &scene, const std::string &name, Mesh *mesh, Material *mat,

@@ -40,6 +40,25 @@ Scene buildPlatformer(AddressSpace &heap);
 /** Material testers: a grid of spheres with varied materials (MT). */
 Scene buildMaterialTesters(AddressSpace &heap);
 
+/**
+ * Create a basic (single diffuse map) material and register it with the
+ * scene. Exported so data-driven scenario files build materials through
+ * the exact same path (texture naming, formats, seeding) as the preset
+ * scenes above.
+ */
+Material *addBasicMaterial(Scene &scene, AddressSpace &heap,
+                           const std::string &name, uint32_t tex_dim,
+                           uint64_t seed, uint32_t extra_alu = 0);
+
+/**
+ * Create a PBR material with the paper's eight maps: irradiance, BRDF LUT,
+ * albedo, normal, prefilter, ambient occlusion, metallic, roughness — in
+ * their typical formats.
+ */
+Material *addPbrMaterial(Scene &scene, AddressSpace &heap,
+                         const std::string &name, uint32_t tex_dim,
+                         uint64_t seed);
+
 /** Short names of all evaluation scenes, in the paper's order. */
 const std::vector<std::string> &allSceneNames();
 

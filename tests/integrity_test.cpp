@@ -184,6 +184,41 @@ TEST(FaultMatrixTest, DelaysNeverTripAnyDetector)
     EXPECT_GE(inj.injections().size(), 1u);
 }
 
+// Delays *longer than the leak age* still must not trip the leak scan:
+// a delayed fill or response is in flight the whole time, and an MSHR
+// entry with live traffic is starved, not leaked — the scan requires
+// orphanhood, not just age. (Real starvation of this magnitude happens
+// under DRAM saturation; see the ray-traversal scenario.) The progress
+// watchdog is parked high so the leak check is the only detector armed
+// at this timescale.
+TEST(FaultMatrixTest, DelaysBeyondLeakAgeAreStarvationNotLeaks)
+{
+    AddressSpace heap(0x8000'0000ull);
+    Gpu gpu(smallGpu());
+    const StreamId s = gpu.createStream("compute");
+    enqueueVio(gpu, s, heap);
+
+    integrity::FaultConfig fc;
+    fc.delayFillProb = 1.0;
+    fc.fillDelay = 8000;
+    fc.maxDelayedFills = 25;
+    fc.delayResponseProb = 1.0;
+    fc.responseDelay = 8000;
+    fc.maxDelayedResponses = 25;
+    integrity::FaultInjector inj(fc);
+    gpu.setFaultInjector(&inj);
+
+    integrity::RunOptions opts;
+    opts.checkInterval = 64;
+    opts.mshrLeakAge = 2000;        // far below the injected delays
+    opts.hangThreshold = 50'000;    // progress watchdog out of the way
+    const auto r = gpu.run(500'000'000ull, opts);
+
+    EXPECT_TRUE(r.completed);
+    EXPECT_FALSE(r.hang.has_value());
+    EXPECT_GE(inj.injections().size(), 1u);
+}
+
 // A frozen issue stage stops one SM's CTAs from ever committing while
 // everything else drains: the forward-progress watchdog must fire, and
 // the report must single out the frozen SM.

@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "integrity/report.hpp"
+#include "scenario/build.hpp"
+#include "scenario/scenario.hpp"
 #include "service/chaos.hpp"
 #include "service/job.hpp"
 #include "service/json.hpp"
@@ -780,6 +783,187 @@ TEST_F(ServiceTest, TerminalReportsAreSpooledAsJson)
     EXPECT_EQ(files, 2u);
     EXPECT_TRUE(sawCompleted);
     EXPECT_TRUE(sawHung);
+}
+
+// --- Scenario jobs ---------------------------------------------------------
+
+/** A tiny flattenable compute-only scenario (one small kernel chain). */
+const char *kTinyScenario = R"({
+    "crisp_scenario": 1, "name": "svc-scn",
+    "compute": {
+        "buffers": [ { "name": "b", "bytes": 65536 } ],
+        "kernels": [
+            { "name": "k0", "ctas": 2, "threads_per_cta": 64,
+              "regs_per_thread": 16, "iterations": 2, "fp32_ops": 4,
+              "loads": [ { "buffer": "b", "access_bytes": 4,
+                           "count": 1 } ] },
+            { "name": "k1", "after": "k0", "ctas": 2,
+              "threads_per_cta": 64, "regs_per_thread": 16,
+              "iterations": 2, "int_ops": 2 }
+        ]
+    }
+})";
+
+JobSpec
+scenarioSpec(const char *text, const char *name = "scn")
+{
+    JobSpec spec;
+    spec.name = name;
+    spec.scenarioText = text;
+    return spec;
+}
+
+TEST_F(ServiceTest, ScenarioAdmissionValidatesDocumentAndCaps)
+{
+    JobServer server(baseConfig());
+
+    EXPECT_TRUE(server.admissionError(scenarioSpec(kTinyScenario)).empty());
+
+    // A scenario is a payload like any other: exactly one per job.
+    JobSpec both = microSpec();
+    both.scenarioText = kTinyScenario;
+    EXPECT_NE(server.admissionError(both).find("exactly one"),
+              std::string::npos);
+
+    // Malformed documents are rejected with the loader's coordinates.
+    const std::string bad =
+        server.admissionError(scenarioSpec("{\"crisp_scenario\": 2}"));
+    EXPECT_EQ(bad.rfind("malformed: scenario", 0), 0u) << bad;
+    EXPECT_NE(bad.find(":1:"), std::string::npos) << bad;
+
+    // The daemon's caps are stricter than the loader's schema bounds.
+    const JobSpec frames = scenarioSpec(R"({
+        "crisp_scenario": 1, "name": "x",
+        "graphics": { "preset": "SPL", "width": 64, "height": 64,
+                      "frames": 12 }
+    })");
+    EXPECT_NE(server.admissionError(frames).find("frames out of range"),
+              std::string::npos);
+
+    const JobSpec ctas = scenarioSpec(R"({
+        "crisp_scenario": 1, "name": "x",
+        "compute": { "kernels": [ { "name": "k", "ctas": 8192 } ] }
+    })");
+    EXPECT_NE(server.admissionError(ctas).find("ctas out of range"),
+              std::string::npos);
+
+    const JobSpec bursts = scenarioSpec(R"({
+        "crisp_scenario": 1, "name": "x",
+        "compute": {
+            "kernels": [ { "name": "k", "ctas": 2 } ],
+            "schedule": { "bursts": 512, "period": 1000 }
+        }
+    })");
+    EXPECT_EQ(server.admissionError(bursts).rfind("over-quota", 0), 0u);
+}
+
+TEST_F(ServiceTest, ScenarioJobMatchesADirectRunExactly)
+{
+    JobServer server(baseConfig());
+    const JobServer::Admission a =
+        server.submit(scenarioSpec(kTinyScenario));
+    ASSERT_TRUE(a.accepted) << a.error;
+    const auto rep = server.wait(a.id);
+    ASSERT_TRUE(rep.has_value());
+    EXPECT_EQ(rep->state, JobState::Completed);
+    EXPECT_EQ(rep->kernelsCompleted, 2u);
+
+    // Rebuild the job's machine by hand: same preset, same engine, same
+    // run options. The daemon adds nothing to the simulation itself.
+    scenario::Scenario sc;
+    scenario::ScenarioError serr;
+    ASSERT_TRUE(
+        scenario::loadScenarioText(kTinyScenario, "mem", sc, serr))
+        << serr.str();
+    Gpu gpu(scenario::gpuConfigFor(sc));
+    engine::EngineConfig ec;
+    ec.threads = 1;
+    ec.fastForward = true;
+    gpu.setEngine(ec);
+    AddressSpace heap;
+    scenario::Materialized mat;
+    scenario::submitScenario(sc, gpu, heap, mat);
+    integrity::RunOptions opts;
+    opts.checkInterval = server.config().watchdogInterval;
+    opts.hangThreshold = server.config().hangThreshold;
+    opts.auditInterval = server.config().auditInterval;
+    const Gpu::RunResult r = gpu.run(JobSpec().quota.maxCycles, opts);
+    ASSERT_TRUE(r.completed);
+
+    EXPECT_EQ(rep->cycles, r.cycles);
+    EXPECT_EQ(rep->instructions,
+              gpu.stats().sumOver(&StreamStats::instructions));
+    EXPECT_EQ(rep->kernelsCompleted,
+              gpu.stats().sumOver(&StreamStats::kernelsCompleted));
+}
+
+TEST_F(ServiceTest, ScenarioResubmissionHitsTheCacheIdentically)
+{
+    const std::string cacheDir = tempPath("svc-scn-cache");
+    std::filesystem::remove_all(cacheDir);
+    ServerConfig cfg = baseConfig();
+    cfg.cacheDir = cacheDir;
+    JobServer server(cfg);
+
+    const JobServer::Admission a =
+        server.submit(scenarioSpec(kTinyScenario, "scn-miss"));
+    ASSERT_TRUE(a.accepted) << a.error;
+    const auto first = server.wait(a.id);
+    ASSERT_TRUE(first.has_value());
+    ASSERT_EQ(first->state, JobState::Completed);
+    const uint64_t missesAfterFirst = server.cache().stats().misses;
+    EXPECT_GT(missesAfterFirst, 0u);
+
+    const JobServer::Admission b =
+        server.submit(scenarioSpec(kTinyScenario, "scn-hit"));
+    ASSERT_TRUE(b.accepted) << b.error;
+    const auto second = server.wait(b.id);
+    ASSERT_TRUE(second.has_value());
+    ASSERT_EQ(second->state, JobState::Completed);
+    EXPECT_GT(server.cache().stats().hits, 0u);
+    EXPECT_EQ(server.cache().stats().misses, missesAfterFirst);
+
+    // The replayed submission is the built one, bit for bit.
+    EXPECT_EQ(first->cycles, second->cycles);
+    EXPECT_EQ(first->instructions, second->instructions);
+    EXPECT_EQ(first->kernelsCompleted, second->kernelsCompleted);
+}
+
+TEST_F(ServiceTest, ScenarioGpuSectionOverridesTheSpecMachine)
+{
+    JobServer server(baseConfig());
+    // Same workload on a 4-SM machine vs the full preset: fewer SMs must
+    // cost cycles, proving the scenario's "gpu" section reached runJob.
+    const char *narrow = R"({
+        "crisp_scenario": 1, "name": "narrow",
+        "gpu": { "preset": "rtx3070", "num_sms": 2 },
+        "compute": {
+            "kernels": [ { "name": "k", "ctas": 64,
+                           "threads_per_cta": 128,
+                           "regs_per_thread": 32, "iterations": 8,
+                           "fp32_ops": 8 } ]
+        }
+    })";
+    const char *wide = R"({
+        "crisp_scenario": 1, "name": "wide",
+        "compute": {
+            "kernels": [ { "name": "k", "ctas": 64,
+                           "threads_per_cta": 128,
+                           "regs_per_thread": 32, "iterations": 8,
+                           "fp32_ops": 8 } ]
+        }
+    })";
+    const JobServer::Admission a = server.submit(scenarioSpec(narrow));
+    const JobServer::Admission b = server.submit(scenarioSpec(wide));
+    ASSERT_TRUE(a.accepted) << a.error;
+    ASSERT_TRUE(b.accepted) << b.error;
+    const auto ra = server.wait(a.id);
+    const auto rb = server.wait(b.id);
+    ASSERT_TRUE(ra.has_value());
+    ASSERT_TRUE(rb.has_value());
+    ASSERT_EQ(ra->state, JobState::Completed);
+    ASSERT_EQ(rb->state, JobState::Completed);
+    EXPECT_GT(ra->cycles, rb->cycles);
 }
 
 // --- The chaos soak -------------------------------------------------------

@@ -3,7 +3,8 @@
  * crisp_submit: command-line client for crispd.
  *
  *   crisp_submit --socket PATH submit [--name S]
- *       (--workload MICRO|VIO|HOLO|NN | --scene NAME | --trace FILE)
+ *       (--workload MICRO|VIO|HOLO|NN | --scene NAME | --trace FILE |
+ *        --scenario FILE)
  *       [--gpu rtx3070|orin|generic] [--sms N] [--frames N] [--width N]
  *       [--height N] [--points N] [--layers N] [--ctas N]
  *       [--iterations N] [--max-cycles N] [--max-wall SEC]
@@ -20,9 +21,14 @@
  *   crisp_submit --socket PATH ping
  *   crisp_submit --socket PATH shutdown
  *
+ * --scenario reads the file, validates it with the scenario loader
+ * before connecting, and sends its text inline (the daemon needs no
+ * shared filesystem). A malformed scenario file prints the loader's
+ * file:line:col diagnostic and exits 2 without contacting the daemon.
+ *
  * Prints each response line to stdout. Exit codes: 0 = the server said
- * ok, 2 = the server rejected the request ("ok":false), 1 = transport
- * or usage error.
+ * ok, 2 = the server rejected the request ("ok":false) or the scenario
+ * file failed validation, 1 = transport or usage error.
  */
 
 #include <unistd.h>
@@ -33,6 +39,7 @@
 #include <string>
 
 #include "common/logging.hpp"
+#include "scenario/scenario.hpp"
 #include "service/job.hpp"
 #include "service/json.hpp"
 #include "service/socket.hpp"
@@ -124,6 +131,7 @@ main(int argc, char **argv)
 {
     std::string socket_path;
     std::string command;
+    std::string scenario_file;
     JobSpec spec;
     bool wait_after_submit = false;
     std::string raw_payload;
@@ -155,6 +163,8 @@ main(int argc, char **argv)
             spec.scene = next();
         } else if (std::strcmp(arg, "--trace") == 0) {
             spec.tracePath = next();
+        } else if (std::strcmp(arg, "--scenario") == 0) {
+            scenario_file = next();
         } else if (std::strcmp(arg, "--gpu") == 0) {
             spec.gpuPreset = next();
         } else if (std::strcmp(arg, "--sms") == 0) {
@@ -201,6 +211,35 @@ main(int argc, char **argv)
     }
     if (socket_path.empty() || command.empty()) {
         usage();
+    }
+
+    if (!scenario_file.empty()) {
+        // Validate locally before touching the daemon: a malformed file
+        // gets the loader's file:line:col diagnostic and exit 2, the
+        // same code the server's rejection would produce.
+        std::string text;
+        {
+            FILE *f = std::fopen(scenario_file.c_str(), "rb");
+            if (f == nullptr) {
+                std::fprintf(stderr, "crisp_submit: cannot read %s\n",
+                             scenario_file.c_str());
+                return 2;
+            }
+            char buf[4096];
+            size_t n;
+            while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+                text.append(buf, n);
+            }
+            std::fclose(f);
+        }
+        scenario::Scenario sc;
+        scenario::ScenarioError serr;
+        if (!scenario::loadScenarioText(text, scenario_file, sc, serr)) {
+            std::fprintf(stderr, "crisp_submit: %s\n",
+                         serr.str().c_str());
+            return 2;
+        }
+        spec.scenarioText = std::move(text);
     }
 
     std::string err;

@@ -52,6 +52,7 @@ BENCHES=(
     fig15_tap_l2_composition
     ablation_pipeline
     ablation_memory
+    scenario_suite
 )
 declare -A BENCH_CSVS=(
     [table2_configs]="table2_configs.csv"
@@ -67,6 +68,7 @@ declare -A BENCH_CSVS=(
     [fig15_tap_l2_composition]="fig15_tap_l2.csv"
     [ablation_pipeline]="ablation_batching.csv ablation_overlap.csv ablation_lod.csv"
     [ablation_memory]="ablation_l1.csv ablation_l2bw.csv ablation_mshr.csv ablation_sectors.csv"
+    [scenario_suite]="scenario_suite.csv"
 )
 
 declare -A RESULT=()

@@ -12,6 +12,11 @@
  * drawcall dependency graph the submission carries):
  *   trace_pack --out spl.crtr --scene SPL [--width W] [--height H]
  *
+ * Scenario files (packs both sides, graphics frames first then compute,
+ * with every dependency; arrival-schedule scenarios — bursts, "at",
+ * delays — have no packed representation and are rejected):
+ *   trace_pack --out run.crtr --scenario scenarios/file.json
+ *
  * The packed file replays through traceio::submitLoaded with
  * byte-identical StreamStats to live generation.
  */
@@ -23,6 +28,8 @@
 
 #include "common/logging.hpp"
 #include "graphics/pipeline.hpp"
+#include "scenario/build.hpp"
+#include "scenario/scenario.hpp"
 #include "traceio/writer.hpp"
 #include "workloads/compute.hpp"
 #include "workloads/scenes.hpp"
@@ -37,7 +44,8 @@ usage()
 {
     fatal("usage: trace_pack --out FILE (--workload VIO|HOLO|NN|TIMEWARP "
           "[--frames N] [--points N] [--layers N] | --scene "
-          "SPL|SPH|PT|IT|PL|MT) [--width W] [--height H]");
+          "SPL|SPH|PT|IT|PL|MT | --scenario FILE) [--width W] "
+          "[--height H]");
 }
 
 uint32_t
@@ -58,6 +66,7 @@ main(int argc, char **argv)
     std::string out;
     std::string workload;
     std::string scene_name;
+    std::string scenario_path;
     uint32_t frames = 2;
     uint32_t points = 3;
     uint32_t layers = 4;
@@ -76,6 +85,8 @@ main(int argc, char **argv)
             workload = next();
         } else if (std::strcmp(arg, "--scene") == 0) {
             scene_name = next();
+        } else if (std::strcmp(arg, "--scenario") == 0) {
+            scenario_path = next();
         } else if (std::strcmp(arg, "--frames") == 0) {
             frames = parseU32(arg, next());
         } else if (std::strcmp(arg, "--points") == 0) {
@@ -90,7 +101,9 @@ main(int argc, char **argv)
             usage();
         }
     }
-    if (out.empty() || (workload.empty() == scene_name.empty())) {
+    const int payloads = (workload.empty() ? 0 : 1) +
+        (scene_name.empty() ? 0 : 1) + (scenario_path.empty() ? 0 : 1);
+    if (out.empty() || payloads != 1) {
         usage();
     }
 
@@ -103,7 +116,33 @@ main(int argc, char **argv)
     // The Scene/submission must outlive packing: trace generators
     // reference their textures while the writer streams CTAs out.
     Scene scene;
-    if (!workload.empty()) {
+    scenario::Materialized mat;
+    if (!scenario_path.empty()) {
+        scenario::Scenario sc;
+        scenario::ScenarioError serr;
+        if (!scenario::loadScenarioFile(scenario_path, sc, serr)) {
+            fatal("%s", serr.str().c_str());
+        }
+        scenario::Flattened flat;
+        std::string why;
+        if (!scenario::flattenScenario(sc, heap, mat, flat, why)) {
+            fatal("cannot pack %s: %s", scenario_path.c_str(),
+                  why.c_str());
+        }
+        // One trace, graphics frames first then compute, dependency
+        // indices re-based onto the concatenated list. A trace replays
+        // on a single stream, whose FIFO order already serializes the
+        // two sides the way the indices allow.
+        kernels = std::move(flat.gfxKernels);
+        depends_on = std::move(flat.gfxDependsOn);
+        const int offset = static_cast<int>(kernels.size());
+        for (size_t i = 0; i < flat.cmpKernels.size(); ++i) {
+            kernels.push_back(std::move(flat.cmpKernels[i]));
+            const int dep = flat.cmpDependsOn[i];
+            depends_on.push_back(dep < 0 ? -1 : dep + offset);
+        }
+        fingerprint = "trace_pack/scenario/" + sc.canonicalText;
+    } else if (!workload.empty()) {
         char desc[128];
         if (workload == "VIO") {
             const uint32_t w = width != 0 ? width : 320;
