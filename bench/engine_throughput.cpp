@@ -2,10 +2,16 @@
 // at 1/2/4/8 worker threads on a compute-heavy many-SM machine, plus a
 // determinism cross-check (all thread counts must produce identical stats).
 //
+// Runs two machine sizes by default — the historical 16-SM config and a
+// 64-SM config with a proportionally larger workload, where each worker
+// lane has enough per-cycle work to hide the fork/join barrier. Pass
+// `--num-sms N` to run a single size.
+//
 // Emits BENCH_engine_throughput.json next to the binary.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <sstream>
 #include <string>
@@ -21,11 +27,11 @@ namespace
 {
 
 GpuConfig
-bigGpu()
+bigGpu(uint32_t num_sms)
 {
     GpuConfig cfg;
     cfg.name = "engine-bench";
-    cfg.numSms = 16;
+    cfg.numSms = num_sms;
     cfg.coreClockMhz = 1000.0;
     cfg.memoryBandwidthGBs = 256.0;
     cfg.l2.numBanks = 8;
@@ -34,23 +40,26 @@ bigGpu()
     return cfg;
 }
 
-/** Compute-heavy workload: enough CTAs to keep all 16 SMs busy. Routed
- *  through the trace cache (CRISP_TRACE_CACHE) so the bench can report
- *  generation vs replay build cost. */
+/** Compute-heavy workload sized to keep @p num_sms SMs busy (16 CTAs per
+ *  SM per kernel). Routed through the trace cache (CRISP_TRACE_CACHE) so
+ *  the bench can report generation vs replay build cost. */
 std::vector<KernelInfo>
-buildWorkload(AddressSpace &heap, bool *cache_hit)
+buildWorkload(AddressSpace &heap, uint32_t num_sms, bool *cache_hit)
 {
+    const uint32_t ctas = 16 * num_sms;
     const std::string key = computeCacheKey(
-        "engine_dense", "k=4/ctas=256/tpc=256/regs=48/iter=8/fp32=24/int=8",
+        "engine_dense",
+        "k=4/ctas=" + std::to_string(ctas) +
+            "/tpc=256/regs=48/iter=8/fp32=24/int=8",
         heap.allocatedEnd());
     return traceCache().loadOrBuild(
         key, heap,
-        [](AddressSpace &h) {
+        [ctas](AddressSpace &h) {
             std::vector<KernelInfo> kernels;
             for (int i = 0; i < 4; ++i) {
                 ComputeKernelDesc d;
                 d.name = "dense" + std::to_string(i);
-                d.ctas = 256;
+                d.ctas = ctas;
                 d.threadsPerCta = 256;
                 d.regsPerThread = 48;
                 d.iterations = 8;
@@ -80,6 +89,8 @@ statsFingerprint(const StatsRegistry &stats)
 struct Measurement
 {
     uint32_t threads = 1;
+    /** Lanes actually used after the host-core/SM clamp. */
+    uint32_t threadsEffective = 1;
     Cycle cycles = 0;
     double wallSec = 0.0;
     double cyclesPerSec = 0.0;
@@ -90,17 +101,18 @@ struct Measurement
 };
 
 Measurement
-measure(uint32_t threads)
+measure(uint32_t num_sms, uint32_t threads)
 {
     Measurement m;
     AddressSpace heap(0x8000'0000ull);
-    Gpu gpu(bigGpu());
+    Gpu gpu(bigGpu(num_sms));
     engine::EngineConfig ec;
     ec.threads = threads;
     gpu.setEngine(ec);
     const StreamId s = gpu.createStream("compute");
     const auto b0 = std::chrono::steady_clock::now();
-    const std::vector<KernelInfo> kernels = buildWorkload(heap, &m.cacheHit);
+    const std::vector<KernelInfo> kernels =
+        buildWorkload(heap, num_sms, &m.cacheHit);
     m.buildSec = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - b0)
                      .count();
@@ -114,6 +126,7 @@ measure(uint32_t threads)
     fatal_if(!r.completed, "engine bench workload did not drain");
 
     m.threads = threads;
+    m.threadsEffective = gpu.engineConfig().threads;
     m.cycles = r.cycles;
     m.wallSec = std::chrono::duration<double>(t1 - t0).count();
     m.cyclesPerSec = static_cast<double>(r.cycles) / m.wallSec;
@@ -121,88 +134,165 @@ measure(uint32_t threads)
     return m;
 }
 
+struct ConfigResult
+{
+    uint32_t numSms = 0;
+    bool deterministic = true;
+    double generationSec = -1.0;
+    double replaySec = -1.0;
+    std::vector<Measurement> runs;
+};
+
+ConfigResult
+runConfig(uint32_t num_sms)
+{
+    ConfigResult cr;
+    cr.numSms = num_sms;
+    std::printf("-- num_sms=%u --\n", num_sms);
+    if (traceCache().enabled()) {
+        // Cold-populate the trace cache up front so every measured run
+        // replays: generation and replay drive different CtaGenerators,
+        // and mixing them would skew the thread-scaling comparison.
+        AddressSpace warm_heap(0x8000'0000ull);
+        bool hit = false;
+        const auto w0 = std::chrono::steady_clock::now();
+        buildWorkload(warm_heap, num_sms, &hit);
+        const double warm_sec = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - w0)
+                                    .count();
+        if (!hit) {
+            cr.generationSec = warm_sec;
+        }
+        std::printf("trace cache %s in %.3fs\n",
+                    hit ? "warm" : "populated", warm_sec);
+    }
+    // One untimed warmup simulation: the first run on a quiet host pays
+    // page-cache and frequency-ramp costs that the later thread counts
+    // don't, which would systematically understate the threads=1 rate
+    // every other speedup is normalized to.
+    (void)measure(num_sms, 1);
+    // Best-of-5 per thread count, with repetitions interleaved
+    // round-robin across thread counts: individual runs are short enough
+    // that scheduler noise on a shared host swings them several percent,
+    // and slow load drift would otherwise bias whichever count happened
+    // to run during the quiet stretch. Min-wall is the standard estimator
+    // for the noise-free rate.
+    constexpr int kReps = 5;
+    const std::vector<uint32_t> counts = {1u, 2u, 4u, 8u};
+    std::vector<Measurement> best;
+    for (uint32_t threads : counts) {
+        best.push_back(measure(num_sms, threads));
+    }
+    for (int rep = 1; rep < kReps; ++rep) {
+        for (size_t i = 0; i < counts.size(); ++i) {
+            Measurement next = measure(num_sms, counts[i]);
+            fatal_if(next.fingerprint != best[i].fingerprint ||
+                         next.cycles != best[i].cycles,
+                     "nondeterminism across repetitions");
+            if (next.wallSec < best[i].wallSec) {
+                best[i] = next;
+            }
+        }
+    }
+    for (const Measurement &picked : best) {
+        cr.runs.push_back(picked);
+        const Measurement &m = cr.runs.back();
+        std::printf("threads=%u (eff %u)  cycles=%llu  wall=%.3fs  "
+                    "%.3fM cycles/s  speedup=%.2fx  build=%.3fs (%s)\n",
+                    m.threads, m.threadsEffective,
+                    static_cast<unsigned long long>(m.cycles), m.wallSec,
+                    m.cyclesPerSec / 1e6,
+                    m.cyclesPerSec / cr.runs.front().cyclesPerSec,
+                    m.buildSec, m.cacheHit ? "trace replay" : "generated");
+    }
+    for (const Measurement &m : cr.runs) {
+        if (m.cycles != cr.runs.front().cycles ||
+            m.fingerprint != cr.runs.front().fingerprint) {
+            cr.deterministic = false;
+        }
+        if (!m.cacheHit && cr.generationSec < 0) {
+            cr.generationSec = m.buildSec;
+        }
+        if (m.cacheHit && cr.replaySec < 0) {
+            cr.replaySec = m.buildSec;
+        }
+    }
+    std::printf("deterministic across thread counts: %s\n\n",
+                cr.deterministic ? "yes" : "NO");
+    return cr;
+}
+
 } // namespace
 } // namespace crisp::bench
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace crisp;
     using namespace crisp::bench;
 
+    std::vector<uint32_t> sizes = {16u, 64u};
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--num-sms" && i + 1 < argc) {
+            sizes = {static_cast<uint32_t>(std::atoi(argv[++i]))};
+        } else {
+            std::fprintf(stderr, "usage: %s [--num-sms N]\n", argv[0]);
+            return 2;
+        }
+    }
+
     header("engine_throughput",
-           "parallel cycle-engine scaling, 16-SM compute workload");
+           "parallel cycle-engine scaling, compute workload");
     const uint32_t cores = std::thread::hardware_concurrency();
     std::printf("host cores: %u%s\n\n", cores,
-                cores < 4 ? "  (speedup needs >= 4; expect barrier "
-                            "overhead only on this host)"
+                cores < 4 ? "  (speedup needs >= 4; thread counts above "
+                            "the core count clamp to serial)"
                           : "");
 
-    std::vector<Measurement> runs;
-    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
-        runs.push_back(measure(threads));
-        const Measurement &m = runs.back();
-        std::printf("threads=%u  cycles=%llu  wall=%.3fs  "
-                    "%.3fM cycles/s  speedup=%.2fx  build=%.3fs (%s)\n",
-                    m.threads, static_cast<unsigned long long>(m.cycles),
-                    m.wallSec, m.cyclesPerSec / 1e6,
-                    m.cyclesPerSec / runs.front().cyclesPerSec, m.buildSec,
-                    m.cacheHit ? "trace replay" : "generated");
-    }
-
-    bool deterministic = true;
-    for (const Measurement &m : runs) {
-        if (m.cycles != runs.front().cycles ||
-            m.fingerprint != runs.front().fingerprint) {
-            deterministic = false;
-        }
-    }
-    std::printf("\ndeterministic across thread counts: %s\n",
-                deterministic ? "yes" : "NO");
-
-    // Generation vs replay build cost: the first cold run generates the
-    // workload (and populates the cache when CRISP_TRACE_CACHE is set);
-    // any cache-hit run replays the packed trace instead.
-    double generation_sec = -1.0;
-    double replay_sec = -1.0;
-    for (const Measurement &m : runs) {
-        if (!m.cacheHit && generation_sec < 0) {
-            generation_sec = m.buildSec;
-        }
-        if (m.cacheHit && replay_sec < 0) {
-            replay_sec = m.buildSec;
-        }
+    std::vector<ConfigResult> configs;
+    for (uint32_t num_sms : sizes) {
+        configs.push_back(runConfig(num_sms));
     }
 
     FILE *f = std::fopen("BENCH_engine_throughput.json", "w");
     fatal_if(f == nullptr, "cannot write BENCH_engine_throughput.json");
     std::fprintf(f, "{\n  \"bench\": \"engine_throughput\",\n");
-    std::fprintf(f, "  \"num_sms\": 16,\n");
     std::fprintf(f, "  \"host_cores\": %u,\n", cores);
-    std::fprintf(f, "  \"deterministic\": %s,\n",
-                 deterministic ? "true" : "false");
     std::fprintf(f, "  \"trace_cache_enabled\": %s,\n",
                  traceCache().enabled() ? "true" : "false");
-    if (generation_sec >= 0) {
-        std::fprintf(f, "  \"generation_wall_sec\": %.6f,\n",
-                     generation_sec);
-    }
-    if (replay_sec >= 0) {
-        std::fprintf(f, "  \"replay_wall_sec\": %.6f,\n", replay_sec);
-    }
-    std::fprintf(f, "  \"runs\": [\n");
-    for (size_t i = 0; i < runs.size(); ++i) {
-        const Measurement &m = runs[i];
-        std::fprintf(f,
-                     "    {\"threads\": %u, \"cycles\": %llu, "
-                     "\"wall_sec\": %.6f, \"cycles_per_sec\": %.1f, "
-                     "\"speedup\": %.3f, \"trace_cache_hit\": %s, "
-                     "\"build_wall_sec\": %.6f}%s\n",
-                     m.threads, static_cast<unsigned long long>(m.cycles),
-                     m.wallSec, m.cyclesPerSec,
-                     m.cyclesPerSec / runs.front().cyclesPerSec,
-                     m.cacheHit ? "true" : "false", m.buildSec,
-                     i + 1 < runs.size() ? "," : "");
+    std::fprintf(f, "  \"configs\": [\n");
+    for (size_t c = 0; c < configs.size(); ++c) {
+        const ConfigResult &cr = configs[c];
+        std::fprintf(f, "    {\"num_sms\": %u, \"deterministic\": %s,\n",
+                     cr.numSms, cr.deterministic ? "true" : "false");
+        if (cr.generationSec >= 0) {
+            std::fprintf(f, "     \"generation_wall_sec\": %.6f,\n",
+                         cr.generationSec);
+        }
+        if (cr.replaySec >= 0) {
+            std::fprintf(f, "     \"replay_wall_sec\": %.6f,\n",
+                         cr.replaySec);
+        }
+        std::fprintf(f, "     \"runs\": [\n");
+        for (size_t i = 0; i < cr.runs.size(); ++i) {
+            const Measurement &m = cr.runs[i];
+            std::fprintf(
+                f,
+                "      {\"threads\": %u, \"threads_effective\": %u, "
+                "\"cycles\": %llu, "
+                "\"wall_sec\": %.6f, \"cycles_per_sec\": %.1f, "
+                "\"speedup\": %.3f, \"trace_cache_hit\": %s, "
+                "\"build_wall_sec\": %.6f}%s\n",
+                m.threads, m.threadsEffective,
+                static_cast<unsigned long long>(m.cycles), m.wallSec,
+                m.cyclesPerSec,
+                m.cyclesPerSec / cr.runs.front().cyclesPerSec,
+                m.cacheHit ? "true" : "false", m.buildSec,
+                i + 1 < cr.runs.size() ? "," : "");
+        }
+        std::fprintf(f, "     ]}%s\n",
+                     c + 1 < configs.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

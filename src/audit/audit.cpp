@@ -1,7 +1,6 @@
 #include "audit/audit.hpp"
 
 #include <cinttypes>
-#include <map>
 
 #include "common/logging.hpp"
 
@@ -85,9 +84,10 @@ void
 auditL1L2Conservation(const StatsRegistry &stats,
                       const std::vector<const Sm *> &sms,
                       const L2Subsystem &l2, Cycle now,
+                      SmallFlatMap<StreamId, uint64_t> &in_flight,
                       std::vector<InvariantViolation> &out)
 {
-    std::map<StreamId, uint64_t> in_flight;
+    in_flight.clear();
     l2.countQueuedByStream(in_flight);
     for (const Sm *sm : sms) {
         sm->countFabricRetriesByStream(in_flight);
@@ -107,6 +107,16 @@ auditL1L2Conservation(const StatsRegistry &stats,
                  now});
         }
     }
+}
+
+void
+auditL1L2Conservation(const StatsRegistry &stats,
+                      const std::vector<const Sm *> &sms,
+                      const L2Subsystem &l2, Cycle now,
+                      std::vector<InvariantViolation> &out)
+{
+    SmallFlatMap<StreamId, uint64_t> scratch;
+    auditL1L2Conservation(stats, sms, l2, now, scratch, out);
 }
 
 void
@@ -160,12 +170,22 @@ auditHistogram(const Histogram &h, const char *name, Cycle now,
 void
 auditAll(const StatsRegistry &stats, const std::vector<const Sm *> &sms,
          const L2Subsystem &l2, Cycle now,
+         SmallFlatMap<StreamId, uint64_t> &scratch,
          std::vector<InvariantViolation> &out)
 {
     auditStreamCounters(stats, now, out);
     auditBankStreamParity(stats, l2, now, out);
-    auditL1L2Conservation(stats, sms, l2, now, out);
+    auditL1L2Conservation(stats, sms, l2, now, scratch, out);
     auditFillPairing(stats, l2, now, out);
+}
+
+void
+auditAll(const StatsRegistry &stats, const std::vector<const Sm *> &sms,
+         const L2Subsystem &l2, Cycle now,
+         std::vector<InvariantViolation> &out)
+{
+    SmallFlatMap<StreamId, uint64_t> scratch;
+    auditAll(stats, sms, l2, now, scratch, out);
 }
 
 } // namespace audit

@@ -57,7 +57,16 @@ void auditBankStreamParity(const StatsRegistry &stats,
  * Per-stream cross-layer conservation: every L1 miss (demand accesses
  * minus hits minus MSHR merges) is either an L2 access already, queued
  * in a bank, or parked in an SM's fabric-retry queue.
+ *
+ * The @p scratch overload reuses the caller's flat map for the in-flight
+ * tally (cleared on entry) so a periodic audit cadence does not allocate
+ * per invocation; the convenience overload owns a local one.
  */
+void auditL1L2Conservation(const StatsRegistry &stats,
+                           const std::vector<const Sm *> &sms,
+                           const L2Subsystem &l2, Cycle now,
+                           SmallFlatMap<StreamId, uint64_t> &scratch,
+                           std::vector<integrity::InvariantViolation> &out);
 void auditL1L2Conservation(const StatsRegistry &stats,
                            const std::vector<const Sm *> &sms,
                            const L2Subsystem &l2, Cycle now,
@@ -82,7 +91,15 @@ void auditFillPairing(const StatsRegistry &stats, const L2Subsystem &l2,
 void auditHistogram(const Histogram &h, const char *name, Cycle now,
                     std::vector<integrity::InvariantViolation> &out);
 
-/** Run every machine-wide audit (all of the above except histograms). */
+/**
+ * Run every machine-wide audit (all of the above except histograms).
+ * The @p scratch overload is for repeated-cadence callers (see
+ * auditL1L2Conservation); the convenience overload owns a local scratch.
+ */
+void auditAll(const StatsRegistry &stats,
+              const std::vector<const Sm *> &sms, const L2Subsystem &l2,
+              Cycle now, SmallFlatMap<StreamId, uint64_t> &scratch,
+              std::vector<integrity::InvariantViolation> &out);
 void auditAll(const StatsRegistry &stats,
               const std::vector<const Sm *> &sms, const L2Subsystem &l2,
               Cycle now, std::vector<integrity::InvariantViolation> &out);

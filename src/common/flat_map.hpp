@@ -1,0 +1,91 @@
+#ifndef CRISP_COMMON_FLAT_MAP_HPP
+#define CRISP_COMMON_FLAT_MAP_HPP
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace crisp
+{
+
+/**
+ * A sorted-vector map for the small per-stream tables on simulation hot
+ * paths (an SM sees a handful of streams, never thousands).
+ *
+ * Replaces `std::map` where profiling showed the per-access node walk and
+ * the per-insert node allocation dominating: lookups are a short linear
+ * scan over one contiguous cache line, inserts memmove a few pairs.
+ * Iteration order is ascending by key, exactly like `std::map`, so
+ * switching a consumer between the two cannot reorder any output.
+ */
+template <typename Key, typename Value>
+class SmallFlatMap
+{
+  public:
+    using value_type = std::pair<Key, Value>;
+    using iterator = typename std::vector<value_type>::iterator;
+    using const_iterator = typename std::vector<value_type>::const_iterator;
+
+    iterator begin() { return data_.begin(); }
+    iterator end() { return data_.end(); }
+    const_iterator begin() const { return data_.begin(); }
+    const_iterator end() const { return data_.end(); }
+
+    bool empty() const { return data_.empty(); }
+    size_t size() const { return data_.size(); }
+    void clear() { data_.clear(); }
+
+    iterator
+    find(const Key &key)
+    {
+        for (auto it = data_.begin(); it != data_.end(); ++it) {
+            if (it->first == key) {
+                return it;
+            }
+        }
+        return data_.end();
+    }
+
+    const_iterator
+    find(const Key &key) const
+    {
+        for (auto it = data_.begin(); it != data_.end(); ++it) {
+            if (it->first == key) {
+                return it;
+            }
+        }
+        return data_.end();
+    }
+
+    size_t count(const Key &key) const { return find(key) != end() ? 1 : 0; }
+
+    Value &
+    operator[](const Key &key)
+    {
+        auto it = std::lower_bound(
+            data_.begin(), data_.end(), key,
+            [](const value_type &v, const Key &k) { return v.first < k; });
+        if (it != data_.end() && it->first == key) {
+            return it->second;
+        }
+        return data_.insert(it, value_type{key, Value{}})->second;
+    }
+
+    size_t
+    erase(const Key &key)
+    {
+        auto it = find(key);
+        if (it == data_.end()) {
+            return 0;
+        }
+        data_.erase(it);
+        return 1;
+    }
+
+  private:
+    std::vector<value_type> data_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_COMMON_FLAT_MAP_HPP

@@ -176,9 +176,19 @@ StatsRegistry::get(const std::string &name) const
 }
 
 StreamStats &
-StatsRegistry::stream(StreamId id)
+StatsRegistry::streamSlow(StreamId id)
 {
-    return streams_[id];
+    StreamStats &st = streams_[id];
+    // Cap the dense index so a hostile id cannot balloon it; ids past the
+    // cap still work, just through the map.
+    constexpr StreamId kMaxIndexed = 4096;
+    if (id < kMaxIndexed) {
+        if (streamIndex_.size() <= id) {
+            streamIndex_.resize(id + 1, nullptr);
+        }
+        streamIndex_[id] = &st;
+    }
+    return st;
 }
 
 const StreamStats *
@@ -199,6 +209,7 @@ StatsRegistry::clear()
 {
     counters_.clear();
     streams_.clear();
+    streamIndex_.clear();
 }
 
 void

@@ -109,12 +109,42 @@ struct StreamStats
 class StatsRegistry
 {
   public:
+    StatsRegistry() = default;
+    // The dense stream index caches pointers into this registry's own map
+    // nodes, so copies must drop it (it is rebuilt on first access).
+    StatsRegistry(const StatsRegistry &other)
+        : counters_(other.counters_), streams_(other.streams_)
+    {
+    }
+    StatsRegistry &
+    operator=(const StatsRegistry &other)
+    {
+        counters_ = other.counters_;
+        streams_ = other.streams_;
+        streamIndex_.clear();
+        return *this;
+    }
+    // Moves transfer the map nodes, so the cached pointers stay valid.
+    StatsRegistry(StatsRegistry &&) = default;
+    StatsRegistry &operator=(StatsRegistry &&) = default;
+
     /** Add to a named machine-wide counter, creating it on first use. */
     void add(const std::string &name, uint64_t delta = 1);
     uint64_t get(const std::string &name) const;
 
-    /** Per-stream structured stats (created on first access). */
-    StreamStats &stream(StreamId id);
+    /**
+     * Per-stream structured stats (created on first access). O(1) for the
+     * small stream ids the GPU allocates: a dense pointer index fronts
+     * the ordered map, which profiling showed on the per-issue path.
+     */
+    StreamStats &
+    stream(StreamId id)
+    {
+        if (id < streamIndex_.size() && streamIndex_[id] != nullptr) {
+            return *streamIndex_[id];
+        }
+        return streamSlow(id);
+    }
     const StreamStats *findStream(StreamId id) const;
     const std::map<StreamId, StreamStats> &allStreams() const;
 
@@ -141,8 +171,12 @@ class StatsRegistry
     void absorbShadow(StatsRegistry &shadow);
 
   private:
+    StreamStats &streamSlow(StreamId id);
+
     std::map<std::string, uint64_t> counters_;
     std::map<StreamId, StreamStats> streams_;
+    /** Dense id → map-node pointer cache (map nodes never move). */
+    std::vector<StreamStats *> streamIndex_;
 };
 
 } // namespace crisp

@@ -31,6 +31,9 @@ Sm::Sm(uint32_t sm_id, const SmConfig &cfg, MemFabricPort *fabric,
 {
     panic_if(fabric_ == nullptr || stats_ == nullptr,
              "SM requires a fabric port and stats registry");
+    // The SM never reads hitLruPos (that field feeds the L2's TAP utility
+    // monitors); skip the per-hit LRU-stack scan.
+    l1_.setHitLruPosReporting(false);
     warps_.resize(cfg_.maxWarps);
     freeSlots_.reserve(cfg_.maxWarps);
     for (uint32_t s = cfg_.maxWarps; s-- > 0;) {
@@ -41,13 +44,146 @@ Sm::Sm(uint32_t sm_id, const SmConfig &cfg, MemFabricPort *fabric,
                         OpClass::Tensor}) {
         unitFreeAt_[static_cast<size_t>(cls)].assign(cfg_.unitsFor(cls), 0);
     }
+    unitMinFree_.assign(static_cast<size_t>(OpClass::NumClasses), 0);
+    schedOrder_.resize(cfg_.numSchedulers);
+    for (auto &order : schedOrder_) {
+        order.reserve(cfg_.maxWarps / cfg_.numSchedulers + 1);
+    }
+    greedySlot_.assign(cfg_.numSchedulers, kNoSlotIndex);
+    smemBankScratch_.assign(cfg_.smemBanks, 0);
+    smemSeenScratch_.reserve(kWarpSize);
+}
+
+int
+Sm::priorityOf(StreamId stream) const
+{
+    auto it = issuePriority_.find(stream);
+    return it == issuePriority_.end() ? 0 : it->second;
+}
+
+void
+Sm::refreshPriorityCaches()
+{
+    for (WarpState &warp : warps_) {
+        if (!warp.live) {
+            continue;
+        }
+        warp.prio = priorityOf(warp.stream);
+        warp.prioStream = warp.prio < 0;
+        warp.ldstLimit =
+            static_cast<uint32_t>(ldstLimitFor(warp.stream));
+    }
+    for (auto &order : schedOrder_) {
+        std::sort(order.begin(), order.end(),
+                  [this](uint32_t a, uint32_t b) {
+                      const WarpState &wa = warps_[a];
+                      const WarpState &wb = warps_[b];
+                      if (wa.prio != wb.prio) {
+                          return wa.prio < wb.prio;
+                      }
+                      return wa.age < wb.age;
+                  });
+    }
+}
+
+void
+Sm::schedOrderInsert(const WarpState &warp)
+{
+    auto &order = schedOrder_[warp.slot % cfg_.numSchedulers];
+    auto pos = std::lower_bound(
+        order.begin(), order.end(), warp.slot,
+        [this, &warp](uint32_t slot, uint32_t) {
+            const WarpState &w = warps_[slot];
+            if (w.prio != warp.prio) {
+                return w.prio < warp.prio;
+            }
+            return w.age < warp.age;
+        });
+    order.insert(pos, warp.slot);
+}
+
+void
+Sm::schedOrderRemove(const WarpState &warp)
+{
+    const uint32_t sched = warp.slot % cfg_.numSchedulers;
+    auto &order = schedOrder_[sched];
+    auto it = std::find(order.begin(), order.end(), warp.slot);
+    panic_if(it == order.end(), "warp slot %u missing from issue order",
+             warp.slot);
+    order.erase(it);
+    if (greedySlot_[sched] == warp.slot) {
+        greedySlot_[sched] = kNoSlotIndex;
+    }
+}
+
+Sm::LoadTracker *
+Sm::findTracker(uint64_t id)
+{
+    const uint64_t idx = id & ((1ull << kTrackerIdxBits) - 1);
+    if (idx >= trackerPool_.size()) {
+        return nullptr;
+    }
+    LoadTracker &t = trackerPool_[idx];
+    if (!t.active || t.gen != (id >> kTrackerIdxBits)) {
+        return nullptr;
+    }
+    return &t;
+}
+
+uint64_t
+Sm::allocTracker(const LoadTracker &tracker)
+{
+    uint32_t idx;
+    if (trackerFreeSlots_.empty()) {
+        idx = static_cast<uint32_t>(trackerPool_.size());
+        panic_if(idx >= (1u << kTrackerIdxBits),
+                 "load tracker pool exhausted");
+        trackerPool_.push_back(tracker);
+    } else {
+        idx = trackerFreeSlots_.back();
+        trackerFreeSlots_.pop_back();
+        trackerPool_[idx] = tracker;
+    }
+    LoadTracker &t = trackerPool_[idx];
+    t.active = true;
+    t.gen = ++trackerGen_;
+    ++liveTrackers_;
+    return (t.gen << kTrackerIdxBits) | idx;
+}
+
+void
+Sm::freeTracker(uint32_t idx)
+{
+    trackerPool_[idx].active = false;
+    trackerFreeSlots_.push_back(idx);
+    --liveTrackers_;
+}
+
+std::vector<Addr>
+Sm::takePooledLines()
+{
+    if (linePool_.empty()) {
+        return {};
+    }
+    std::vector<Addr> lines = std::move(linePool_.back());
+    linePool_.pop_back();
+    lines.clear();
+    return lines;
+}
+
+void
+Sm::recycleLines(std::vector<Addr> &&lines)
+{
+    if (linePool_.size() < 64) {
+        linePool_.push_back(std::move(lines));
+    }
 }
 
 bool
 Sm::canAccept(const KernelInfo &kernel) const
 {
     const CtaFootprint fp = CtaFootprint::of(kernel);
-    if (freeSlots_.size() < fp.warps || liveCtas_.size() >= cfg_.maxCtas) {
+    if (freeSlots_.size() < fp.warps || liveCtaSlots_.size() >= cfg_.maxCtas) {
         return false;
     }
     if (usedThreads_ + fp.threads > cfg_.maxWarps * kWarpSize ||
@@ -83,11 +219,25 @@ Sm::launchCta(const KernelInfo &kernel, KernelId kernel_id,
     CtaTrace trace = kernel.source->generate(cta_index);
     const CtaFootprint fp = CtaFootprint::of(kernel);
 
-    const uint32_t key = nextCtaKey_++;
-    CtaState &cta = liveCtas_[key];
+    // Take a CTA slot from the arena (the pool keeps each slot's
+    // warpSlots capacity across kernels, so steady-state launches do not
+    // allocate).
+    uint32_t key;
+    if (ctaFreeSlots_.empty()) {
+        key = static_cast<uint32_t>(ctaPool_.size());
+        ctaPool_.emplace_back();
+    } else {
+        key = ctaFreeSlots_.back();
+        ctaFreeSlots_.pop_back();
+    }
+    liveCtaSlots_.push_back(key);
+    CtaState &cta = ctaPool_[key];
     cta.stream = kernel.stream;
     cta.kernel = kernel_id;
     cta.footprint = fp;
+    cta.liveWarps = 0;
+    cta.warpsAtBarrier = 0;
+    cta.warpSlots.clear();
 
     usedThreads_ += fp.threads;
     usedRegisters_ += fp.registers;
@@ -126,6 +276,9 @@ Sm::launchCta(const KernelInfo &kernel, KernelId kernel_id,
 
     // Pad with empty warps if the generator produced fewer than the launch
     // geometry implies (partial CTAs at grid edges produce fewer warps).
+    const int prio = priorityOf(kernel.stream);
+    const uint32_t ldst_limit =
+        static_cast<uint32_t>(ldstLimitFor(kernel.stream));
     const uint32_t want = fp.warps;
     for (uint32_t w = 0; w < want; ++w) {
         panic_if(freeSlots_.empty(), "warp slots exhausted mid-launch");
@@ -137,6 +290,9 @@ Sm::launchCta(const KernelInfo &kernel, KernelId kernel_id,
         warp.ctaKey = key;
         warp.stream = kernel.stream;
         warp.live = true;
+        warp.prio = prio;
+        warp.prioStream = prio < 0;
+        warp.ldstLimit = ldst_limit;
         warp.age = ++warpAgeCounter_;
         if (w < trace.warps.size()) {
             warp.trace = std::move(trace.warps[w]);
@@ -144,6 +300,8 @@ Sm::launchCta(const KernelInfo &kernel, KernelId kernel_id,
         cta.warpSlots.push_back(slot);
         cta.liveWarps++;
         activeWarps_++;
+        ++liveWarpsByStream_[kernel.stream];
+        schedOrderInsert(warp);
         st.warpsLaunched++;
     }
 
@@ -178,19 +336,21 @@ void
 Sm::setIssuePriority(StreamId stream, int priority)
 {
     issuePriority_[stream] = priority;
+    refreshPriorityCaches();
 }
 
 void
 Sm::clearIssuePriorities()
 {
     issuePriority_.clear();
+    refreshPriorityCaches();
 }
 
 bool
 Sm::idle() const
 {
-    return activeWarps_ == 0 && ldstQueue_.empty() && trackers_.empty() &&
-           writebacks_.empty() && fabricRetry_.empty();
+    return activeWarps_ == 0 && ldstQueue_.empty() && liveTrackers_ == 0 &&
+           writebackHeap_.empty() && fabricRetry_.empty();
 }
 
 uint32_t
@@ -209,8 +369,8 @@ uint32_t
 Sm::activeCtasOf(StreamId stream) const
 {
     uint32_t count = 0;
-    for (const auto &[key, cta] : liveCtas_) {
-        if (cta.stream == stream) {
+    for (uint32_t key : liveCtaSlots_) {
+        if (ctaPool_[key].stream == stream) {
             ++count;
         }
     }
@@ -234,7 +394,13 @@ Sm::issuedInstrsOf(StreamId stream) const
 void
 Sm::scheduleWriteback(uint32_t slot, uint8_t reg, Cycle when)
 {
-    writebacks_.emplace(when, std::make_pair(slot, reg));
+    panic_if(when >= (1ull << 40) || slot > 0xffff,
+             "writeback (cycle %llu, slot %u) overflows the heap packing",
+             static_cast<unsigned long long>(when), slot);
+    writebackHeap_.push_back((when << 24) |
+                             (static_cast<uint64_t>(slot) << 8) | reg);
+    std::push_heap(writebackHeap_.begin(), writebackHeap_.end(),
+                   std::greater<uint64_t>());
 }
 
 void
@@ -251,9 +417,13 @@ Sm::finishWarp(WarpState &warp, Cycle now)
 {
     warp.live = false;
     activeWarps_--;
-    auto it = liveCtas_.find(warp.ctaKey);
-    panic_if(it == liveCtas_.end(), "warp finished with no live CTA");
-    CtaState &cta = it->second;
+    schedOrderRemove(warp);
+    auto lw = liveWarpsByStream_.find(warp.stream);
+    panic_if(lw == liveWarpsByStream_.end() || lw->second == 0,
+             "warp finished with no live-warp count");
+    --lw->second;
+    CtaState &cta = ctaPool_[warp.ctaKey];
+    panic_if(cta.liveWarps == 0, "warp finished with no live CTA");
     cta.liveWarps--;
 
     if (cta.liveWarps == 0) {
@@ -274,7 +444,12 @@ Sm::finishWarp(WarpState &warp, Cycle now)
         st.lastCycle = std::max(st.lastCycle, now);
         const StreamId stream = cta.stream;
         const KernelId kernel = cta.kernel;
-        liveCtas_.erase(it);
+        auto live_it = std::find(liveCtaSlots_.begin(), liveCtaSlots_.end(),
+                                 warp.ctaKey);
+        panic_if(live_it == liveCtaSlots_.end(),
+                 "finished CTA missing from live list");
+        liveCtaSlots_.erase(live_it);
+        ctaFreeSlots_.push_back(warp.ctaKey);
         if (stepping_) {
             // Staged step: the CTA-done callback mutates GPU-global
             // state (stream bookkeeping, telemetry, controllers), so it
@@ -295,19 +470,20 @@ uint32_t
 Sm::smemConflictCycles(const TraceInstr &instr) const
 {
     // Serialization equals the maximum number of distinct 4B words that
-    // map to the same bank across the active lanes.
-    std::vector<uint32_t> perBank(cfg_.smemBanks, 0);
+    // map to the same bank across the active lanes. Member scratch: this
+    // runs per shared-memory instruction, so it must not allocate.
+    std::fill(smemBankScratch_.begin(), smemBankScratch_.end(), 0);
+    smemSeenScratch_.clear();
     uint32_t worst = 1;
-    std::vector<Addr> seen;
-    seen.reserve(instr.addrs.size());
     for (Addr a : instr.addrs) {
         const Addr word = a / 4;
-        if (std::find(seen.begin(), seen.end(), word) != seen.end()) {
+        if (std::find(smemSeenScratch_.begin(), smemSeenScratch_.end(),
+                      word) != smemSeenScratch_.end()) {
             continue;   // broadcast within the warp is conflict-free
         }
-        seen.push_back(word);
+        smemSeenScratch_.push_back(word);
         const uint32_t bank = static_cast<uint32_t>(word % cfg_.smemBanks);
-        worst = std::max(worst, ++perBank[bank]);
+        worst = std::max(worst, ++smemBankScratch_[bank]);
     }
     return worst;
 }
@@ -326,18 +502,15 @@ Sm::ldstLimitFor(StreamId stream) const
         : cfg_.ldstQueueDepth / 2;
 }
 
-bool
+void
 Sm::issueMemory(WarpState &warp, const TraceInstr &instr, Cycle now)
 {
-    auto prio = issuePriority_.find(warp.stream);
-    const bool is_priority =
-        prio != issuePriority_.end() && prio->second < 0;
-    if (ldstQueue_.size() >= ldstLimitFor(warp.stream)) {
-        return false;
-    }
+    // Queue-limit admission already happened in tryIssue (against the
+    // warp's cached limit), so this always succeeds.
     const bool store = isStore(instr.opcode);
     const bool texture = instr.opcode == Opcode::TEX;
-    std::vector<Addr> lines = coalesceToLines(instr);
+    std::vector<Addr> lines = takePooledLines();
+    coalesceToLines(instr, lines);
     panic_if(lines.empty(), "memory instruction with no addresses");
 
     LdstEntry entry;
@@ -348,20 +521,18 @@ Sm::issueMemory(WarpState &warp, const TraceInstr &instr, Cycle now)
     entry.lines = std::move(lines);
 
     if (!store) {
-        const uint64_t id = nextTracker_++;
         LoadTracker tracker;
         tracker.warpSlot = warp.slot;
         tracker.reg = instr.dst;
         tracker.remaining = static_cast<uint32_t>(entry.lines.size());
         tracker.isTexture = texture;
-        trackers_.emplace(id, tracker);
-        entry.tracker = id;
+        entry.tracker = allocTracker(tracker);
         if (instr.hasDst()) {
             warp.pendingWrites.set(instr.dst);
         }
     }
     (void)now;
-    if (is_priority) {
+    if (warp.prioStream) {
         // Priority entries service ahead of queued lower-priority ones
         // (but stay ordered among themselves).
         auto pos = ldstQueue_.begin();
@@ -376,7 +547,6 @@ Sm::issueMemory(WarpState &warp, const TraceInstr &instr, Cycle now)
     } else {
         ldstQueue_.push_back(std::move(entry));
     }
-    return true;
 }
 
 bool
@@ -387,13 +557,17 @@ Sm::tryIssue(WarpState &warp, Cycle now)
     }
     const TraceInstr &instr = warp.trace.instrs[warp.pc];
 
-    // Register scoreboard: stall on RAW and WAW hazards.
-    if (instr.hasDst() && warp.pendingWrites.test(instr.dst)) {
-        return false;
-    }
-    for (uint8_t src : instr.srcs) {
-        if (src != kNoReg && warp.pendingWrites.test(src)) {
+    // Register scoreboard: stall on RAW and WAW hazards. Most warps have
+    // no pending writes at all; one bitset sweep skips the per-operand
+    // tests in that common case.
+    if (warp.pendingWrites.any()) {
+        if (instr.hasDst() && warp.pendingWrites.test(instr.dst)) {
             return false;
+        }
+        for (uint8_t src : instr.srcs) {
+            if (src != kNoReg && warp.pendingWrites.test(src)) {
+                return false;
+            }
         }
     }
 
@@ -403,12 +577,16 @@ Sm::tryIssue(WarpState &warp, Cycle now)
       case OpClass::INT:
       case OpClass::SFU:
       case OpClass::Tensor: {
-        auto &pool = unitFreeAt_[static_cast<size_t>(cls)];
-        auto unit = std::min_element(pool.begin(), pool.end());
-        if (*unit > now) {
+        // Cached pool minimum: a busy pool (the common rejection) is one
+        // compare instead of a scan.
+        if (unitMinFree_[static_cast<size_t>(cls)] > now) {
             return false;
         }
+        auto &pool = unitFreeAt_[static_cast<size_t>(cls)];
+        auto unit = std::min_element(pool.begin(), pool.end());
         *unit = now + cfg_.intervalFor(cls);
+        unitMinFree_[static_cast<size_t>(cls)] =
+            *std::min_element(pool.begin(), pool.end());
         if (instr.hasDst()) {
             warp.pendingWrites.set(instr.dst);
             scheduleWriteback(warp.slot, instr.dst,
@@ -440,12 +618,16 @@ Sm::tryIssue(WarpState &warp, Cycle now)
         break;
       case OpClass::MemGlobal:
       case OpClass::MemTexture:
-        if (!issueMemory(warp, instr, now)) {
+        // The queue-limit check is the only way issueMemory can refuse;
+        // doing it here against the warp's cached limit keeps the
+        // (overwhelmingly common) full-queue rejection to two loads.
+        if (ldstQueue_.size() >= warp.ldstLimit) {
             return false;
         }
+        issueMemory(warp, instr, now);
         break;
       case OpClass::Barrier: {
-        CtaState &cta = liveCtas_.at(warp.ctaKey);
+        CtaState &cta = ctaPool_[warp.ctaKey];
         warp.atBarrier = true;
         if (++cta.warpsAtBarrier == cta.liveWarps) {
             releaseBarrier(cta);
@@ -496,9 +678,12 @@ Sm::stepLdst(Cycle now)
     while (ports > 0 && !ldstQueue_.empty()) {
         LdstEntry &entry = ldstQueue_.front();
         bool stalled = false;
+        // One stats lookup per entry, not per line (stepLdst never runs
+        // inside a staged step, so the target registry cannot change
+        // between lines).
+        auto &st = streamStats(entry.stream);
         while (ports > 0 && !entry.lines.empty()) {
             const Addr line = entry.lines.back();
-            auto &st = streamStats(entry.stream);
 
             if (entry.write) {
                 // Write-through, no-allocate L1.
@@ -556,12 +741,13 @@ Sm::stepLdst(Cycle now)
             }
             if (res.hit) {
                 st.l1Hits++;
-                auto tit = trackers_.find(entry.tracker);
-                panic_if(tit == trackers_.end(), "L1 hit for dead tracker");
-                if (--tit->second.remaining == 0) {
-                    scheduleWriteback(tit->second.warpSlot, tit->second.reg,
+                LoadTracker *tracker = findTracker(entry.tracker);
+                panic_if(tracker == nullptr, "L1 hit for dead tracker");
+                if (--tracker->remaining == 0) {
+                    scheduleWriteback(tracker->warpSlot, tracker->reg,
                                       now + cfg_.l1HitLatency);
-                    trackers_.erase(tit);
+                    freeTracker(static_cast<uint32_t>(
+                        entry.tracker & ((1ull << kTrackerIdxBits) - 1)));
                 }
             } else {
                 const auto outcome =
@@ -586,6 +772,7 @@ Sm::stepLdst(Cycle now)
             ++workCount_;
         }
         if (entry.lines.empty()) {
+            recycleLines(std::move(entry.lines));
             ldstQueue_.pop_front();
             continue;
         }
@@ -604,13 +791,14 @@ Sm::memResponse(const MemRequest &resp, Cycle now)
     // recency from resident lines.
     l1_.fill(resp.line, false, resp.stream, resp.dataClass);
     for (uint64_t key : l1Mshr_.fill(resp.line)) {
-        auto tit = trackers_.find(key);
-        if (tit == trackers_.end()) {
+        LoadTracker *tracker = findTracker(key);
+        if (tracker == nullptr) {
             continue;
         }
-        if (--tit->second.remaining == 0) {
-            scheduleWriteback(tit->second.warpSlot, tit->second.reg, now);
-            trackers_.erase(tit);
+        if (--tracker->remaining == 0) {
+            scheduleWriteback(tracker->warpSlot, tracker->reg, now);
+            freeTracker(static_cast<uint32_t>(
+                key & ((1ull << kTrackerIdxBits) - 1)));
         }
     }
 }
@@ -644,10 +832,10 @@ Sm::probe(Cycle now) const
 {
     IntegrityProbe p;
     p.activeWarps = activeWarps_;
-    p.activeCtas = static_cast<uint32_t>(liveCtas_.size());
+    p.activeCtas = static_cast<uint32_t>(liveCtaSlots_.size());
     p.ldstQueueDepth = ldstQueue_.size();
     p.fabricRetryDepth = fabricRetry_.size();
-    p.outstandingLoads = trackers_.size();
+    p.outstandingLoads = liveTrackers_;
     p.l1MshrEntries = l1Mshr_.entriesInUse();
     p.issueFrozen = issueFrozen_;
     if (p.l1MshrEntries > 0) {
@@ -725,7 +913,8 @@ Sm::auditAccounting(std::string *detail) const
     uint32_t registers = 0;
     uint32_t smem = 0;
     uint32_t live_warps = 0;
-    for (const auto &[key, cta] : liveCtas_) {
+    for (uint32_t key : liveCtaSlots_) {
+        const CtaState &cta = ctaPool_[key];
         threads += cta.footprint.threads;
         registers += cta.footprint.registers;
         smem += cta.footprint.smemBytes;
@@ -766,7 +955,8 @@ Sm::auditAccounting(std::string *detail) const
     }
     for (const auto &[stream, used] : usedByStream_) {
         CtaFootprint expect;
-        for (const auto &[key, cta] : liveCtas_) {
+        for (uint32_t key : liveCtaSlots_) {
+            const CtaState &cta = ctaPool_[key];
             if (cta.stream != stream) {
                 continue;
             }
@@ -804,12 +994,18 @@ Sm::step(Cycle now)
         drainFabricRetries(now);
     }
 
-    // Commit due register writebacks (clears scoreboard entries).
-    while (!writebacks_.empty() && writebacks_.begin()->first <= now) {
-        auto node = writebacks_.extract(writebacks_.begin());
-        const auto [slot, reg] = node.mapped();
+    // Commit due register writebacks (clears scoreboard entries). The heap
+    // pops same-cycle writebacks in packed (slot, reg) order rather than
+    // the old multimap's insertion order; each pop clears a distinct
+    // scoreboard bit, so the tie order is unobservable.
+    while (!writebackHeap_.empty() && (writebackHeap_.front() >> 24) <= now) {
+        std::pop_heap(writebackHeap_.begin(), writebackHeap_.end(),
+                      std::greater<uint64_t>());
+        const uint64_t packed = writebackHeap_.back();
+        writebackHeap_.pop_back();
+        const uint8_t reg = static_cast<uint8_t>(packed & 0xff);
         if (reg != kNoReg) {
-            warps_[slot].pendingWrites.reset(reg);
+            warps_[(packed >> 8) & 0xffff].pendingWrites.reset(reg);
         }
         ++workCount_;
     }
@@ -821,13 +1017,9 @@ Sm::step(Cycle now)
     }
 
     // Count active cycles per stream (streams with live warps this cycle).
-    {
-        std::map<StreamId, bool> seen;
-        for (const auto &[key, cta] : liveCtas_) {
-            if (cta.liveWarps > 0 && !seen[cta.stream]) {
-                seen[cta.stream] = true;
-                streamStats(cta.stream).cycles++;
-            }
+    for (const auto &[stream, live] : liveWarpsByStream_) {
+        if (live > 0) {
+            streamStats(stream).cycles++;
         }
     }
 
@@ -844,55 +1036,70 @@ Sm::step(Cycle now)
     // greediness, age). The greedy bit keeps a warp issuing back-to-back
     // until it stalls; priority lets graphics warps claim issue slots ahead
     // of a lower-priority async-compute stream.
-    auto priority_of = [this](StreamId s) {
-        auto it = issuePriority_.find(s);
-        return it == issuePriority_.end() ? 0 : it->second;
-    };
-    std::vector<WarpState *> cands;
-    cands.reserve(cfg_.maxWarps / cfg_.numSchedulers + 1);
+    //
+    // schedOrder_ maintains each scheduler's live slots sorted by
+    // (prio, age), so the old gather-and-sort becomes a walk: the single
+    // greedy slot is tried when the walk first reaches its priority
+    // group, which reproduces the (prio, greedy, age) sort order exactly.
     for (uint32_t sched = 0; sched < cfg_.numSchedulers; ++sched) {
-        cands.clear();
-        for (uint32_t slot = sched; slot < cfg_.maxWarps;
-             slot += cfg_.numSchedulers) {
-            if (warps_[slot].live) {
-                cands.push_back(&warps_[slot]);
-            }
-        }
         if (cfg_.scheduler == SchedulerPolicy::Gto) {
-            std::sort(cands.begin(), cands.end(),
-                      [&](const WarpState *a, const WarpState *b) {
-                          const int pa = priority_of(a->stream);
-                          const int pb = priority_of(b->stream);
-                          if (pa != pb) {
-                              return pa < pb;
-                          }
-                          if (a->greedy != b->greedy) {
-                              return a->greedy;
-                          }
-                          return a->age < b->age;
-                      });
+            const auto &order = schedOrder_[sched];
+            const uint32_t greedy = greedySlot_[sched];
+            bool greedy_pending = greedy != kNoSlotIndex;
+            const int greedy_prio =
+                greedy_pending ? warps_[greedy].prio : 0;
+            // Index loop: a successful issue can launch CTAs (via the
+            // CTA-done handler) that append to this order before the
+            // break below.
+            for (size_t i = 0; i < order.size(); ++i) {
+                const uint32_t slot = order[i];
+                if (greedy_pending && warps_[slot].prio == greedy_prio) {
+                    greedy_pending = false;
+                    if (tryIssue(warps_[greedy], now)) {
+                        greedySlot_[sched] = warps_[greedy].live
+                            ? greedy
+                            : kNoSlotIndex;
+                        break;
+                    }
+                }
+                if (slot == greedy) {
+                    continue;
+                }
+                if (tryIssue(warps_[slot], now)) {
+                    greedySlot_[sched] = warps_[slot].live
+                        ? slot
+                        : kNoSlotIndex;
+                    break;
+                }
+            }
         } else {
             // Loose round-robin: rotate the start position each cycle,
             // still respecting stream priorities.
-            const size_t rot = cands.empty()
-                ? 0
-                : static_cast<size_t>(now) % cands.size();
-            std::rotate(cands.begin(), cands.begin() + rot, cands.end());
-            std::stable_sort(cands.begin(), cands.end(),
-                             [&](const WarpState *a, const WarpState *b) {
-                                 return priority_of(a->stream) <
-                                        priority_of(b->stream);
+            candScratch_.clear();
+            for (uint32_t slot = sched; slot < cfg_.maxWarps;
+                 slot += cfg_.numSchedulers) {
+                if (warps_[slot].live) {
+                    candScratch_.push_back(slot);
+                }
+            }
+            if (!candScratch_.empty()) {
+                const size_t rot =
+                    static_cast<size_t>(now) % candScratch_.size();
+                std::rotate(candScratch_.begin(),
+                            candScratch_.begin() + rot, candScratch_.end());
+            }
+            std::stable_sort(candScratch_.begin(), candScratch_.end(),
+                             [this](uint32_t a, uint32_t b) {
+                                 return warps_[a].prio < warps_[b].prio;
                              });
-        }
-        for (WarpState *w : cands) {
-            if (tryIssue(*w, now)) {
-                for (WarpState *o : cands) {
-                    o->greedy = false;
+            for (size_t i = 0; i < candScratch_.size(); ++i) {
+                const uint32_t slot = candScratch_[i];
+                if (tryIssue(warps_[slot], now)) {
+                    greedySlot_[sched] = warps_[slot].live
+                        ? slot
+                        : kNoSlotIndex;
+                    break;
                 }
-                if (w->live) {
-                    w->greedy = true;
-                }
-                break;
             }
         }
     }
@@ -971,8 +1178,8 @@ Sm::nextWorkCycle(Cycle now) const
         wake = std::min(wake, std::max(at, now + 1));
     };
 
-    if (!writebacks_.empty()) {
-        consider(writebacks_.begin()->first);
+    if (!writebackHeap_.empty()) {
+        consider(writebackHeap_.front() >> 24);
     }
 
     if (activeWarps_ == 0 || issueFrozen_) {
@@ -1027,11 +1234,9 @@ Sm::creditIdleCycles(uint64_t count)
     // Mirrors the per-cycle counting in step(): every stream with a live
     // warp is "active" for each skipped cycle. Main thread only, so the
     // global registry is written directly.
-    std::map<StreamId, bool> seen;
-    for (const auto &[key, cta] : liveCtas_) {
-        if (cta.liveWarps > 0 && !seen[cta.stream]) {
-            seen[cta.stream] = true;
-            stats_->stream(cta.stream).cycles += count;
+    for (const auto &[stream, live] : liveWarpsByStream_) {
+        if (live > 0) {
+            stats_->stream(stream).cycles += count;
         }
     }
 }

@@ -7,9 +7,9 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/stats.hpp"
 #include "core/sm_config.hpp"
 #include "isa/trace.hpp"
@@ -116,7 +116,7 @@ class Sm
     uint32_t activeWarpsOf(StreamId stream) const;
     uint32_t activeCtas() const
     {
-        return static_cast<uint32_t>(liveCtas_.size());
+        return static_cast<uint32_t>(liveCtaSlots_.size());
     }
     uint32_t activeCtasOf(StreamId stream) const;
     uint32_t usedThreadsOf(StreamId stream) const;
@@ -206,10 +206,11 @@ class Sm
     /**
      * Add each read parked in the fabric-retry queue to @p out[stream].
      * The audit balances per-stream L1 misses against L2 accesses plus
-     * requests still on their way there.
+     * requests still on their way there. Takes the audit layer's reusable
+     * flat-map scratch so the cadence-4096 audits allocate nothing.
      */
     void
-    countFabricRetriesByStream(std::map<StreamId, uint64_t> &out) const
+    countFabricRetriesByStream(SmallFlatMap<StreamId, uint64_t> &out) const
     {
         for (const auto &req : fabricRetry_) {
             ++out[req.stream];
@@ -286,7 +287,12 @@ class Sm
         StreamId stream = 0;
         bool live = false;
         bool atBarrier = false;
-        bool greedy = false;        ///< Current greedy pick of its scheduler.
+        /** Stream issue priority, cached so the scheduler order and the
+         *  issue path never look it up per attempt (refreshed whenever
+         *  setIssuePriority / clearIssuePriorities changes the table). */
+        int prio = 0;
+        bool prioStream = false;    ///< prio < 0 (LDST fast lane).
+        uint32_t ldstLimit = 0;     ///< Cached ldstLimitFor(stream).
         uint64_t age = 0;           ///< Launch order for GTO.
         std::bitset<256> pendingWrites;
     };
@@ -307,7 +313,12 @@ class Sm
         uint8_t reg = kNoReg;
         uint32_t remaining = 0;
         bool isTexture = false;
+        bool active = false;
+        /** Allocation generation; id = (gen << kTrackerIdxBits) | slot. */
+        uint64_t gen = 0;
     };
+    static constexpr uint32_t kTrackerIdxBits = 20;
+    static constexpr uint32_t kNoSlotIndex = ~0u;
 
     /** An in-flight memory instruction working through the LDST unit. */
     struct LdstEntry
@@ -321,8 +332,19 @@ class Sm
     };
 
     bool tryIssue(WarpState &warp, Cycle now);
-    bool issueMemory(WarpState &warp, const TraceInstr &instr, Cycle now);
+    void issueMemory(WarpState &warp, const TraceInstr &instr, Cycle now);
     size_t ldstLimitFor(StreamId stream) const;
+    int priorityOf(StreamId stream) const;
+    /** Re-derive every live warp's cached priority fields and re-sort the
+     *  per-scheduler issue orders (called on priority-table changes). */
+    void refreshPriorityCaches();
+    void schedOrderInsert(const WarpState &warp);
+    void schedOrderRemove(const WarpState &warp);
+    LoadTracker *findTracker(uint64_t id);
+    uint64_t allocTracker(const LoadTracker &tracker);
+    void freeTracker(uint32_t idx);
+    std::vector<Addr> takePooledLines();
+    void recycleLines(std::vector<Addr> &&lines);
     /** Stats routing: the shadow registry inside a staged step, the
      *  shared one everywhere else (launchCta, responses run on the main
      *  thread and write the global registry directly, as before). */
@@ -347,39 +369,68 @@ class Sm
 
     std::vector<WarpState> warps_;          // one per warp slot
     std::vector<uint32_t> freeSlots_;
-    std::unordered_map<uint32_t, CtaState> liveCtas_;
-    uint32_t nextCtaKey_ = 0;
+    // CTA arena: states live in a slot pool whose index is the CTA key,
+    // so launch/commit churn reuses slots (and each slot's warpSlots
+    // capacity) instead of hashing into a node-based map.
+    std::vector<CtaState> ctaPool_;
+    std::vector<uint32_t> ctaFreeSlots_;
+    std::vector<uint32_t> liveCtaSlots_;    // insertion order
     uint64_t warpAgeCounter_ = 0;
     uint32_t activeWarps_ = 0;
     bool issueFrozen_ = false;
     /** First quota breach observed at CTA launch (sticky; "" = none). */
     std::string quotaBreach_;
 
-    // Aggregate and per-stream resource usage.
+    // Aggregate and per-stream resource usage. Flat maps: an SM sees a
+    // handful of streams and these sit on the per-issue path.
     uint32_t usedThreads_ = 0;
     uint32_t usedRegisters_ = 0;
     uint32_t usedSmem_ = 0;
-    std::map<StreamId, CtaFootprint> usedByStream_;
-    std::map<StreamId, SmQuota> quotas_;
-    std::map<StreamId, int> issuePriority_;
-    std::map<StreamId, uint64_t> issuedByStream_;
+    SmallFlatMap<StreamId, CtaFootprint> usedByStream_;
+    SmallFlatMap<StreamId, SmQuota> quotas_;
+    SmallFlatMap<StreamId, int> issuePriority_;
+    SmallFlatMap<StreamId, uint64_t> issuedByStream_;
+    /** Live-warp count per stream (drives active-cycle counting without
+     *  walking the CTA table every cycle). */
+    SmallFlatMap<StreamId, uint32_t> liveWarpsByStream_;
 
-    // Execution unit pools: busy-until per unit, indexed by OpClass.
+    // Per-scheduler issue order: live slots sorted by (prio, age), kept
+    // incrementally so the per-cycle GTO pass is a walk, not a sort.
+    std::vector<std::vector<uint32_t>> schedOrder_;
+    /** Greedy pick per scheduler (kNoSlotIndex = none). */
+    std::vector<uint32_t> greedySlot_;
+    /** Scratch for the round-robin policy's per-cycle candidate list. */
+    std::vector<uint32_t> candScratch_;
+
+    // Execution unit pools: busy-until per unit, indexed by OpClass, plus
+    // a cached pool minimum so a busy-pool rejection is one compare.
     std::vector<std::vector<Cycle>> unitFreeAt_;
+    std::vector<Cycle> unitMinFree_;
     // Shared-memory port: serialized by bank conflicts, independent of the
     // ALU pipes (compute kernels heavy on shared memory do not steal issue
     // bandwidth from rendering's address math).
     Cycle smemPortFreeAt_ = 0;
+    mutable std::vector<uint32_t> smemBankScratch_;
+    mutable std::vector<Addr> smemSeenScratch_;
 
-    // Pending register writebacks ordered by completion cycle.
-    std::multimap<Cycle, std::pair<uint32_t, uint8_t>> writebacks_;
+    // Pending register writebacks: min-heap of (cycle << 24 | slot << 8 |
+    // reg). Same-cycle writebacks commute (each clears a distinct
+    // scoreboard bit), so the heap's tie order is unobservable and the
+    // per-insert node allocation of the old multimap goes away.
+    std::vector<uint64_t> writebackHeap_;
 
     // LDST unit.
     std::deque<LdstEntry> ldstQueue_;
+    /** Retired LdstEntry line buffers, reused to avoid per-issue churn. */
+    std::vector<std::vector<Addr>> linePool_;
     /** Miss requests refused by the fabric, waiting to be re-sent. */
     std::deque<MemRequest> fabricRetry_;
-    std::unordered_map<uint64_t, LoadTracker> trackers_;
-    uint64_t nextTracker_ = 1;
+    // Load trackers live in a generation-checked slot pool; ids encode
+    // (generation, slot) so stale MSHR keys simply fail the lookup.
+    std::vector<LoadTracker> trackerPool_;
+    std::vector<uint32_t> trackerFreeSlots_;
+    uint64_t trackerGen_ = 0;
+    uint64_t liveTrackers_ = 0;
 
     // Parallel cycle engine: thread-local shadows and deferred CTA
     // completions, merged by the owner in SM-id order after the barrier.

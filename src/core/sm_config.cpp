@@ -4,48 +4,14 @@
 
 namespace crisp
 {
-
-uint32_t
-SmConfig::unitsFor(OpClass cls) const
+namespace sm_config_detail
 {
-    switch (cls) {
-      case OpClass::FP32: return fp32Units;
-      case OpClass::INT: return intUnits;
-      case OpClass::SFU: return sfuUnits;
-      case OpClass::Tensor: return tensorUnits;
-      default:
-        panic("no execution unit pool for op class %d",
-              static_cast<int>(cls));
-    }
+
+void
+badOpClass(const char *what, OpClass cls)
+{
+    panic("no %s for op class %d", what, static_cast<int>(cls));
 }
 
-Cycle
-SmConfig::latencyFor(OpClass cls) const
-{
-    switch (cls) {
-      case OpClass::FP32: return fp32Latency;
-      case OpClass::INT: return intLatency;
-      case OpClass::SFU: return sfuLatency;
-      case OpClass::Tensor: return tensorLatency;
-      case OpClass::MemShared: return smemLatency;
-      case OpClass::MemConst: return constLatency;
-      default:
-        panic("no fixed latency for op class %d", static_cast<int>(cls));
-    }
-}
-
-uint32_t
-SmConfig::intervalFor(OpClass cls) const
-{
-    switch (cls) {
-      case OpClass::FP32: return fp32Interval;
-      case OpClass::INT: return intInterval;
-      case OpClass::SFU: return sfuInterval;
-      case OpClass::Tensor: return tensorInterval;
-      default:
-        panic("no initiation interval for op class %d",
-              static_cast<int>(cls));
-    }
-}
-
+} // namespace sm_config_detail
 } // namespace crisp

@@ -9,6 +9,12 @@
 namespace crisp
 {
 
+namespace sm_config_detail
+{
+/** Op class with no such parameter: report and abort (never returns). */
+[[noreturn]] void badOpClass(const char *what, OpClass cls);
+} // namespace sm_config_detail
+
 /** Warp scheduler policy. */
 enum class SchedulerPolicy : uint8_t
 {
@@ -77,9 +83,43 @@ struct SmConfig
     /** Shared memory banks for the conflict model. */
     uint32_t smemBanks = 32;
 
-    uint32_t unitsFor(OpClass cls) const;
-    Cycle latencyFor(OpClass cls) const;
-    uint32_t intervalFor(OpClass cls) const;
+    // Inline: these sit on the per-issue hot path (one call per issued
+    // instruction); the error paths live out of line in sm_config.cpp.
+    uint32_t
+    unitsFor(OpClass cls) const
+    {
+        switch (cls) {
+          case OpClass::FP32: return fp32Units;
+          case OpClass::INT: return intUnits;
+          case OpClass::SFU: return sfuUnits;
+          case OpClass::Tensor: return tensorUnits;
+          default: sm_config_detail::badOpClass("execution unit pool", cls);
+        }
+    }
+    Cycle
+    latencyFor(OpClass cls) const
+    {
+        switch (cls) {
+          case OpClass::FP32: return fp32Latency;
+          case OpClass::INT: return intLatency;
+          case OpClass::SFU: return sfuLatency;
+          case OpClass::Tensor: return tensorLatency;
+          case OpClass::MemShared: return smemLatency;
+          case OpClass::MemConst: return constLatency;
+          default: sm_config_detail::badOpClass("fixed latency", cls);
+        }
+    }
+    uint32_t
+    intervalFor(OpClass cls) const
+    {
+        switch (cls) {
+          case OpClass::FP32: return fp32Interval;
+          case OpClass::INT: return intInterval;
+          case OpClass::SFU: return sfuInterval;
+          case OpClass::Tensor: return tensorInterval;
+          default: sm_config_detail::badOpClass("initiation interval", cls);
+        }
+    }
 };
 
 } // namespace crisp

@@ -24,9 +24,20 @@ struct EngineConfig
     /**
      * Worker lanes stepping SM shards (including the calling thread).
      * 0 and 1 both mean serial execution. Values above the SM count are
-     * clamped: an SM is the unit of sharding.
+     * clamped: an SM is the unit of sharding. Values above the host's
+     * core count are also clamped (oversubscribed lanes time-slice one
+     * core and the per-cycle barrier makes that strictly slower than
+     * serial) unless allowOversubscribe is set.
      */
     uint32_t threads = 1;
+
+    /**
+     * Permit more lanes than host cores. Engine outputs are identical
+     * for any thread count, so determinism/stress tests set this to
+     * exercise the multi-lane code paths on small hosts; performance
+     * runs leave it off and get the clamp.
+     */
+    bool allowOversubscribe = false;
 
     /**
      * Force staged fabric semantics even when stepping serially. With

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <thread>
 #include <utility>
 
 #include "audit/audit.hpp"
@@ -61,9 +62,19 @@ Gpu::setEngine(const engine::EngineConfig &engine)
              "cycle engine must be configured before the first tick");
     engine_ = engine;
     // The SM is the unit of sharding: more lanes than SMs only adds
-    // barrier cost. 0 and 1 both mean serial.
+    // barrier cost. 0 and 1 both mean serial. Lanes beyond the host's
+    // cores only time-slice, so they are clamped too unless the caller
+    // explicitly opts into oversubscription (outputs are identical for
+    // any thread count, so this is purely a performance guard).
+    uint32_t max_threads = numSms();
+    if (!engine.allowOversubscribe) {
+        const uint32_t cores = std::thread::hardware_concurrency();
+        if (cores != 0) {
+            max_threads = std::min(max_threads, cores);
+        }
+    }
     engine_.threads = std::max<uint32_t>(
-        1, std::min<uint32_t>(engine.threads, numSms()));
+        1, std::min<uint32_t>(engine.threads, max_threads));
     const bool staged = engine_.staged();
     for (auto &sm : sms_) {
         sm->setStagedFabric(staged);
@@ -422,7 +433,8 @@ Gpu::issueCtas()
 {
     // Track which SMs already accepted a CTA this cycle (launch throughput
     // of one CTA per SM per cycle).
-    std::vector<bool> launched(sms_.size(), false);
+    issueLaunchedScratch_.assign(sms_.size(), 0);
+    std::vector<uint8_t> &launched = issueLaunchedScratch_;
 
     for (auto &[id, ss] : streams_) {
         promoteReadyKernels(ss);
@@ -967,6 +979,9 @@ Gpu::run(Cycle max_cycles, const integrity::RunOptions &opts)
     const Cycle audit_interval = opts.auditInterval;
     Cycle next_audit = cycle_ + audit_interval;
     const std::vector<const Sm *> sms = constSms();
+    // Reused across audit firings so a tight cadence (e.g. every 4096
+    // cycles) tallies in-flight requests without allocating each time.
+    SmallFlatMap<StreamId, uint64_t> audit_scratch;
 
     // Idle fast-forward: armed per run, and never under fault injection
     // (a frozen SM's "idle" is exactly what the watchdog must observe
@@ -1046,7 +1061,8 @@ Gpu::run(Cycle max_cycles, const integrity::RunOptions &opts)
         }
         if (audit_due) {
             next_audit = cycle_ + audit_interval;
-            audit::auditAll(stats_, sms, *l2_, cycle_, violations);
+            audit::auditAll(stats_, sms, *l2_, cycle_, audit_scratch,
+                            violations);
         }
         if (violations.empty() && !hung) {
             continue;

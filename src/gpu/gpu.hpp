@@ -360,6 +360,9 @@ class Gpu : public MemFabricPort
     std::map<StreamId, StreamState> streams_;
     std::map<StreamId, std::vector<uint32_t>> smAssignment_;
     std::vector<uint32_t> allSms_;
+    /** Per-tick "SM accepted a CTA this cycle" scratch for issueCtas():
+     *  reused so the per-cycle scheduler pass does not allocate. */
+    std::vector<uint8_t> issueLaunchedScratch_;
     std::vector<GpuController *> controllers_;
     integrity::FaultInjector *faultInjector_ = nullptr;
     PartitionConfig partition_;

@@ -5,49 +5,16 @@
 namespace crisp
 {
 
-OpClass
-opcodeClass(Opcode op)
+namespace opcode_detail
 {
-    switch (op) {
-      case Opcode::FADD:
-      case Opcode::FMUL:
-      case Opcode::FFMA:
-      case Opcode::FSETP:
-        return OpClass::FP32;
-      case Opcode::IADD:
-      case Opcode::IMAD:
-      case Opcode::ISETP:
-      case Opcode::LOP:
-      case Opcode::SHF:
-      case Opcode::MOV:
-      case Opcode::SEL:
-        return OpClass::INT;
-      case Opcode::MUFU_RCP:
-      case Opcode::MUFU_SIN:
-      case Opcode::MUFU_EX2:
-      case Opcode::MUFU_SQRT:
-        return OpClass::SFU;
-      case Opcode::HMMA:
-        return OpClass::Tensor;
-      case Opcode::LDG:
-      case Opcode::STG:
-        return OpClass::MemGlobal;
-      case Opcode::LDS:
-      case Opcode::STS:
-        return OpClass::MemShared;
-      case Opcode::LDC:
-        return OpClass::MemConst;
-      case Opcode::TEX:
-        return OpClass::MemTexture;
-      case Opcode::BRA:
-      case Opcode::EXIT:
-        return OpClass::Control;
-      case Opcode::BAR:
-        return OpClass::Barrier;
-      default:
-        panic("unknown opcode %d", static_cast<int>(op));
-    }
+
+void
+unknownOpcode(int op)
+{
+    panic("unknown opcode %d", op);
 }
+
+} // namespace opcode_detail
 
 const char *
 opcodeName(Opcode op)
@@ -80,26 +47,6 @@ opcodeName(Opcode op)
       case Opcode::EXIT: return "EXIT";
       default: return "???";
     }
-}
-
-bool
-isMemory(Opcode op)
-{
-    switch (opcodeClass(op)) {
-      case OpClass::MemGlobal:
-      case OpClass::MemShared:
-      case OpClass::MemConst:
-      case OpClass::MemTexture:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isStore(Opcode op)
-{
-    return op == Opcode::STG || op == Opcode::STS;
 }
 
 } // namespace crisp

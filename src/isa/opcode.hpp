@@ -1,6 +1,7 @@
 #ifndef CRISP_ISA_OPCODE_HPP
 #define CRISP_ISA_OPCODE_HPP
 
+#include <cstddef>
 #include <cstdint>
 
 namespace crisp
@@ -68,17 +69,82 @@ enum class OpClass : uint8_t
     NumClasses
 };
 
-/** Pipeline class for an opcode. */
-OpClass opcodeClass(Opcode op);
+namespace opcode_detail
+{
+/** Out-of-range opcode: report and abort (never returns). */
+[[noreturn]] void unknownOpcode(int op);
+
+/** Opcode → pipeline class, indexed by the enum value. */
+inline constexpr OpClass kClassTable[] = {
+    OpClass::FP32,       // FADD
+    OpClass::FP32,       // FMUL
+    OpClass::FP32,       // FFMA
+    OpClass::FP32,       // FSETP
+    OpClass::INT,        // IADD
+    OpClass::INT,        // IMAD
+    OpClass::INT,        // ISETP
+    OpClass::INT,        // LOP
+    OpClass::INT,        // SHF
+    OpClass::INT,        // MOV
+    OpClass::INT,        // SEL
+    OpClass::SFU,        // MUFU_RCP
+    OpClass::SFU,        // MUFU_SIN
+    OpClass::SFU,        // MUFU_EX2
+    OpClass::SFU,        // MUFU_SQRT
+    OpClass::Tensor,     // HMMA
+    OpClass::MemGlobal,  // LDG
+    OpClass::MemGlobal,  // STG
+    OpClass::MemShared,  // LDS
+    OpClass::MemShared,  // STS
+    OpClass::MemConst,   // LDC
+    OpClass::MemTexture, // TEX
+    OpClass::Control,    // BRA
+    OpClass::Barrier,    // BAR
+    OpClass::Control,    // EXIT
+};
+static_assert(sizeof(kClassTable) / sizeof(kClassTable[0]) ==
+                  static_cast<size_t>(Opcode::NumOpcodes),
+              "kClassTable must cover every opcode");
+} // namespace opcode_detail
+
+/**
+ * Pipeline class for an opcode. Inline table lookup: this sits on the
+ * per-candidate issue path and is among the hottest calls in the profile.
+ */
+inline OpClass
+opcodeClass(Opcode op)
+{
+    const auto i = static_cast<size_t>(op);
+    if (i >= static_cast<size_t>(Opcode::NumOpcodes)) {
+        opcode_detail::unknownOpcode(static_cast<int>(op));
+    }
+    return opcode_detail::kClassTable[i];
+}
 
 /** Mnemonic string for tracing/debug output. */
 const char *opcodeName(Opcode op);
 
 /** True if the opcode reads or writes memory (incl. TEX). */
-bool isMemory(Opcode op);
+inline bool
+isMemory(Opcode op)
+{
+    switch (opcodeClass(op)) {
+      case OpClass::MemGlobal:
+      case OpClass::MemShared:
+      case OpClass::MemConst:
+      case OpClass::MemTexture:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** True if the opcode writes to global memory. */
-bool isStore(Opcode op);
+inline bool
+isStore(Opcode op)
+{
+    return op == Opcode::STG || op == Opcode::STS;
+}
 
 } // namespace crisp
 

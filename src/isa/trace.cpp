@@ -28,12 +28,12 @@ VectorCtaSource::generate(uint32_t cta_index) const
 namespace
 {
 
-std::vector<Addr>
-coalesce(const TraceInstr &instr, uint32_t granule)
+void
+coalesce(const TraceInstr &instr, uint32_t granule, std::vector<Addr> &out)
 {
-    std::vector<Addr> out;
+    out.clear();
     if (instr.addrs.empty()) {
-        return out;
+        return;
     }
     const uint32_t bytes = std::max<uint32_t>(instr.accessBytes, 1);
     out.reserve(instr.addrs.size());
@@ -46,7 +46,6 @@ coalesce(const TraceInstr &instr, uint32_t granule)
     }
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
-    return out;
 }
 
 } // namespace
@@ -54,13 +53,23 @@ coalesce(const TraceInstr &instr, uint32_t granule)
 std::vector<Addr>
 coalesceToLines(const TraceInstr &instr)
 {
-    return coalesce(instr, kLineBytes);
+    std::vector<Addr> out;
+    coalesce(instr, kLineBytes, out);
+    return out;
+}
+
+void
+coalesceToLines(const TraceInstr &instr, std::vector<Addr> &out)
+{
+    coalesce(instr, kLineBytes, out);
 }
 
 std::vector<Addr>
 coalesceToSectors(const TraceInstr &instr)
 {
-    return coalesce(instr, kSectorBytes);
+    std::vector<Addr> out;
+    coalesce(instr, kSectorBytes, out);
+    return out;
 }
 
 } // namespace crisp

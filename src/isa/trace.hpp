@@ -157,6 +157,13 @@ struct KernelInfo
  */
 std::vector<Addr> coalesceToLines(const TraceInstr &instr);
 
+/**
+ * Out-param variant for hot paths: clears and refills @p out (same
+ * contents and order as the returning overload) without allocating when
+ * the vector's capacity already suffices.
+ */
+void coalesceToLines(const TraceInstr &instr, std::vector<Addr> &out);
+
 /** Coalesce to distinct 32 B sectors instead of full lines. */
 std::vector<Addr> coalesceToSectors(const TraceInstr &instr);
 

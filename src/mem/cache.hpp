@@ -131,6 +131,11 @@ struct CacheComposition
  * contiguous subset of the sets, which is how CRISP models TAP's L2 set
  * assignment ("each bank is partitioned by assigning sets to each workload",
  * §VI-C) without disturbing unpartitioned streams.
+ *
+ * Tag state is stored structure-of-arrays: the way-scan on every access
+ * touches only the tag and flag arrays (one cache line for an 8-way set)
+ * instead of striding across 40-byte line records, and power-of-two
+ * geometries resolve set/tag with precomputed shifts and masks.
  */
 class SetAssocCache
 {
@@ -203,6 +208,14 @@ class SetAssocCache
     /** Occupancy snapshot for composition plots. */
     CacheComposition composition() const;
 
+    /**
+     * Enable/disable CacheAccessResult::hitLruPos computation (default
+     * on). The per-hit LRU-stack scan costs an extra pass over the set;
+     * callers that ignore the field (the SM's L1) turn it off, while the
+     * L2 keeps it for the TAP utility monitors.
+     */
+    void setHitLruPosReporting(bool enabled) { reportHitLruPos_ = enabled; }
+
     const CacheGeometry &geometry() const { return geom_; }
 
     uint64_t accesses() const { return accesses_; }
@@ -215,18 +228,6 @@ class SetAssocCache
     }
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        bool dirty = false;
-        Addr tag = 0;
-        uint64_t lastUse = 0;
-        StreamId stream = kInvalidStream;
-        DataClass cls = DataClass::Unknown;
-        /** Per-sector validity (bit i = sector i); unused when unsectored. */
-        uint8_t validSectors = 0;
-    };
-
     struct SetWindow
     {
         StreamId stream = kInvalidStream;
@@ -234,14 +235,43 @@ class SetAssocCache
         uint32_t count = 0;
     };
 
+    /** Line flag bits (flags_ array). */
+    static constexpr uint8_t kValid = 0x1;
+    static constexpr uint8_t kDirty = 0x2;
+    static constexpr uint32_t kNoWay = ~0u;
+
     uint32_t mapSet(Addr line, StreamId stream) const;
     const SetWindow *windowFor(StreamId stream) const;
-    Line *findLine(uint32_t set, Addr tag);
-    const Line *findLine(uint32_t set, Addr tag) const;
-    uint32_t lruPosition(uint32_t set, const Line *line) const;
+    /** Index into the way arrays of the resident tag, or kNoWay. */
+    uint32_t findWayIndex(uint32_t set, Addr tag) const;
+    uint32_t lruPosition(uint32_t set, uint32_t idx) const;
+    /** First invalid way of the set, else the true-LRU victim. Reports
+     *  the eviction (if any) into @p evicted/... exactly like the old
+     *  AoS victim scan: scan order breaks lastUse ties low-way-first. */
+    uint32_t pickVictim(uint32_t set, bool &evicted, Addr &evicted_line,
+                        bool &evicted_dirty, uint8_t &evicted_sectors) const;
+    void installLine(uint32_t idx, Addr tag, bool write, StreamId stream,
+                     DataClass cls, uint8_t sector_bit);
+    void clearLine(uint32_t idx);
 
     CacheGeometry geom_;
-    std::vector<Line> lines_;   // sets * ways, row-major by set
+    uint32_t numSets_ = 0;
+    uint32_t ways_ = 0;
+    /** Power-of-two fast paths (0 = use division fallback). */
+    uint32_t lineShift_ = 0;
+    uint32_t setMask_ = 0;
+    bool pow2Line_ = false;
+    bool pow2Sets_ = false;
+    bool reportHitLruPos_ = true;
+
+    // Structure-of-arrays line state, indexed set * ways + way.
+    std::vector<Addr> tags_;
+    std::vector<uint64_t> lastUse_;
+    std::vector<uint8_t> flags_;
+    std::vector<uint8_t> validSectors_;
+    std::vector<StreamId> streams_;
+    std::vector<DataClass> classes_;
+
     std::vector<SetWindow> windows_;
     uint64_t useCounter_ = 0;
     uint64_t accesses_ = 0;

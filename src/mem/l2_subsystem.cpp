@@ -563,7 +563,7 @@ L2Subsystem::mshrFillsServed() const
 }
 
 void
-L2Subsystem::countQueuedByStream(std::map<StreamId, uint64_t> &out) const
+L2Subsystem::countQueuedByStream(SmallFlatMap<StreamId, uint64_t> &out) const
 {
     for (const auto &q : bankQueues_) {
         for (const auto &req : q) {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/stats.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
@@ -239,7 +240,7 @@ class L2Subsystem
      * this to balance per-stream L1 misses against L2 accesses at a cycle
      * boundary.
      */
-    void countQueuedByStream(std::map<StreamId, uint64_t> &out) const;
+    void countQueuedByStream(SmallFlatMap<StreamId, uint64_t> &out) const;
     double dramBusyCycles() const;
     uint64_t dramRequests() const;
 

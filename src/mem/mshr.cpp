@@ -7,36 +7,122 @@
 namespace crisp
 {
 
+namespace
+{
+
+uint32_t
+nextPow2(uint32_t v)
+{
+    uint32_t p = 1;
+    while (p < v) {
+        p <<= 1;
+    }
+    return p;
+}
+
+} // namespace
+
 Mshr::Mshr(uint32_t num_entries, uint32_t max_targets)
     : numEntries_(num_entries), maxTargets_(max_targets)
 {
     fatal_if(num_entries == 0 || max_targets == 0,
              "MSHR needs at least one entry and one target");
+    const uint32_t table_size = nextPow2(std::max(16u, num_entries * 2));
+    tableMask_ = table_size - 1;
+    table_.assign(table_size, kNil);
+    pool_.resize(num_entries);
+    freeList_.reserve(num_entries);
+    for (uint32_t i = num_entries; i > 0; --i) {
+        freeList_.push_back(i - 1);
+    }
+}
+
+uint32_t
+Mshr::hashSlot(Addr line) const
+{
+    // Fibonacci multiplicative hash; lines share their low alignment bits,
+    // so plain masking would collide every access into a few slots.
+    return static_cast<uint32_t>(
+               (line * 0x9E3779B97F4A7C15ull) >> 32) & tableMask_;
+}
+
+uint32_t
+Mshr::findSlot(Addr line) const
+{
+    for (uint32_t slot = hashSlot(line);; slot = (slot + 1) & tableMask_) {
+        const uint32_t idx = table_[slot];
+        if (idx == kNil) {
+            return kNil;
+        }
+        if (pool_[idx].line == line) {
+            return slot;
+        }
+    }
+}
+
+void
+Mshr::eraseSlot(uint32_t slot)
+{
+    // Backward-shift deletion: pull each displaced cluster member back
+    // into the hole so probes never need tombstones.
+    uint32_t hole = slot;
+    for (uint32_t probe = (hole + 1) & tableMask_;;
+         probe = (probe + 1) & tableMask_) {
+        const uint32_t idx = table_[probe];
+        if (idx == kNil) {
+            break;
+        }
+        const uint32_t ideal = hashSlot(pool_[idx].line);
+        // Move back only if the element's ideal slot does not lie in
+        // (hole, probe] — i.e. the hole sits on its probe path.
+        if (((probe - ideal) & tableMask_) >= ((probe - hole) & tableMask_)) {
+            table_[hole] = idx;
+            hole = probe;
+        }
+    }
+    table_[hole] = kNil;
 }
 
 Mshr::Outcome
 Mshr::allocate(Addr line, uint64_t key, Cycle now)
 {
-    auto it = table_.find(line);
-    if (it != table_.end()) {
-        if (it->second.keys.size() >= maxTargets_) {
+    const uint32_t slot = findSlot(line);
+    if (slot != kNil) {
+        Entry &e = pool_[table_[slot]];
+        if (e.keys.size() >= maxTargets_) {
             return Outcome::Stall;
         }
-        it->second.keys.push_back(key);
+        e.keys.push_back(key);
         if (key != kVoidKey) {
             ++responseTargets_;
         }
         ++mergedAllocations_;
         return Outcome::Merged;
     }
-    if (table_.size() >= numEntries_) {
+    if (used_ >= numEntries_) {
         return Outcome::Stall;
     }
-    Entry entry;
-    entry.keys.push_back(key);
-    entry.allocatedAt = now;
-    table_.emplace(line, std::move(entry));
-    allocationOrder_.emplace_back(line, now);
+    const uint32_t idx = freeList_.back();
+    freeList_.pop_back();
+    Entry &e = pool_[idx];
+    e.line = line;
+    e.allocatedAt = now;
+    e.keys.clear();
+    e.keys.push_back(key);
+    e.prev = orderTail_;
+    e.next = kNil;
+    if (orderTail_ != kNil) {
+        pool_[orderTail_].next = idx;
+    } else {
+        orderHead_ = idx;
+    }
+    orderTail_ = idx;
+    uint32_t probe = hashSlot(line);
+    while (table_[probe] != kNil) {
+        probe = (probe + 1) & tableMask_;
+    }
+    table_[probe] = idx;
+    ++used_;
     if (key != kVoidKey) {
         ++responseTargets_;
     }
@@ -47,94 +133,88 @@ Mshr::allocate(Addr line, uint64_t key, Cycle now)
 bool
 Mshr::pending(Addr line) const
 {
-    return table_.count(line) != 0;
+    return findSlot(line) != kNil;
 }
 
 std::vector<uint64_t>
 Mshr::keysFor(Addr line) const
 {
-    auto it = table_.find(line);
-    if (it == table_.end()) {
+    const uint32_t slot = findSlot(line);
+    if (slot == kNil) {
         return {};
     }
-    return it->second.keys;
+    return pool_[table_[slot]].keys;
 }
 
 bool
 Mshr::wouldStall(Addr line) const
 {
-    auto it = table_.find(line);
-    if (it != table_.end()) {
-        return it->second.keys.size() >= maxTargets_;
+    const uint32_t slot = findSlot(line);
+    if (slot != kNil) {
+        return pool_[table_[slot]].keys.size() >= maxTargets_;
     }
-    return table_.size() >= numEntries_;
+    return used_ >= numEntries_;
 }
 
-std::vector<uint64_t>
+const std::vector<uint64_t> &
 Mshr::fill(Addr line)
 {
-    auto it = table_.find(line);
-    if (it == table_.end()) {
-        return {};
+    fillScratch_.clear();
+    const uint32_t slot = findSlot(line);
+    if (slot == kNil) {
+        return fillScratch_;
     }
-    std::vector<uint64_t> keys = std::move(it->second.keys);
-    for (uint64_t key : keys) {
+    const uint32_t idx = table_[slot];
+    Entry &e = pool_[idx];
+    fillScratch_.assign(e.keys.begin(), e.keys.end());
+    e.keys.clear();
+    for (uint64_t key : fillScratch_) {
         if (key != kVoidKey) {
             panic_if(responseTargets_ == 0, "MSHR target count underflow");
             --responseTargets_;
         }
     }
-    table_.erase(it);
-    ++fillsServed_;
-    // Prune resolved allocations from the age-order queue so it stays
-    // bounded even when oldestAllocation() is never called.
-    while (!allocationOrder_.empty()) {
-        const auto &[front_line, at] = allocationOrder_.front();
-        auto front_it = table_.find(front_line);
-        if (front_it != table_.end() &&
-            front_it->second.allocatedAt == at) {
-            break;
-        }
-        allocationOrder_.pop_front();
+    // Unlink from the allocation-order list.
+    if (e.prev != kNil) {
+        pool_[e.prev].next = e.next;
+    } else {
+        orderHead_ = e.next;
     }
-    return keys;
+    if (e.next != kNil) {
+        pool_[e.next].prev = e.prev;
+    } else {
+        orderTail_ = e.prev;
+    }
+    eraseSlot(slot);
+    freeList_.push_back(idx);
+    --used_;
+    ++fillsServed_;
+    return fillScratch_;
 }
 
 std::vector<Mshr::EntryInfo>
 Mshr::entries() const
 {
+    // The order list is already oldest-first: allocation cycles are
+    // non-decreasing, so no sort is needed.
     std::vector<EntryInfo> out;
-    out.reserve(table_.size());
-    for (const auto &[line, entry] : table_) {
+    out.reserve(used_);
+    for (uint32_t idx = orderHead_; idx != kNil; idx = pool_[idx].next) {
+        const Entry &e = pool_[idx];
         EntryInfo info;
-        info.line = line;
-        info.allocatedAt = entry.allocatedAt;
-        info.targets = static_cast<uint32_t>(entry.keys.size());
-        info.keys = entry.keys;
+        info.line = e.line;
+        info.allocatedAt = e.allocatedAt;
+        info.targets = static_cast<uint32_t>(e.keys.size());
+        info.keys = e.keys;
         out.push_back(std::move(info));
     }
-    std::sort(out.begin(), out.end(),
-              [](const EntryInfo &a, const EntryInfo &b) {
-                  return a.allocatedAt < b.allocatedAt;
-              });
     return out;
 }
 
 Cycle
 Mshr::oldestAllocation() const
 {
-    // Drop stale front records (entry filled, or the line re-allocated
-    // later with a different timestamp). Each record is popped at most
-    // once, so the per-call cost is amortized constant.
-    while (!allocationOrder_.empty()) {
-        const auto &[line, at] = allocationOrder_.front();
-        auto it = table_.find(line);
-        if (it != table_.end() && it->second.allocatedAt == at) {
-            return at;
-        }
-        allocationOrder_.pop_front();
-    }
-    return 0;
+    return orderHead_ == kNil ? 0 : pool_[orderHead_].allocatedAt;
 }
 
 } // namespace crisp

@@ -2,8 +2,6 @@
 #define CRISP_MEM_MSHR_HPP
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -23,6 +21,13 @@ namespace crisp
  * integrity layer can detect leaked entries: a line whose fill never
  * arrives ages forever and is the classic silent-hang bug in cycle
  * simulators.
+ *
+ * Storage is a fixed entry pool indexed by an open-addressed hash table
+ * (linear probing, backward-shift deletion) plus an intrusive
+ * allocation-order list through the pool. allocate()/pending() sit on the
+ * per-request hot path of every cache level, so lookups must not chase
+ * unordered_map nodes; the order list makes oldestAllocation() a true
+ * O(1) head read instead of a lazily pruned deque.
  */
 class Mshr
 {
@@ -70,16 +75,15 @@ class Mshr
     bool wouldStall(Addr line) const;
 
     /**
-     * The fill arrived: pops and returns all completion keys waiting on the
-     * line (empty if the line was not pending).
+     * The fill arrived: pops and returns all completion keys waiting on
+     * the line (empty if the line was not pending). The reference aliases
+     * internal scratch valid until the next fill() on this Mshr — iterate
+     * it directly, don't hold it across calls.
      */
-    std::vector<uint64_t> fill(Addr line);
+    const std::vector<uint64_t> &fill(Addr line);
 
-    uint32_t entriesInUse() const
-    {
-        return static_cast<uint32_t>(table_.size());
-    }
-    bool full() const { return entriesInUse() >= numEntries_; }
+    uint32_t entriesInUse() const { return used_; }
+    bool full() const { return used_ >= numEntries_; }
 
     /** Outstanding targets that expect a response (key != kVoidKey). */
     uint64_t responseTargets() const { return responseTargets_; }
@@ -101,35 +105,53 @@ class Mshr
         std::vector<uint64_t> keys;
     };
 
-    /** Snapshot of all outstanding entries (integrity/leak scans). */
+    /** Snapshot of all outstanding entries (integrity/leak scans),
+     *  oldest primary allocation first. */
     std::vector<EntryInfo> entries() const;
 
-    /**
-     * Allocation cycle of the oldest outstanding entry (0 when empty).
-     * Amortized O(1): the integrity layer calls this every watchdog tick,
-     * so it must not scan the table.
-     */
+    /** Allocation cycle of the oldest outstanding entry (0 when empty).
+     *  O(1): head of the intrusive allocation-order list. */
     Cycle oldestAllocation() const;
 
   private:
+    static constexpr uint32_t kNil = ~0u;
+
     struct Entry
     {
-        std::vector<uint64_t> keys;
+        Addr line = 0;
         Cycle allocatedAt = 0;
+        /** Keeps its capacity across pool reuse: merged targets per line
+         *  are small and bounded by maxTargets_, so steady state never
+         *  reallocates. */
+        std::vector<uint64_t> keys;
+        /** Intrusive allocation-order list (oldest at head_). */
+        uint32_t prev = kNil;
+        uint32_t next = kNil;
     };
+
+    uint32_t hashSlot(Addr line) const;
+    /** Hash-table slot holding @p line, or kNil. */
+    uint32_t findSlot(Addr line) const;
+    /** Backward-shift deletion starting at table slot @p slot. */
+    void eraseSlot(uint32_t slot);
 
     uint32_t numEntries_;
     uint32_t maxTargets_;
+    uint32_t used_ = 0;
+    uint32_t tableMask_ = 0;
     uint64_t responseTargets_ = 0;
     uint64_t primaryAllocations_ = 0;
     uint64_t mergedAllocations_ = 0;
     uint64_t fillsServed_ = 0;
-    std::unordered_map<Addr, Entry> table_;
-    /**
-     * Primary allocations in time order; filled entries are pruned lazily
-     * by oldestAllocation(), keeping it amortized O(1).
-     */
-    mutable std::deque<std::pair<Addr, Cycle>> allocationOrder_;
+    uint32_t orderHead_ = kNil;
+    uint32_t orderTail_ = kNil;
+    /** Open-addressed table of pool indices (kNil = empty slot). Sized to
+     *  a power of two ≥ 2× numEntries_, so load factor stays ≤ 50% and
+     *  linear probes stay short even when the MSHR is full. */
+    std::vector<uint32_t> table_;
+    std::vector<Entry> pool_;
+    std::vector<uint32_t> freeList_;
+    std::vector<uint64_t> fillScratch_;
 };
 
 } // namespace crisp

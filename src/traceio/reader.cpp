@@ -308,28 +308,41 @@ TraceReader::readCta(size_t kernel_index, uint32_t cta_index, CtaTrace &out,
     }
     const uint64_t offset = kernels_[kernel_index].ctaOffsets[cta_index];
 
-    std::ifstream f(path_, std::ios::binary);
-    if (!f) {
-        err = {TraceError::Kind::Io, "cannot reopen " + path_, offset};
-        return false;
-    }
-    f.seekg(static_cast<std::streamoff>(offset));
-    uint8_t type = 0;
-    uint32_t len = 0;
+    // Read the chunk under the stream lock, decode outside it. The
+    // stream stays open across calls — replay issues one readCta per
+    // CTA launch, and an open() per call was the dominant replay cost.
+    std::vector<uint8_t> payload;
     uint32_t crc = 0;
-    bool clean_eof = false;
-    if (!readPrelude(f, type, len, crc, clean_eof) ||
-        type != static_cast<uint8_t>(ChunkType::CtaData) ||
-        len > kMaxChunkPayload) {
-        err = {TraceError::Kind::Truncated,
-               "CTA chunk vanished (file changed since open?)", offset};
-        return false;
-    }
-    std::vector<uint8_t> payload(len);
-    f.read(reinterpret_cast<char *>(payload.data()), len);
-    if (static_cast<size_t>(f.gcount()) != len) {
-        err = {TraceError::Kind::Truncated, "CTA payload cut short", offset};
-        return false;
+    {
+        std::lock_guard<std::mutex> lock(ctaMutex_);
+        if (!ctaStream_.is_open()) {
+            ctaStream_.open(path_, std::ios::binary);
+            if (!ctaStream_) {
+                ctaStream_.close();
+                err = {TraceError::Kind::Io, "cannot reopen " + path_,
+                       offset};
+                return false;
+            }
+        }
+        ctaStream_.clear();
+        ctaStream_.seekg(static_cast<std::streamoff>(offset));
+        uint8_t type = 0;
+        uint32_t len = 0;
+        bool clean_eof = false;
+        if (!readPrelude(ctaStream_, type, len, crc, clean_eof) ||
+            type != static_cast<uint8_t>(ChunkType::CtaData) ||
+            len > kMaxChunkPayload) {
+            err = {TraceError::Kind::Truncated,
+                   "CTA chunk vanished (file changed since open?)", offset};
+            return false;
+        }
+        payload.resize(len);
+        ctaStream_.read(reinterpret_cast<char *>(payload.data()), len);
+        if (static_cast<size_t>(ctaStream_.gcount()) != len) {
+            err = {TraceError::Kind::Truncated, "CTA payload cut short",
+                   offset};
+            return false;
+        }
     }
     if (crc32(payload.data(), payload.size()) != crc) {
         err = {TraceError::Kind::Corrupt, "CTA chunk CRC mismatch", offset};

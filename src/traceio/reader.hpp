@@ -2,6 +2,8 @@
 #define CRISP_TRACEIO_READER_HPP
 
 #include <cstdint>
+#include <fstream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -98,9 +100,12 @@ class TraceReader
     const std::vector<Kernel> &kernels() const { return kernels_; }
 
     /**
-     * Decode one CTA of one kernel. Thread-safe (each call opens its
-     * own stream). Returns false with @p err filled on any failure;
-     * @p out is untouched on failure.
+     * Decode one CTA of one kernel. Thread-safe: calls share one
+     * persistent stream under a lock (replay launches thousands of CTAs;
+     * an open() per CTA dominated replay cost). The payload CRC is still
+     * re-verified on every read, so a file modified after open is still
+     * caught. Returns false with @p err filled on any failure; @p out is
+     * untouched on failure.
      */
     bool readCta(size_t kernel_index, uint32_t cta_index, CtaTrace &out,
                  TraceError &err) const;
@@ -114,6 +119,9 @@ class TraceReader
     std::string fingerprint_;
     EndRecord totals_;
     std::vector<Kernel> kernels_;
+    /** Lazily opened stream reused across readCta calls. */
+    mutable std::ifstream ctaStream_;
+    mutable std::mutex ctaMutex_;
 };
 
 /**

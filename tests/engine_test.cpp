@@ -274,11 +274,16 @@ TEST(EngineDeterminism, ThreadCountDoesNotChangeOutputs)
     engine::EngineConfig staged1;
     staged1.stagedFabric = true;   // staged semantics, still serial
 
+    // Oversubscription opt-in: the point is to exercise the multi-lane
+    // code paths even on hosts with fewer cores than lanes, where the
+    // default clamp would silently fall back to serial.
     engine::EngineConfig threads2;
     threads2.threads = 2;
+    threads2.allowOversubscribe = true;
 
     engine::EngineConfig threads4;
     threads4.threads = 4;
+    threads4.allowOversubscribe = true;
 
     const RunOutputs base = runMixedWorkload(legacy);
     ASSERT_GT(base.cycles, 0u);
