@@ -653,133 +653,152 @@ Sm::tryIssue(WarpState &warp, Cycle now)
 }
 
 void
-Sm::drainFabricRetries(Cycle now)
+Sm::beginMemPhase(Cycle now)
 {
-    // Re-send miss requests the fabric refused earlier. The per-cycle cap
-    // keeps a deeply backlogged SM from flushing an arbitrarily long
-    // retry queue in one cycle ahead of fresh requests (fairness: fresh
-    // misses later this cycle still submit directly and may land on
-    // banks the stuck head is not waiting for).
-    uint32_t retries = 0;
-    while (!fabricRetry_.empty() &&
-           (cfg_.maxFabricRetriesPerCycle == 0 ||
-            retries < cfg_.maxFabricRetriesPerCycle) &&
-           fabric_->submitToL2(fabricRetry_.front(), now)) {
-        fabricRetry_.pop_front();
-        ++retries;
-        ++workCount_;
-    }
+    (void)now;
+    memPortsLeft_ = cfg_.l1PortsPerCycle;
+    // The per-cycle retry cap keeps a deeply backlogged SM from flushing
+    // an arbitrarily long retry queue in one cycle ahead of fresh
+    // requests; 0 is the explicit opt-out (unbounded).
+    memRetriesLeft_ = cfg_.maxFabricRetriesPerCycle == 0
+        ? ~0u
+        : cfg_.maxFabricRetriesPerCycle;
+    memRetryBlocked_ = false;
+    memLdstBlocked_ = false;
 }
 
-void
-Sm::stepLdst(Cycle now)
+bool
+Sm::memPhaseGrantRetry(Cycle now)
 {
-    uint32_t ports = cfg_.l1PortsPerCycle;
-    while (ports > 0 && !ldstQueue_.empty()) {
-        LdstEntry &entry = ldstQueue_.front();
-        bool stalled = false;
-        // One stats lookup per entry, not per line (stepLdst never runs
-        // inside a staged step, so the target registry cannot change
-        // between lines).
-        auto &st = streamStats(entry.stream);
-        while (ports > 0 && !entry.lines.empty()) {
-            const Addr line = entry.lines.back();
+    // Re-send the head of the egress retry queue (FIFO). A refusal
+    // blocks only this stage for the rest of the cycle — bank queues
+    // drain after the SM phases, so re-probing the same full bank within
+    // the cycle cannot succeed — while fresh LDST lines may still land
+    // on other banks in the LDST rounds.
+    if (memRetryBlocked_ || fabricRetry_.empty() || memRetriesLeft_ == 0) {
+        return false;
+    }
+    if (!fabric_->submitToL2(fabricRetry_.front(), now)) {
+        memRetryBlocked_ = true;
+        return false;
+    }
+    const Cycle waited = now - fabricRetryParkedAt_.front();
+    if (waited > maxFabricRetryWait_) {
+        maxFabricRetryWait_ = waited;
+    }
+    fabricRetry_.pop_front();
+    fabricRetryParkedAt_.pop_front();
+    --memRetriesLeft_;
+    ++workCount_;
+    return true;
+}
 
-            if (entry.write) {
-                // Write-through, no-allocate L1.
-                MemRequest req;
-                req.line = line;
-                req.write = true;
-                req.stream = entry.stream;
-                req.dataClass = entry.cls;
-                req.smId = smId_;
-                if (!fabric_->submitToL2(req, now)) {
-                    stalled = true;
-                    break;
-                }
-                // Touch the tag array only once the store is accepted, so
-                // a refused submit retried next cycle does not inflate the
-                // L1's access counter (it never inflated st.l1Accesses).
-                l1_.access(line, true, entry.stream, entry.cls, false);
-                st.l1Accesses++;
-                entry.lines.pop_back();
-                --ports;
-                ++workCount_;
-                continue;
-            }
+bool
+Sm::memPhaseGrantLdst(Cycle now)
+{
+    if (memLdstBlocked_) {
+        return false;
+    }
+    const LdstOutcome outcome = stepLdstOne(now);
+    if (outcome == LdstOutcome::Blocked) {
+        memLdstBlocked_ = true;
+    }
+    return outcome == LdstOutcome::Progress;
+}
 
-            // Load path through the unified L1.
-            if (l1Mshr_.pending(line)) {
-                const auto outcome =
-                    l1Mshr_.allocate(line, entry.tracker, now);
-                if (outcome == Mshr::Outcome::Stall) {
-                    stalled = true;
-                    break;
-                }
-                st.l1Accesses++;
-                st.l1MshrMerges++;
-                if (entry.texture) {
-                    st.l1TexAccesses++;
-                }
-                entry.lines.pop_back();
-                --ports;
-                ++workCount_;
-                continue;
-            }
+Sm::LdstOutcome
+Sm::stepLdstOne(Cycle now)
+{
+    if (memPortsLeft_ == 0 || ldstQueue_.empty()) {
+        return LdstOutcome::Idle;
+    }
+    LdstEntry &entry = ldstQueue_.front();
+    auto &st = streamStats(entry.stream);
+    const Addr line = entry.lines.back();
 
-            const bool would_miss = !l1_.probe(line, entry.stream);
-            if (would_miss && l1Mshr_.full()) {
-                stalled = true;
-                break;
+    if (entry.write) {
+        // Write-through, no-allocate L1. A refused store parks in the
+        // egress retry queue like a refused read (the NoC egress port
+        // holds both), bounded by the LDST queue depth so backpressure
+        // still propagates to issue once the fabric stays saturated.
+        MemRequest req;
+        req.line = line;
+        req.write = true;
+        req.stream = entry.stream;
+        req.dataClass = entry.cls;
+        req.smId = smId_;
+        if (!fabric_->submitToL2(req, now)) {
+            if (fabricRetry_.size() >= cfg_.ldstQueueDepth) {
+                return LdstOutcome::Blocked;
             }
-
-            auto res = l1_.access(line, false, entry.stream, entry.cls,
-                                  /*allocate_on_miss=*/false);
-            st.l1Accesses++;
-            if (entry.texture) {
-                st.l1TexAccesses++;
-            }
-            if (res.hit) {
-                st.l1Hits++;
-                LoadTracker *tracker = findTracker(entry.tracker);
-                panic_if(tracker == nullptr, "L1 hit for dead tracker");
-                if (--tracker->remaining == 0) {
-                    scheduleWriteback(tracker->warpSlot, tracker->reg,
-                                      now + cfg_.l1HitLatency);
-                    freeTracker(static_cast<uint32_t>(
-                        entry.tracker & ((1ull << kTrackerIdxBits) - 1)));
-                }
-            } else {
-                const auto outcome =
-                    l1Mshr_.allocate(line, entry.tracker, now);
-                panic_if(outcome != Mshr::Outcome::NewEntry,
-                         "L1 MSHR allocate failed after capacity check");
-                MemRequest req;
-                req.line = line;
-                req.write = false;
-                req.stream = entry.stream;
-                req.dataClass = entry.cls;
-                req.smId = smId_;
-                req.completionKey = line;
-                if (!fabric_->submitToL2(req, now)) {
-                    // Fabric refused: the MSHR entry stays allocated; park
-                    // the request in the egress queue and re-send later.
-                    fabricRetry_.push_back(req);
-                }
-            }
-            entry.lines.pop_back();
-            --ports;
-            ++workCount_;
+            fabricRetry_.push_back(req);
+            fabricRetryParkedAt_.push_back(now);
         }
-        if (entry.lines.empty()) {
-            recycleLines(std::move(entry.lines));
-            ldstQueue_.pop_front();
-            continue;
+        // The store left the LDST unit (accepted or parked): touch the
+        // tag array and count the access exactly once — the retry path
+        // never counts, so a parked store cannot inflate either counter.
+        l1_.access(line, true, entry.stream, entry.cls, false);
+        st.l1Accesses++;
+    } else if (l1Mshr_.pending(line)) {
+        // Load path through the unified L1: merge into a pending miss.
+        const auto outcome = l1Mshr_.allocate(line, entry.tracker, now);
+        if (outcome == Mshr::Outcome::Stall) {
+            return LdstOutcome::Blocked;
         }
-        if (stalled) {
-            break;
+        st.l1Accesses++;
+        st.l1MshrMerges++;
+        if (entry.texture) {
+            st.l1TexAccesses++;
+        }
+    } else {
+        const bool would_miss = !l1_.probe(line, entry.stream);
+        if (would_miss && l1Mshr_.full()) {
+            return LdstOutcome::Blocked;
+        }
+        auto res = l1_.access(line, false, entry.stream, entry.cls,
+                              /*allocate_on_miss=*/false);
+        st.l1Accesses++;
+        if (entry.texture) {
+            st.l1TexAccesses++;
+        }
+        if (res.hit) {
+            st.l1Hits++;
+            LoadTracker *tracker = findTracker(entry.tracker);
+            panic_if(tracker == nullptr, "L1 hit for dead tracker");
+            if (--tracker->remaining == 0) {
+                scheduleWriteback(tracker->warpSlot, tracker->reg,
+                                  now + cfg_.l1HitLatency);
+                freeTracker(static_cast<uint32_t>(
+                    entry.tracker & ((1ull << kTrackerIdxBits) - 1)));
+            }
+        } else {
+            const auto outcome = l1Mshr_.allocate(line, entry.tracker, now);
+            panic_if(outcome != Mshr::Outcome::NewEntry,
+                     "L1 MSHR allocate failed after capacity check");
+            MemRequest req;
+            req.line = line;
+            req.write = false;
+            req.stream = entry.stream;
+            req.dataClass = entry.cls;
+            req.smId = smId_;
+            req.completionKey = line;
+            if (!fabric_->submitToL2(req, now)) {
+                // Fabric refused: the MSHR entry stays allocated; park
+                // the request in the egress queue and re-send later.
+                fabricRetry_.push_back(req);
+                fabricRetryParkedAt_.push_back(now);
+            }
         }
     }
+
+    entry.lines.pop_back();
+    --memPortsLeft_;
+    ++workCount_;
+    if (entry.lines.empty()) {
+        recycleLines(std::move(entry.lines));
+        ldstQueue_.pop_front();
+    }
+    return LdstOutcome::Progress;
 }
 
 void
@@ -835,6 +854,8 @@ Sm::probe(Cycle now) const
     p.activeCtas = static_cast<uint32_t>(liveCtaSlots_.size());
     p.ldstQueueDepth = ldstQueue_.size();
     p.fabricRetryDepth = fabricRetry_.size();
+    p.fabricRetryMaxWait = maxFabricRetryWait_;
+    p.fabricRetryOldestAge = oldestFabricRetryAge(now);
     p.outstandingLoads = liveTrackers_;
     p.l1MshrEntries = l1Mshr_.entriesInUse();
     p.issueFrozen = issueFrozen_;
@@ -985,13 +1006,17 @@ Sm::step(Cycle now)
 {
     stepping_ = staged_;
 
-    // Drain fabric submissions that were refused by backpressure. In
-    // staged mode the owner already ran this (and the LDST unit below)
-    // this cycle via stepMemory(), serially in SM-id order before the
-    // parallel phase — the same position they hold here relative to
-    // this SM's issue and to lower-id SMs' fabric traffic.
-    if (!staged_) {
-        drainFabricRetries(now);
+    // Fabric-facing memory phase (retry queue + LDST unit). Under a Gpu
+    // the round-robin arbiter already ran it this cycle, serially on the
+    // main thread before any SM stepped; a standalone SM services its
+    // own queues here — exactly what an arbiter with a single SM in the
+    // rotation would do.
+    if (!staged_ && !extMemPhase_) {
+        beginMemPhase(now);
+        telemetry::SelfProfiler::Scope prof_scope(
+            profiler_, telemetry::Component::L1Ldst);
+        while (memPhaseGrant(now)) {
+        }
     }
 
     // Commit due register writebacks (clears scoreboard entries). The heap
@@ -1008,12 +1033,6 @@ Sm::step(Cycle now)
             warps_[(packed >> 8) & 0xffff].pendingWrites.reset(reg);
         }
         ++workCount_;
-    }
-
-    if (!staged_) {
-        telemetry::SelfProfiler::Scope prof_scope(
-            profiler_, telemetry::Component::L1Ldst);
-        stepLdst(now);
     }
 
     // Count active cycles per stream (streams with live warps this cycle).
@@ -1112,21 +1131,22 @@ Sm::setStagedFabric(bool staged)
     panic_if(!stagedCtaDones_.empty(),
              "SM %u: staged-fabric toggled with staged work in flight",
              smId_);
-    // The staged cycle runs the LDST unit before the writeback commit of
-    // the same cycle (legacy runs it after); with a zero-cycle L1 hit
-    // latency that reorder would become observable.
-    panic_if(staged && cfg_.l1HitLatency == 0,
-             "SM %u: staged stepping requires l1HitLatency >= 1", smId_);
+    // Every engine now runs the memory phase before the writeback commit
+    // of the same cycle (the arbiter runs it before the SMs step at
+    // all), so there is no legacy/staged ordering difference left to
+    // guard against — staged mode only changes where stats and CTA
+    // completions land.
     staged_ = staged;
 }
 
 void
 Sm::stepMemory(Cycle now)
 {
-    drainFabricRetries(now);
+    beginMemPhase(now);
     telemetry::SelfProfiler::Scope prof_scope(
         profiler_, telemetry::Component::L1Ldst);
-    stepLdst(now);
+    while (memPhaseGrant(now)) {
+    }
 }
 
 void

@@ -146,6 +146,8 @@ class Sm
         uint32_t ready = 0;           ///< Could issue next cycle.
         uint64_t ldstQueueDepth = 0;
         uint64_t fabricRetryDepth = 0;
+        Cycle fabricRetryMaxWait = 0; ///< Lifetime worst retry wait.
+        Cycle fabricRetryOldestAge = 0; ///< Oldest parked retry's age.
         uint64_t outstandingLoads = 0;///< Load trackers awaiting data.
         uint32_t l1MshrEntries = 0;
         Addr oldestMissLine = 0;      ///< Line of the oldest L1 MSHR entry.
@@ -181,11 +183,42 @@ class Sm
     size_t fabricRetryDepth() const { return fabricRetry_.size(); }
 
     /**
+     * Longest time (cycles) any fabric request parked in the retry
+     * queue has waited between being refused and finally accepted, over
+     * the SM's whole lifetime. The round-robin fabric arbiter exists to
+     * bound this; the starvation regression test pins the bound.
+     */
+    Cycle maxFabricRetryWait() const { return maxFabricRetryWait_; }
+
+    /**
+     * Age (cycles) of the oldest request still parked in the retry
+     * queue, 0 when the queue is empty. The bounded-stall invariant
+     * checks this against the arbitration-derived bound.
+     */
+    Cycle oldestFabricRetryAge(Cycle now) const
+    {
+        return fabricRetryParkedAt_.empty()
+            ? 0
+            : now - fabricRetryParkedAt_.front();
+    }
+
+    /**
      * Read misses parked SM-side waiting for the fabric to accept them.
      * The cross-layer conservation invariant balances L1 MSHR entries
-     * against these plus the L2's in-flight reads.
+     * against these plus the L2's in-flight reads — so parked
+     * write-through stores (which hold no MSHR entry and expect no
+     * response) must not be counted here.
      */
-    uint64_t pendingFabricReads() const { return fabricRetry_.size(); }
+    uint64_t pendingFabricReads() const
+    {
+        uint64_t reads = 0;
+        for (const auto &req : fabricRetry_) {
+            if (req.expectsResponse()) {
+                ++reads;
+            }
+        }
+        return reads;
+    }
 
     /**
      * True if a read for @p line is still parked in the fabric-retry
@@ -204,10 +237,12 @@ class Sm
     }
 
     /**
-     * Add each read parked in the fabric-retry queue to @p out[stream].
-     * The audit balances per-stream L1 misses against L2 accesses plus
-     * requests still on their way there. Takes the audit layer's reusable
-     * flat-map scratch so the cadence-4096 audits allocate nothing.
+     * Add each request (reads *and* write-through stores) parked in the
+     * fabric-retry queue to @p out[stream]. The audit balances per-stream
+     * L1 misses against L2 accesses plus requests still on their way
+     * there, and a parked store has been counted as an L1 access already.
+     * Takes the audit layer's reusable flat-map scratch so the
+     * cadence-4096 audits allocate nothing.
      */
     void
     countFabricRetriesByStream(SmallFlatMap<StreamId, uint64_t> &out) const
@@ -217,6 +252,62 @@ class Sm
         }
     }
 
+    // --- Fabric arbitration (grant-driven memory phase) -------------------
+
+    /**
+     * External memory phase: the owning Gpu's round-robin fabric arbiter
+     * drives this SM's fabric-facing memory phase (retry queue + LDST
+     * unit) through beginMemPhase()/memPhaseGrant() before stepping the
+     * SMs, so step() must not run it again. Both the serial and the
+     * staged engine set this; only a standalone SM (unit tests) services
+     * its own queues inside step().
+     */
+    void setExternalMemPhase(bool external) { extMemPhase_ = external; }
+    bool externalMemPhase() const { return extMemPhase_; }
+
+    /** True while the retry queue or the LDST unit has work to submit. */
+    bool hasMemPhaseWork() const
+    {
+        return !fabricRetry_.empty() || !ldstQueue_.empty();
+    }
+
+    /**
+     * Open this SM's memory phase for cycle @p now: reload the per-cycle
+     * L1 port and retry budgets and clear the blocked flags. Must be
+     * called once per cycle before any memPhaseGrant().
+     */
+    void beginMemPhase(Cycle now);
+
+    /**
+     * One retry-stage grant: re-send the head of the fabric-retry queue
+     * (FIFO). A refusal blocks the stage for the rest of the cycle —
+     * bank-queue refusals are monotone within a cycle — as does the
+     * per-cycle retry cap. @return true when a request was submitted;
+     * false drops this SM from the arbiter's retry rotation this cycle.
+     * Parked requests are the oldest traffic in the machine, so the
+     * arbiter runs every SM's retry rounds before any LDST round: fresh
+     * lines must not steal freed bank slots from starved retries.
+     */
+    bool memPhaseGrantRetry(Cycle now);
+
+    /**
+     * One LDST-stage grant: push at most one line through the LDST unit
+     * (L1 hit, MSHR merge, or fabric submission; refused submissions
+     * park in the retry queue). A head-of-line stall blocks the unit
+     * for the rest of the cycle. @return true when a line progressed;
+     * false drops this SM from the LDST rotation this cycle.
+     */
+    bool memPhaseGrantLdst(Cycle now);
+
+    /**
+     * One combined grant for a standalone SM servicing itself inside
+     * step(): the retry stage first, then one LDST line.
+     */
+    bool memPhaseGrant(Cycle now)
+    {
+        return memPhaseGrantRetry(now) || memPhaseGrantLdst(now);
+    }
+
     // --- Parallel cycle engine support ------------------------------------
 
     /**
@@ -224,22 +315,18 @@ class Sm
      * (writebacks, issue, execute) and never touches the fabric, the
      * stats registry, the profiler or the CTA-done handler — stats and
      * profiler writes go to thread-local shadows, CTA completions to a
-     * per-SM list. The fabric-facing memory phase (retry drain + LDST
-     * unit) moves to stepMemory(), which the owner runs serially in
-     * SM-id order BEFORE the parallel phase each cycle — the same
-     * position it holds inside a legacy step() relative to this SM's
-     * issue and to lower-id SMs' traffic, so the request stream seen by
-     * the L2 is bit-identical to the serial engine. Toggle only while
-     * the SM has no staged work in flight.
+     * per-SM list. The fabric-facing memory phase runs under the owner's
+     * arbiter on the main thread BEFORE the parallel phase each cycle,
+     * so the request stream seen by the L2 is identical for any thread
+     * count. Toggle only while the SM has no staged work in flight.
      */
     void setStagedFabric(bool staged);
     bool stagedFabric() const { return staged_; }
 
     /**
-     * The fabric-facing memory phase of a staged cycle: the capped
-     * fabric-retry drain followed by the LDST unit, submitting to the
-     * live fabric exactly as a legacy step() would. Main thread only,
-     * SM-id order, before the parallel step() phase of the same cycle.
+     * Self-contained memory phase for a standalone staged SM (unit
+     * tests): beginMemPhase() plus grants until no progress remains —
+     * what an arbiter with a single SM in the rotation would do.
      */
     void stepMemory(Cycle now);
 
@@ -356,8 +443,14 @@ class Sm
     void scheduleWriteback(uint32_t slot, uint8_t reg, Cycle when);
     void finishWarp(WarpState &warp, Cycle now);
     void releaseBarrier(CtaState &cta);
-    void drainFabricRetries(Cycle now);
-    void stepLdst(Cycle now);
+    /** Outcome of pushing one line through the LDST unit. */
+    enum class LdstOutcome
+    {
+        Progress,   ///< One line left the unit (hit, merge, or fabric).
+        Blocked,    ///< Head-of-line stall: no progress until next cycle.
+        Idle        ///< Queue empty or L1 port budget exhausted.
+    };
+    LdstOutcome stepLdstOne(Cycle now);
     uint32_t smemConflictCycles(const TraceInstr &instr) const;
 
     uint32_t smId_;
@@ -423,8 +516,21 @@ class Sm
     std::deque<LdstEntry> ldstQueue_;
     /** Retired LdstEntry line buffers, reused to avoid per-issue churn. */
     std::vector<std::vector<Addr>> linePool_;
-    /** Miss requests refused by the fabric, waiting to be re-sent. */
+    /** Requests refused by the fabric, waiting to be re-sent. */
     std::deque<MemRequest> fabricRetry_;
+    /** Park cycle of each fabricRetry_ entry (parallel deque). */
+    std::deque<Cycle> fabricRetryParkedAt_;
+    Cycle maxFabricRetryWait_ = 0;
+    // Grant-driven memory phase: per-cycle budgets and sticky blocked
+    // flags, reloaded by beginMemPhase(). A retry-head refusal blocks
+    // only the retry stage (fresh lines may target other banks); an LDST
+    // head-of-line stall blocks the LDST unit for the rest of the cycle.
+    uint32_t memPortsLeft_ = 0;
+    uint32_t memRetriesLeft_ = 0;
+    bool memRetryBlocked_ = false;
+    bool memLdstBlocked_ = false;
+    /** Memory phase driven by the owner's arbiter, not by step(). */
+    bool extMemPhase_ = false;
     // Load trackers live in a generation-checked slot pool; ids encode
     // (generation, slot) so stale MSHR keys simply fail the lookup.
     std::vector<LoadTracker> trackerPool_;

@@ -52,13 +52,15 @@ struct SmConfig
     uint32_t ldstQueueDepth = 32;
     /**
      * Upper bound on refused-request retries re-sent to the fabric per
-     * cycle (0 = unbounded, the historical behavior). Bounding the drain
-     * keeps a deeply backpressured SM from spending its whole cycle
-     * flushing the retry queue while fresh requests livelock behind it;
-     * the bound measurably shifts contended timing (fig12-14), so it is
-     * opt-in rather than a new default.
+     * cycle (0 = explicit opt-out, unbounded). Bounding the drain keeps
+     * a deeply backpressured SM from spending its whole cycle flushing
+     * the retry queue while fresh requests livelock behind it. With the
+     * round-robin fabric arbiter interleaving SMs one request per grant
+     * round, a finite cap is the sane default: 8 retries covers two
+     * l1PortsPerCycle generations of refused traffic without letting one
+     * SM's backlog monopolize the bank queues that drain each cycle.
      */
-    uint32_t maxFabricRetriesPerCycle = 0;
+    uint32_t maxFabricRetriesPerCycle = 8;
 
     /** Execution unit counts (one pool per OpClass). */
     uint32_t fp32Units = 4;

@@ -48,8 +48,12 @@ Gpu::Gpu(const GpuConfig &cfg) : cfg_(cfg)
             [this](uint32_t sm_id, StreamId stream, KernelId kernel) {
                 onCtaDone(sm_id, stream, kernel);
             });
+        // The GPU-level round-robin arbiter owns every SM's fabric-facing
+        // memory phase, whichever engine is configured.
+        sms_.back()->setExternalMemPhase(true);
         allSms_.push_back(i);
     }
+    memPhaseScratch_.reserve(cfg_.numSms);
     setEngine(cfg_.engine);
 }
 
@@ -547,6 +551,7 @@ Gpu::tick()
             profiler_, telemetry::Component::CtaScheduler);
         issueCtas();
     }
+    memoryPhase();
     {
         telemetry::SelfProfiler::Scope prof_scope(
             profiler_, telemetry::Component::SmIssue);
@@ -573,16 +578,68 @@ Gpu::tick()
 }
 
 void
+Gpu::memoryPhase()
+{
+    // Round-robin fabric arbitration (ROADMAP item 5): instead of each
+    // SM flushing its whole retry queue and LDST unit before the next SM
+    // runs — which starved high-index SMs for tens of thousands of
+    // cycles under saturation — grants interleave one request per SM per
+    // round. The rotation start is a pure function of the cycle number,
+    // so idle fast-forward (which skips ticks entirely) cannot desync
+    // the arbiter between a ticked and a jumped run, and the serial and
+    // staged engines share this exact phase: the request stream the L2
+    // sees is identical for any thread count.
+    memPhaseScratch_.clear();
+    const size_t n = sms_.size();
+    const size_t start = static_cast<size_t>(cycle_ % n);
+    bool any_work = false;
+    for (size_t i = 0; i < n; ++i) {
+        Sm *sm = sms_[(start + i) % n].get();
+        sm->beginMemPhase(cycle_);
+        if (sm->hasMemPhaseWork()) {
+            memPhaseScratch_.push_back(sm);
+            any_work = true;
+        }
+    }
+    if (!any_work) {
+        return;
+    }
+    telemetry::SelfProfiler::Scope prof_scope(
+        profiler_, telemetry::Component::L1Ldst);
+    // Grant rounds, retry stage first across ALL SMs: parked requests
+    // are the oldest traffic in the machine, so they claim the bank
+    // slots freed since last cycle before any fresh LDST line can.
+    // SMs that can no longer make progress this cycle (out of work, out
+    // of budget, or blocked on backpressure) are compacted out in
+    // place; rotation order is preserved across rounds.
+    auto rounds = [this](bool (Sm::*grant)(Cycle)) {
+        while (!memPhaseScratch_.empty()) {
+            size_t kept = 0;
+            for (Sm *sm : memPhaseScratch_) {
+                if ((sm->*grant)(cycle_)) {
+                    memPhaseScratch_[kept++] = sm;
+                }
+            }
+            memPhaseScratch_.resize(kept);
+        }
+    };
+    rounds(&Sm::memPhaseGrantRetry);
+    memPhaseScratch_.clear();
+    for (size_t i = 0; i < n; ++i) {
+        Sm *sm = sms_[(start + i) % n].get();
+        if (sm->hasMemPhaseWork()) {
+            memPhaseScratch_.push_back(sm);
+        }
+    }
+    rounds(&Sm::memPhaseGrantLdst);
+}
+
+void
 Gpu::stepSmsStaged()
 {
-    // Memory phase first: each SM's fabric-retry drain and LDST unit run
-    // serially in SM-id order against the live L2 — the exact position
-    // and order the serial engine gives them (a legacy step() runs them
-    // before its own issue, and issue never touches the fabric), so the
-    // request stream the L2 sees is bit-identical for any thread count.
-    for (auto &sm : sms_) {
-        sm->stepMemory(cycle_);
-    }
+    // The fabric-facing memory phase already ran under the arbiter in
+    // memoryPhase(), serially on the main thread, so workers below never
+    // touch the fabric.
 
     // Sharded SM stepping over the SM-private stages (writebacks, issue,
     // execute). Workers touch only their own SM's state: stats and
@@ -972,6 +1029,11 @@ Gpu::run(Cycle max_cycles, const integrity::RunOptions &opts)
         opts.hangThreshold ? opts.hangThreshold : 8 * roundtrip + 10000;
     const Cycle leak_age =
         opts.mshrLeakAge ? opts.mshrLeakAge : hang_threshold;
+    // Bounded-stall bound: the arbiter's worst case has every other SM
+    // draining a full egress queue ahead of a parked request, one grant
+    // per round, times the configured safety factor (0 disables).
+    const Cycle retry_bound = static_cast<Cycle>(opts.retryWaitBoundFactor) *
+                              numSms() * cfg_.sm.ldstQueueDepth;
 
     uint64_t last_sig = progressSignature();
     Cycle last_progress = cycle_;
@@ -1054,6 +1116,8 @@ Gpu::run(Cycle max_cycles, const integrity::RunOptions &opts)
                 integrity::checkSmAccounting(sms, cycle_, violations);
                 leaks = integrity::findMshrLeaks(sms, *l2_, cycle_,
                                                  leak_age, &violations);
+                integrity::checkBoundedRetryWait(sms, cycle_, retry_bound,
+                                                 violations);
                 checkStreamLiveness(violations);
             }
             hung = cycle_ - last_progress >= hang_threshold &&
@@ -1112,6 +1176,15 @@ Gpu::pendingKernels() const
         count += ss.queue.size() + ss.active.size();
     }
     return count;
+}
+
+uint64_t
+Gpu::pendingKernels(StreamId stream) const
+{
+    auto it = streams_.find(stream);
+    return it == streams_.end()
+        ? 0
+        : it->second.queue.size() + it->second.active.size();
 }
 
 Cycle

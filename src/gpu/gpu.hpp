@@ -268,6 +268,9 @@ class Gpu : public MemFabricPort
     /** Number of kernels still queued (not yet fully committed). */
     uint64_t pendingKernels() const;
 
+    /** Kernels of @p stream still queued or in flight (0 for unknown). */
+    uint64_t pendingKernels(StreamId stream) const;
+
     /** First cycle at which every kernel of @p stream had committed. */
     Cycle streamFinishCycle(StreamId stream) const;
 
@@ -334,6 +337,14 @@ class Gpu : public MemFabricPort
     void promoteReadyKernels(StreamState &ss);
     const std::vector<uint32_t> &allowedSms(StreamId stream);
     void sampleCounters();
+    /**
+     * Round-robin fabric arbitration: the per-cycle memory phase shared
+     * by the serial and staged engines. Grants rotate across SMs from a
+     * start derived purely from the cycle number (fast-forward safe),
+     * one request per SM per grant round, until no SM can make progress.
+     * Main thread only, before any SM steps.
+     */
+    void memoryPhase();
     void stepSmsStaged();
 
     // Idle fast-forward internals (used by run()).
@@ -363,6 +374,8 @@ class Gpu : public MemFabricPort
     /** Per-tick "SM accepted a CTA this cycle" scratch for issueCtas():
      *  reused so the per-cycle scheduler pass does not allocate. */
     std::vector<uint8_t> issueLaunchedScratch_;
+    /** Arbitration rotation scratch for memoryPhase(), reused per tick. */
+    std::vector<Sm *> memPhaseScratch_;
     std::vector<GpuController *> controllers_;
     integrity::FaultInjector *faultInjector_ = nullptr;
     PartitionConfig partition_;

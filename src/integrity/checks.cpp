@@ -67,6 +67,28 @@ checkSmAccounting(const std::vector<const Sm *> &sms, Cycle now,
     }
 }
 
+void
+checkBoundedRetryWait(const std::vector<const Sm *> &sms, Cycle now,
+                      Cycle bound, std::vector<InvariantViolation> &out)
+{
+    if (bound == 0) {
+        return;
+    }
+    for (const Sm *sm : sms) {
+        const Cycle age = sm->oldestFabricRetryAge(now);
+        if (age > bound) {
+            out.push_back(
+                {"fabric-retry-starvation",
+                 formatMessage("SM %u fabric retry parked for %" PRIu64
+                               " cycles (bound %" PRIu64
+                               "): arbitration lost fairness or the "
+                               "fabric wedged",
+                               sm->smId(), age, bound),
+                 now});
+        }
+    }
+}
+
 std::vector<HangReport::MshrLeakRow>
 findMshrLeaks(const std::vector<const Sm *> &sms, const L2Subsystem &l2,
               Cycle now, Cycle max_age,
@@ -168,6 +190,8 @@ smRow(const Sm &sm, Cycle now)
     row.l1MshrEntries = p.l1MshrEntries;
     row.ldstQueueDepth = p.ldstQueueDepth;
     row.fabricRetryDepth = p.fabricRetryDepth;
+    row.fabricRetryMaxWait = p.fabricRetryMaxWait;
+    row.fabricRetryOldestAge = p.fabricRetryOldestAge;
     row.outstandingLoads = p.outstandingLoads;
     row.oldestMissLine = p.oldestMissLine;
     row.oldestMissAge = p.oldestMissAge;

@@ -38,6 +38,18 @@ void checkSmAccounting(const std::vector<const Sm *> &sms, Cycle now,
                        std::vector<InvariantViolation> &out);
 
 /**
+ * Bounded-stall invariant over the fabric-retry queues: the round-robin
+ * arbiter guarantees every SM a grant per round, so no parked request
+ * should ever wait anywhere near @p bound cycles (the caller derives it
+ * from the arbitration worst case times a safety factor; see
+ * RunOptions::retryWaitBoundFactor). One "fabric-retry-starvation"
+ * violation per offending SM, naming the age and the bound.
+ */
+void checkBoundedRetryWait(const std::vector<const Sm *> &sms, Cycle now,
+                           Cycle bound,
+                           std::vector<InvariantViolation> &out);
+
+/**
  * MSHR leak scan over every SM's L1 MSHR and the L2's banked MSHRs. An
  * entry is leaked when it is older than @p max_age *and* orphaned —
  * nothing between the SM and DRAM (fabric-retry queue, bank queues,

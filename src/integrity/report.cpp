@@ -78,13 +78,17 @@ HangReport::render() const
     {
         Table t({"sm", "warps", "ctas", "stall", "barrier", "scoreboard",
                  "exec", "smem", "ldst", "ready", "l1 mshr", "retry",
-                 "oldest miss"});
+                 "retry wait", "oldest miss"});
         for (const auto &s : sms) {
             t.addRow({u64(s.smId), u64(s.activeWarps), u64(s.activeCtas),
                       s.dominantStall, u64(s.atBarrier),
                       u64(s.waitScoreboard), u64(s.waitExecUnit),
                       u64(s.waitSmem), u64(s.waitLdst), u64(s.ready),
                       u64(s.l1MshrEntries), u64(s.fabricRetryDepth),
+                      s.fabricRetryDepth
+                          ? u64(s.fabricRetryOldestAge) + " (max " +
+                                u64(s.fabricRetryMaxWait) + ")"
+                          : "max " + u64(s.fabricRetryMaxWait),
                       s.l1MshrEntries
                           ? hexLine(s.oldestMissLine) + " (" +
                                 u64(s.oldestMissAge) + " cycles)"

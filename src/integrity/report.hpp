@@ -62,6 +62,17 @@ struct RunOptions
     bool checkInvariants = true;
 
     /**
+     * Bounded-stall invariant: with the round-robin fabric arbiter, no
+     * parked retry should wait longer than a small multiple of the
+     * queue-depth-derived bound numSms * ldstQueueDepth (every other SM
+     * draining a full egress queue ahead of it, one grant per round).
+     * A retry older than retryWaitBoundFactor times that bound is
+     * reported as a "fabric-retry-starvation" violation — either the
+     * arbiter lost fairness or the fabric wedged. 0 disables the check.
+     */
+    uint32_t retryWaitBoundFactor = 16;
+
+    /**
      * Cycles between counter-conservation audits (crisp::audit); 0
      * disables auditing. Independent of checkInterval so the audit can
      * run without the watchdog (and vice versa): fault-matrix tests pin
@@ -125,6 +136,8 @@ struct HangReport
         uint32_t l1MshrEntries = 0;
         uint64_t ldstQueueDepth = 0;
         uint64_t fabricRetryDepth = 0;
+        Cycle fabricRetryMaxWait = 0;
+        Cycle fabricRetryOldestAge = 0;
         uint64_t outstandingLoads = 0;
         Addr oldestMissLine = 0;
         Cycle oldestMissAge = 0;

@@ -94,11 +94,51 @@ WarpedSlicer::onKernelLaunch(Gpu &gpu, const KernelInfo &info, KernelId id)
     beginSampling(gpu, gpu.now());
 }
 
+bool
+WarpedSlicer::streamStarved(Gpu &gpu, StreamId stream) const
+{
+    if (gpu.pendingKernels(stream) == 0) {
+        return false;
+    }
+    for (uint32_t s = 0; s < gpu.numSms(); ++s) {
+        if (gpu.sm(s).activeCtasOf(stream) > 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
 void
 WarpedSlicer::onCycle(Gpu &gpu, Cycle now)
 {
-    if (sampling_ && now >= sampleEnd_) {
-        finishSampling(gpu, now);
+    if (sampling_) {
+        if (now >= sampleEnd_) {
+            finishSampling(gpu, now);
+        }
+        return;
+    }
+
+    // Starvation rescue: the applied split is only re-evaluated at the
+    // next kernel launch, so a stream whose pending CTAs no longer fit
+    // under its quota (the sampling window can be uninformative — e.g.
+    // it measured only carryover execution of CTAs resident from before
+    // the split) would otherwise wedge forever once the other stream
+    // stops launching. A monitored stream with kernels in flight but no
+    // resident CTAs for a full sample window cannot place work: re-enter
+    // sampling, whose per-SM config spread guarantees the stream SMs
+    // with a large enough share to make progress again — the same
+    // minimum-allocation guarantee TAP gives at set granularity.
+    if (streamStarved(gpu, cfg_.streamA) ||
+        streamStarved(gpu, cfg_.streamB)) {
+        if (starvedSince_ == 0) {
+            starvedSince_ = now;
+        } else if (now - starvedSince_ >= cfg_.sampleCycles) {
+            starvedSince_ = 0;
+            starvationRescues_++;
+            beginSampling(gpu, now);
+        }
+    } else {
+        starvedSince_ = 0;
     }
 }
 

@@ -50,16 +50,23 @@ class WarpedSlicer : public GpuController
 
     uint64_t samplingPhases() const { return samplingPhases_; }
 
+    /** Times the starvation rescue re-entered sampling (see onCycle). */
+    uint64_t starvationRescues() const { return starvationRescues_; }
+
   private:
     double shareForConfig(uint32_t config) const;
     void beginSampling(Gpu &gpu, Cycle now);
     void finishSampling(Gpu &gpu, Cycle now);
+    bool streamStarved(Gpu &gpu, StreamId stream) const;
 
     WarpedSlicerConfig cfg_;
     bool sampling_ = false;
     Cycle sampleEnd_ = 0;
     double shareA_ = 0.5;
     uint64_t samplingPhases_ = 0;
+    uint64_t starvationRescues_ = 0;
+    /** First cycle a monitored stream was seen starved (0 = not). */
+    Cycle starvedSince_ = 0;
     /** Issued-instruction counters per SM per stream at window start. */
     std::vector<uint64_t> baselineA_;
     std::vector<uint64_t> baselineB_;

@@ -490,5 +490,41 @@ TEST(FabricRetry, FreshRequestsAreNotLivelockedByBacklog)
     EXPECT_EQ(sm.pendingFabricReads(), 0u);
 }
 
+TEST(FabricRetry, DefaultCapIsFinite)
+{
+    // The out-of-the-box cap bounds the per-cycle drain: two full
+    // l1PortsPerCycle generations of refused traffic. A default of 0
+    // would silently restore the unbounded flush this cap exists to
+    // prevent.
+    EXPECT_EQ(SmConfig{}.maxFabricRetriesPerCycle, 8u);
+}
+
+TEST(FabricRetry, ZeroCapIsAnExplicitOptOut)
+{
+    // maxFabricRetriesPerCycle = 0 means "no cap": the whole backlog
+    // drains the cycle the fabric reopens.
+    SmConfig cfg;
+    cfg.maxFabricRetriesPerCycle = 0;
+    TestFabric fabric(50);
+    StatsRegistry stats;
+    Sm sm(0, cfg, &fabric, &stats);
+
+    fabric.setRefuseAll(true);
+    sm.launchCta(streamingKernel(40, 0), 1, 0, 0);
+    Cycle now = 0;
+    while (sm.pendingFabricReads() < 30 && now < 1000) {
+        ++now;
+        fabric.newCycle();
+        sm.step(now);
+    }
+    ASSERT_GE(sm.pendingFabricReads(), 30u);
+
+    fabric.setRefuseAll(false);
+    ++now;
+    fabric.newCycle();
+    sm.step(now);
+    EXPECT_EQ(sm.pendingFabricReads(), 0u);
+}
+
 } // namespace
 } // namespace crisp

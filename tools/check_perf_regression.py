@@ -68,6 +68,12 @@ def main():
             failed = True
         print(f"num_sms={num_sms}: {new:.0f} vs {ref:.0f} c/s "
               f"({label}) -> {ratio:.2f}x  {status}")
+    for num_sms in sorted(set(new_rates) - set(ref_rates)):
+        # A config the benchmark grew after the last blessing has no
+        # reference yet: it gains a gate once a trajectory entry records
+        # it, never retroactively.
+        print(f"num_sms={num_sms}: no reference in trajectory entry "
+              f"'{label}' (warned, skipped)")
     if failed:
         print(f"single-thread throughput regressed more than "
               f"{tolerance:.0%} vs checked-in trajectory", file=sys.stderr)
