@@ -45,6 +45,7 @@
 #include "common/logging.hpp"
 #include "common/table.hpp"
 #include "gpu/gpu.hpp"
+#include "mgpu/multi_gpu.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/sink.hpp"
 #include "graphics/pipeline.hpp"
@@ -159,6 +160,160 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
+/**
+ * Multi-GPU scenarios (gpu.num_gpus > 1) run here: one Gpu per device
+ * plus the inter-GPU fabric, with the scenario's placement deciding the
+ * per-device partitioning — the --policy/--share flags do not apply.
+ * Fast-forward is also ignored: devices step in lockstep through the
+ * fabric, so per-device idle jumps cannot compose.
+ */
+int
+runMultiGpu(const Options &opt, const scenario::Scenario &scn)
+{
+    mgpu::MultiGpuConfig mcfg;
+    mcfg.numGpus = scn.gpu.numGpus;
+    mcfg.gpu = scenario::gpuConfigFor(scn);
+    mgpu::MultiGpu machine(mcfg);
+    {
+        engine::EngineConfig ec;
+        ec.threads = opt.threads;
+        machine.setEngine(ec);
+    }
+
+    // One telemetry sink per device; the Chrome trace merges them into
+    // labelled "gpu<d>" process groups, the timeline CSV gets one file
+    // per device (path.gpu<d>).
+    std::vector<std::unique_ptr<telemetry::TelemetrySink>> sinks;
+    const bool wants_telemetry = !opt.trace.empty() || opt.sample != 0 ||
+        !opt.timeline.empty() || opt.profile;
+    if (wants_telemetry) {
+        for (uint32_t d = 0; d < mcfg.numGpus; ++d) {
+            telemetry::TelemetryConfig tc;
+            tc.eventCapacity = 1 << 20;
+            tc.sampleInterval = opt.sample;
+            if (!opt.timeline.empty() && tc.sampleInterval == 0) {
+                tc.sampleInterval = 1000;
+            }
+            tc.selfProfile = opt.profile && d == 0;
+            sinks.push_back(
+                std::make_unique<telemetry::TelemetrySink>(tc));
+            machine.device(d).setTelemetry(sinks.back().get());
+        }
+    }
+
+    scenario::Materialized mat;
+    const scenario::MultiSubmitResult sr =
+        scenario::submitScenarioMulti(scn, machine, mat);
+    if (!sinks.empty() && opt.profile && mat.pipeline) {
+        mat.pipeline->setProfiler(&sinks[0]->profiler());
+    }
+
+    if (!opt.quiet) {
+        const char *placement =
+            scn.gpu.placement == scenario::Placement::Split ? "split"
+            : scn.gpu.placement == scenario::Placement::Colocated
+                ? "colocated"
+                : "mig";
+        std::printf("crisp_sim: scenario=%s (\"%s\") gpus=%ux%s "
+                    "placement=%s\n",
+                    opt.scenario.c_str(), scn.name.c_str(), mcfg.numGpus,
+                    mcfg.gpu.name.c_str(), placement);
+    }
+
+    const mgpu::MultiGpu::RunResult r = machine.run(opt.maxCycles);
+    for (const auto &v : r.violations) {
+        std::fprintf(stderr, "audit violation [%s] %s\n", v.check.c_str(),
+                     v.detail.c_str());
+    }
+    fatal_if(!r.violations.empty(), "multi-GPU audit failed");
+    if (!r.completed && opt.maxCyclesSet) {
+        std::printf("stopped at --max-cycles %llu before draining\n",
+                    static_cast<unsigned long long>(opt.maxCycles));
+    } else {
+        fatal_if(!r.completed, "simulation did not drain");
+    }
+
+    if (!sinks.empty() && !opt.trace.empty()) {
+        std::vector<const telemetry::TelemetrySink *> views;
+        for (const auto &s : sinks) {
+            views.push_back(s.get());
+        }
+        telemetry::writeChromeTrace(views, opt.trace);
+        std::printf("wrote %s (%u devices)\n", opt.trace.c_str(),
+                    mcfg.numGpus);
+    }
+    if (!sinks.empty() && !opt.timeline.empty()) {
+        for (uint32_t d = 0; d < mcfg.numGpus; ++d) {
+            const std::string path =
+                opt.timeline + ".gpu" + std::to_string(d);
+            sinks[d]->series().toTable().writeCsv(path);
+            std::printf("wrote %s (%zu samples)\n", path.c_str(),
+                        sinks[d]->series().rows());
+        }
+    }
+    if (!opt.image.empty() && mat.pipeline) {
+        mat.pipeline->framebuffer().writePpm(opt.image);
+    }
+
+    const mgpu::InterGpuFabric &fabric = machine.fabric();
+    std::printf("total: %llu cycles = %.4f ms on %u x %s (fabric: %llu "
+                "remote reqs, %llu migrations, %llu bytes)\n\n",
+                static_cast<unsigned long long>(r.cycles),
+                mcfg.gpu.cyclesToMs(r.cycles), mcfg.numGpus,
+                mcfg.gpu.name.c_str(),
+                static_cast<unsigned long long>(fabric.requestsAccepted()),
+                static_cast<unsigned long long>(fabric.pageMigrations()),
+                static_cast<unsigned long long>(
+                    fabric.bytesTransferred()));
+
+    Table t({"stream", "device", "cycles(first..last)", "kernels",
+             "instructions", "IPC", "L2 hit%", "remote", "dram rd"});
+    auto add_stream = [&](const char *name, StreamId id, uint32_t dev) {
+        if (id == kInvalidStream) {
+            return;
+        }
+        Gpu &gpu = machine.device(dev);
+        const StreamStats &st = gpu.stats().stream(id);
+        t.addRow({name, std::to_string(dev),
+                  std::to_string(st.firstCycle) + ".." +
+                      std::to_string(gpu.streamFinishCycle(id)),
+                  std::to_string(st.kernelsCompleted),
+                  std::to_string(st.instructions), Table::num(st.ipc(), 2),
+                  Table::num(100 * st.l2HitRate(), 1),
+                  std::to_string(st.remoteAccesses),
+                  std::to_string(st.dramReads)});
+    };
+    add_stream("graphics", sr.gfx, sr.gfxDevice);
+    add_stream("compute", sr.cmp, sr.cmpDevice);
+    std::printf("%s", t.toText().c_str());
+    if (!opt.csv.empty()) {
+        t.writeCsv(opt.csv);
+        std::printf("wrote %s\n", opt.csv.c_str());
+    }
+    if (opt.kernels) {
+        std::printf("\nper-kernel execution log:\n");
+        Table kt({"kernel", "device", "stream", "CTAs", "launch",
+                  "complete", "cycles"});
+        for (uint32_t d = 0; d < mcfg.numGpus; ++d) {
+            for (const auto &rec : machine.device(d).kernelLog()) {
+                kt.addRow({rec.name, std::to_string(d),
+                           rec.stream == sr.gfx ? "graphics" : "compute",
+                           std::to_string(rec.ctas),
+                           std::to_string(rec.launchCycle),
+                           std::to_string(rec.completeCycle),
+                           std::to_string(rec.completeCycle -
+                                          rec.launchCycle)});
+            }
+        }
+        std::printf("%s", kt.toText().c_str());
+    }
+    if (!sinks.empty() && opt.profile) {
+        std::printf("\nsimulator self-profile (wall clock):\n%s",
+                    sinks[0]->profiler().render(r.cycles).c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -172,6 +327,9 @@ main(int argc, char **argv)
         scenario::ScenarioError serr;
         if (!scenario::loadScenarioFile(opt.scenario, scn, serr)) {
             fatal("%s", serr.str().c_str());
+        }
+        if (scn.gpu.numGpus > 1) {
+            return runMultiGpu(opt, scn);
         }
     }
 

@@ -150,6 +150,105 @@ auditFillPairing(const StatsRegistry &stats, const L2Subsystem &l2,
 }
 
 void
+auditMachine(const StatsRegistry &merged,
+             const std::vector<const Sm *> &sms,
+             const std::vector<const L2Subsystem *> &l2s,
+             const SmallFlatMap<StreamId, uint64_t> &fabric_in_flight,
+             Cycle now, std::vector<InvariantViolation> &out)
+{
+    auditStreamCounters(merged, now, out);
+
+    // Bank/stream parity over the union of every device's banks.
+    uint64_t bank_accesses = 0;
+    uint64_t bank_hits = 0;
+    for (const L2Subsystem *l2 : l2s) {
+        bank_accesses += l2->accesses();
+        bank_hits += l2->hits();
+    }
+    const uint64_t stream_accesses =
+        merged.sumOver(&StreamStats::l2Accesses);
+    const uint64_t stream_hits = merged.sumOver(&StreamStats::l2Hits);
+    if (bank_accesses != stream_accesses) {
+        out.push_back(
+            {"counter-bank-parity",
+             formatMessage("machine L2 bank accesses (%" PRIu64
+                           ") != merged stream l2Accesses sum (%" PRIu64
+                           ") across %zu devices",
+                           bank_accesses, stream_accesses, l2s.size()),
+             now});
+    }
+    if (bank_hits != stream_hits) {
+        out.push_back(
+            {"counter-bank-parity",
+             formatMessage("machine L2 bank hits (%" PRIu64
+                           ") != merged stream l2Hits sum (%" PRIu64
+                           ") across %zu devices",
+                           bank_hits, stream_hits, l2s.size()),
+             now});
+    }
+
+    // L1<->L2 conservation with the fabric as one more in-flight stage.
+    SmallFlatMap<StreamId, uint64_t> in_flight;
+    for (const L2Subsystem *l2 : l2s) {
+        l2->countQueuedByStream(in_flight);
+    }
+    for (const Sm *sm : sms) {
+        sm->countFabricRetriesByStream(in_flight);
+    }
+    for (const auto &[id, n] : fabric_in_flight) {
+        in_flight[id] += n;
+    }
+    for (const auto &[id, st] : merged.allStreams()) {
+        const uint64_t l1_misses =
+            st.l1Accesses - st.l1Hits - st.l1MshrMerges;
+        const auto it = in_flight.find(id);
+        const uint64_t pending = it == in_flight.end() ? 0 : it->second;
+        if (l1_misses != st.l2Accesses + pending) {
+            out.push_back(
+                {"counter-l1l2-conservation",
+                 formatMessage("stream %u: machine L1 misses (%" PRIu64
+                               ") != merged l2Accesses (%" PRIu64
+                               ") + in flight toward any L2 (%" PRIu64 ")",
+                               id, l1_misses, st.l2Accesses, pending),
+                 now});
+        }
+    }
+
+    // DRAM read / fill pairing over every device's DRAM.
+    uint64_t fills = 0;
+    uint64_t pending_fills = 0;
+    uint64_t allocs = 0;
+    uint64_t served = 0;
+    uint64_t in_use = 0;
+    for (const L2Subsystem *l2 : l2s) {
+        fills += l2->fillsCompleted();
+        pending_fills += l2->inFlight().pendingFills;
+        allocs += l2->mshrPrimaryAllocations();
+        served += l2->mshrFillsServed();
+        in_use += l2->inFlight().mshrEntries;
+    }
+    const uint64_t dram_reads = merged.sumOver(&StreamStats::dramReads);
+    if (dram_reads != fills + pending_fills) {
+        out.push_back(
+            {"counter-fill-pairing",
+             formatMessage("merged stream dramReads sum (%" PRIu64
+                           ") != machine fills installed (%" PRIu64
+                           ") + fills pending (%" PRIu64 ")",
+                           dram_reads, fills, pending_fills),
+             now});
+    }
+    if (allocs != served + in_use) {
+        out.push_back(
+            {"counter-fill-pairing",
+             formatMessage("machine L2 MSHR primary allocations (%" PRIu64
+                           ") != fills served (%" PRIu64
+                           ") + entries in use (%" PRIu64 ")",
+                           allocs, served, in_use),
+             now});
+    }
+}
+
+void
 auditHistogram(const Histogram &h, const char *name, Cycle now,
                std::vector<InvariantViolation> &out)
 {

@@ -84,6 +84,25 @@ void auditFillPairing(const StatsRegistry &stats, const L2Subsystem &l2,
                       std::vector<integrity::InvariantViolation> &out);
 
 /**
+ * Machine-wide audit for a multi-GPU machine. Remote traffic splits one
+ * stream's counters across devices — the issuing device holds the L1
+ * side, the owning device holds the L2/DRAM side — so the identities
+ * only close over the union: @p merged is the per-stream union of every
+ * device's registry (StatsRegistry::absorbShadow or StreamStats::absorb),
+ * @p sms concatenates every device's SMs, @p l2s lists every device's L2,
+ * and @p fabric_in_flight counts requests still traversing the inter-GPU
+ * fabric per stream (queued at a link, on the wire, or parked at the
+ * destination) — the fabric's contribution to the L1↔L2 conservation
+ * balance, exactly like a bank queue or an SM retry queue.
+ */
+void auditMachine(const StatsRegistry &merged,
+                  const std::vector<const Sm *> &sms,
+                  const std::vector<const L2Subsystem *> &l2s,
+                  const SmallFlatMap<StreamId, uint64_t> &fabric_in_flight,
+                  Cycle now,
+                  std::vector<integrity::InvariantViolation> &out);
+
+/**
  * Histogram conservation: totalSamples() == sum over buckets. @p name
  * labels the histogram in the violation detail (histograms live in
  * analyses, not in the Gpu, so callers pass theirs explicitly).

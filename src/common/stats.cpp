@@ -124,6 +124,9 @@ StreamStats::absorb(const StreamStats &delta)
     dramWrites += delta.dramWrites;
     smemAccesses += delta.smemAccesses;
     smemBankConflicts += delta.smemBankConflicts;
+    remoteAccesses += delta.remoteAccesses;
+    remoteResponses += delta.remoteResponses;
+    pageMigrations += delta.pageMigrations;
     // 0 means "unset" on both sides, so the merged mark is the minimum
     // over *set* values: shadows merge in SM order, not time order, and a
     // later shadow can carry the earlier first cycle. (Taking the first

@@ -84,6 +84,14 @@ struct StreamStats
     uint64_t smemAccesses = 0;
     uint64_t smemBankConflicts = 0;
 
+    /** L1 misses routed over the inter-GPU fabric to a peer device's L2
+     *  (counted on the issuing device; the peer counts the l2Accesses). */
+    uint64_t remoteAccesses = 0;
+    /** Remote fills returned over the fabric to this device's SMs. */
+    uint64_t remoteResponses = 0;
+    /** Pages this stream's remote touches migrated to the touching device. */
+    uint64_t pageMigrations = 0;
+
     Cycle firstCycle = 0;           ///< Cycle the first CTA issued (0 = unset).
     Cycle lastCycle = 0;            ///< Cycle the last CTA committed.
 

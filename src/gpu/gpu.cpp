@@ -37,6 +37,12 @@ Gpu::Gpu(const GpuConfig &cfg) : cfg_(cfg)
     fatal_if(cfg_.numSms == 0, "GPU needs at least one SM");
     l2_ = std::make_unique<L2Subsystem>(cfg_.l2, &stats_);
     l2_->setResponseHandler([this](const MemRequest &resp) {
+        // A fill completed on behalf of a peer device goes back out over
+        // the fabric; only local fills wake a local SM.
+        if (remote_ != nullptr && resp.srcDevice != deviceId_) {
+            remote_->submitRemoteResponse(resp, deviceId_, cycle_);
+            return;
+        }
         panic_if(resp.smId >= sms_.size(), "response for unknown SM %u",
                  resp.smId);
         sms_[resp.smId]->memResponse(resp, cycle_);
@@ -1198,7 +1204,41 @@ Gpu::streamFinishCycle(StreamId stream) const
 bool
 Gpu::submitToL2(MemRequest req, Cycle now)
 {
+    req.srcDevice = deviceId_;
+    if (remote_ != nullptr && remote_->ownerOf(req.line) != deviceId_) {
+        if (!remote_->submitRemote(req, now)) {
+            return false;
+        }
+        stats_.stream(req.stream).remoteAccesses++;
+        return true;
+    }
     return l2_->submit(std::move(req), now);
+}
+
+void
+Gpu::setStreamIdBase(StreamId base)
+{
+    fatal_if(!streams_.empty(),
+             "setStreamIdBase after streams were created");
+    nextStream_ = base;
+}
+
+bool
+Gpu::acceptRemoteRequest(MemRequest req, Cycle now)
+{
+    return l2_->submit(std::move(req), now);
+}
+
+void
+Gpu::deliverRemoteResponse(const MemRequest &resp, Cycle now)
+{
+    panic_if(resp.srcDevice != deviceId_,
+             "remote response routed to device %u for device %u",
+             deviceId_, resp.srcDevice);
+    panic_if(resp.smId >= sms_.size(), "remote response for unknown SM %u",
+             resp.smId);
+    stats_.stream(resp.stream).remoteResponses++;
+    sms_[resp.smId]->memResponse(resp, now);
 }
 
 } // namespace crisp

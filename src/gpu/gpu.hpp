@@ -39,6 +39,41 @@ class SelfProfiler;
 
 class Gpu;
 
+/**
+ * Remote-memory port of one device in a multi-GPU machine.
+ *
+ * A Gpu with a port attached asks it who owns each submitted line; lines
+ * owned by another device are handed to the port (the inter-GPU fabric)
+ * instead of the local L2, and fills that arrive at a peer's L2 are handed
+ * back through it. Implemented by mgpu::InterGpuFabric; single-GPU builds
+ * never attach one, so the single-device paths are untouched.
+ */
+class RemoteMemPort
+{
+  public:
+    virtual ~RemoteMemPort() = default;
+
+    /** Device that currently owns @p line (page migration may move it). */
+    virtual uint32_t ownerOf(Addr line) const = 0;
+
+    /**
+     * Route a request from its stamped srcDevice toward ownerOf(line).
+     * @return false when the link's bounded request queue is full — the
+     * SM parks the request in its egress retry queue exactly as it does
+     * for a refused local L2 submit.
+     */
+    virtual bool submitRemote(MemRequest req, Cycle now) = 0;
+
+    /**
+     * Hand back a fill that completed on @p from_device's L2 on behalf
+     * of a peer (resp.srcDevice != from_device). Responses are never
+     * refused; the fabric queues them and charges response-link
+     * latency/bandwidth on the from_device → srcDevice link.
+     */
+    virtual void submitRemoteResponse(MemRequest resp, uint32_t from_device,
+                                      Cycle now) = 0;
+};
+
 /** GPU spatial-partitioning methods modeled by CRISP (§III-A, Fig 4). */
 enum class PartitionPolicy
 {
@@ -294,6 +329,35 @@ class Gpu : public MemFabricPort
     // MemFabricPort
     bool submitToL2(MemRequest req, Cycle now) override;
 
+    // --- Multi-GPU lift ----------------------------------------------------
+
+    /** Device id within a MultiGpu machine (0 for standalone). */
+    uint32_t deviceId() const { return deviceId_; }
+    void setDeviceId(uint32_t id) { deviceId_ = id; }
+
+    /** Attach the inter-GPU fabric (not owned; nullptr detaches). */
+    void setRemotePort(RemoteMemPort *port) { remote_ = port; }
+
+    /**
+     * Base for stream ids created by this device. MultiGpu gives every
+     * device a disjoint range so per-stream stats keyed by id stay
+     * unambiguous machine-wide. Must be set before any createStream.
+     */
+    void setStreamIdBase(StreamId base);
+
+    /**
+     * Fabric delivery of a remote request into this device's local L2
+     * (routing already decided; never re-routed). @return false when the
+     * destination bank queue refuses — the fabric keeps it parked.
+     */
+    bool acceptRemoteRequest(MemRequest req, Cycle now);
+
+    /**
+     * Fabric delivery of a remote fill back to the SM that issued it.
+     * Counts the stream's remoteResponses on this (the issuing) device.
+     */
+    void deliverRemoteResponse(const MemRequest &resp, Cycle now);
+
   private:
     struct QueuedKernel
     {
@@ -384,6 +448,8 @@ class Gpu : public MemFabricPort
     Cycle cycle_ = 0;
     StreamId nextStream_ = 0;
     KernelId nextKernel_ = 1;
+    uint32_t deviceId_ = 0;
+    RemoteMemPort *remote_ = nullptr;
 
     // --- Cycle engine ------------------------------------------------------
 

@@ -30,6 +30,13 @@ struct MemRequest
      */
     uint64_t completionKey = kNoCompletion;
     Cycle readyAt = 0;          ///< Earliest cycle the current stage may act.
+    /**
+     * Device that issued the request. Stamped by the owning Gpu on submit
+     * and echoed by the L2 in the response, so a multi-GPU fabric can
+     * route a remote fill back to the requesting device. Single-GPU runs
+     * leave it 0 throughout.
+     */
+    uint32_t srcDevice = 0;
 
     static constexpr uint64_t kNoCompletion = ~0ull;
 

@@ -1,0 +1,126 @@
+#ifndef CRISP_MGPU_MULTI_GPU_HPP
+#define CRISP_MGPU_MULTI_GPU_HPP
+
+#include <memory>
+#include <vector>
+
+#include "engine/engine_config.hpp"
+#include "gpu/gpu.hpp"
+#include "graphics/address_space.hpp"
+#include "integrity/report.hpp"
+#include "mgpu/fabric.hpp"
+
+namespace crisp
+{
+namespace mgpu
+{
+
+/** Configuration of an N-device machine: per-device GPU + fabric knobs. */
+struct MultiGpuConfig
+{
+    uint32_t numGpus = 2;
+
+    /** Every device runs the same per-device configuration. */
+    GpuConfig gpu = GpuConfig::rtx3070();
+
+    FabricConfig fabric;
+
+    /**
+     * Static heap window per device: device d owns addresses
+     * [d * windowBytes, (d+1) * windowBytes). 16 GiB keeps every
+     * single-device heap convention (scene 0x1000'0000, framebuffer
+     * 0x4000'0000, compute 0x8000'0000) inside device 0's window.
+     */
+    Addr windowBytes = 1ull << 34;
+
+    /**
+     * Stream-id stride between devices: device d allocates stream ids
+     * from d * streamIdStride, so per-stream statistics keyed by id stay
+     * unambiguous machine-wide (the merged registry and the Chrome trace
+     * both rely on this).
+     */
+    StreamId streamIdStride = 32;
+
+    /** Two/four RTX 3070-class devices over an NVLink-ish mesh. */
+    static MultiGpuConfig dualRtx3070();
+    static MultiGpuConfig quadRtx3070();
+};
+
+/**
+ * Top level of a multi-GPU machine: owns N Gpu devices and the
+ * InterGpuFabric between them, ticks them in lockstep (fabric first,
+ * then devices in id order — all serial on the main thread, so the
+ * per-device parallel engines keep threads 1/2/4 byte-identical), and
+ * closes the conservation identities machine-wide.
+ */
+class MultiGpu
+{
+  public:
+    explicit MultiGpu(const MultiGpuConfig &cfg);
+    ~MultiGpu();
+
+    uint32_t numGpus() const { return cfg_.numGpus; }
+    Gpu &device(uint32_t d);
+    const Gpu &device(uint32_t d) const;
+    InterGpuFabric &fabric() { return *fabric_; }
+    const InterGpuFabric &fabric() const { return *fabric_; }
+    const MultiGpuConfig &config() const { return cfg_; }
+
+    /** First byte of device @p d's static heap window. */
+    Addr windowBase(uint32_t d) const;
+
+    /**
+     * A heap inside device @p d's window, at the same local offset the
+     * single-GPU entry points use — allocate a buffer from heapFor(0)
+     * and read it from a stream on device 1 to generate remote traffic.
+     */
+    AddressSpace heapFor(uint32_t d, Addr local_base = 0x1000'0000ull) const;
+
+    /** Configure every device's cycle engine (before the first tick). */
+    void setEngine(const engine::EngineConfig &engine);
+
+    /** Advance the machine one cycle (fabric, then devices in id order). */
+    void tick();
+
+    /** Every device drained and no packet left on the fabric. */
+    bool done() const;
+
+    Cycle now() const { return cycle_; }
+
+    struct RunResult
+    {
+        Cycle cycles = 0;
+        bool completed = false;
+        std::vector<integrity::InvariantViolation> violations;
+    };
+
+    /**
+     * Run until done or @p max_cycles elapse. A non-zero
+     * @p audit_interval runs the machine-wide counter audit at that
+     * cadence (and once at the end); any violation stops the run.
+     */
+    RunResult run(Cycle max_cycles = ~0ull, Cycle audit_interval = 0);
+
+    /**
+     * Union of every device's per-stream statistics (disjoint stream-id
+     * ranges make this a disjoint merge for local counters; remote
+     * traffic genuinely splits one stream across registries, which is
+     * why machine-wide identities only close on the merged view).
+     */
+    StatsRegistry mergedStats() const;
+
+    /** Machine-wide conservation audit (see audit::auditMachine). */
+    void audit(Cycle now,
+               std::vector<integrity::InvariantViolation> &out) const;
+
+  private:
+    MultiGpuConfig cfg_;
+    std::unique_ptr<InterGpuFabric> fabric_;
+    std::vector<std::unique_ptr<Gpu>> devices_;
+    Cycle cycle_ = 0;
+};
+
+} // namespace mgpu
+} // namespace crisp
+
+#endif // CRISP_MGPU_MULTI_GPU_HPP

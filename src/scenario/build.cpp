@@ -1,6 +1,7 @@
 #include "scenario/build.hpp"
 
 #include <cmath>
+#include <functional>
 #include <map>
 
 #include "common/logging.hpp"
@@ -227,10 +228,14 @@ buildPresetCompute(const ComputeDesc &cd, AddressSpace &heap,
     return buildTimewarp(heap, color, cd.width, cd.height);
 }
 
-/** One KernelInfo per explicit kernel node, buffers resolved to heap. */
+/** One KernelInfo per explicit kernel node, buffers resolved to heap.
+ *  @p buffer_heap (when set) picks a per-buffer heap instead of @p heap —
+ *  the multi-GPU path homing "device"-tagged buffers in other windows. */
 std::vector<KernelInfo>
 buildExplicitKernels(const ComputeDesc &cd, AddressSpace &heap,
-                     RenderPipeline *pipeline)
+                     RenderPipeline *pipeline,
+                     const std::function<AddressSpace &(const BufferNode &)>
+                         &buffer_heap = {})
 {
     struct Region
     {
@@ -239,7 +244,8 @@ buildExplicitKernels(const ComputeDesc &cd, AddressSpace &heap,
     };
     std::map<std::string, Region> regions;
     for (const BufferNode &b : cd.buffers) {
-        regions[b.name] = {heap.alloc(b.bytes), b.bytes};
+        AddressSpace &h = buffer_heap ? buffer_heap(b) : heap;
+        regions[b.name] = {h.alloc(b.bytes), b.bytes};
     }
     auto resolve = [&](const LoadNode &ln) {
         MemPattern p;
@@ -291,7 +297,56 @@ buildExplicitKernels(const ComputeDesc &cd, AddressSpace &heap,
     return infos;
 }
 
+/** Replay the explicit kernel list once per burst at the schedule's
+ *  arrival offsets (periodic or Poisson). */
+void
+enqueueExplicit(Gpu &gpu, StreamId cmp, const ComputeDesc &cd,
+                const std::vector<KernelInfo> &infos)
+{
+    const std::vector<Cycle> bases =
+        burstBases(cd.schedule, gpu.config().coreClockMhz);
+    for (uint32_t b = 0; b < cd.schedule.bursts; ++b) {
+        const Cycle burst_base = bases[b];
+        std::map<std::string, KernelId> ids;
+        for (size_t i = 0; i < cd.kernels.size(); ++i) {
+            const KernelNode &kn = cd.kernels[i];
+            KernelId id;
+            if (kn.hasAfter) {
+                id = gpu.enqueueKernelAfter(cmp, infos[i], ids.at(kn.after),
+                                            kn.delay);
+            } else {
+                id = gpu.enqueueKernelAt(cmp, infos[i], burst_base + kn.at);
+            }
+            ids[kn.name] = id;
+        }
+    }
+}
+
 } // namespace
+
+std::vector<Cycle>
+burstBases(const ScheduleNode &s, double core_clock_mhz)
+{
+    std::vector<Cycle> bases;
+    bases.reserve(s.bursts);
+    if (!s.poisson) {
+        for (uint32_t b = 0; b < s.bursts; ++b) {
+            bases.push_back(static_cast<Cycle>(b) * s.period);
+        }
+        return bases;
+    }
+    // Exponential inter-arrival gaps with mean core_clock/rate_hz
+    // cycles; cumulative sums keep arrivals non-decreasing, which the
+    // FIFO stream order requires. 1-u keeps log() off zero.
+    const double cycles_per_arrival = core_clock_mhz * 1.0e6 / s.rateHz;
+    Rng rng(s.seed);
+    double t = 0.0;
+    for (uint32_t b = 0; b < s.bursts; ++b) {
+        t += -std::log(1.0 - rng.nextDouble()) * cycles_per_arrival;
+        bases.push_back(static_cast<Cycle>(t));
+    }
+    return bases;
+}
 
 SubmitResult
 submitScenario(const Scenario &sc, Gpu &gpu, AddressSpace &heap,
@@ -323,27 +378,98 @@ submitScenario(const Scenario &sc, Gpu &gpu, AddressSpace &heap,
                 gpu.enqueueKernel(r.cmp, k);
             }
         } else {
-            const std::vector<KernelInfo> infos =
-                buildExplicitKernels(cd, heap, out.pipeline.get());
-            for (uint32_t b = 0; b < cd.schedule.bursts; ++b) {
-                const Cycle burst_base =
-                    static_cast<Cycle>(b) * cd.schedule.period;
-                std::map<std::string, KernelId> ids;
-                for (size_t i = 0; i < cd.kernels.size(); ++i) {
-                    const KernelNode &kn = cd.kernels[i];
-                    KernelId id;
-                    if (kn.hasAfter) {
-                        id = gpu.enqueueKernelAfter(r.cmp, infos[i],
-                                                    ids.at(kn.after),
-                                                    kn.delay);
-                    } else {
-                        id = gpu.enqueueKernelAt(r.cmp, infos[i],
-                                                 burst_base + kn.at);
-                    }
-                    ids[kn.name] = id;
-                }
-            }
+            enqueueExplicit(gpu, r.cmp, cd,
+                            buildExplicitKernels(cd, heap,
+                                                 out.pipeline.get()));
         }
+    }
+    return r;
+}
+
+MultiSubmitResult
+submitScenarioMulti(const Scenario &sc, mgpu::MultiGpu &mgpu,
+                    Materialized &out)
+{
+    const uint32_t n = mgpu.config().numGpus;
+    MultiSubmitResult r;
+    PartitionPolicy policy = PartitionPolicy::Exhaustive;
+    switch (sc.gpu.placement) {
+    case Placement::Split:
+        r.gfxDevice = 0;
+        r.cmpDevice = 1;
+        break;
+    case Placement::Colocated:
+        policy = PartitionPolicy::Mps;
+        break;
+    case Placement::Mig:
+        policy = PartitionPolicy::Mig;
+        break;
+    }
+    if (sc.graphics.device >= 0) {
+        r.gfxDevice = static_cast<uint32_t>(sc.graphics.device);
+    }
+    if (sc.compute.device >= 0) {
+        r.cmpDevice = static_cast<uint32_t>(sc.compute.device);
+    }
+    fatal_if(r.gfxDevice >= n || r.cmpDevice >= n,
+             "scenario stream device out of range");
+
+    // One heap per device, each at the single-GPU layout's local base
+    // offset into that device's address window — addresses outlive the
+    // allocators, which only exist for the duration of the build.
+    std::vector<AddressSpace> heaps;
+    heaps.reserve(n);
+    for (uint32_t d = 0; d < n; ++d) {
+        heaps.push_back(mgpu.heapFor(d));
+    }
+
+    GfxBuild gb;
+    if (sc.graphics.present) {
+        gb = prepareGraphics(sc, heaps[r.gfxDevice], out);
+        r.gfx = mgpu.device(r.gfxDevice).createStream("graphics");
+    }
+    if (sc.compute.present) {
+        r.cmp = mgpu.device(r.cmpDevice).createStream("compute");
+    }
+    for (uint32_t f = 0; sc.graphics.present && f < sc.graphics.frames;
+         ++f) {
+        out.frames.push_back(renderFrame(sc, gb, f, heaps[r.gfxDevice],
+                                         *out.pipeline));
+        submitFrame(mgpu.device(r.gfxDevice), r.gfx, out.frames.back(),
+                    sc.graphics.fixedFunctionDelay);
+    }
+    if (r.cmp != kInvalidStream) {
+        const ComputeDesc &cd = sc.compute;
+        Gpu &cgpu = mgpu.device(r.cmpDevice);
+        if (!cd.preset.empty()) {
+            for (const KernelInfo &k : buildPresetCompute(
+                     cd, heaps[r.cmpDevice], out.pipeline.get())) {
+                cgpu.enqueueKernel(r.cmp, k);
+            }
+        } else {
+            const std::function<AddressSpace &(const BufferNode &)>
+                buffer_heap = [&](const BufferNode &b) -> AddressSpace & {
+                return heaps[b.device >= 0
+                                 ? static_cast<uint32_t>(b.device)
+                                 : r.cmpDevice];
+            };
+            enqueueExplicit(cgpu, r.cmp, cd,
+                            buildExplicitKernels(cd, heaps[r.cmpDevice],
+                                                 out.pipeline.get(),
+                                                 buffer_heap));
+        }
+    }
+
+    // Placement implies partitioning when both streams share a device:
+    // colocated = MPS (even SM split), mig = MiG (SM split + L2 bank
+    // masks). Split devices keep the Exhaustive default — each stream
+    // owns its device outright.
+    if (policy != PartitionPolicy::Exhaustive &&
+        r.gfxDevice == r.cmpDevice && r.gfx != kInvalidStream &&
+        r.cmp != kInvalidStream) {
+        PartitionConfig part;
+        part.policy = policy;
+        mgpu.device(r.gfxDevice).setPartition(part);
     }
     return r;
 }
@@ -356,10 +482,19 @@ flattenable(const Scenario &sc, std::string &why)
         why = "fixed_function_delay has no packed-trace representation";
         return false;
     }
+    if (sc.gpu.numGpus > 1) {
+        why = "multi-GPU scenarios have no packed-trace representation";
+        return false;
+    }
     const ComputeDesc &cd = sc.compute;
     if (cd.present && cd.preset.empty()) {
         if (cd.schedule.bursts > 1) {
             why = "burst schedules have no packed-trace representation";
+            return false;
+        }
+        if (cd.schedule.poisson) {
+            why = "Poisson arrival schedules have no packed-trace "
+                  "representation";
             return false;
         }
         for (const KernelNode &kn : cd.kernels) {

@@ -7,6 +7,7 @@
 
 #include "gpu/gpu.hpp"
 #include "graphics/pipeline.hpp"
+#include "mgpu/multi_gpu.hpp"
 #include "scenario/scenario.hpp"
 
 namespace crisp::scenario
@@ -48,6 +49,39 @@ struct SubmitResult
  */
 SubmitResult submitScenario(const Scenario &sc, Gpu &gpu,
                             AddressSpace &heap, Materialized &out);
+
+/** submitScenarioMulti's SubmitResult: stream ids plus the device each
+ *  stream landed on under the scenario's placement. */
+struct MultiSubmitResult
+{
+    StreamId gfx = kInvalidStream;
+    StreamId cmp = kInvalidStream;
+    uint32_t gfxDevice = 0;
+    uint32_t cmpDevice = 0;
+};
+
+/**
+ * Materialize a multi-GPU scenario (gpu.num_gpus > 1) onto @p mgpu.
+ *
+ * The gpu.placement knob resolves each stream to a device — split puts
+ * graphics on device 0 and compute on device 1, colocated/mig put both
+ * on device 0 (with the matching MPS/MiG partition applied) — and
+ * per-stream "device" fields override it. Graphics resources allocate
+ * from the graphics device's heap window, compute buffers from the
+ * compute device's, and a buffer's own "device" field overrides that;
+ * a buffer homed away from the stream that touches it makes every L1
+ * miss a remote access over the inter-GPU fabric.
+ */
+MultiSubmitResult submitScenarioMulti(const Scenario &sc,
+                                      mgpu::MultiGpu &mgpu,
+                                      Materialized &out);
+
+/**
+ * Arrival cycle of each burst of @p s: b*period for the periodic model,
+ * or seeded cumulative exponential gaps with mean core_clock/rate_hz
+ * for the Poisson model — deterministic for a fixed seed.
+ */
+std::vector<Cycle> burstBases(const ScheduleNode &s, double core_clock_mhz);
 
 /**
  * A scenario flattened to the packed-trace shape: per-stream kernel lists

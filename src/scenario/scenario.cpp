@@ -357,8 +357,32 @@ parseDraw(Ctx &c, const Json &node, DrawNode &out)
     return c.ok;
 }
 
+/**
+ * Optional "device" field of a workload or buffer node: which device of
+ * an n-GPU machine it lives on. Rejected outright on a single-GPU
+ * machine so a file cannot silently describe traffic that cannot exist.
+ */
 bool
-parseGraphics(Ctx &c, const Json &node, GraphicsDesc &out)
+parseDevice(Ctx &c, const Json &node, uint32_t num_gpus, int32_t &out)
+{
+    const Json *v = node.find("device");
+    if (!v || !c.ok) {
+        return c.ok;
+    }
+    if (num_gpus <= 1) {
+        return c.fail(*v, "\"device\" needs gpu.num_gpus > 1");
+    }
+    uint32_t device = 0;
+    if (!c.getUint(node, "device", device, 0, num_gpus - 1)) {
+        return false;
+    }
+    out = static_cast<int32_t>(device);
+    return true;
+}
+
+bool
+parseGraphics(Ctx &c, const Json &node, GraphicsDesc &out,
+              uint32_t num_gpus)
 {
     if (!node.isObject()) {
         return c.fail(node, "\"graphics\" must be an object");
@@ -366,7 +390,8 @@ parseGraphics(Ctx &c, const Json &node, GraphicsDesc &out)
     out.present = true;
     c.checkKeys(node, {"preset", "meshes", "materials", "draws", "camera",
                        "width", "height", "lod", "frames", "batch_size",
-                       "fixed_function_delay", "animation"});
+                       "fixed_function_delay", "animation", "device"});
+    parseDevice(c, node, num_gpus, out.device);
     if (node.find("preset")) {
         c.getChoice(node, "preset", out.preset,
                     {"SPL", "SPH", "PT", "IT", "PL", "MT"});
@@ -638,14 +663,19 @@ parseKernel(Ctx &c, const Json &node, KernelNode &out,
 }
 
 bool
-parseCompute(Ctx &c, const Json &node, ComputeDesc &out, bool has_graphics)
+parseCompute(Ctx &c, const Json &node, ComputeDesc &out, bool has_graphics,
+             uint32_t num_gpus)
 {
     if (!node.isObject()) {
         return c.fail(node, "\"compute\" must be an object");
     }
     out.present = true;
     c.checkKeys(node, {"preset", "frames", "width", "height", "points",
-                       "layers", "buffers", "kernels", "schedule"});
+                       "layers", "buffers", "kernels", "schedule",
+                       "device"});
+    if (!parseDevice(c, node, num_gpus, out.device)) {
+        return false;
+    }
     if (node.find("preset")) {
         c.getChoice(node, "preset", out.preset,
                     {"VIO", "HOLO", "NN", "ATW"});
@@ -684,10 +714,13 @@ parseCompute(Ctx &c, const Json &node, ComputeDesc &out, bool has_graphics)
                 if (!b.isObject()) {
                     return c.fail(b, "buffer entry must be an object");
                 }
-                c.checkKeys(b, {"name", "bytes"});
+                c.checkKeys(b, {"name", "bytes", "device"});
                 BufferNode buf;
                 c.getString(b, "name", buf.name);
                 c.getUint(b, "bytes", buf.bytes, 4096, 1ull << 30);
+                if (!parseDevice(c, b, num_gpus, buf.device)) {
+                    return false;
+                }
                 if (!c.ok) {
                     return false;
                 }
@@ -760,16 +793,41 @@ parseCompute(Ctx &c, const Json &node, ComputeDesc &out, bool has_graphics)
             if (!sched->isObject()) {
                 return c.fail(*sched, "\"schedule\" must be an object");
             }
-            c.checkKeys(*sched, {"bursts", "period"});
+            c.checkKeys(*sched, {"bursts", "period", "arrivals"});
             c.getUint(*sched, "bursts", out.schedule.bursts, 1, 1024);
             c.getUint(*sched, "period", out.schedule.period, 0,
                       1'000'000'000'000ull);
             if (!c.ok) {
                 return false;
             }
-            if (out.schedule.bursts > 1 && out.schedule.period == 0) {
+            if (const Json *arr = sched->find("arrivals")) {
+                if (!arr->isObject()) {
+                    return c.fail(*arr, "\"arrivals\" must be an object");
+                }
+                if (sched->find("period")) {
+                    return c.fail(*arr, "\"arrivals\" and \"period\" are "
+                                        "mutually exclusive");
+                }
+                c.checkKeys(*arr, {"kind", "rate_hz", "seed"});
+                std::string kind;
+                c.getChoice(*arr, "kind", kind, {"poisson"});
+                if (!arr->find("rate_hz")) {
+                    return c.fail(*arr, "\"arrivals\" needs a \"rate_hz\"");
+                }
+                float rate = 0.0f;
+                c.getFloat(*arr, "rate_hz", rate, 0.001, 1.0e9);
+                c.getUint(*arr, "seed", out.schedule.seed, 0,
+                          ~0ull);
+                if (!c.ok) {
+                    return false;
+                }
+                out.schedule.poisson = true;
+                out.schedule.rateHz = static_cast<double>(rate);
+            } else if (out.schedule.bursts > 1 &&
+                       out.schedule.period == 0) {
                 return c.fail(*sched, "bursts > 1 needs a non-zero "
-                                      "\"period\"");
+                                      "\"period\" or an \"arrivals\" "
+                                      "model");
             }
         }
     }
@@ -825,23 +883,41 @@ loadScenarioText(const std::string &text, const std::string &file_label,
         if (!gpu->isObject()) {
             return c.fail(*gpu, "\"gpu\" must be an object");
         }
-        c.checkKeys(*gpu, {"preset", "num_sms"});
+        c.checkKeys(*gpu, {"preset", "num_sms", "num_gpus", "placement"});
         if (gpu->find("preset")) {
             c.getChoice(*gpu, "preset", out.gpu.preset,
                         {"rtx3070", "orin"});
         }
         c.getUint(*gpu, "num_sms", out.gpu.numSms, 0, 128);
+        c.getUint(*gpu, "num_gpus", out.gpu.numGpus, 1, 8);
+        if (const Json *pl = gpu->find("placement")) {
+            if (out.gpu.numGpus <= 1) {
+                return c.fail(*pl, "\"placement\" needs num_gpus > 1");
+            }
+            std::string placement;
+            c.getChoice(*gpu, "placement", placement,
+                        {"split", "colocated", "mig"});
+            if (!c.ok) {
+                return false;
+            }
+            out.gpu.placement = placement == "split"
+                                    ? Placement::Split
+                                    : (placement == "colocated"
+                                           ? Placement::Colocated
+                                           : Placement::Mig);
+        }
         if (!c.ok) {
             return false;
         }
     }
     if (const Json *gfx = doc.find("graphics")) {
-        if (!parseGraphics(c, *gfx, out.graphics)) {
+        if (!parseGraphics(c, *gfx, out.graphics, out.gpu.numGpus)) {
             return false;
         }
     }
     if (const Json *cmp = doc.find("compute")) {
-        if (!parseCompute(c, *cmp, out.compute, out.graphics.present)) {
+        if (!parseCompute(c, *cmp, out.compute, out.graphics.present,
+                          out.gpu.numGpus)) {
             return false;
         }
     }

@@ -135,6 +135,8 @@ struct GraphicsDesc
     uint32_t batchSize = 0;    ///< 0 = pipeline default.
     Cycle fixedFunctionDelay = 0;
     DeformNode deform;
+    /** Device this stream runs on (num_gpus > 1; -1 = placement default). */
+    int32_t device = -1;
 };
 
 // --- Compute side ----------------------------------------------------------
@@ -144,6 +146,10 @@ struct BufferNode
 {
     std::string name;
     uint64_t bytes = 1 << 20;
+    /** Device whose heap window homes this buffer (num_gpus > 1;
+     *  -1 = the compute stream's own device). A buffer homed away from
+     *  the stream that reads it makes every miss a remote access. */
+    int32_t device = -1;
 };
 
 /** One memory-access group of an explicit kernel. */
@@ -188,11 +194,17 @@ struct KernelNode
 };
 
 /** Burst-arrival schedule: the kernel list replayed `bursts` times,
- *  burst b arriving at cycle b*period (+ each kernel's own `at`). */
+ *  burst b arriving at cycle b*period (+ each kernel's own `at`), or —
+ *  with a Poisson arrival model — at seeded-random cumulative
+ *  exponential gaps around 1/rate_hz (deterministic for a fixed seed). */
 struct ScheduleNode
 {
     uint32_t bursts = 1;
     Cycle period = 0;
+    /** "arrivals": {"kind": "poisson", "rate_hz": ..., "seed": ...}. */
+    bool poisson = false;
+    double rateHz = 0.0;
+    uint64_t seed = 1;
 };
 
 struct ComputeDesc
@@ -208,14 +220,28 @@ struct ComputeDesc
     std::vector<BufferNode> buffers;
     std::vector<KernelNode> kernels;
     ScheduleNode schedule;
+    /** Device this stream runs on (num_gpus > 1; -1 = placement default). */
+    int32_t device = -1;
 };
 
 // --- Whole scenario --------------------------------------------------------
+
+/** How a multi-GPU scenario spreads its streams across devices. */
+enum class Placement
+{
+    Split,      ///< Graphics and compute on different devices.
+    Colocated,  ///< Both streams on one device, MPS-style SM split.
+    Mig,        ///< Both on one device, MiG SM split + L2 bank masks.
+};
 
 struct GpuDesc
 {
     std::string preset = "rtx3070";  ///< rtx3070 | orin.
     uint32_t numSms = 0;             ///< 0 = preset's count.
+    /** Devices in the machine; 1 = classic single-GPU submission. */
+    uint32_t numGpus = 1;
+    /** Stream dispatch across devices (num_gpus > 1 only). */
+    Placement placement = Placement::Split;
 };
 
 struct Scenario

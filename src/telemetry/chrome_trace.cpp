@@ -93,24 +93,31 @@ constexpr uint64_t kTidKernels = 0;
 constexpr uint64_t kTidDrawcalls = 1;
 constexpr uint64_t kTidSmBase = 2;
 
-} // namespace
+// Devices are separated by pid range: device d's machine process sits at
+// d*kPidStride and its stream processes at d*kPidStride + stream + 1.
+// Stream ids are machine-global (MultiGpu spaces them by its stream-id
+// stride), so stream pids cannot collide across devices either way.
+constexpr uint64_t kPidStride = 1ull << 20;
 
-std::string
-chromeTraceJson(const TelemetrySink &sink)
+/** Emit one sink's events with all pids offset by @p pid_base and the
+ *  process names prefixed by @p prefix (e.g. "gpu1 "). */
+void
+appendSink(TraceWriter &w, const TelemetrySink &sink, uint64_t pid_base,
+           const std::string &prefix)
 {
     const std::vector<Event> events = sink.events();
-    TraceWriter w;
 
     // Process/thread metadata. SM thread names are derived from the CTA
     // events actually present so the exporter needs no machine config.
-    w.metadata("process_name", "gpu", 0, 0);
-    w.metadata("thread_name", "repartition", 0, kTidRepartition);
-    w.metadata("thread_name", "tap-window", 0, kTidTapWindow);
-    w.metadata("thread_name", "l2-miss-bursts", 0, kTidMissBurst);
-    w.metadata("thread_name", "dram-row-conflicts", 0, kTidRowConflict);
+    w.metadata("process_name", prefix + "gpu", pid_base, 0);
+    w.metadata("thread_name", "repartition", pid_base, kTidRepartition);
+    w.metadata("thread_name", "tap-window", pid_base, kTidTapWindow);
+    w.metadata("thread_name", "l2-miss-bursts", pid_base, kTidMissBurst);
+    w.metadata("thread_name", "dram-row-conflicts", pid_base,
+               kTidRowConflict);
     for (const auto &[id, name] : sink.streams()) {
-        const uint64_t pid = static_cast<uint64_t>(id) + 1;
-        w.metadata("process_name", "stream " + name, pid, 0);
+        const uint64_t pid = pid_base + static_cast<uint64_t>(id) + 1;
+        w.metadata("process_name", prefix + "stream " + name, pid, 0);
         w.metadata("thread_name", "kernels", pid, kTidKernels);
         w.metadata("thread_name", "drawcalls", pid, kTidDrawcalls);
     }
@@ -118,7 +125,8 @@ chromeTraceJson(const TelemetrySink &sink)
     for (const Event &e : events) {
         if (e.kind == EventKind::CtaDispatch ||
             e.kind == EventKind::CtaRetire) {
-            const uint64_t pid = static_cast<uint64_t>(e.stream) + 1;
+            const uint64_t pid =
+                pid_base + static_cast<uint64_t>(e.stream) + 1;
             if (sm_tracks.emplace(pid, e.unit).second) {
                 w.metadata("thread_name",
                            logging_detail::formatMessage("sm%u", e.unit),
@@ -132,7 +140,7 @@ chromeTraceJson(const TelemetrySink &sink)
     std::map<std::pair<StreamId, uint64_t>, Event> open_kernels;
     std::map<std::pair<StreamId, uint64_t>, Event> open_drawcalls;
     for (const Event &e : events) {
-        const uint64_t pid = static_cast<uint64_t>(e.stream) + 1;
+        const uint64_t pid = pid_base + static_cast<uint64_t>(e.stream) + 1;
         switch (e.kind) {
           case EventKind::KernelLaunch:
             open_kernels[{e.stream, e.a}] = e;
@@ -181,14 +189,15 @@ chromeTraceJson(const TelemetrySink &sink)
                          static_cast<unsigned long long>(e.b)));
             break;
           case EventKind::Repartition:
-            w.append(eventKindName(e.kind), "i", e.cycle, 0,
+            w.append(eventKindName(e.kind), "i", e.cycle, pid_base,
                      kTidRepartition,
                      logging_detail::formatMessage(
                          "\"s\":\"p\",\"args\":{\"shareA_permille\":%llu}",
                          static_cast<unsigned long long>(e.a)));
             break;
           case EventKind::TapWindow:
-            w.append(eventKindName(e.kind), "i", e.cycle, 0, kTidTapWindow,
+            w.append(eventKindName(e.kind), "i", e.cycle, pid_base,
+                     kTidTapWindow,
                      logging_detail::formatMessage(
                          "\"s\":\"p\",\"args\":{\"gfxSets\":%llu,"
                          "\"computeSets\":%llu}",
@@ -196,7 +205,8 @@ chromeTraceJson(const TelemetrySink &sink)
                          static_cast<unsigned long long>(e.b)));
             break;
           case EventKind::MissBurst:
-            w.append(eventKindName(e.kind), "i", e.cycle, 0, kTidMissBurst,
+            w.append(eventKindName(e.kind), "i", e.cycle, pid_base,
+                     kTidMissBurst,
                      logging_detail::formatMessage(
                          "\"s\":\"p\",\"args\":{\"bank\":%u,\"stream\":%u,"
                          "\"streak\":%llu}",
@@ -204,7 +214,7 @@ chromeTraceJson(const TelemetrySink &sink)
                          static_cast<unsigned long long>(e.a)));
             break;
           case EventKind::RowConflictBurst:
-            w.append(eventKindName(e.kind), "i", e.cycle, 0,
+            w.append(eventKindName(e.kind), "i", e.cycle, pid_base,
                      kTidRowConflict,
                      logging_detail::formatMessage(
                          "\"s\":\"p\",\"args\":{\"conflicts\":%llu}",
@@ -219,27 +229,61 @@ chromeTraceJson(const TelemetrySink &sink)
     // markers so a truncated run is still visible on the timeline.
     for (const auto &[key, e] : open_kernels) {
         w.append(sink.name(static_cast<uint32_t>(e.b)) + " (running)", "i",
-                 e.cycle, static_cast<uint64_t>(e.stream) + 1, kTidKernels,
-                 "\"s\":\"t\"");
+                 e.cycle, pid_base + static_cast<uint64_t>(e.stream) + 1,
+                 kTidKernels, "\"s\":\"t\"");
     }
     for (const auto &[key, e] : open_drawcalls) {
         w.append(sink.name(static_cast<uint32_t>(e.b)) + " (running)", "i",
-                 e.cycle, static_cast<uint64_t>(e.stream) + 1,
+                 e.cycle, pid_base + static_cast<uint64_t>(e.stream) + 1,
                  kTidDrawcalls, "\"s\":\"t\"");
     }
+}
 
+} // namespace
+
+std::string
+chromeTraceJson(const TelemetrySink &sink)
+{
+    TraceWriter w;
+    appendSink(w, sink, 0, "");
+    return w.finish();
+}
+
+std::string
+chromeTraceJson(const std::vector<const TelemetrySink *> &sinks)
+{
+    TraceWriter w;
+    for (size_t d = 0; d < sinks.size(); ++d) {
+        if (sinks[d] == nullptr) {
+            continue;
+        }
+        appendSink(w, *sinks[d], d * kPidStride,
+                   logging_detail::formatMessage("gpu%zu ", d));
+    }
     return w.finish();
 }
 
 bool
 writeChromeTrace(const TelemetrySink &sink, const std::string &path)
 {
+    return writeChromeTrace(chromeTraceJson(sink), path);
+}
+
+bool
+writeChromeTrace(const std::vector<const TelemetrySink *> &sinks,
+                 const std::string &path)
+{
+    return writeChromeTrace(chromeTraceJson(sinks), path);
+}
+
+bool
+writeChromeTrace(const std::string &json, const std::string &path)
+{
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
         warn("cannot open %s for writing", path.c_str());
         return false;
     }
-    const std::string json = chromeTraceJson(sink);
     const size_t written = std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
     if (written != json.size()) {

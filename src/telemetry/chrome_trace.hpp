@@ -2,6 +2,7 @@
 #define CRISP_TELEMETRY_CHROME_TRACE_HPP
 
 #include <string>
+#include <vector>
 
 #include "telemetry/sink.hpp"
 
@@ -27,8 +28,24 @@ namespace telemetry
  */
 std::string chromeTraceJson(const TelemetrySink &sink);
 
+/**
+ * Multi-device variant: sinks[d] is device d's sink (null entries are
+ * skipped). Device d's tracks keep the single-sink mapping but live in
+ * their own pid range (machine process at d*2^20, streams behind it)
+ * with process names prefixed "gpu<d> ", so an N-GPU run renders as N
+ * labelled process groups on one shared timeline.
+ */
+std::string chromeTraceJson(const std::vector<const TelemetrySink *> &sinks);
+
 /** Write chromeTraceJson to @p path; false (with a warning) on failure. */
 bool writeChromeTrace(const TelemetrySink &sink, const std::string &path);
+
+/** Multi-device writeChromeTrace. */
+bool writeChromeTrace(const std::vector<const TelemetrySink *> &sinks,
+                      const std::string &path);
+
+/** Write already-rendered trace JSON to @p path. */
+bool writeChromeTrace(const std::string &json, const std::string &path);
 
 } // namespace telemetry
 } // namespace crisp

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * crisp::mgpu tests: remote round-trip accounting against the hand
+ * model, page-migration conservation, thread-count determinism on a
+ * two-GPU scenario, and the multi-GPU scenario schema (num_gpus,
+ * placement, per-stream/per-buffer device fields, Poisson arrivals).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mgpu/multi_gpu.hpp"
+#include "scenario/build.hpp"
+#include "scenario/scenario.hpp"
+#include "workloads/compute.hpp"
+
+using namespace crisp;
+
+namespace
+{
+
+/** A small streaming-read kernel over @p base. */
+KernelInfo
+readerKernel(Addr base, uint64_t region_bytes, uint32_t iterations = 4)
+{
+    ComputeKernelDesc d;
+    d.name = "reader";
+    d.ctas = 8;
+    d.threadsPerCta = 64;
+    d.regsPerThread = 32;
+    d.iterations = iterations;
+    MemPattern p;
+    p.kind = MemPatternKind::Streaming;
+    p.base = base;
+    p.regionBytes = region_bytes;
+    p.accessBytes = 16;
+    p.count = 2;
+    d.loads.push_back(p);
+    return buildComputeKernel(d);
+}
+
+/** Two small devices so the micro tests stay fast. */
+mgpu::MultiGpuConfig
+smallDual()
+{
+    mgpu::MultiGpuConfig cfg = mgpu::MultiGpuConfig::dualRtx3070();
+    cfg.gpu.numSms = 4;
+    cfg.gpu.finalize();
+    return cfg;
+}
+
+/** Run a reader on device 1 over a buffer homed on @p home_device.
+ *  Audits at cadence 1 — every conservation identity must hold every
+ *  cycle, remote traffic in flight included. */
+mgpu::MultiGpu::RunResult
+runReader(mgpu::MultiGpu &machine, uint32_t home_device,
+          uint64_t bytes = 1 << 20)
+{
+    AddressSpace heap = machine.heapFor(home_device);
+    const Addr base = heap.alloc(bytes);
+    Gpu &dev1 = machine.device(1);
+    const StreamId s = dev1.createStream("compute");
+    dev1.enqueueKernel(s, readerKernel(base, bytes));
+    return machine.run(4'000'000, 1);
+}
+
+} // namespace
+
+TEST(MgpuFabric, StaticWindowOwnership)
+{
+    mgpu::MultiGpu machine(smallDual());
+    const mgpu::InterGpuFabric &fabric = machine.fabric();
+    EXPECT_EQ(fabric.ownerOf(0), 0u);
+    EXPECT_EQ(fabric.ownerOf(machine.windowBase(1)), 1u);
+    EXPECT_EQ(fabric.ownerOf(machine.windowBase(1) - 128), 0u);
+    // The last device owns everything above its window base.
+    EXPECT_EQ(fabric.ownerOf(~0ull), 1u);
+}
+
+TEST(MgpuFabric, RemoteRoundTripAccounting)
+{
+    // Same kernel, local vs remote buffer: the remote run pays at least
+    // one extra link traversal on the makespan, and its traffic matches
+    // the wire model exactly.
+    mgpu::MultiGpu local_machine(smallDual());
+    const auto local = runReader(local_machine, 1);
+    ASSERT_TRUE(local.completed);
+    EXPECT_TRUE(local.violations.empty());
+    EXPECT_EQ(local_machine.fabric().requestsAccepted(), 0u);
+
+    mgpu::MultiGpu remote_machine(smallDual());
+    const auto remote = runReader(remote_machine, 0);
+    ASSERT_TRUE(remote.completed);
+    EXPECT_TRUE(remote.violations.empty());
+
+    const mgpu::InterGpuFabric &fabric = remote_machine.fabric();
+    const uint64_t reqs = fabric.requestsAccepted();
+    ASSERT_GT(reqs, 0u);
+    EXPECT_GT(remote.cycles,
+              local.cycles + fabric.config().linkLatency);
+
+    // Drained: nothing in flight, every request delivered and answered.
+    EXPECT_EQ(fabric.requestsInFlight(), 0u);
+    EXPECT_EQ(fabric.responsesInFlight(), 0u);
+    EXPECT_EQ(fabric.requestsDelivered(), reqs);
+    EXPECT_EQ(fabric.responsesAccepted(), reqs);
+    EXPECT_EQ(fabric.responsesDelivered(), reqs);
+
+    // Wire model: a read request is one header, its response a header
+    // plus the line payload.
+    const mgpu::FabricConfig &fc = fabric.config();
+    EXPECT_EQ(fabric.bytesTransferred(),
+              reqs * fc.headerBytes + reqs * (fc.headerBytes + 128));
+
+    // Per-stream counters pair with the fabric totals on both sides:
+    // device 1's stream counted every remote access and response, and
+    // device 0's L2 saw exactly the delivered requests for that stream.
+    Gpu &dev1 = remote_machine.device(1);
+    const StreamId s = remote_machine.config().streamIdStride;
+    EXPECT_EQ(dev1.stats().stream(s).remoteAccesses, reqs);
+    EXPECT_EQ(dev1.stats().stream(s).remoteResponses, reqs);
+    EXPECT_EQ(remote_machine.device(0).stats().stream(s).l2Accesses, reqs);
+}
+
+TEST(MgpuFabric, PageMigrationConservation)
+{
+    mgpu::MultiGpuConfig cfg = smallDual();
+    cfg.fabric.migrateAfter = 2;
+    mgpu::MultiGpu machine(cfg);
+
+    AddressSpace heap = machine.heapFor(0);
+    const uint64_t bytes = 8192;  // Two 4 KiB pages in device 0's window.
+    const Addr base = heap.alloc(bytes);
+    Gpu &dev1 = machine.device(1);
+    const StreamId s = dev1.createStream("compute");
+    dev1.enqueueKernel(s, readerKernel(base, bytes, 16));
+    const auto r = machine.run(4'000'000, 1);
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.violations.empty());
+
+    const mgpu::InterGpuFabric &fabric = machine.fabric();
+    ASSERT_GT(fabric.pageMigrations(), 0u);
+    EXPECT_LE(fabric.pageMigrations(), 2u);
+    EXPECT_EQ(fabric.migratedBytes(),
+              fabric.pageMigrations() * cfg.fabric.pageBytes);
+    // The hot page now belongs to the toucher; the per-stream counter
+    // attributes the migrations it triggered.
+    EXPECT_EQ(fabric.ownerOf(base), 1u);
+    EXPECT_EQ(dev1.stats().stream(s).pageMigrations,
+              fabric.pageMigrations());
+}
+
+TEST(MgpuFabric, BoundedQueueRefusesThenDrains)
+{
+    // A one-entry request queue with a slow wire forces refusals; the
+    // SMs park and retry, and the run still drains with every identity
+    // intact (the cadence-1 audit would catch a lost request).
+    mgpu::MultiGpuConfig cfg = smallDual();
+    cfg.fabric.requestQueueCapacity = 1;
+    cfg.fabric.linkBytesPerCycle = 8.0;
+    mgpu::MultiGpu machine(cfg);
+    const auto r = runReader(machine, 0);
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.violations.empty());
+    EXPECT_GT(machine.fabric().requestsAccepted(), 0u);
+    EXPECT_EQ(machine.fabric().requestsInFlight(), 0u);
+}
+
+namespace
+{
+
+/** Per-run fingerprint for the determinism test. */
+struct RunPrint
+{
+    Cycle cycles = 0;
+    std::vector<uint64_t> counters;
+
+    bool
+    operator==(const RunPrint &o) const
+    {
+        return cycles == o.cycles && counters == o.counters;
+    }
+};
+
+RunPrint
+runScenarioWithThreads(const scenario::Scenario &scn, uint32_t threads)
+{
+    mgpu::MultiGpuConfig cfg;
+    cfg.numGpus = scn.gpu.numGpus;
+    cfg.gpu = scenario::gpuConfigFor(scn);
+    mgpu::MultiGpu machine(cfg);
+    engine::EngineConfig ec;
+    ec.threads = threads;
+    machine.setEngine(ec);
+    scenario::Materialized mat;
+    const scenario::MultiSubmitResult sr =
+        scenario::submitScenarioMulti(scn, machine, mat);
+    const auto r = machine.run(50'000'000, 0);
+    EXPECT_TRUE(r.completed);
+
+    RunPrint print;
+    print.cycles = r.cycles;
+    StatsRegistry merged = machine.mergedStats();
+    for (StreamId id : {sr.gfx, sr.cmp}) {
+        const StreamStats &st = merged.stream(id);
+        print.counters.push_back(st.instructions);
+        print.counters.push_back(st.l1Accesses);
+        print.counters.push_back(st.l2Accesses);
+        print.counters.push_back(st.dramReads);
+        print.counters.push_back(st.remoteAccesses);
+        print.counters.push_back(st.remoteResponses);
+    }
+    print.counters.push_back(machine.fabric().requestsAccepted());
+    print.counters.push_back(machine.fabric().bytesTransferred());
+    return print;
+}
+
+} // namespace
+
+TEST(MgpuDeterminism, ThreadCountsAgreeOnTwoGpuScenario)
+{
+    scenario::Scenario scn;
+    scenario::ScenarioError err;
+    ASSERT_TRUE(scenario::loadScenarioFile(
+        std::string(CRISP_SCENARIO_DIR) + "/game_inference_mgpu.json", scn,
+        err))
+        << err.str();
+    ASSERT_EQ(scn.gpu.numGpus, 2u);
+    ASSERT_TRUE(scn.compute.schedule.poisson);
+
+    const RunPrint t1 = runScenarioWithThreads(scn, 1);
+    const RunPrint t2 = runScenarioWithThreads(scn, 2);
+    const RunPrint t4 = runScenarioWithThreads(scn, 4);
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(t1, t4);
+}
+
+TEST(MgpuSchedule, PoissonBasesAreSeededAndMonotonic)
+{
+    scenario::ScheduleNode s;
+    s.bursts = 16;
+    s.poisson = true;
+    s.rateHz = 1000.0;
+    s.seed = 42;
+    const std::vector<Cycle> a = scenario::burstBases(s, 1000.0);
+    const std::vector<Cycle> b = scenario::burstBases(s, 1000.0);
+    EXPECT_EQ(a, b);
+    ASSERT_EQ(a.size(), 16u);
+    for (size_t i = 1; i < a.size(); ++i) {
+        EXPECT_GE(a[i], a[i - 1]);
+    }
+    // The mean gap should be around core_clock/rate = 1e6 cycles; with
+    // 16 samples allow a generous band.
+    EXPECT_GT(a.back(), 2'000'000u);
+    EXPECT_LT(a.back(), 100'000'000u);
+
+    s.seed = 43;
+    EXPECT_NE(scenario::burstBases(s, 1000.0), a);
+
+    s.poisson = false;
+    s.period = 500;
+    const std::vector<Cycle> periodic = scenario::burstBases(s, 1000.0);
+    for (size_t i = 0; i < periodic.size(); ++i) {
+        EXPECT_EQ(periodic[i], i * 500);
+    }
+}
+
+namespace
+{
+
+std::string
+scenarioText(const std::string &gpu, const std::string &compute_extra,
+             const std::string &schedule)
+{
+    return R"({
+        "crisp_scenario": 1,
+        "name": "t",
+        "gpu": {)" + gpu + R"(},
+        "compute": {
+            "buffers": [{ "name": "b", "bytes": 65536)" + compute_extra +
+           R"( }],
+            "kernels": [{ "name": "k",
+                          "loads": [{ "buffer": "b" }] }])" + schedule +
+           R"(
+        }
+    })";
+}
+
+} // namespace
+
+TEST(MgpuScenario, LoaderCoordinatesTable)
+{
+    struct Case
+    {
+        const char *label;
+        std::string text;
+        const char *needle;
+    };
+    const Case cases[] = {
+        {"num_gpus zero", scenarioText(R"("num_gpus": 0)", "", ""),
+         "num_gpus must be in [1, 8]"},
+        {"num_gpus nine", scenarioText(R"("num_gpus": 9)", "", ""),
+         "num_gpus must be in [1, 8]"},
+        {"placement single-gpu",
+         scenarioText(R"("placement": "split")", "", ""),
+         "\"placement\" needs num_gpus > 1"},
+        {"placement unknown",
+         scenarioText(R"("num_gpus": 2, "placement": "sideways")", "", ""),
+         "placement must be one of split|colocated|mig"},
+        {"buffer device single-gpu",
+         scenarioText("", R"(, "device": 0)", ""),
+         "\"device\" needs gpu.num_gpus > 1"},
+        {"buffer device out of range",
+         scenarioText(R"("num_gpus": 2)", R"(, "device": 2)", ""),
+         "device must be in [0, 1]"},
+        {"arrivals with period",
+         scenarioText(R"("num_gpus": 2)", "",
+                      R"(,
+            "schedule": { "bursts": 2, "period": 1000,
+                          "arrivals": { "kind": "poisson",
+                                        "rate_hz": 100 } })"),
+         "\"arrivals\" and \"period\" are mutually exclusive"},
+        {"arrivals missing rate",
+         scenarioText("", "",
+                      R"(,
+            "schedule": { "bursts": 2,
+                          "arrivals": { "kind": "poisson" } })"),
+         "\"arrivals\" needs a \"rate_hz\""},
+        {"arrivals unknown kind",
+         scenarioText("", "",
+                      R"(,
+            "schedule": { "bursts": 2,
+                          "arrivals": { "kind": "uniform",
+                                        "rate_hz": 100 } })"),
+         "kind must be one of poisson"},
+    };
+    for (const Case &c : cases) {
+        scenario::Scenario scn;
+        scenario::ScenarioError err;
+        ASSERT_FALSE(scenario::loadScenarioText(c.text, "t.json", scn, err))
+            << c.label;
+        EXPECT_NE(err.message.find(c.needle), std::string::npos)
+            << c.label << ": got \"" << err.message << "\"";
+        EXPECT_GT(err.line, 0u) << c.label;
+        EXPECT_GT(err.col, 0u) << c.label;
+    }
+}
+
+TEST(MgpuScenario, PlacementResolvesDevices)
+{
+    const auto parse = [](const std::string &gpu,
+                          const std::string &extra) {
+        scenario::Scenario scn;
+        scenario::ScenarioError err;
+        const std::string text = scenarioText(gpu, extra, "");
+        EXPECT_TRUE(scenario::loadScenarioText(text, "t.json", scn, err))
+            << err.str();
+        return scn;
+    };
+
+    const scenario::Scenario split =
+        parse(R"("num_gpus": 2, "placement": "split")", "");
+    EXPECT_EQ(split.gpu.placement, scenario::Placement::Split);
+    mgpu::MultiGpuConfig cfg = smallDual();
+    {
+        mgpu::MultiGpu machine(cfg);
+        scenario::Materialized mat;
+        const auto sr = scenario::submitScenarioMulti(split, machine, mat);
+        // Compute-only split scenario: the compute stream owns device 1.
+        EXPECT_EQ(sr.cmpDevice, 1u);
+        EXPECT_EQ(sr.gfx, kInvalidStream);
+    }
+    const scenario::Scenario colo =
+        parse(R"("num_gpus": 2, "placement": "colocated")", "");
+    EXPECT_EQ(colo.gpu.placement, scenario::Placement::Colocated);
+    {
+        mgpu::MultiGpu machine(cfg);
+        scenario::Materialized mat;
+        const auto sr = scenario::submitScenarioMulti(colo, machine, mat);
+        EXPECT_EQ(sr.cmpDevice, 0u);
+    }
+    // A per-buffer device homes the allocation in that window even when
+    // the stream runs elsewhere.
+    const scenario::Scenario homed =
+        parse(R"("num_gpus": 2)", R"(, "device": 0)");
+    {
+        mgpu::MultiGpu machine(cfg);
+        scenario::Materialized mat;
+        const auto sr = scenario::submitScenarioMulti(homed, machine, mat);
+        EXPECT_EQ(sr.cmpDevice, 1u);
+        const auto r = machine.run(4'000'000, 1);
+        EXPECT_TRUE(r.completed);
+        EXPECT_TRUE(r.violations.empty());
+        EXPECT_GT(machine.fabric().requestsAccepted(), 0u);
+    }
+}

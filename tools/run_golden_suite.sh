@@ -68,6 +68,8 @@ BENCHES=(
     fig13_occupancy_timeline
     fig14_tap
     fig15_tap_l2_composition
+    fig16_mgpu_occupancy
+    fig17_interconnect
     ablation_pipeline
     ablation_memory
     scenario_suite
@@ -84,6 +86,8 @@ declare -A BENCH_CSVS=(
     [fig13_occupancy_timeline]="fig13_occupancy.csv"
     [fig14_tap]="fig14_tap.csv"
     [fig15_tap_l2_composition]="fig15_tap_l2.csv"
+    [fig16_mgpu_occupancy]="fig16_mgpu_occupancy.csv"
+    [fig17_interconnect]="fig17_interconnect.csv"
     [ablation_pipeline]="ablation_batching.csv ablation_overlap.csv ablation_lod.csv"
     [ablation_memory]="ablation_l1.csv ablation_l2bw.csv ablation_mshr.csv ablation_sectors.csv"
     [scenario_suite]="scenario_suite.csv"
